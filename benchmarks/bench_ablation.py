@@ -1,0 +1,27 @@
+"""Section IV-A ablation: the hybrid scheme vs a pure global worklist.
+
+Asserts the two drawbacks the paper gives for the per-node global
+worklist: (a) far more traffic through the serialised broker, and
+(b) a larger resident population (the BFS-order explosion).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_ablation
+
+from conftest import once
+
+
+def bench_globalonly_ablation(benchmark, quick_cfg):
+    res = once(benchmark, run_ablation, quick_cfg,
+               instances=("p_hat_300_3", "sister_cities"))
+    by_key = {(r["graph"], r["engine"]): r for r in res.rows}
+    for key, row in sorted(by_key.items()):
+        benchmark.extra_info["|".join(key)] = (
+            f"{row['seconds']} adds={row['wl adds']} peak={row['wl peak']}"
+        )
+    for graph in ("p_hat_300_3", "sister_cities"):
+        hyb = by_key[(graph, "hybrid")]
+        glob = by_key[(graph, "globalonly")]
+        assert glob["wl adds"] > hyb["wl adds"], graph
+        assert glob["wl peak"] >= hyb["wl peak"], graph

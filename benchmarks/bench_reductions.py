@@ -1,0 +1,74 @@
+"""Reduction-rule ablation (extension beyond the paper's three rules).
+
+The paper's kernel uses exactly the degree-one, degree-two-triangle and
+high-degree rules.  This bench measures what the optional isolated-clique
+and domination rules (DESIGN.md extensions) buy: smaller search trees at
+a higher per-node cost.  Correctness of each configuration is asserted
+against the default configuration's optimum.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.extra_reductions import make_reducer
+from repro.core.formulation import BestBound, MVCFormulation
+from repro.core.greedy import greedy_cover
+from repro.core.branching import expand_children
+from repro.core.sequential import solve_mvc_sequential
+from repro.graph.degree_array import Workspace, fresh_state, max_degree_vertex
+from repro.graph.generators.phat import phat_complement
+from repro.graph.generators.random_graphs import gnm
+
+CONFIGS = {
+    "paper-3-rules": dict(use_isolated_clique=False, use_domination=False),
+    "+isolated-clique": dict(use_isolated_clique=True, use_domination=False),
+    "+domination": dict(use_isolated_clique=False, use_domination=True),
+    "+both": dict(use_isolated_clique=True, use_domination=True),
+}
+
+INSTANCES = {
+    "phat_dense": phat_complement(60, 3, seed=12),
+    "gnm_sparse": gnm(90, 225, seed=3),
+}
+
+
+def _search(graph, reducer):
+    """DFS with an injected reducer; returns (optimum, nodes)."""
+    greedy = greedy_cover(graph)
+    best = BestBound(size=greedy.size, cover=greedy.cover)
+    formulation = MVCFormulation(best)
+    ws = Workspace.for_graph(graph)
+    stack = [fresh_state(graph)]
+    nodes = 0
+    while stack:
+        state = stack.pop()
+        nodes += 1
+        reducer(graph, state, formulation, ws)
+        if formulation.prune(state):
+            continue
+        if state.edge_count == 0:
+            formulation.accept(state)
+            continue
+        vmax = max_degree_vertex(state.deg)
+        deferred, continued = expand_children(graph, state, vmax, ws)
+        stack.append(deferred)
+        stack.append(continued)
+    return best.size, nodes
+
+
+@pytest.mark.parametrize("instance", list(INSTANCES))
+@pytest.mark.parametrize("config", list(CONFIGS))
+def bench_reduction_ablation(benchmark, instance, config):
+    graph = INSTANCES[instance]
+    reducer = make_reducer(**CONFIGS[config])
+    expected = solve_mvc_sequential(graph).optimum
+
+    optimum, nodes = benchmark.pedantic(
+        _search, args=(graph, reducer), rounds=1, iterations=1
+    )
+    assert optimum == expected, f"{config} broke exactness on {instance}"
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["optimum"] = optimum

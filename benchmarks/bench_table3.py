@@ -1,0 +1,37 @@
+"""Table III: PVC (k = min) on the p_hat sub-suite vs prior work.
+
+The prior-work column replicates the numbers the paper itself copied from
+Abu-Khzam et al. (different hardware, not re-runnable) — our runnable
+stand-in for their *scheme* is the StackOnly engine.  Shape assertion: the
+Hybrid engine is competitive (no dramatic loss) against StackOnly across
+the sub-suite, matching the paper's "highly competitive" claim.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import PRIOR_WORK_TABLE3_SECONDS, run_table3
+from repro.analysis.speedup import geometric_mean
+from repro.analysis.tables import format_seconds
+
+from conftest import once
+
+
+def bench_table3(benchmark, quick_cfg):
+    t3 = once(benchmark, run_table3, quick_cfg)
+    assert len(t3.rows) == len(PRIOR_WORK_TABLE3_SECONDS)
+
+    ratios = []
+    for row in t3.rows:
+        benchmark.extra_info[row["name"]] = (
+            f"seq={format_seconds(row['sequential'], row['sequential'] is None)} "
+            f"stack={format_seconds(row['stackonly'], row['stackonly'] is None)} "
+            f"hybrid={format_seconds(row['hybrid'], row['hybrid'] is None)} "
+            f"prior={row['prior']}"
+        )
+        if row["stackonly"] is not None and row["hybrid"] is not None:
+            ratios.append(row["stackonly"] / row["hybrid"])
+
+    # Hybrid is at least competitive with the prior-work scheme on k=min
+    # (the paper reports a 4.2x geomean advantage on this instance type).
+    assert ratios, "no finishing rows to compare"
+    assert geometric_mean(ratios) >= 1.0

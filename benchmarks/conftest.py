@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Every macro-benchmark (one per paper table/figure) runs the corresponding
+``repro.analysis.experiments`` entry point once per benchmark round with
+the *quick* budget profile, records the reproduction's headline numbers in
+``benchmark.extra_info``, and asserts the paper's qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+from repro.sim.device import SMALL_SIM
+
+
+@pytest.fixture(scope="session")
+def quick_cfg() -> ExperimentConfig:
+    """The quick benchmark profile (documented in EXPERIMENTS.md)."""
+    return ExperimentConfig(scale="small", device=SMALL_SIM).quick()
+
+
+@pytest.fixture(scope="session")
+def tiny_cfg() -> ExperimentConfig:
+    from repro.sim.device import TINY_SIM
+
+    return ExperimentConfig(
+        scale="tiny",
+        device=TINY_SIM,
+        virtual_budget_s=0.01,
+        seq_node_guard=4000,
+        engine_node_guard=2500,
+        stackonly_depths=(4,),
+        hybrid_capacities=(256,),
+        hybrid_fractions=(0.25,),
+    )
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a macro-benchmark exactly once (they are minutes-scale)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

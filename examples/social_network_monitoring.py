@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Monitoring a social network with the fewest observers.
+
+A classic vertex-cover application from the paper's motivation list
+(social science / telecommunication): placing monitors on *users* so that
+every *relationship* (edge) has at least one monitored endpoint — e.g.
+content moderators covering every conversation channel, or probes
+covering every link of a network.
+
+This example works on a LastFM-Asia-like social graph (heavy-tailed
+preferential attachment, as in the paper's low-degree suite) and compares
+three ways to pick the monitor set:
+
+1. the greedy heuristic (the paper's upper-bound initialiser),
+2. the exact minimum via the hybrid simulated-GPU engine,
+3. the exact minimum via the real multi-process CPU engine.
+
+Run:  python examples/social_network_monitoring.py
+"""
+
+from repro.core.greedy import greedy_cover
+from repro.core.solver import solve_mvc
+from repro.core.verify import assert_valid_cover, cover_complement_is_independent
+from repro.graph.generators.random_graphs import watts_strogatz
+from repro.sim.device import SMALL_SIM
+
+
+def main() -> None:
+    # A small-world community graph (the shape of the paper's Sister
+    # Cities instance): the long-range shortcuts create odd cycles that
+    # the greedy heuristic handles suboptimally, so exact search pays off.
+    graph = watts_strogatz(150, 4, 0.3, seed=21)
+    print(f"social graph: {graph} (small-world with rewired shortcuts)")
+
+    # -- 1. the greedy heuristic ------------------------------------------
+    greedy = greedy_cover(graph)
+    print(f"\ngreedy monitors: {greedy.size} "
+          f"(degree-one rule fired {greedy.reductions.degree_one}x, "
+          f"max-degree picks {greedy.max_degree_picks})")
+
+    # -- 2. exact, simulated GPU ------------------------------------------
+    exact = solve_mvc(graph, engine="hybrid", device=SMALL_SIM)
+    assert_valid_cover(graph, exact.cover, exact.optimum)
+    print(f"exact minimum:   {exact.optimum} "
+          f"(visited {exact.nodes_visited} search-tree nodes, "
+          f"virtual GPU time {exact.sim_seconds * 1e3:.3f} ms)")
+    saved = greedy.size - exact.optimum
+    print(f"  -> exact search saves {saved} monitor{'s' if saved != 1 else ''} over greedy")
+
+    # everyone NOT monitored forms an independent set: no unmonitored
+    # relationship exists (König duality sanity check)
+    assert cover_complement_is_independent(graph, exact.cover)
+
+    # -- 3. exact, real CPU parallelism -----------------------------------
+    cpu = solve_mvc(graph, engine="cpu-process", n_workers=4)
+    print(f"cpu-process x4:  {cpu.optimum} "
+          f"(wall {cpu.wall_seconds:.2f}s, {cpu.nodes_visited} nodes)")
+    assert cpu.optimum == exact.optimum
+
+    print("\nBoth exact engines agree; the unmonitored users form an "
+          "independent set, so every relationship is observed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Execution-time breakdown (Fig. 6) aggregation and labelling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.costmodel import BRANCH_KINDS, REDUCE_KINDS, WORK_DISTRIBUTION_KINDS
+from ..sim.metrics import LaunchMetrics
+
+__all__ = ["ACTIVITY_LABELS", "GROUPS", "BreakdownRow", "breakdown_row", "mean_breakdown"]
+
+#: Display names for the eleven Fig. 6 activities, in the figure's order.
+ACTIVITY_LABELS: Dict[str, str] = {
+    "wl_add": "Add to worklist",
+    "wl_remove": "Remove from worklist",
+    "stack_push": "Push to stack",
+    "stack_pop": "Pop from stack",
+    "terminate": "Terminate",
+    "degree_one": "Degree-one rule",
+    "degree_two_triangle": "Degree-two-triangle rule",
+    "high_degree": "High-degree rule",
+    "find_max": "Find max degree vertex",
+    "remove_vmax": "Remove max-degree vertex",
+    "remove_neighbors": "Remove neighbors of max-degree vertex",
+}
+
+GROUPS: Dict[str, tuple] = {
+    "Work distribution and load balancing": WORK_DISTRIBUTION_KINDS,
+    "Reducing": REDUCE_KINDS,
+    "Branching": BRANCH_KINDS,
+}
+
+
+@dataclass
+class BreakdownRow:
+    """One graph's Fig. 6 bar: fraction of block time per activity."""
+
+    name: str
+    fractions: Dict[str, float]
+
+    def group_totals(self) -> Dict[str, float]:
+        return {
+            group: sum(self.fractions.get(kind, 0.0) for kind in kinds)
+            for group, kinds in GROUPS.items()
+        }
+
+
+def breakdown_row(name: str, metrics: LaunchMetrics) -> BreakdownRow:
+    """Compute one instance's breakdown from its launch metrics."""
+    fractions = metrics.breakdown_fractions()
+    fractions.pop("state_copy", None)  # folded into stack/worklist moves
+    return BreakdownRow(name=name, fractions=fractions)
+
+
+def mean_breakdown(rows: List[BreakdownRow]) -> BreakdownRow:
+    """The Fig. 6 "Mean" bar: unweighted mean of per-graph fractions."""
+    if not rows:
+        return BreakdownRow("Mean", {k: 0.0 for k in ACTIVITY_LABELS})
+    fractions: Dict[str, float] = {}
+    for kind in ACTIVITY_LABELS:
+        fractions[kind] = sum(r.fractions.get(kind, 0.0) for r in rows) / len(rows)
+    return BreakdownRow("Mean", fractions)

@@ -1,0 +1,113 @@
+"""Memory-footprint analysis (paper Section III-C / IV-E).
+
+The paper's third challenge is that memory caps parallelism in two ways:
+per-block stacks consume global memory (limiting resident blocks) and
+the working intermediate graph consumes shared memory (limiting occupancy
+per SM).  This module computes the full memory picture for any (device,
+graph, formulation) combination — the numbers the Section IV-E launch
+logic trades off — and renders them as a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.greedy import greedy_cover
+from ..graph.csr import CSRGraph
+from ..sim.device import DeviceSpec, SMALL_SIM
+from ..sim.launch import LaunchConfig, select_launch_config, stack_entry_bytes
+from . import tables
+
+__all__ = ["MemoryReport", "memory_report", "render_memory_table"]
+
+
+@dataclass
+class MemoryReport:
+    """Where every byte of a launch goes."""
+
+    graph_n: int
+    graph_m: int
+    device: str
+    launch: LaunchConfig
+    csr_bytes: int                 # the immutable static graph
+    entry_bytes: int               # one intermediate graph (degree array)
+    stack_bytes_per_block: int
+    stack_bytes_total: int
+    worklist_bytes: int
+    shared_bytes_per_block: int    # working state in shared memory (if used)
+    global_mem_utilisation: float  # fraction of device global memory
+    shared_mem_limited: bool       # did shared memory bind the block count?
+    stack_depth_bound: int
+
+    def summary(self) -> str:
+        kernel = "shared-memory" if self.launch.use_shared_mem else "global-memory"
+        return (
+            f"n={self.graph_n}: {kernel} kernel, "
+            f"{self.launch.num_blocks} blocks x {self.launch.block_size} threads, "
+            f"stacks {self.stack_bytes_total / 1024:.0f} KiB "
+            f"({self.global_mem_utilisation * 100:.2f}% of global memory)"
+        )
+
+
+def memory_report(
+    graph: CSRGraph,
+    device: DeviceSpec = SMALL_SIM,
+    *,
+    k: Optional[int] = None,
+    worklist_capacity: int = 1024,
+) -> MemoryReport:
+    """Compute the memory budget of launching this graph on this device.
+
+    ``k`` switches to the PVC depth bound; otherwise the greedy cover size
+    bounds the stack depth as in Section IV-E.
+    """
+    depth_bound = (k + 1) if k is not None else max(greedy_cover(graph).size + 1, 2)
+    launch = select_launch_config(device, graph.n, depth_bound)
+    entry = stack_entry_bytes(graph.n)
+    csr_bytes = graph.indptr.nbytes + graph.indices.nbytes
+    stack_total = launch.global_stack_bytes()
+    worklist_bytes = worklist_capacity * entry
+    used_global = csr_bytes + stack_total + worklist_bytes
+
+    # Would shared memory have allowed more blocks than we launched?
+    shared_blocks_per_sm = (
+        device.shared_mem_per_sm // entry if entry <= device.max_shared_mem_per_block else 0
+    )
+    shared_limited = launch.use_shared_mem and shared_blocks_per_sm < device.max_blocks_per_sm
+
+    return MemoryReport(
+        graph_n=graph.n,
+        graph_m=graph.m,
+        device=device.name,
+        launch=launch,
+        csr_bytes=csr_bytes,
+        entry_bytes=entry,
+        stack_bytes_per_block=launch.stack_bytes_per_block,
+        stack_bytes_total=stack_total,
+        worklist_bytes=worklist_bytes,
+        shared_bytes_per_block=entry if launch.use_shared_mem else 0,
+        global_mem_utilisation=used_global / device.global_mem_bytes,
+        shared_mem_limited=shared_limited,
+        stack_depth_bound=depth_bound,
+    )
+
+
+def render_memory_table(reports: List[MemoryReport]) -> str:
+    """One row per graph, Section III-C's quantities side by side."""
+    headers = ["|V|", "kernel", "blocks", "block size", "entry B",
+               "stack KiB/blk", "stacks KiB", "worklist KiB", "global %"]
+    rows = []
+    for r in reports:
+        rows.append([
+            r.graph_n,
+            "shared" if r.launch.use_shared_mem else "global",
+            r.launch.num_blocks,
+            r.launch.block_size,
+            r.entry_bytes,
+            f"{r.stack_bytes_per_block / 1024:.1f}",
+            f"{r.stack_bytes_total / 1024:.0f}",
+            f"{r.worklist_bytes / 1024:.0f}",
+            f"{r.global_mem_utilisation * 100:.2f}",
+        ])
+    return tables.render_table(headers, rows, title="Memory budget per launch (Section III-C)")

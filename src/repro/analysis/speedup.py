@@ -1,0 +1,51 @@
+"""Speedup aggregation for Table II (geometric means by category)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["geometric_mean", "speedup", "aggregate_speedups"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (NaN-free, empty -> 1.0)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline_seconds: Optional[float], subject_seconds: Optional[float]) -> Optional[float]:
+    """``baseline / subject``; ``None`` when either side is missing/censored.
+
+    The paper cannot compute a speedup for a ``> 2 hrs`` cell either; such
+    cells are simply excluded from the geometric means.
+    """
+    if baseline_seconds is None or subject_seconds is None:
+        return None
+    if subject_seconds <= 0 or baseline_seconds <= 0:
+        return None
+    return baseline_seconds / subject_seconds
+
+
+def aggregate_speedups(
+    rows: Iterable[Dict[str, object]],
+    *,
+    baseline_key: str,
+    subject_key: str,
+    category_key: str = "category",
+) -> Dict[str, float]:
+    """Geometric-mean speedups per category plus ``overall``.
+
+    Each row is a mapping with per-engine seconds (``None`` for censored
+    cells) and a category label.
+    """
+    by_cat: Dict[str, List[float]] = {}
+    for row in rows:
+        s = speedup(row.get(baseline_key), row.get(subject_key))  # type: ignore[arg-type]
+        if s is None:
+            continue
+        by_cat.setdefault(str(row[category_key]), []).append(s)
+        by_cat.setdefault("overall", []).append(s)
+    return {cat: geometric_mean(vals) for cat, vals in by_cat.items()}

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Subcommands regenerate the paper's evaluation artefacts on the synthetic
+suite::
+
+    python -m repro table1 [--scale small] [--quick]
+    python -m repro table2
+    python -m repro table3
+    python -m repro fig5
+    python -m repro fig6
+    python -m repro sweeps [--instance p_hat_300_3]
+    python -m repro ablation
+    python -m repro solve --graph p_hat_300_3 --engine hybrid [--k 70]
+    python -m repro suite            # list the evaluation suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis.experiments import (
+    ExperimentConfig,
+    run_ablation,
+    run_fig5,
+    run_fig6,
+    run_sweeps,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from .graph.generators.suites import paper_suite, suite_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vc",
+        description="Reproduction of 'Parallel Vertex Cover Algorithms on GPUs' (IPDPS 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", default="small", choices=("tiny", "small", "full"),
+                       help="evaluation-suite scale")
+        p.add_argument("--quick", action="store_true",
+                       help="cheaper budgets (the pytest-benchmark settings)")
+        p.add_argument("--budget", type=float, default=None,
+                       help="virtual-time budget per cell in seconds (the paper's 2-hour analog)")
+        p.add_argument("--verbose", action="store_true")
+
+    for name in ("table1", "table2", "table3", "fig5", "fig6", "ablation"):
+        common(sub.add_parser(name, help=f"regenerate {name}"))
+    common(sub.add_parser("memory", help="Section III-C memory budget per suite graph"))
+    p = sub.add_parser("tree", help="Section III search-tree shape statistics")
+    common(p)
+    p.add_argument("--graph", default="p_hat_300_3", help="suite instance name")
+    p.add_argument("--node-budget", type=int, default=50000)
+    p = sub.add_parser("sweeps", help="Section V-A robustness sweeps")
+    common(p)
+    p.add_argument("--instance", default="p_hat_300_3")
+
+    p = sub.add_parser("solve", help="solve one suite instance with one engine")
+    common(p)
+    p.add_argument("--graph", required=True, help="suite instance name")
+    p.add_argument("--engine", default="hybrid",
+                   choices=("sequential", "stackonly", "hybrid", "globalonly",
+                            "cpu-threads", "cpu-process", "cpu-worksteal"))
+    p.add_argument("--k", type=int, default=None, help="solve PVC with this k instead of MVC")
+    p.add_argument("--node-budget", type=int, default=None)
+
+    common(sub.add_parser("suite", help="list the evaluation suite"))
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    cfg = ExperimentConfig(scale=args.scale)
+    if args.quick:
+        cfg = cfg.quick()
+    if args.budget is not None:
+        cfg.virtual_budget_s = args.budget
+    return cfg
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cfg = _config(args)
+    start = time.perf_counter()
+
+    if args.command == "memory":
+        from .analysis.memory import memory_report, render_memory_table
+        from .sim.device import SMALL_SIM
+
+        reports = [memory_report(inst.graph(), SMALL_SIM) for inst in paper_suite(args.scale)]
+        print(render_memory_table(reports))
+        print(f"\n[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    if args.command == "tree":
+        from .analysis.tree_shape import measure_tree_shape, render_tree_shape
+
+        inst = suite_instance(args.graph, args.scale)
+        shape = measure_tree_shape(inst.graph(), node_budget=args.node_budget)
+        print(render_tree_shape(shape, args.graph))
+        print(f"\n[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    if args.command == "suite":
+        print(f"{'name':22s} {'category':12s} {'|V|':>5s} {'|E|':>7s} {'avg deg':>8s}  stands in for")
+        for inst in paper_suite(args.scale):
+            g = inst.graph()
+            print(f"{inst.name:22s} {inst.category:12s} {g.n:5d} {g.m:7d} "
+                  f"{g.average_degree():8.1f}  {inst.paper_graph}")
+        return 0
+
+    if args.command == "solve":
+        from .core.solver import solve_mvc, solve_pvc
+
+        inst = suite_instance(args.graph, args.scale)
+        graph = inst.graph()
+        if args.k is None:
+            out = solve_mvc(graph, engine=args.engine, node_budget=args.node_budget)
+            print(f"{args.graph}: minimum vertex cover size = {out.optimum}"
+                  f"{' (budget exceeded, best found)' if out.timed_out else ''}")
+        else:
+            out = solve_pvc(graph, args.k, engine=args.engine, node_budget=args.node_budget)
+            print(f"{args.graph}: cover of size <= {args.k} "
+                  f"{'EXISTS (found ' + str(out.optimum) + ')' if out.feasible else 'does not exist' if out.feasible is False else 'undetermined (budget)'}")
+        print(f"[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    if args.command == "table1":
+        print(run_table1(cfg, verbose=args.verbose).render())
+    elif args.command == "table2":
+        print(run_table2(cfg=cfg).render())
+    elif args.command == "table3":
+        print(run_table3(cfg).render())
+    elif args.command == "fig5":
+        print(run_fig5(cfg).render())
+    elif args.command == "fig6":
+        print(run_fig6(cfg).render())
+    elif args.command == "sweeps":
+        for sweep in run_sweeps(cfg, instance=args.instance):
+            print(sweep.render())
+            print()
+    elif args.command == "ablation":
+        print(run_ablation(cfg).render())
+    print(f"\n[{time.perf_counter() - start:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

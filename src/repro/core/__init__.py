@@ -1,0 +1,34 @@
+"""Core branch-and-reduce machinery for MVC and PVC."""
+
+from .formulation import BestBound, FoundFlag, MVCFormulation, PVCFormulation
+from .greedy import GreedyResult, greedy_cover
+from .sequential import (
+    SearchOutcome,
+    branch_and_reduce,
+    solve_mvc_sequential,
+    solve_pvc_sequential,
+)
+from .solver import ENGINES, solve_mvc, solve_pvc
+from .stats import ReductionCounters, SearchStats
+from .verify import assert_valid_cover, is_independent_set, is_vertex_cover
+
+__all__ = [
+    "BestBound",
+    "FoundFlag",
+    "MVCFormulation",
+    "PVCFormulation",
+    "GreedyResult",
+    "greedy_cover",
+    "SearchOutcome",
+    "branch_and_reduce",
+    "solve_mvc_sequential",
+    "solve_pvc_sequential",
+    "ENGINES",
+    "solve_mvc",
+    "solve_pvc",
+    "ReductionCounters",
+    "SearchStats",
+    "assert_valid_cover",
+    "is_independent_set",
+    "is_vertex_cover",
+]

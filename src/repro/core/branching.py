@@ -1,0 +1,100 @@
+"""Branching pivot selection and the two-child expansion step.
+
+The paper always branches on a maximum-degree vertex (Fig. 1 line 10).
+Alternative pivots are provided for the ablation sweeps; all strategies
+must return an *alive* vertex of positive degree when the graph still has
+edges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.degree_array import (
+    VCState,
+    Workspace,
+    max_degree_vertex,
+    remove_neighbors_into_cover,
+    remove_vertex_into_cover,
+)
+from .stats import ChargeFn, null_charge
+
+__all__ = [
+    "PivotFn",
+    "max_degree_pivot",
+    "min_positive_degree_pivot",
+    "random_pivot",
+    "PIVOTS",
+    "expand_children",
+]
+
+#: A pivot strategy maps ``(state, rng)`` to a branching vertex id.
+PivotFn = Callable[[VCState, Optional[np.random.Generator]], int]
+
+
+def max_degree_pivot(state: VCState, rng: Optional[np.random.Generator] = None) -> int:
+    """The paper's pivot: a vertex of maximum current degree."""
+    return max_degree_vertex(state.deg)
+
+
+def min_positive_degree_pivot(state: VCState, rng: Optional[np.random.Generator] = None) -> int:
+    """A deliberately bad pivot (for sweeps): minimum positive degree."""
+    deg = state.deg
+    candidates = np.flatnonzero(deg > 0)
+    if candidates.size == 0:
+        raise ValueError("no positive-degree vertex to branch on")
+    return int(candidates[np.argmin(deg[candidates])])
+
+
+def random_pivot(state: VCState, rng: Optional[np.random.Generator] = None) -> int:
+    """A uniformly random positive-degree pivot (for sweeps)."""
+    if rng is None:
+        raise ValueError("random_pivot requires an rng")
+    candidates = np.flatnonzero(state.deg > 0)
+    if candidates.size == 0:
+        raise ValueError("no positive-degree vertex to branch on")
+    return int(candidates[rng.integers(candidates.size)])
+
+
+PIVOTS: Dict[str, PivotFn] = {
+    "max_degree": max_degree_pivot,
+    "min_degree": min_positive_degree_pivot,
+    "random": random_pivot,
+}
+
+
+def expand_children(
+    graph: CSRGraph,
+    state: VCState,
+    vmax: int,
+    ws: Optional[Workspace] = None,
+    charge: ChargeFn = null_charge,
+) -> Tuple[VCState, VCState]:
+    """Produce the two children of a branching node.
+
+    Returns ``(deferred, continued)`` following Fig. 4's order:
+
+    * ``deferred`` removes *all neighbours* of ``vmax`` into the cover —
+      this child goes to the local stack or the global worklist
+      (lines 21-26);
+    * ``continued`` removes ``vmax`` alone — the block keeps processing
+      this child immediately (lines 27-29).
+
+    ``state`` itself is mutated into the ``continued`` child to avoid one
+    copy; the deferred child is a fresh self-contained state.
+    """
+    deferred = state.copy()
+    charge("state_copy", float(state.deg.size))
+    deleted, n_removed = remove_neighbors_into_cover(graph, deferred.deg, vmax, ws)
+    deferred.edge_count -= deleted
+    deferred.cover_size += n_removed
+    charge("remove_neighbors", float(deleted + n_removed))
+
+    work = int(state.deg[vmax])
+    state.edge_count -= remove_vertex_into_cover(graph, state.deg, vmax)
+    state.cover_size += 1
+    charge("remove_vmax", float(work))
+    return deferred, state

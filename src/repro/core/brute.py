@@ -1,0 +1,91 @@
+"""Independent exact reference solver for cross-checking (tests only).
+
+Deliberately implemented with a *different* algorithm from the library
+proper: plain branching on an uncovered edge (take either endpoint) with a
+current-best bound and none of the paper's reduction rules.  Exponential,
+but fine for the ``n <= ~24`` graphs the test-suite cross-checks against.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["brute_force_mvc", "brute_force_pvc", "all_minimum_covers"]
+
+
+def brute_force_mvc(graph: CSRGraph) -> Tuple[int, Set[int]]:
+    """Exact minimum vertex cover by edge branching. Returns ``(size, cover)``."""
+    edges = list(graph.edges())
+    best_size = graph.n + 1
+    best_cover: Set[int] = set(range(graph.n))
+
+    def uncovered(cover: Set[int]) -> Optional[Tuple[int, int]]:
+        for u, v in edges:
+            if u not in cover and v not in cover:
+                return (u, v)
+        return None
+
+    def descend(cover: Set[int]) -> None:
+        nonlocal best_size, best_cover
+        if len(cover) >= best_size:
+            return
+        edge = uncovered(cover)
+        if edge is None:
+            best_size = len(cover)
+            best_cover = set(cover)
+            return
+        u, v = edge
+        cover.add(u)
+        descend(cover)
+        cover.remove(u)
+        cover.add(v)
+        descend(cover)
+        cover.remove(v)
+
+    descend(set())
+    return best_size, best_cover
+
+
+def brute_force_pvc(graph: CSRGraph, k: int) -> Optional[Set[int]]:
+    """A cover of size <= k if one exists, else None (bounded edge branching)."""
+    edges = list(graph.edges())
+
+    def descend(cover: Set[int]) -> Optional[Set[int]]:
+        if len(cover) > k:
+            return None
+        for u, v in edges:
+            if u not in cover and v not in cover:
+                if len(cover) == k:
+                    return None
+                cover.add(u)
+                got = descend(cover)
+                cover.remove(u)
+                if got is not None:
+                    return got
+                cover.add(v)
+                got = descend(cover)
+                cover.remove(v)
+                return got
+        return set(cover)
+
+    return descend(set())
+
+
+def all_minimum_covers(graph: CSRGraph) -> List[FrozenSet[int]]:
+    """Every minimum vertex cover (exhaustive; tiny graphs only).
+
+    Used by property tests that must assert an engine's cover is one of the
+    optimal solutions, not merely optimal in size.
+    """
+    from itertools import combinations
+
+    opt, _ = brute_force_mvc(graph)
+    edges = list(graph.edges())
+    result = []
+    for combo in combinations(range(graph.n), opt):
+        cover = set(combo)
+        if all(u in cover or v in cover for u, v in edges):
+            result.append(frozenset(cover))
+    return result

@@ -1,0 +1,182 @@
+"""Optional reduction rules beyond the paper's three (extensions).
+
+The paper deliberately restricts itself to the degree-one,
+degree-two-triangle and high-degree rules; its future-work direction of
+richer kernelization is represented here by two classical rules that are
+*compatible with the degree-array representation* (they only ever force
+vertices into the cover — unlike, say, degree-two folding, which contracts
+vertices and therefore cannot be expressed over a static CSR graph):
+
+* **isolated-clique** — if the closed neighbourhood ``N[v]`` induces a
+  clique, some minimum cover contains ``N(v)`` (take all neighbours and
+  drop ``v``).  This strictly generalises the degree-one rule (the clique
+  is a ``K_2``) and the degree-two-triangle rule (a ``K_3``).
+* **domination** — for an edge ``uv``, if ``N[v] ⊆ N[u]`` then ``u``
+  belongs to some minimum cover and can be forced in.
+
+Both are **off by default**; :func:`make_reducer` builds a drop-in
+replacement for :func:`repro.core.reductions.apply_reductions` with any
+combination enabled, and the ablation benchmark measures what they buy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.degree_array import (
+    VCState,
+    Workspace,
+    remove_vertex_into_cover,
+    remove_vertices_into_cover,
+)
+from .formulation import Formulation
+from .reductions import (
+    degree_one_rule,
+    degree_two_triangle_rule,
+    high_degree_rule,
+)
+from .stats import ChargeFn, ReductionCounters, null_charge
+
+__all__ = ["isolated_clique_rule", "domination_rule", "make_reducer", "Reducer"]
+
+#: Signature shared with :func:`repro.core.reductions.apply_reductions`.
+Reducer = Callable[..., None]
+
+
+def _alive_neighbors_list(graph: CSRGraph, deg: np.ndarray, v: int) -> np.ndarray:
+    nbrs = graph.neighbors(v)
+    return nbrs[deg[nbrs] >= 0]
+
+
+def isolated_clique_rule(
+    graph: CSRGraph,
+    state: VCState,
+    ws: Optional[Workspace] = None,
+    charge: ChargeFn = null_charge,
+    counters: Optional[ReductionCounters] = None,
+    max_clique_check: int = 8,
+) -> bool:
+    """Force ``N(v)`` into the cover whenever ``N[v]`` induces a clique.
+
+    ``max_clique_check`` caps the neighbourhood size tested (the check is
+    quadratic in it); the small-degree cases are where the rule pays off.
+    """
+    deg = state.deg
+    changed = False
+    while True:
+        progressed = False
+        candidates = np.flatnonzero((deg >= 1) & (deg <= max_clique_check))
+        charge("degree_two_triangle", float(deg.size))
+        for v in candidates:
+            v = int(v)
+            if not 1 <= deg[v] <= max_clique_check:
+                continue
+            live = _alive_neighbors_list(graph, deg, v)
+            clique = True
+            for i in range(live.size):
+                for j in range(i + 1, live.size):
+                    charge("degree_two_triangle", 1.0)
+                    if not graph.has_edge(int(live[i]), int(live[j])):
+                        clique = False
+                        break
+                if not clique:
+                    break
+            if not clique:
+                continue
+            work = int(deg[live].sum())
+            state.edge_count -= remove_vertices_into_cover(graph, deg, live, ws)
+            state.cover_size += int(live.size)
+            charge("degree_two_triangle", float(work))
+            if counters is not None:
+                counters.degree_two_triangle += int(live.size)
+            progressed = True
+            changed = True
+        if not progressed:
+            return changed
+
+
+def domination_rule(
+    graph: CSRGraph,
+    state: VCState,
+    ws: Optional[Workspace] = None,
+    charge: ChargeFn = null_charge,
+    counters: Optional[ReductionCounters] = None,
+) -> bool:
+    """Force ``u`` into the cover whenever it dominates a neighbour ``v``.
+
+    ``u`` dominates ``v`` (for an edge ``uv``) when every alive neighbour
+    of ``v`` other than ``u`` is also a neighbour of ``u``.
+    """
+    deg = state.deg
+    changed = False
+    while True:
+        progressed = False
+        order = np.flatnonzero(deg >= 1)
+        charge("high_degree", float(deg.size))
+        for u in order:
+            u = int(u)
+            if deg[u] < 1:
+                continue
+            u_live = _alive_neighbors_list(graph, deg, u)
+            u_set = set(int(x) for x in u_live)
+            dominated = False
+            for v in u_live:
+                v = int(v)
+                if deg[v] > deg[u]:
+                    continue  # v has more neighbours: u cannot cover them
+                v_live = _alive_neighbors_list(graph, deg, v)
+                charge("high_degree", float(v_live.size))
+                if all(int(w) == u or int(w) in u_set for w in v_live):
+                    dominated = True
+                    break
+            if dominated:
+                work = int(deg[u])
+                state.edge_count -= remove_vertex_into_cover(graph, deg, u)
+                state.cover_size += 1
+                charge("high_degree", float(work))
+                if counters is not None:
+                    counters.high_degree += 1
+                progressed = True
+                changed = True
+        if not progressed:
+            return changed
+
+
+def make_reducer(
+    *,
+    use_isolated_clique: bool = False,
+    use_domination: bool = False,
+) -> Reducer:
+    """Build an ``apply_reductions``-compatible cascade with extras enabled.
+
+    The paper's three rules always run; the extras run after them inside
+    the same until-fixed-point loop, so anything they expose (new
+    degree-one vertices, for instance) is picked up by the cheap rules on
+    the next sweep.
+    """
+
+    def reduce(
+        graph: CSRGraph,
+        state: VCState,
+        formulation: Formulation,
+        ws: Optional[Workspace] = None,
+        charge: ChargeFn = null_charge,
+        counters: Optional[ReductionCounters] = None,
+    ) -> None:
+        while True:
+            changed = degree_one_rule(graph, state, ws, charge, counters)
+            changed |= degree_two_triangle_rule(graph, state, ws, charge, counters)
+            changed |= high_degree_rule(graph, state, formulation, ws, charge, counters)
+            if use_isolated_clique:
+                changed |= isolated_clique_rule(graph, state, ws, charge, counters)
+            if use_domination:
+                changed |= domination_rule(graph, state, ws, charge, counters)
+            if counters is not None:
+                counters.sweeps += 1
+            if not changed:
+                return
+
+    return reduce

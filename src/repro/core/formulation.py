@@ -1,0 +1,126 @@
+"""Problem formulations: MVC and PVC bound policies.
+
+Both formulations share the same branch-and-reduce skeleton; they differ
+only in how the remaining *budget* (how many more vertices may still enter
+the cover on an improving branch) is computed, and in what happens when a
+cover is found:
+
+==================  =======================  ==========================
+quantity            MVC (Fig. 1)             PVC (Section II-B)
+==================  =======================  ==========================
+budget              ``best - |S| - 1``       ``k - |S|``
+prune               budget < 0 or            budget < 0 or
+                    ``|E| > budget**2``      ``|E| > budget**2``
+high-degree rule    ``d(v) > budget``        ``d(v) > budget``
+on cover found      update ``best``, go on   set found flag, stop all
+==================  =======================  ==========================
+
+The shared mutable holders (:class:`BestBound`, :class:`FoundFlag`) play
+the role of the paper's atomically updated globals; in the discrete-event
+simulator every access is serialised by construction, and the real CPU
+engines guard them with locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..graph.degree_array import VCState
+
+__all__ = ["BestBound", "FoundFlag", "Formulation", "MVCFormulation", "PVCFormulation"]
+
+
+@dataclass
+class BestBound:
+    """Shared, monotonically improving incumbent for MVC."""
+
+    size: int
+    cover: Optional[np.ndarray] = None
+    updates: int = 0
+
+    def offer(self, state: VCState) -> bool:
+        """Record ``state`` if it improves the incumbent; return True if it did."""
+        if state.cover_size < self.size:
+            self.size = state.cover_size
+            self.cover = state.cover()
+            self.updates += 1
+            return True
+        return False
+
+
+@dataclass
+class FoundFlag:
+    """Shared "a feasible cover exists" flag for PVC early termination."""
+
+    found: bool = False
+    size: Optional[int] = None
+    cover: Optional[np.ndarray] = None
+
+    def set(self, state: VCState) -> None:
+        if not self.found or state.cover_size < (self.size or 0):
+            self.found = True
+            self.size = state.cover_size
+            self.cover = state.cover()
+
+
+class Formulation:
+    """Interface both problem variants implement."""
+
+    #: human-readable identifier ("mvc" / "pvc")
+    name: str = "abstract"
+
+    def budget(self, cover_size: int) -> int:
+        """How many more vertices may enter the cover on an improving branch."""
+        raise NotImplementedError
+
+    def prune(self, state: VCState) -> bool:
+        """The stopping condition of Fig. 1 line 5 / Fig. 4 line 12."""
+        b = self.budget(state.cover_size)
+        return b < 0 or state.edge_count > b * b
+
+    def accept(self, state: VCState) -> bool:
+        """Record a found cover.  Returns True if the *whole search* should stop."""
+        raise NotImplementedError
+
+    def stop_requested(self) -> bool:
+        """True once a block-wide termination has been signalled (PVC only)."""
+        return False
+
+
+@dataclass
+class MVCFormulation(Formulation):
+    """Minimum vertex cover: keep searching, tightening ``best``."""
+
+    best: BestBound
+    name: str = field(default="mvc", init=False)
+
+    def budget(self, cover_size: int) -> int:
+        return self.best.size - cover_size - 1
+
+    def accept(self, state: VCState) -> bool:
+        self.best.offer(state)
+        return False
+
+
+@dataclass
+class PVCFormulation(Formulation):
+    """Parameterized vertex cover: stop as soon as any ``|S| <= k`` cover appears."""
+
+    k: int
+    flag: FoundFlag
+    name: str = field(default="pvc", init=False)
+
+    def budget(self, cover_size: int) -> int:
+        return self.k - cover_size
+
+    def accept(self, state: VCState) -> bool:
+        if state.cover_size <= self.k:
+            self.flag.set(state)
+            return True
+        return False
+
+    def stop_requested(self) -> bool:
+        return self.flag.found

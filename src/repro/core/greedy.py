@@ -1,0 +1,95 @@
+"""Greedy approximation used to initialise ``best`` (paper Section II-B).
+
+"The algorithm applies all reduction rules to the graph, removes the
+largest degree vertex from the graph (hence adding it to a solution), and
+repeats this process until a vertex cover is found."
+
+The high-degree rule needs an upper bound to be meaningful, so during the
+greedy pass we drive it with the only bound available — the trivial cover
+``|V|`` shrunk as the greedy solution grows — which in practice leaves the
+degree-one and triangle rules doing the reduction work.  The returned set
+is always a *valid* cover, so its size is a sound initial ``best`` and,
+equally important for Section IV-E, a sound bound on the search-tree depth
+used to pre-size the per-block stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.degree_array import (
+    VCState,
+    Workspace,
+    fresh_state,
+    max_degree_vertex,
+    remove_vertex_into_cover,
+)
+from .formulation import Formulation
+from .reductions import degree_one_rule, degree_two_triangle_rule, high_degree_rule
+from .stats import ReductionCounters
+
+__all__ = ["GreedyResult", "greedy_cover", "_TrivialBound"]
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of the greedy pass."""
+
+    size: int
+    cover: np.ndarray
+    max_degree_picks: int
+    reductions: ReductionCounters
+
+
+class _TrivialBound(Formulation):
+    """Budget = "everything else may still join the cover".
+
+    ``best`` is pinned to ``n + 1`` (one above the trivial cover) so the
+    high-degree rule only fires on vertices whose degree exceeds the number
+    of vertices that could possibly remain — i.e. never spuriously.
+    """
+
+    name = "greedy"
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def budget(self, cover_size: int) -> int:
+        return self.n - cover_size
+
+    def accept(self, state: VCState) -> bool:  # pragma: no cover - unused
+        return False
+
+
+def greedy_cover(graph: CSRGraph, ws: Optional[Workspace] = None) -> GreedyResult:
+    """Run the paper's greedy upper-bound heuristic.
+
+    Returns a valid vertex cover; its size initialises ``best`` and bounds
+    the stack depth for the GPU launch configuration.
+    """
+    if ws is None:
+        ws = Workspace.for_graph(graph)
+    state = fresh_state(graph)
+    bound = _TrivialBound(graph.n)
+    counters = ReductionCounters()
+    picks = 0
+    while state.edge_count > 0:
+        degree_one_rule(graph, state, ws, counters=counters)
+        degree_two_triangle_rule(graph, state, ws, counters=counters)
+        high_degree_rule(graph, state, bound, ws, counters=counters)
+        if state.edge_count == 0:
+            break
+        vmax = max_degree_vertex(state.deg)
+        state.edge_count -= remove_vertex_into_cover(graph, state.deg, vmax)
+        state.cover_size += 1
+        picks += 1
+    return GreedyResult(
+        size=state.cover_size,
+        cover=state.cover(),
+        max_degree_picks=picks,
+        reductions=counters,
+    )

@@ -1,0 +1,134 @@
+"""Batch reduction rules with the paper's parallel tie-breaking (Section IV-D).
+
+On the GPU all threads of a block apply a rule simultaneously over a
+*snapshot* of the degree array, so several rule applications can collide:
+
+* two degree-one vertices may share the neighbour that the rule forces
+  into the cover — it must be removed only once;
+* two degree-one vertices may be *each other's* neighbour (an isolated
+  edge) — only one of the two is removed, the one with the smaller id;
+* two degree-two vertices may sit in the same triangle — only the
+  smaller-id vertex's neighbours are removed.
+
+This module realises those semantics deterministically: each sweep takes a
+snapshot, resolves conflicts exactly as above, applies one batch, and
+repeats.  The result is always a correct reduction (the serial rules'
+exchange arguments apply to every batch member independently), but the
+particular cover the search finds — and crucially the *work accounting* —
+matches what a cooperative thread block would do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.degree_array import VCState, Workspace, remove_vertices_into_cover
+from .formulation import Formulation
+from .reductions import alive_pair, first_alive_neighbor, high_degree_rule
+from .stats import ChargeFn, ReductionCounters, null_charge
+
+__all__ = [
+    "degree_one_rule_parallel",
+    "degree_two_triangle_rule_parallel",
+    "apply_reductions_parallel",
+]
+
+
+def degree_one_rule_parallel(
+    graph: CSRGraph,
+    state: VCState,
+    ws: Optional[Workspace] = None,
+    charge: ChargeFn = null_charge,
+    counters: Optional[ReductionCounters] = None,
+) -> bool:
+    """One-batch-per-sweep degree-one rule with the Section IV-D tie-breaks."""
+    deg = state.deg
+    changed = False
+    while True:
+        ones = np.flatnonzero(deg == 1)
+        charge("degree_one", float(deg.size))
+        if ones.size == 0:
+            return changed
+        ones_set = set(int(v) for v in ones)
+        targets: set[int] = set()
+        for v in ones:
+            v = int(v)
+            u = first_alive_neighbor(graph, deg, v)
+            if u in ones_set:
+                # isolated edge: both endpoints are degree one; the thread
+                # pair agrees to remove only the smaller-id endpoint.
+                targets.add(min(u, v))
+            else:
+                targets.add(u)
+        batch = np.fromiter(sorted(targets), dtype=np.int64, count=len(targets))
+        work = int(deg[batch].sum())
+        state.edge_count -= remove_vertices_into_cover(graph, deg, batch, ws)
+        state.cover_size += int(batch.size)
+        charge("degree_one", float(work))
+        if counters is not None:
+            counters.degree_one += int(batch.size)
+        changed = True
+
+
+def degree_two_triangle_rule_parallel(
+    graph: CSRGraph,
+    state: VCState,
+    ws: Optional[Workspace] = None,
+    charge: ChargeFn = null_charge,
+    counters: Optional[ReductionCounters] = None,
+) -> bool:
+    """Batch degree-two-triangle rule: smaller-id vertex wins shared triangles.
+
+    Proposals are processed in ascending vertex-id order within a sweep and
+    re-validated against the current degrees, which is exactly the effect of
+    the paper's "only the vertex with the smaller vertex ID removes its
+    neighbours" arbitration.
+    """
+    deg = state.deg
+    changed = False
+    while True:
+        twos = np.flatnonzero(deg == 2)
+        charge("degree_two_triangle", float(deg.size))
+        if twos.size == 0:
+            return changed
+        progressed = False
+        for v in twos:  # ascending ids: deterministic arbitration order
+            v = int(v)
+            if deg[v] != 2:
+                continue  # lost the arbitration to a smaller-id vertex
+            u, w = alive_pair(graph, deg, v)
+            charge("degree_two_triangle", 1.0)
+            if not graph.has_edge(u, w):
+                continue
+            work = int(deg[u]) + int(deg[w])
+            state.edge_count -= remove_vertices_into_cover(graph, deg, [u, w], ws)
+            state.cover_size += 2
+            charge("degree_two_triangle", float(work))
+            if counters is not None:
+                counters.degree_two_triangle += 2
+            progressed = True
+            changed = True
+        if not progressed:
+            return changed
+
+
+def apply_reductions_parallel(
+    graph: CSRGraph,
+    state: VCState,
+    formulation: Formulation,
+    ws: Optional[Workspace] = None,
+    charge: ChargeFn = null_charge,
+    counters: Optional[ReductionCounters] = None,
+) -> None:
+    """The GPU blocks' ``reduce``: batch rules cascaded to a fixed point."""
+    while True:
+        changed = degree_one_rule_parallel(graph, state, ws, charge, counters)
+        changed |= degree_two_triangle_rule_parallel(graph, state, ws, charge, counters)
+        changed |= high_degree_rule(graph, state, formulation, ws, charge, counters)
+        if counters is not None:
+            counters.sweeps += 1
+        if not changed:
+            return

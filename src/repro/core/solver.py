@@ -1,0 +1,103 @@
+"""Public solve facade: one entry point over every engine.
+
+``solve_mvc`` / ``solve_pvc`` dispatch to:
+
+* ``"sequential"`` — the Fig. 1 CPU baseline (default);
+* ``"stackonly"`` — prior work's fixed-depth sub-tree GPU scheme, on the
+  simulated device;
+* ``"hybrid"`` — the paper's contribution, on the simulated device;
+* ``"globalonly"`` — the Section IV-A pure-worklist ablation;
+* ``"cpu-threads"`` / ``"cpu-process"`` — real shared-memory parallel
+  engines mirroring the hybrid protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..graph.csr import CSRGraph
+from .sequential import SearchOutcome, solve_mvc_sequential, solve_pvc_sequential
+
+__all__ = ["ENGINES", "solve_mvc", "solve_pvc"]
+
+ENGINES = ("sequential", "stackonly", "hybrid", "globalonly",
+           "cpu-threads", "cpu-process", "cpu-worksteal")
+
+
+def _sim_engine(name: str):
+    from ..engines import globalonly, hybrid, stackonly
+
+    return {"stackonly": stackonly.StackOnlyEngine,
+            "hybrid": hybrid.HybridEngine,
+            "globalonly": globalonly.GlobalOnlyEngine}[name]
+
+
+def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
+    """Find a minimum vertex cover of ``graph`` with the chosen engine.
+
+    Returns a :class:`~repro.core.sequential.SearchOutcome` for the
+    sequential engine and an :class:`~repro.engines.base.EngineResult` for
+    the parallel ones (both expose ``optimum``, ``cover`` and
+    ``timed_out``).
+    """
+    if engine == "sequential":
+        _split_engine_opts(options)  # device/cost-model knobs do not apply
+        return solve_mvc_sequential(graph, **options)
+    if engine in ("stackonly", "hybrid", "globalonly"):
+        eng = _sim_engine(engine)(**_split_engine_opts(options))
+        return eng.solve_mvc(graph, **options)
+    if engine == "cpu-threads":
+        from ..engines.cpu_threads import solve_mvc_threads
+
+        _split_engine_opts(options)
+        return solve_mvc_threads(graph, **options)
+    if engine == "cpu-process":
+        from ..engines.cpu_process import solve_mvc_processes
+
+        _split_engine_opts(options)
+        return solve_mvc_processes(graph, **options)
+    if engine == "cpu-worksteal":
+        from ..engines.cpu_worksteal import solve_mvc_worksteal
+
+        _split_engine_opts(options)
+        return solve_mvc_worksteal(graph, **options)
+    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+
+
+def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options: Any):
+    """Find a vertex cover of size at most ``k``, or prove none exists."""
+    if engine == "sequential":
+        _split_engine_opts(options)  # device/cost-model knobs do not apply
+        return solve_pvc_sequential(graph, k, **options)
+    if engine in ("stackonly", "hybrid", "globalonly"):
+        eng = _sim_engine(engine)(**_split_engine_opts(options))
+        return eng.solve_pvc(graph, k, **options)
+    if engine == "cpu-threads":
+        from ..engines.cpu_threads import solve_pvc_threads
+
+        _split_engine_opts(options)
+        return solve_pvc_threads(graph, k, **options)
+    if engine == "cpu-process":
+        from ..engines.cpu_process import solve_pvc_processes
+
+        _split_engine_opts(options)
+        return solve_pvc_processes(graph, k, **options)
+    if engine == "cpu-worksteal":
+        from ..engines.cpu_worksteal import solve_pvc_worksteal
+
+        _split_engine_opts(options)
+        return solve_pvc_worksteal(graph, k, **options)
+    raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+
+
+_ENGINE_CTOR_KEYS = ("device", "cost_model", "start_depth", "worklist_capacity",
+                     "worklist_threshold_fraction", "block_size_override")
+
+
+def _split_engine_opts(options: Dict[str, Any]) -> Dict[str, Any]:
+    """Pop constructor-level options out of the per-solve option dict."""
+    ctor: Dict[str, Any] = {}
+    for key in _ENGINE_CTOR_KEYS:
+        if key in options:
+            ctor[key] = options.pop(key)
+    return ctor

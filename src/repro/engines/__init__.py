@@ -1,0 +1,15 @@
+"""Traversal engines: simulated-GPU (StackOnly / Hybrid / GlobalOnly) and
+real CPU-parallel (threads / processes)."""
+
+from .base import EngineResult, SimEngineBase
+from .globalonly import GlobalOnlyEngine
+from .hybrid import HybridEngine
+from .stackonly import StackOnlyEngine
+
+__all__ = [
+    "EngineResult",
+    "SimEngineBase",
+    "GlobalOnlyEngine",
+    "HybridEngine",
+    "StackOnlyEngine",
+]

@@ -1,0 +1,313 @@
+"""Common scaffolding for the simulated-GPU engines.
+
+All three GPU engines (StackOnly, Hybrid, GlobalOnly) share:
+
+* the launch ritual — greedy bound on the "CPU", stack-depth bound, launch
+  configuration per Section IV-E, block/SM placement;
+* the per-tree-node processing step (reduce → prune-check → find-max →
+  accept-or-branch), charged through the cost model with the parallel-
+  semantics reduction rules of Section IV-D;
+* the worklist wait/termination protocol of Section IV-C.
+
+Engine subclasses provide only their traversal policy as a block program
+(a generator yielding cycle costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.branching import expand_children
+from ..core.formulation import (
+    BestBound,
+    Formulation,
+    FoundFlag,
+    MVCFormulation,
+    PVCFormulation,
+)
+from ..core.greedy import greedy_cover
+from ..core.parallel_reductions import apply_reductions_parallel
+from ..graph.csr import CSRGraph
+from ..graph.degree_array import VCState, fresh_state, max_degree_vertex
+from ..sim.broker import BrokerWorklist
+from ..sim.context import BlockContext, SharedState
+from ..sim.costmodel import CostModel
+from ..sim.device import SMALL_SIM, DeviceSpec
+from ..sim.launch import LaunchConfig, select_launch_config
+from ..sim.metrics import LaunchMetrics
+from ..sim.scheduler import Simulator
+
+__all__ = ["EngineResult", "SimEngineBase", "PRUNED", "SOLUTION"]
+
+#: Sentinels returned by the node-processing step.
+PRUNED = "pruned"
+SOLUTION = "solution"
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one simulated kernel launch."""
+
+    engine: str
+    formulation: str
+    optimum: Optional[int]
+    cover: Optional[np.ndarray]
+    feasible: Optional[bool]
+    timed_out: bool
+    makespan_cycles: float
+    sim_seconds: float
+    nodes_visited: int
+    greedy_size: int
+    launch: LaunchConfig
+    metrics: LaunchMetrics
+    worklist_stats: Optional[Any] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def stats(self):  # parity with SearchOutcome for harness code
+        return self
+
+
+class SimEngineBase:
+    """Base class for the simulated-GPU traversal engines."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        device: DeviceSpec = SMALL_SIM,
+        cost_model: Optional[CostModel] = None,
+        worklist_capacity: int = 1024,
+        block_size_override: Optional[int] = None,
+    ):
+        self.device = device
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.worklist_capacity = worklist_capacity
+        self.block_size_override = block_size_override
+        #: optional repro.sim.trace.TraceRecorder capturing every charge
+        self.tracer = None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def solve_mvc(
+        self,
+        graph: CSRGraph,
+        *,
+        node_budget: Optional[int] = None,
+        cycle_budget: Optional[float] = None,
+        **_: Any,
+    ) -> EngineResult:
+        """Minimum vertex cover on the simulated device."""
+        greedy = greedy_cover(graph)
+        best = BestBound(size=greedy.size, cover=greedy.cover)
+        formulation = MVCFormulation(best)
+        depth_bound = max(greedy.size + 1, 2)
+        if graph.m == 0:
+            return self._empty_result("mvc", graph, greedy.size)
+        result = self._run(graph, formulation, depth_bound, node_budget, greedy.size,
+                           cycle_budget=cycle_budget)
+        result.optimum = best.size
+        result.cover = best.cover
+        return result
+
+    def solve_pvc(
+        self,
+        graph: CSRGraph,
+        k: int,
+        *,
+        node_budget: Optional[int] = None,
+        cycle_budget: Optional[float] = None,
+        **_: Any,
+    ) -> EngineResult:
+        """Parameterized vertex cover on the simulated device."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        greedy = greedy_cover(graph)
+        flag = FoundFlag()
+        formulation = PVCFormulation(k=k, flag=flag)
+        depth_bound = max(k + 1, 2)
+        if graph.m == 0:
+            res = self._empty_result("pvc", graph, greedy.size)
+            res.optimum, res.feasible, res.cover = 0, True, np.empty(0, dtype=np.int32)
+            return res
+        result = self._run(graph, formulation, depth_bound, node_budget, greedy.size,
+                           cycle_budget=cycle_budget)
+        result.optimum = flag.size
+        result.cover = flag.cover
+        result.feasible = None if (result.timed_out and not flag.found) else flag.found
+        return result
+
+    # ------------------------------------------------------------------ #
+    # launch machinery
+    # ------------------------------------------------------------------ #
+    def _run(
+        self,
+        graph: CSRGraph,
+        formulation: Formulation,
+        depth_bound: int,
+        node_budget: Optional[int],
+        greedy_size: int,
+        cycle_budget: Optional[float] = None,
+    ) -> EngineResult:
+        launch = select_launch_config(
+            self.device, graph.n, depth_bound, block_size_override=self.block_size_override
+        )
+        worklist = BrokerWorklist(
+            capacity=self.worklist_capacity,
+            serial_cycles=self.cost_model.worklist_serial_cycles,
+        )
+        shared = SharedState(
+            graph=graph,
+            formulation=formulation,
+            worklist=worklist,
+            device=self.device,
+            launch=launch,
+            cost=self.cost_model,
+            num_blocks=launch.num_blocks,
+            node_budget=node_budget,
+            cycle_budget=cycle_budget,
+        )
+        shared.active = launch.num_blocks
+        self._seed(shared)
+        contexts = [
+            BlockContext(b, b % self.device.num_sms, shared, depth_bound)
+            for b in range(launch.num_blocks)
+        ]
+        if self.tracer is not None:
+            for ctx in contexts:
+                ctx.tracer = self.tracer
+        programs = [self._program(ctx) for ctx in contexts]
+        sim = Simulator()
+        makespan = sim.run(programs, clocks=contexts)
+        worklist.audit()
+        metrics = LaunchMetrics(
+            blocks=[c.metrics for c in contexts],
+            num_sms=self.device.num_sms,
+            makespan_cycles=makespan,
+        )
+        for ctx in contexts:
+            ctx.metrics.peak_stack_depth = ctx.stack.peak_depth
+            ctx.metrics.finish_time = ctx.now
+        return EngineResult(
+            engine=self.name,
+            formulation=formulation.name,
+            optimum=None,
+            cover=None,
+            feasible=None,
+            timed_out=shared.timed_out,
+            makespan_cycles=makespan,
+            sim_seconds=self.device.cycles_to_seconds(makespan),
+            nodes_visited=shared.nodes_visited,
+            greedy_size=greedy_size,
+            launch=launch,
+            metrics=metrics,
+            worklist_stats=worklist.stats,
+            params=self._params(),
+        )
+
+    def _empty_result(self, formulation_name: str, graph: CSRGraph, greedy_size: int) -> EngineResult:
+        launch = select_launch_config(self.device, max(graph.n, 1), 1)
+        return EngineResult(
+            engine=self.name,
+            formulation=formulation_name,
+            optimum=0,
+            cover=np.empty(0, dtype=np.int32),
+            feasible=None,
+            timed_out=False,
+            makespan_cycles=0.0,
+            sim_seconds=0.0,
+            nodes_visited=0,
+            greedy_size=greedy_size,
+            launch=launch,
+            metrics=LaunchMetrics(blocks=[], num_sms=self.device.num_sms),
+            params=self._params(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # hooks
+    # ------------------------------------------------------------------ #
+    def _seed(self, shared: SharedState) -> None:
+        """Prepare shared state before blocks start (e.g. enqueue the root)."""
+        root = fresh_state(shared.graph)
+        shared.worklist.entries.append(root)
+        shared.worklist.stats.adds += 1
+        shared.worklist.stats.peak_population = max(
+            shared.worklist.stats.peak_population, shared.worklist.population
+        )
+
+    def _program(self, ctx: BlockContext) -> Iterator[float]:
+        raise NotImplementedError
+
+    def _params(self) -> Dict[str, Any]:
+        return {
+            "device": self.device.name,
+            "worklist_capacity": self.worklist_capacity,
+            "block_size_override": self.block_size_override,
+        }
+
+    # ------------------------------------------------------------------ #
+    # shared traversal steps
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def process_node(ctx: BlockContext, state: VCState) -> Union[str, Tuple[VCState, VCState]]:
+        """One Fig. 4 iteration body: reduce, check, and possibly branch.
+
+        Returns :data:`PRUNED`, :data:`SOLUTION`, or the pair
+        ``(deferred_child, continued_child)``.  All work is charged to the
+        block; the caller yields ``ctx.take_pending()`` afterwards.
+        """
+        shared = ctx.shared
+        ctx.metrics.nodes_visited += 1
+        shared.check_time(ctx.now)
+        shared.note_node()
+        apply_reductions_parallel(
+            shared.graph, state, shared.formulation, ctx.ws, charge=ctx.charge_units
+        )
+        if shared.formulation.prune(state):
+            return PRUNED
+        ctx.charge_units("find_max", float(shared.graph.n))
+        vmax = max_degree_vertex(state.deg)
+        if state.deg[vmax] <= 0:
+            # No edges remain: a vertex cover has been found (Fig. 4 line 17).
+            shared.formulation.accept(state)
+            return SOLUTION
+        deferred, continued = expand_children(shared.graph, state, vmax, ctx.ws, charge=ctx.charge_units)
+        return deferred, continued
+
+    @staticmethod
+    def wl_wait_remove(ctx: BlockContext) -> Iterator[float]:
+        """Section IV-C's removal loop; a generator used via ``yield from``.
+
+        Returns (via ``StopIteration.value``) the obtained state, or
+        ``None`` when the traversal is globally finished.
+        """
+        shared = ctx.shared
+        shared.waiting += 1
+        while True:
+            if shared.stop_search():
+                shared.waiting -= 1
+                return None
+            state, cycles = shared.worklist.try_remove(ctx.now)
+            if state is not None:
+                # Leave the waiting set *before* yielding: another block must
+                # not count us as idle while we hold a tree node, or it could
+                # falsely declare global termination.
+                shared.waiting -= 1
+                ctx.charge_cycles("wl_remove", cycles + ctx.state_move_cycles())
+                yield ctx.take_pending()
+                ctx.metrics.subtrees_taken += 1
+                return state
+            ctx.charge_cycles("wl_remove", cycles)
+            # Failed removal: are we all waiting on an empty list?
+            if shared.waiting >= shared.active and shared.worklist.population == 0:
+                shared.done = True
+                shared.waiting -= 1
+                yield ctx.take_pending()
+                return None
+            ctx.charge_cycles("wl_remove", shared.cost.worklist_sleep_cycles)
+            ctx.metrics.wl_sleeps += 1
+            yield ctx.take_pending()

@@ -1,0 +1,341 @@
+"""Real multi-process parallel engine: the hybrid protocol without a GIL.
+
+Workers are OS processes; the global worklist is a ``multiprocessing``
+queue, the incumbent bound a shared ``Value`` updated under a lock, and
+termination uses an (idle-workers, in-flight-items) pair of shared
+counters: the traversal is finished exactly when every worker is idle *and*
+no item is in the queue or in transit.  ``inflight`` is incremented before
+every put and decremented after every successful get, so feeder-thread
+latency cannot produce a lost-work or premature-exit race.
+
+States cross process boundaries as ``(degree-array bytes, |S|, |E|)``
+triples — the same self-contained property (Section IV-B) that lets the
+GPU implementation move tree nodes between thread blocks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.branching import expand_children
+from ..core.formulation import Formulation
+from ..core.greedy import greedy_cover
+from ..core.reductions import apply_reductions
+from ..graph.csr import CSRGraph
+from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
+from .cpu_threads import CpuParallelResult
+
+__all__ = ["solve_mvc_processes", "solve_pvc_processes"]
+
+_WirePayload = Tuple[bytes, int, int]
+
+
+def _pack(state: VCState) -> _WirePayload:
+    return state.deg.tobytes(), state.cover_size, state.edge_count
+
+
+def _unpack(payload: _WirePayload) -> VCState:
+    deg = np.frombuffer(payload[0], dtype=np.int32).copy()
+    return VCState(deg, payload[1], payload[2])
+
+
+class _SharedMVC(Formulation):
+    """MVC formulation whose incumbent lives in shared process memory."""
+
+    name = "mvc"
+
+    def __init__(self, best_size: "mp.Value", lock: "mp.Lock"):
+        self.best_size = best_size
+        self.lock = lock
+        self.local_best: Optional[VCState] = None
+
+    def budget(self, cover_size: int) -> int:
+        return self.best_size.value - cover_size - 1
+
+    def accept(self, state: VCState) -> bool:
+        with self.lock:
+            if state.cover_size < self.best_size.value:
+                self.best_size.value = state.cover_size
+                self.local_best = state.copy()
+        return False
+
+
+class _SharedPVC(Formulation):
+    """PVC formulation driven by a shared found-event."""
+
+    name = "pvc"
+
+    def __init__(self, k: int, found: "mp.Event"):
+        self.k = k
+        self.found = found
+        self.local_best: Optional[VCState] = None
+
+    def budget(self, cover_size: int) -> int:
+        return self.k - cover_size
+
+    def accept(self, state: VCState) -> bool:
+        if state.cover_size <= self.k:
+            self.local_best = state.copy()
+            self.found.set()
+            return True
+        return False
+
+    def stop_requested(self) -> bool:
+        return self.found.is_set()
+
+
+def _process_worker(
+    wid: int,
+    graph: CSRGraph,
+    mode: str,
+    k: int,
+    work_q: "mp.Queue",
+    result_q: "mp.Queue",
+    best_size: "mp.Value",
+    lock: "mp.Lock",
+    idle: "mp.Value",
+    inflight: "mp.Value",
+    nodes: "mp.Value",
+    done: "mp.Event",
+    found: "mp.Event",
+    threshold: int,
+    node_budget: Optional[int],
+) -> None:
+    formulation: Formulation
+    if mode == "mvc":
+        formulation = _SharedMVC(best_size, lock)
+    else:
+        formulation = _SharedPVC(k, found)
+    ws = Workspace.for_graph(graph)
+    local: List[VCState] = []
+    current: Optional[VCState] = None
+    local_nodes = 0
+
+    def flush_nodes() -> None:
+        nonlocal local_nodes
+        if local_nodes:
+            with nodes.get_lock():
+                nodes.value += local_nodes
+                if node_budget is not None and nodes.value >= node_budget:
+                    done.set()
+            local_nodes = 0
+
+    def get_work() -> Optional[VCState]:
+        """Blocking get with idle/inflight termination detection."""
+        registered_idle = False
+        try:
+            while True:
+                if done.is_set() or formulation.stop_requested():
+                    return None
+                try:
+                    payload = work_q.get(timeout=0.02)
+                except queue_mod.Empty:
+                    if not registered_idle:
+                        with idle.get_lock():
+                            idle.value += 1
+                        registered_idle = True
+                    with idle.get_lock():
+                        all_idle = idle.value >= _process_worker.n_workers
+                    if all_idle and inflight.value == 0:
+                        done.set()
+                        return None
+                    continue
+                with inflight.get_lock():
+                    inflight.value -= 1
+                return _unpack(payload)
+        finally:
+            if registered_idle:
+                with idle.get_lock():
+                    idle.value -= 1
+
+    while True:
+        if done.is_set() or formulation.stop_requested():
+            break
+        if current is None:
+            if local:
+                current = local.pop()
+            else:
+                flush_nodes()
+                current = get_work()
+                if current is None:
+                    break
+        local_nodes += 1
+        if local_nodes >= 32:
+            flush_nodes()
+        apply_reductions(graph, current, formulation, ws)
+        if formulation.prune(current):
+            current = None
+            continue
+        if current.edge_count == 0:
+            formulation.accept(current)
+            current = None
+            continue
+        vmax = max_degree_vertex(current.deg)
+        deferred, current = expand_children(graph, current, vmax, ws)
+        # Hybrid donation policy; qsize() is advisory but only steers policy.
+        try:
+            hungry = work_q.qsize() < threshold
+        except NotImplementedError:  # pragma: no cover - macOS
+            hungry = True
+        if hungry:
+            with inflight.get_lock():
+                inflight.value += 1
+            work_q.put(_pack(deferred))
+        else:
+            local.append(deferred)
+
+    flush_nodes()
+    best = formulation.local_best
+    result_q.put(
+        (wid, local_nodes, None if best is None else (_pack(best)))
+    )
+
+
+# Worker count published for the idle test (set by the driver before spawn).
+_process_worker.n_workers = 0
+
+
+def _run_processes(
+    graph: CSRGraph,
+    mode: str,
+    k: int,
+    *,
+    n_workers: int,
+    threshold: int,
+    node_budget: Optional[int],
+    initial_best: int,
+) -> Tuple[Optional[VCState], bool, int, float, List[int]]:
+    ctx = mp.get_context("fork")
+    work_q: "mp.Queue" = ctx.Queue()
+    result_q: "mp.Queue" = ctx.Queue()
+    best_size = ctx.Value("i", initial_best, lock=False)
+    lock = ctx.Lock()
+    idle = ctx.Value("i", 0)
+    inflight = ctx.Value("i", 0)
+    nodes = ctx.Value("i", 0)
+    done = ctx.Event()
+    found = ctx.Event()
+
+    _process_worker.n_workers = n_workers
+    with inflight.get_lock():
+        inflight.value += 1
+    work_q.put(_pack(fresh_state(graph)))
+
+    procs = [
+        ctx.Process(
+            target=_process_worker,
+            args=(w, graph, mode, k, work_q, result_q, best_size, lock, idle,
+                  inflight, nodes, done, found, threshold, node_budget),
+            daemon=True,
+        )
+        for w in range(n_workers)
+    ]
+    start = time.perf_counter()
+    for p in procs:
+        p.start()
+
+    results = []
+    for _ in range(n_workers):
+        results.append(result_q.get(timeout=600))
+    for p in procs:
+        p.join(timeout=30)
+        if p.is_alive():  # pragma: no cover - defensive
+            p.terminate()
+    wall = time.perf_counter() - start
+
+    best_state: Optional[VCState] = None
+    for _, _, payload in results:
+        if payload is None:
+            continue
+        state = _unpack(payload)
+        if best_state is None or state.cover_size < best_state.cover_size:
+            best_state = state
+    timed_out = done.is_set() and not found.is_set() and node_budget is not None \
+        and nodes.value >= node_budget
+    per_worker = [0] * n_workers
+    return best_state, timed_out, nodes.value, wall, per_worker
+
+
+def solve_mvc_processes(
+    graph: CSRGraph,
+    *,
+    n_workers: int = 4,
+    threshold: int = 32,
+    node_budget: Optional[int] = None,
+    **_: object,
+) -> CpuParallelResult:
+    """Minimum vertex cover with a process team (true CPU parallelism)."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    greedy = greedy_cover(graph)
+    if graph.m == 0:
+        return CpuParallelResult("cpu-process", "mvc", 0, np.empty(0, dtype=np.int32),
+                                 None, False, 0, n_workers, 0.0, greedy.size)
+    best_state, timed_out, total_nodes, wall, per_worker = _run_processes(
+        graph, "mvc", 0, n_workers=n_workers, threshold=threshold,
+        node_budget=node_budget, initial_best=greedy.size,
+    )
+    if best_state is None:
+        optimum, cover = greedy.size, greedy.cover
+    else:
+        optimum, cover = best_state.cover_size, best_state.cover()
+    return CpuParallelResult(
+        engine="cpu-process",
+        formulation="mvc",
+        optimum=optimum,
+        cover=cover,
+        feasible=None,
+        timed_out=timed_out,
+        nodes_visited=total_nodes,
+        n_workers=n_workers,
+        wall_seconds=wall,
+        greedy_size=greedy.size,
+        per_worker_nodes=per_worker,
+    )
+
+
+def solve_pvc_processes(
+    graph: CSRGraph,
+    k: int,
+    *,
+    n_workers: int = 4,
+    threshold: int = 32,
+    node_budget: Optional[int] = None,
+    **_: object,
+) -> CpuParallelResult:
+    """Parameterized vertex cover with a process team."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    greedy = greedy_cover(graph)
+    if graph.m == 0:
+        return CpuParallelResult("cpu-process", "pvc", 0, np.empty(0, dtype=np.int32),
+                                 True, False, 0, n_workers, 0.0, greedy.size)
+    best_state, timed_out, total_nodes, wall, per_worker = _run_processes(
+        graph, "pvc", k, n_workers=n_workers, threshold=threshold,
+        node_budget=node_budget, initial_best=graph.n + 1,
+    )
+    feasible: Optional[bool]
+    if best_state is not None:
+        feasible = True
+    elif timed_out:
+        feasible = None
+    else:
+        feasible = False
+    return CpuParallelResult(
+        engine="cpu-process",
+        formulation="pvc",
+        optimum=None if best_state is None else best_state.cover_size,
+        cover=None if best_state is None else best_state.cover(),
+        feasible=feasible,
+        timed_out=timed_out,
+        nodes_visited=total_nodes,
+        n_workers=n_workers,
+        wall_seconds=wall,
+        greedy_size=greedy.size,
+        per_worker_nodes=per_worker,
+    )

@@ -1,0 +1,231 @@
+"""Work-stealing CPU engine: the decentralised alternative to the hybrid.
+
+The paper centralises load balancing in one global worklist.  The classic
+CPU alternative — and a natural ablation — is randomized work stealing:
+every worker owns a deque, pushes and pops at its own end, and when empty
+steals the *oldest* entry from a random victim (oldest = closest to the
+victim's sub-tree root = biggest stolen sub-tree, the standard heuristic).
+
+This engine exists for comparison with :mod:`repro.engines.cpu_threads`
+(same thread substrate, centralized queue) and is exercised by the test
+suite under real concurrency.  Termination uses the same all-idle test,
+with the subtlety that an idle worker must re-scan every victim before
+declaring itself truly idle.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from ..core.branching import expand_children
+from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
+from ..core.greedy import greedy_cover
+from ..core.reductions import apply_reductions
+from ..graph.csr import CSRGraph
+from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
+from .cpu_threads import CpuParallelResult
+
+__all__ = ["solve_mvc_worksteal", "solve_pvc_worksteal"]
+
+
+class _StealShared:
+    """Per-worker deques plus the idle-consensus termination state."""
+
+    def __init__(self, n_workers: int, node_budget: Optional[int], seed: int):
+        self.n_workers = n_workers
+        self.lock = threading.Lock()
+        self.deques: List[Deque[VCState]] = [deque() for _ in range(n_workers)]
+        self.idle = 0
+        self.done = False
+        self.nodes = 0
+        self.node_budget = node_budget
+        self.timed_out = False
+        self.steals = 0
+        self.rng = random.Random(seed)
+
+    def stop(self, formulation: Formulation) -> bool:
+        return self.done or self.timed_out or formulation.stop_requested()
+
+    def note_node(self) -> None:
+        with self.lock:
+            self.nodes += 1
+            if self.node_budget is not None and self.nodes >= self.node_budget:
+                self.timed_out = True
+
+    def push(self, wid: int, state: VCState) -> None:
+        with self.lock:
+            self.deques[wid].append(state)
+
+    def pop_own(self, wid: int) -> Optional[VCState]:
+        with self.lock:
+            if self.deques[wid]:
+                return self.deques[wid].pop()
+        return None
+
+    def steal(self, wid: int, formulation: Formulation) -> Optional[VCState]:
+        """Blocking steal loop with idle consensus."""
+        registered = False
+        try:
+            while True:
+                if self.stop(formulation):
+                    return None
+                victims = [v for v in range(self.n_workers) if v != wid]
+                self.rng.shuffle(victims)
+                for victim in victims:
+                    with self.lock:
+                        if self.deques[victim]:
+                            if registered:
+                                self.idle -= 1
+                                registered = False
+                            self.steals += 1
+                            # steal the oldest entry: the largest sub-tree
+                            return self.deques[victim].popleft()
+                with self.lock:
+                    if not registered:
+                        self.idle += 1
+                        registered = True
+                    if self.idle >= self.n_workers and all(not d for d in self.deques):
+                        self.done = True
+                        return None
+                time.sleep(0.0005)
+        finally:
+            if registered:
+                with self.lock:
+                    self.idle -= 1
+
+
+def _steal_worker(
+    graph: CSRGraph,
+    formulation: Formulation,
+    shared: _StealShared,
+    node_counts: List[int],
+    wid: int,
+) -> None:
+    ws = Workspace.for_graph(graph)
+    current: Optional[VCState] = None
+    while True:
+        if shared.stop(formulation):
+            break
+        if current is None:
+            current = shared.pop_own(wid)
+            if current is None:
+                current = shared.steal(wid, formulation)
+                if current is None:
+                    break
+        shared.note_node()
+        node_counts[wid] += 1
+        apply_reductions(graph, current, formulation, ws)
+        if formulation.prune(current):
+            current = None
+            continue
+        if current.edge_count == 0:
+            with shared.lock:
+                formulation.accept(current)
+            current = None
+            continue
+        vmax = max_degree_vertex(current.deg)
+        deferred, current = expand_children(graph, current, vmax, ws)
+        shared.push(wid, deferred)
+
+
+def _run_worksteal(
+    graph: CSRGraph,
+    formulation: Formulation,
+    *,
+    n_workers: int,
+    node_budget: Optional[int],
+    seed: int,
+) -> tuple[_StealShared, List[int], float]:
+    shared = _StealShared(n_workers, node_budget, seed)
+    shared.deques[0].append(fresh_state(graph))
+    node_counts = [0] * n_workers
+    threads = [
+        threading.Thread(target=_steal_worker,
+                         args=(graph, formulation, shared, node_counts, w), daemon=True)
+        for w in range(n_workers)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return shared, node_counts, time.perf_counter() - start
+
+
+def solve_mvc_worksteal(
+    graph: CSRGraph,
+    *,
+    n_workers: int = 4,
+    node_budget: Optional[int] = None,
+    seed: int = 0,
+    **_: object,
+) -> CpuParallelResult:
+    """Minimum vertex cover with randomized work stealing."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    greedy = greedy_cover(graph)
+    best = BestBound(size=greedy.size, cover=greedy.cover)
+    if graph.m == 0:
+        return CpuParallelResult("cpu-worksteal", "mvc", 0, np.empty(0, dtype=np.int32),
+                                 None, False, 0, n_workers, 0.0, greedy.size)
+    formulation = MVCFormulation(best)
+    shared, node_counts, wall = _run_worksteal(
+        graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed
+    )
+    result = CpuParallelResult(
+        engine="cpu-worksteal",
+        formulation="mvc",
+        optimum=best.size,
+        cover=best.cover,
+        feasible=None,
+        timed_out=shared.timed_out,
+        nodes_visited=shared.nodes,
+        n_workers=n_workers,
+        wall_seconds=wall,
+        greedy_size=greedy.size,
+        per_worker_nodes=node_counts,
+    )
+    return result
+
+
+def solve_pvc_worksteal(
+    graph: CSRGraph,
+    k: int,
+    *,
+    n_workers: int = 4,
+    node_budget: Optional[int] = None,
+    seed: int = 0,
+    **_: object,
+) -> CpuParallelResult:
+    """Parameterized vertex cover with randomized work stealing."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    greedy = greedy_cover(graph)
+    flag = FoundFlag()
+    if graph.m == 0:
+        return CpuParallelResult("cpu-worksteal", "pvc", 0, np.empty(0, dtype=np.int32),
+                                 True, False, 0, n_workers, 0.0, greedy.size)
+    formulation = PVCFormulation(k=k, flag=flag)
+    shared, node_counts, wall = _run_worksteal(
+        graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed
+    )
+    timed_out = shared.timed_out
+    return CpuParallelResult(
+        engine="cpu-worksteal",
+        formulation="pvc",
+        optimum=flag.size,
+        cover=flag.cover,
+        feasible=None if (timed_out and not flag.found) else flag.found,
+        timed_out=timed_out,
+        nodes_visited=shared.nodes,
+        n_workers=n_workers,
+        wall_seconds=wall,
+        greedy_size=greedy.size,
+        per_worker_nodes=node_counts,
+    )

@@ -1,0 +1,251 @@
+"""Prior work's scheme: fixed-depth sub-trees, per-block local stacks only.
+
+Section III describes two ways prior work reaches the sub-trees rooted at
+the starting level, both provided here via ``descent_mode``:
+
+* ``"root"`` (Abu-Khzam et al., CCGRID'18 — the default): every thread
+  block repeatedly grabs the next sub-tree index and *descends from the
+  root* to it, redundantly re-processing the shared prefix nodes.  The
+  deeper the level, the more redundant work.
+* ``"grid"`` (Kabbara'13): a separate grid launch expands each level,
+  materialising *all* intermediate states of the next level in global
+  memory.  No redundancy, but one launch per level and memory that grows
+  with the frontier — the engine raises when the frontier no longer fits
+  beside the per-block stacks, which is exactly the limitation the paper
+  criticises.
+
+Either way, each block then traverses its sub-trees depth-first with its
+local stack and no further redistribution — the load-imbalance problem
+the hybrid scheme fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
+from ..core.branching import expand_children
+from ..core.parallel_reductions import apply_reductions_parallel
+from ..sim.context import BlockContext, SharedState
+from ..sim.costmodel import CostModel
+from ..sim.device import SMALL_SIM, DeviceSpec
+from ..sim.launch import stack_entry_bytes
+from .base import PRUNED, SOLUTION, SimEngineBase
+
+__all__ = ["StackOnlyEngine", "GridMemoryError"]
+
+#: Fixed cost of one kernel/grid launch (driver + device round trip).
+GRID_LAUNCH_CYCLES = 20_000.0
+
+
+class GridMemoryError(RuntimeError):
+    """The grid-descent frontier outgrew global memory (Section III-A)."""
+
+
+class _GpuCostMeter:
+    """Prices expansion-phase work like one thread block would."""
+
+    def __init__(self, shared: SharedState):
+        self.shared = shared
+        self.cycles = 0.0
+
+    def charge(self, kind: str, units: float) -> None:
+        if kind == "state_copy":
+            return
+        self.cycles += self.shared.cost.op_cycles(
+            kind, units, self.shared.launch.block_size,
+            use_shared=self.shared.launch.use_shared_mem,
+        )
+
+
+class StackOnlyEngine(SimEngineBase):
+    """Fixed-depth sub-tree distribution (the paper's *StackOnly* baseline)."""
+
+    name = "stackonly"
+
+    def __init__(
+        self,
+        device: DeviceSpec = SMALL_SIM,
+        cost_model: Optional[CostModel] = None,
+        start_depth: int = 6,
+        descent_mode: str = "root",
+        block_size_override: Optional[int] = None,
+    ):
+        # The worklist exists but is never used by this engine.
+        super().__init__(device, cost_model, worklist_capacity=1,
+                         block_size_override=block_size_override)
+        if start_depth < 1:
+            raise ValueError("start_depth must be >= 1")
+        if descent_mode not in ("root", "grid"):
+            raise ValueError("descent_mode must be 'root' or 'grid'")
+        self.start_depth = start_depth
+        self.descent_mode = descent_mode
+        self._grid_states: List[VCState] = []
+        self._grid_stats: Dict[str, float] = {}
+
+    def _params(self) -> Dict[str, Any]:
+        params = super()._params()
+        params["start_depth"] = self.start_depth
+        params["descent_mode"] = self.descent_mode
+        if self._grid_stats:
+            params["grid_expansion"] = dict(self._grid_stats)
+        return params
+
+    # ------------------------------------------------------------------ #
+    # seeding
+    # ------------------------------------------------------------------ #
+    def _seed(self, shared: SharedState) -> None:
+        if self.descent_mode == "root":
+            shared.subtree_total = 1 << self.start_depth
+            return
+        self._grid_expand(shared)
+        shared.subtree_total = len(self._grid_states)
+
+    def _grid_expand(self, shared: SharedState) -> None:
+        """Level-by-level grid launches materialising the starting frontier.
+
+        Each level's nodes are spread across the resident blocks; the
+        level's (virtual) duration is the heaviest block lane plus the
+        launch overhead.  Frontier states live in global memory beside the
+        stacks — overflowing that budget raises :class:`GridMemoryError`.
+        """
+        meter = _GpuCostMeter(shared)
+        ws = Workspace.for_graph(shared.graph)
+        frontier: List[VCState] = [fresh_state(shared.graph)]
+        total_cycles = 0.0
+        peak_frontier = 1
+        budget = shared.device.global_mem_bytes - shared.launch.global_stack_bytes()
+        entry = stack_entry_bytes(shared.graph.n)
+
+        for _level in range(self.start_depth):
+            lanes = [0.0] * shared.launch.num_blocks
+            next_frontier: List[VCState] = []
+            for i, state in enumerate(frontier):
+                meter.cycles = 0.0
+                shared.note_node()
+                apply_reductions_parallel(
+                    shared.graph, state, shared.formulation, ws, charge=meter.charge
+                )
+                if shared.formulation.prune(state):
+                    lanes[i % len(lanes)] += meter.cycles
+                    continue
+                meter.charge("find_max", float(shared.graph.n))
+                vmax = max_degree_vertex(state.deg)
+                if state.deg[vmax] <= 0:
+                    shared.formulation.accept(state)
+                    lanes[i % len(lanes)] += meter.cycles
+                    continue
+                deferred, continued = expand_children(
+                    shared.graph, state, vmax, ws, charge=meter.charge
+                )
+                # both children are written back to global memory
+                meter.charge("stack_push", 0.0)
+                meter.cycles += 2 * shared.cost.state_move_cycles(
+                    shared.graph.n, shared.launch.block_size,
+                    use_shared=shared.launch.use_shared_mem,
+                )
+                next_frontier.extend((continued, deferred))
+                lanes[i % len(lanes)] += meter.cycles
+            total_cycles += max(lanes) + GRID_LAUNCH_CYCLES
+            frontier = next_frontier
+            peak_frontier = max(peak_frontier, len(frontier))
+            if len(frontier) * entry > budget:
+                raise GridMemoryError(
+                    f"grid descent to depth {self.start_depth} needs "
+                    f"{len(frontier)} x {entry} B of frontier storage; only "
+                    f"{budget} B of global memory remain beside the stacks"
+                )
+            if shared.formulation.stop_requested() or not frontier:
+                break
+
+        self._grid_states = frontier
+        self._grid_stats = {
+            "levels": float(self.start_depth),
+            "expansion_cycles": total_cycles,
+            "peak_frontier": float(peak_frontier),
+            "frontier_bytes": float(peak_frontier * entry),
+        }
+
+    # ------------------------------------------------------------------ #
+    # block program
+    # ------------------------------------------------------------------ #
+    def _program(self, ctx: BlockContext) -> Iterator[float]:
+        shared = ctx.shared
+        depth = self.start_depth
+        cost = shared.cost
+        bs = shared.launch.block_size
+        use_shared = shared.launch.use_shared_mem
+        stack_pop_cycles = (
+            cost.op_cycles("stack_pop", 0.0, bs, use_shared=use_shared) + ctx.state_move_cycles()
+        )
+        stack_push_cycles = (
+            cost.op_cycles("stack_push", 0.0, bs, use_shared=use_shared) + ctx.state_move_cycles()
+        )
+
+        if self.descent_mode == "grid":
+            # all blocks start after the expansion grids complete (each
+            # launch is a device-wide barrier)
+            yield self._grid_stats.get("expansion_cycles", 0.0)
+
+        stopped = False
+        while not stopped:
+            if shared.stop_search():
+                break
+            idx = shared.next_subtree()
+            if idx is None:
+                break
+            ctx.metrics.subtrees_taken += 1
+
+            if self.descent_mode == "grid":
+                # sub-tree root already materialised in global memory
+                state = self._grid_states[idx]
+                ctx.charge_cycles("stack_pop", stack_pop_cycles)
+                yield ctx.take_pending()
+                dead = False
+            else:
+                # --- descend from the root to sub-tree `idx` (redundant) ---
+                state = fresh_state(shared.graph)
+                dead = False
+                for level in range(depth):
+                    outcome = self.process_node(ctx, state)
+                    yield ctx.take_pending()
+                    if outcome is PRUNED or outcome is SOLUTION:
+                        dead = True
+                        break
+                    deferred, continued = outcome
+                    # Bit `level` of the index (MSB first) picks the branch:
+                    # 0 -> the G - vmax child, 1 -> the G - N(vmax) child.
+                    take_deferred = (idx >> (depth - 1 - level)) & 1
+                    state = deferred if take_deferred else continued
+                    if shared.stop_search():
+                        dead = True
+                        stopped = True
+                        break
+            if dead:
+                continue
+
+            # --- traverse the sub-tree with the local stack ---
+            current = state
+            while True:
+                if shared.stop_search():
+                    stopped = True
+                    break
+                outcome = self.process_node(ctx, current)
+                if outcome is PRUNED or outcome is SOLUTION:
+                    yield ctx.take_pending()
+                    if ctx.stack.empty:
+                        break
+                    current = ctx.stack.pop()
+                    ctx.charge_cycles("stack_pop", stack_pop_cycles)
+                    yield ctx.take_pending()
+                    continue
+                deferred, current = outcome
+                ctx.stack.push(deferred)
+                ctx.charge_cycles("stack_push", stack_push_cycles)
+                yield ctx.take_pending()
+
+        shared.active -= 1
+        ctx.charge_cycles(
+            "terminate", cost.op_cycles("terminate", 0.0, bs, use_shared=use_shared)
+        )
+        yield ctx.take_pending()

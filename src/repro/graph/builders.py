@@ -1,0 +1,113 @@
+"""Convenience constructors bridging external graph forms to :class:`CSRGraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edge_list",
+    "from_adjacency",
+    "from_networkx",
+    "to_networkx",
+    "from_adjacency_matrix",
+    "to_adjacency_matrix",
+    "relabel_dense",
+]
+
+
+def from_edge_list(n: int, edges: Iterable[Tuple[int, int]]) -> CSRGraph:
+    """Build a graph on ``n`` vertices, silently deduplicating edges.
+
+    Unlike :meth:`CSRGraph.from_edges` (which rejects duplicates as a data
+    error), this helper canonicalises noisy inputs such as scraped edge
+    lists: duplicates and mirrored orientations collapse, self loops are
+    dropped.
+    """
+    seen = set()
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            continue
+        seen.add((u, v) if u < v else (v, u))
+    return CSRGraph.from_edges(n, sorted(seen), validate=False)
+
+
+def from_adjacency(adj: Mapping[int, Sequence[int]] | Sequence[Sequence[int]]) -> CSRGraph:
+    """Build from an adjacency mapping/list (``adj[v]`` = neighbours of ``v``)."""
+    if isinstance(adj, Mapping):
+        n = (max(adj) + 1) if adj else 0
+        items = adj.items()
+    else:
+        n = len(adj)
+        items = enumerate(adj)
+    edges = []
+    for u, nbrs in items:
+        for v in nbrs:
+            if int(u) < int(v):
+                edges.append((int(u), int(v)))
+            elif int(v) < int(u):
+                edges.append((int(v), int(u)))
+    return from_edge_list(n, edges)
+
+
+def from_networkx(g) -> CSRGraph:
+    """Convert a :mod:`networkx` graph, relabelling nodes to ``0..n-1``.
+
+    Node order follows ``g.nodes()`` iteration order, so conversions are
+    deterministic for a given graph object.
+    """
+    nodes = list(g.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in g.edges() if u != v]
+    return from_edge_list(len(nodes), edges)
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to a :class:`networkx.Graph` (requires networkx)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_adjacency_matrix(mat: np.ndarray) -> CSRGraph:
+    """Build from a dense 0/1 symmetric adjacency matrix."""
+    mat = np.asarray(mat)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    if not np.array_equal(mat, mat.T):
+        raise ValueError("adjacency matrix must be symmetric")
+    if np.any(np.diag(mat) != 0):
+        raise ValueError("adjacency matrix must have an empty diagonal")
+    us, vs = np.nonzero(np.triu(mat, k=1))
+    return CSRGraph.from_edges(mat.shape[0], zip(us.tolist(), vs.tolist()), validate=False)
+
+
+def to_adjacency_matrix(graph: CSRGraph) -> np.ndarray:
+    """Dense 0/1 adjacency matrix of the graph."""
+    mat = np.zeros((graph.n, graph.n), dtype=np.int8)
+    for u, v in graph.edges():
+        mat[u, v] = 1
+        mat[v, u] = 1
+    return mat
+
+
+def relabel_dense(n: int, edges: Iterable[Tuple[int, int]]) -> Tuple[CSRGraph, np.ndarray]:
+    """Compact arbitrary integer vertex labels into a dense ``0..k-1`` range.
+
+    Returns ``(graph, original_labels)`` where ``original_labels[i]`` is the
+    input label of compacted vertex ``i``.  Useful for datasets whose vertex
+    ids are sparse (KONECT-style exports).
+    """
+    edges = [(int(u), int(v)) for u, v in edges]
+    labels = sorted({u for u, _ in edges} | {v for _, v in edges})
+    index = {lab: i for i, lab in enumerate(labels)}
+    remapped = [(index[u], index[v]) for u, v in edges]
+    graph = from_edge_list(len(labels), remapped)
+    return graph, np.asarray(labels, dtype=np.int64)

@@ -1,0 +1,262 @@
+"""Static graph storage in Compressed Sparse Row (CSR) form.
+
+The paper keeps a single, immutable CSR copy of the input graph that every
+thread block reads (Section IV-B).  All intermediate graphs are expressed as
+degree arrays layered on top of this structure (see
+:mod:`repro.graph.degree_array`).
+
+The adjacency list of every vertex is stored sorted ascending, which lets
+:meth:`CSRGraph.has_edge` run as a binary search — the degree-two-triangle
+reduction rule relies on fast adjacency tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable, simple, undirected graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; the neighbours of vertex ``v``
+        occupy ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int32`` array of neighbour ids, each undirected edge appearing
+        twice (once per endpoint), sorted ascending within each row.
+    validate:
+        When true (the default) the constructor checks structural
+        invariants: sortedness, symmetry, no self loops, no parallel edges.
+
+    Notes
+    -----
+    Instances are treated as immutable: the underlying arrays are marked
+    read-only so accidental mutation of the shared static graph (which the
+    paper's kernels never modify) raises immediately.
+    """
+
+    __slots__ = ("indptr", "indices", "n", "m", "_degrees")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int32)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if indptr.size == 0:
+            raise ValueError("indptr must have at least one entry")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        self.indptr = indptr
+        self.indices = indices
+        self.n = int(indptr.size - 1)
+        if indices.size % 2 != 0:
+            raise ValueError("indices length must be even for an undirected graph")
+        self.m = int(indices.size // 2)
+        self._degrees = np.diff(indptr).astype(np.int32)
+        if validate:
+            self._validate()
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        self._degrees.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]], *, validate: bool = True) -> "CSRGraph":
+        """Build a graph on ``n`` vertices from an iterable of edges.
+
+        Duplicate edges (in either orientation) and self loops are rejected.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        pairs = _canonical_edge_array(n, edges)
+        deg = np.zeros(n, dtype=np.int64)
+        if pairs.size:
+            np.add.at(deg, pairs[:, 0], 1)
+            np.add.at(deg, pairs[:, 1], 1)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int32)
+        cursor = indptr[:-1].copy()
+        for u, v in pairs:
+            indices[cursor[u]] = v
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            cursor[v] += 1
+        # sort each adjacency row so has_edge can binary search
+        for v in range(n):
+            lo, hi = indptr[v], indptr[v + 1]
+            indices[lo:hi] = np.sort(indices[lo:hi])
+        return cls(indptr, indices, validate=validate)
+
+    @classmethod
+    def empty(cls, n: int) -> "CSRGraph":
+        """An edgeless graph on ``n`` vertices."""
+        return cls(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int32), validate=False)
+
+    @classmethod
+    def complete(cls, n: int) -> "CSRGraph":
+        """The complete graph :math:`K_n`."""
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        return cls.from_edges(n, edges, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def degree(self, v: int) -> int:
+        """The degree of ``v`` in the static graph."""
+        return int(self._degrees[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only ``int32`` array of static degrees."""
+        return self._degrees
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of the sorted neighbour list of ``v``."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Adjacency test via binary search on the shorter row."""
+        if u == v:
+            return False
+        if self._degrees[u] > self._degrees[v]:
+            u, v = v, u
+        row = self.neighbors(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < row.size and int(row[pos]) == v
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate each undirected edge exactly once as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array with ``u < v`` per row."""
+        if self.m == 0:
+            return np.empty((0, 2), dtype=np.int32)
+        src = np.repeat(np.arange(self.n, dtype=np.int32), self._degrees)
+        mask = src < self.indices
+        return np.stack([src[mask], self.indices[mask]], axis=1)
+
+    def max_degree(self) -> int:
+        """:math:`\\Delta(G)` — zero for an edgeless graph."""
+        return int(self._degrees.max(initial=0))
+
+    def average_degree(self) -> float:
+        """Mean degree ``2m / n`` (zero for the empty-vertex graph)."""
+        return (2.0 * self.m / self.n) if self.n else 0.0
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def complement(self) -> "CSRGraph":
+        """The complement graph (the paper complements DIMACS instances)."""
+        n = self.n
+        rows = []
+        total = 0
+        full = np.arange(n, dtype=np.int32)
+        for v in range(n):
+            nbrs = self.neighbors(v)
+            keep = np.ones(n, dtype=bool)
+            keep[nbrs] = False
+            keep[v] = False
+            row = full[keep]
+            rows.append(row)
+            total += row.size
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices = np.empty(total, dtype=np.int32)
+        pos = 0
+        for v, row in enumerate(rows):
+            indices[pos : pos + row.size] = row
+            pos += row.size
+            indptr[v + 1] = pos
+        return CSRGraph(indptr, indices, validate=False)
+
+    def subgraph(self, keep: Sequence[int]) -> "CSRGraph":
+        """The induced subgraph ``G[keep]`` with vertices relabelled 0..len-1."""
+        keep_arr = np.unique(np.asarray(keep, dtype=np.int64))
+        if keep_arr.size and (keep_arr[0] < 0 or keep_arr[-1] >= self.n):
+            raise ValueError("subgraph vertices out of range")
+        relabel = -np.ones(self.n, dtype=np.int64)
+        relabel[keep_arr] = np.arange(keep_arr.size)
+        edges = []
+        for u in keep_arr:
+            ru = relabel[u]
+            for v in self.neighbors(int(u)):
+                rv = relabel[v]
+                if rv >= 0 and ru < rv:
+                    edges.append((int(ru), int(rv)))
+        return CSRGraph.from_edges(keep_arr.size, edges, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # dunder / misc
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.m == other.m
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:  # immutable, so hashable
+        return hash((self.n, self.m, self.indices.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.n}, m={self.m}, avg_deg={self.average_degree():.2f})"
+
+    def _validate(self) -> None:
+        ind, ptr = self.indices, self.indptr
+        if np.any(np.diff(ptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if ind.size and (ind.min() < 0 or ind.max() >= self.n):
+            raise ValueError("neighbour id out of range")
+        for v in range(self.n):
+            row = ind[ptr[v] : ptr[v + 1]]
+            if row.size == 0:
+                continue
+            if np.any(np.diff(row) <= 0):
+                raise ValueError(f"adjacency row of vertex {v} not strictly sorted")
+            pos = int(np.searchsorted(row, v))
+            if pos < row.size and row[pos] == v:
+                raise ValueError(f"self loop at vertex {v}")
+        # symmetry: each (u, v) must have its mirror (v, u)
+        src = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(ptr))
+        fwd = src * self.n + ind
+        bwd = ind.astype(np.int64) * self.n + src
+        if not np.array_equal(np.sort(fwd), np.sort(bwd)):
+            raise ValueError("adjacency is not symmetric")
+
+
+def _canonical_edge_array(n: int, edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """Normalise edges to ``u < v`` rows, rejecting loops/dupes/range errors."""
+    rows = []
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            raise ValueError(f"self loop ({u},{v}) not allowed in a simple graph")
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u},{v}) out of range for n={n}")
+        rows.append((u, v) if u < v else (v, u))
+    if not rows:
+        return np.empty((0, 2), dtype=np.int64)
+    arr = np.asarray(rows, dtype=np.int64)
+    keys = arr[:, 0] * n + arr[:, 1]
+    uniq, counts = np.unique(keys, return_counts=True)
+    if np.any(counts > 1):
+        dup = uniq[counts > 1][0]
+        raise ValueError(f"duplicate edge ({dup // n},{dup % n})")
+    order = np.argsort(keys, kind="stable")
+    return arr[order]

@@ -1,0 +1,213 @@
+"""Degree-array representation of intermediate graphs.
+
+The paper (Section IV-B) represents each search-tree node's state ``(G', S)``
+with a single *degree array*: one entry per original vertex, holding the
+vertex's current degree if it is still in the graph or a sentinel if it has
+been removed and added to the solution ``S``.  Combined with the immutable
+CSR graph this is self-contained, which is what allows tree nodes to travel
+through the global worklist between thread blocks.
+
+This module provides the representation plus the batched removal operations
+every engine uses.  All operations mutate ``deg`` in place and return the
+number of edges they deleted so that callers can maintain an incremental
+edge count (the paper keeps an analogous deleted-vertex counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "REMOVED",
+    "Workspace",
+    "VCState",
+    "fresh_state",
+    "alive_vertices",
+    "cover_vertices",
+    "recompute_edge_count",
+    "remove_vertex_into_cover",
+    "remove_vertices_into_cover",
+    "remove_neighbors_into_cover",
+    "alive_neighbors",
+    "max_degree_vertex",
+]
+
+#: Sentinel degree value marking "removed from the graph, added to S".
+REMOVED: int = -1
+
+
+@dataclass
+class Workspace:
+    """Reusable scratch buffers sized to one graph.
+
+    Allocating boolean masks per operation dominates runtime for small
+    graphs; engines allocate one workspace per traversal and reuse it
+    (the HPC guides' "be easy on the memory" rule).
+    """
+
+    n: int
+    in_batch: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.in_batch = np.zeros(self.n, dtype=bool)
+
+    @classmethod
+    def for_graph(cls, graph: CSRGraph) -> "Workspace":
+        return cls(graph.n)
+
+
+@dataclass
+class VCState:
+    """A self-contained search-tree node: ``(degree array, |S|, |E|)``.
+
+    ``deg[v] == REMOVED`` iff ``v`` has been placed in the cover.  Vertices
+    of degree zero remain in the graph but are irrelevant to any cover.
+    """
+
+    deg: np.ndarray
+    cover_size: int
+    edge_count: int
+
+    def copy(self) -> "VCState":
+        """A deep copy — pushed states must not alias the working state."""
+        return VCState(self.deg.copy(), self.cover_size, self.edge_count)
+
+    def cover(self) -> np.ndarray:
+        """The cover ``S`` encoded by the sentinel entries."""
+        return cover_vertices(self.deg)
+
+    def n_alive(self) -> int:
+        return int(np.count_nonzero(self.deg >= 0))
+
+    def validate(self, graph: CSRGraph) -> None:
+        """Raise if the incremental counters disagree with the array."""
+        actual_cover = int(np.count_nonzero(self.deg == REMOVED))
+        if actual_cover != self.cover_size:
+            raise AssertionError(
+                f"cover_size={self.cover_size} but {actual_cover} sentinel entries"
+            )
+        actual_edges = recompute_edge_count(graph, self.deg)
+        if actual_edges != self.edge_count:
+            raise AssertionError(
+                f"edge_count={self.edge_count} but array encodes {actual_edges}"
+            )
+
+
+def fresh_state(graph: CSRGraph) -> VCState:
+    """The root tree node: nothing removed, all static degrees intact."""
+    return VCState(graph.degrees.astype(np.int32).copy(), 0, graph.m)
+
+
+def alive_vertices(deg: np.ndarray) -> np.ndarray:
+    """Vertices still present in the intermediate graph."""
+    return np.flatnonzero(deg >= 0).astype(np.int32)
+
+
+def cover_vertices(deg: np.ndarray) -> np.ndarray:
+    """Vertices removed into the cover (sentinel entries)."""
+    return np.flatnonzero(deg == REMOVED).astype(np.int32)
+
+
+def recompute_edge_count(graph: CSRGraph, deg: np.ndarray) -> int:
+    """Reference ``|E(G')|`` from scratch: half the alive degree sum.
+
+    Used by validation and tests; engines track the count incrementally.
+    """
+    alive = deg >= 0
+    return int(deg[alive].sum()) // 2
+
+
+def alive_neighbors(graph: CSRGraph, deg: np.ndarray, v: int) -> np.ndarray:
+    """Neighbours of ``v`` still present in the intermediate graph."""
+    nbrs = graph.neighbors(v)
+    return nbrs[deg[nbrs] >= 0]
+
+
+def remove_vertex_into_cover(graph: CSRGraph, deg: np.ndarray, v: int) -> int:
+    """Remove one alive vertex into the cover; return edges deleted.
+
+    Mirrors the paper's single-vertex removal (Fig. 4 lines 27-28): set the
+    sentinel, then decrement every alive neighbour's degree.
+    """
+    dv = int(deg[v])
+    if dv < 0:
+        raise ValueError(f"vertex {v} already removed")
+    deg[v] = REMOVED
+    if dv:
+        nbrs = graph.neighbors(v)
+        live = nbrs[deg[nbrs] >= 0]
+        deg[live] -= 1
+    return dv
+
+
+def remove_vertices_into_cover(
+    graph: CSRGraph,
+    deg: np.ndarray,
+    verts: Sequence[int] | np.ndarray,
+    ws: Optional[Workspace] = None,
+) -> int:
+    """Remove a *set* of alive vertices into the cover in one batch.
+
+    Returns the number of edges deleted.  Edges internal to the batch are
+    deleted once even though both endpoints vanish; duplicate appearance of
+    an external neighbour across several batch members is handled with
+    ``np.subtract.at`` since each occurrence is a distinct edge.
+    """
+    verts = np.asarray(verts, dtype=np.int64)
+    if verts.size == 0:
+        return 0
+    if verts.size == 1:
+        return remove_vertex_into_cover(graph, deg, int(verts[0]))
+    if np.unique(verts).size != verts.size:
+        raise ValueError("batch contains duplicate vertices")
+    if np.any(deg[verts] < 0):
+        raise ValueError("batch contains an already-removed vertex")
+    if ws is None:
+        ws = Workspace(deg.size)
+    in_batch = ws.in_batch
+    in_batch[verts] = True
+    sum_deg = int(deg[verts].sum())
+    # Gather all incident half-edges of the batch.
+    chunks = [graph.neighbors(int(v)) for v in verts]
+    nbrs_all = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int32)
+    alive_mask = deg[nbrs_all] >= 0
+    internal_half_edges = int(np.count_nonzero(alive_mask & in_batch[nbrs_all]))
+    external = nbrs_all[alive_mask & ~in_batch[nbrs_all]]
+    np.subtract.at(deg, external, 1)
+    deg[verts] = REMOVED
+    in_batch[verts] = False  # restore scratch
+    # Each internal edge contributed one unit to both endpoints' degrees.
+    return sum_deg - internal_half_edges // 2
+
+
+def remove_neighbors_into_cover(
+    graph: CSRGraph,
+    deg: np.ndarray,
+    v: int,
+    ws: Optional[Workspace] = None,
+) -> Tuple[int, int]:
+    """Remove all alive neighbours of ``v`` into the cover (Fig. 4 lines 21-22).
+
+    Returns ``(edges_deleted, n_removed)``.  ``v`` itself stays in the graph
+    and necessarily ends with degree zero.
+    """
+    live = alive_neighbors(graph, deg, v)
+    if live.size == 0:
+        return 0, 0
+    deleted = remove_vertices_into_cover(graph, deg, live, ws)
+    return deleted, int(live.size)
+
+
+def max_degree_vertex(deg: np.ndarray) -> int:
+    """The branching pivot: lowest-id vertex of maximum current degree.
+
+    The sentinel is negative, so a plain argmax over the degree array finds
+    an alive vertex whenever one exists — exactly the parallel reduction
+    tree the paper performs over the degree array (Section IV-B).
+    """
+    return int(np.argmax(deg))

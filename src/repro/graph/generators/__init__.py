@@ -1,0 +1,47 @@
+"""Synthetic graph generators standing in for the paper's dataset collections."""
+
+from .phat import PHAT_TIERS, phat, phat_complement
+from .random_graphs import (
+    gnm,
+    gnp,
+    planted_cover,
+    preferential_attachment,
+    random_bipartite,
+    watts_strogatz,
+)
+from .structured import (
+    binary_tree,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    grid_graph,
+    mvc_of_structured,
+    path_graph,
+    petersen,
+    power_grid_like,
+    star_graph,
+)
+
+__all__ = [
+    "PHAT_TIERS",
+    "phat",
+    "phat_complement",
+    "gnm",
+    "gnp",
+    "planted_cover",
+    "preferential_attachment",
+    "random_bipartite",
+    "watts_strogatz",
+    "binary_tree",
+    "complete_bipartite",
+    "complete_graph",
+    "cycle_graph",
+    "disjoint_union",
+    "grid_graph",
+    "mvc_of_structured",
+    "path_graph",
+    "petersen",
+    "power_grid_like",
+    "star_graph",
+]

@@ -1,0 +1,129 @@
+"""Classical random graph models used by tests, sweeps and the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr import CSRGraph
+
+__all__ = [
+    "gnp",
+    "gnm",
+    "preferential_attachment",
+    "watts_strogatz",
+    "random_bipartite",
+    "planted_cover",
+]
+
+
+def gnp(n: int, p: float, *, seed: int = 0) -> CSRGraph:
+    """Erdős–Rényi :math:`G(n, p)`."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = rng.random(iu.size) < p
+    return CSRGraph.from_edges(n, zip(iu[keep].tolist(), ju[keep].tolist()), validate=False)
+
+
+def gnm(n: int, m: int, *, seed: int = 0) -> CSRGraph:
+    """Uniform random graph with exactly ``m`` edges."""
+    max_m = n * (n - 1) // 2
+    if not 0 <= m <= max_m:
+        raise ValueError(f"m must lie in [0, {max_m}]")
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(max_m, size=m, replace=False)
+    # Decode linear upper-triangular index into (u, v).
+    iu, ju = np.triu_indices(n, k=1)
+    return CSRGraph.from_edges(n, zip(iu[chosen].tolist(), ju[chosen].tolist()), validate=False)
+
+
+def preferential_attachment(n: int, k: int, *, seed: int = 0) -> CSRGraph:
+    """Barabási–Albert-style growth: each new vertex attaches to ``k`` others.
+
+    Produces the heavy-tailed sparse topology of social graphs (the paper's
+    LastFM Asia instance).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n <= k:
+        return CSRGraph.complete(max(n, 0))
+    rng = np.random.default_rng(seed)
+    edges = set()
+    # endpoint pool repeats vertices proportionally to their degree
+    pool = list(range(k + 1))
+    for u in range(k + 1):
+        for v in range(u + 1, k + 1):
+            edges.add((u, v))
+            pool.extend((u, v))
+    for v in range(k + 1, n):
+        targets = set()
+        while len(targets) < k:
+            targets.add(int(pool[rng.integers(len(pool))]))
+        for t in targets:
+            edges.add((t, v) if t < v else (v, t))
+            pool.extend((t, v))
+    return CSRGraph.from_edges(n, sorted(edges), validate=False)
+
+
+def watts_strogatz(n: int, k: int, beta: float, *, seed: int = 0) -> CSRGraph:
+    """Watts–Strogatz small world: ring lattice with rewired shortcuts."""
+    if k % 2 != 0 or k < 2:
+        raise ValueError("k must be even and >= 2")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges = set()
+    for u in range(n):
+        for off in range(1, k // 2 + 1):
+            v = (u + off) % n
+            if u != v:
+                edges.add((u, v) if u < v else (v, u))
+    rewired = set()
+    for (u, v) in sorted(edges):
+        if rng.random() < beta:
+            w = int(rng.integers(n))
+            attempts = 0
+            while (w == u or (min(u, w), max(u, w)) in rewired or attempts > 4 * n):
+                w = int(rng.integers(n))
+                attempts += 1
+            if attempts <= 4 * n:
+                rewired.add((min(u, w), max(u, w)))
+                continue
+        rewired.add((u, v))
+    return CSRGraph.from_edges(n, sorted(rewired), validate=False)
+
+
+def random_bipartite(n_left: int, n_right: int, p: float, *, seed: int = 0) -> CSRGraph:
+    """Random bipartite graph — König's theorem makes these good test fodder
+    (minimum vertex cover equals maximum matching)."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for u in range(n_left):
+        for v in range(n_right):
+            if rng.random() < p:
+                edges.append((u, n_left + v))
+    return CSRGraph.from_edges(n_left + n_right, edges, validate=False)
+
+
+def planted_cover(n: int, cover_size: int, extra_p: float = 0.0, *, seed: int = 0) -> CSRGraph:
+    """A graph with a *known* vertex cover of size ``cover_size``.
+
+    Every edge touches the planted set ``{0, .., cover_size-1}``, so the
+    planted set is a valid cover and the optimum is at most ``cover_size``.
+    Useful for upper-bound sanity tests on instances too big to brute force.
+    """
+    if not 0 <= cover_size <= n:
+        raise ValueError("cover_size must lie in [0, n]")
+    rng = np.random.default_rng(seed)
+    edges = set()
+    for u in range(cover_size):
+        for v in range(u + 1, n):
+            if rng.random() < max(extra_p, 0.3 if v >= cover_size else extra_p):
+                edges.add((u, v))
+    # Guarantee every planted vertex is useful (touches an independent vertex).
+    for u in range(cover_size):
+        if cover_size < n:
+            v = cover_size + int(rng.integers(n - cover_size))
+            edges.add((u, v))
+    return CSRGraph.from_edges(n, sorted(edges), validate=False)

@@ -1,0 +1,140 @@
+"""Deterministic structured graphs: exact optima are known analytically.
+
+These give the test suite closed-form ground truth (paths, cycles, stars,
+complete and complete-bipartite graphs) and give the evaluation suite its
+low-average-degree members (grid/power-grid-like topologies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr import CSRGraph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_graph",
+    "binary_tree",
+    "power_grid_like",
+    "petersen",
+    "disjoint_union",
+    "mvc_of_structured",
+]
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Path on ``n`` vertices; optimum cover ``floor(n/2)``."""
+    return CSRGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)], validate=False)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle on ``n >= 3`` vertices; optimum cover ``ceil(n/2)``."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    edges = [(i, i + 1) for i in range(n - 1)] + [(0, n - 1)]
+    return CSRGraph.from_edges(n, edges, validate=False)
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """Star with centre 0; optimum cover 1."""
+    return CSRGraph.from_edges(n_leaves + 1, [(0, i) for i in range(1, n_leaves + 1)], validate=False)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """:math:`K_n`; optimum cover ``n - 1``."""
+    return CSRGraph.complete(n)
+
+
+def complete_bipartite(a: int, b: int) -> CSRGraph:
+    """:math:`K_{a,b}`; optimum cover ``min(a, b)``."""
+    edges = [(u, a + v) for u in range(a) for v in range(b)]
+    return CSRGraph.from_edges(a + b, edges, validate=False)
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """The ``rows x cols`` king-free lattice grid."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return CSRGraph.from_edges(rows * cols, edges, validate=False)
+
+
+def binary_tree(depth: int) -> CSRGraph:
+    """Complete binary tree of the given depth (depth 0 = single vertex)."""
+    n = 2 ** (depth + 1) - 1
+    edges = [((i - 1) // 2, i) for i in range(1, n)]
+    return CSRGraph.from_edges(n, edges, validate=False)
+
+
+def power_grid_like(n: int, *, extra_edges: int = 0, seed: int = 0) -> CSRGraph:
+    """Sparse near-tree topology echoing the US power grid (avg degree ~1.3-2.7).
+
+    A random spanning tree plus a few chords.  The paper's lowest-degree
+    instance (US power grid, avg degree 1.33) is the template.
+    """
+    rng = np.random.default_rng(seed)
+    edges = set()
+    # random attachment tree (uniform recursive tree)
+    for v in range(1, n):
+        u = int(rng.integers(v))
+        edges.add((u, v))
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 20 * max(extra_edges, 1):
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        attempts += 1
+        if u != v and (min(u, v), max(u, v)) not in edges:
+            edges.add((min(u, v), max(u, v)))
+            added += 1
+    return CSRGraph.from_edges(n, sorted(edges), validate=False)
+
+
+def petersen() -> CSRGraph:
+    """The Petersen graph; optimum cover 6."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return CSRGraph.from_edges(10, outer + spokes + inner, validate=False)
+
+
+def disjoint_union(*graphs: CSRGraph) -> CSRGraph:
+    """Disjoint union with vertex ids shifted left-to-right."""
+    edges = []
+    offset = 0
+    for g in graphs:
+        edges.extend((offset + u, offset + v) for u, v in g.edges())
+        offset += g.n
+    return CSRGraph.from_edges(offset, edges, validate=False)
+
+
+def mvc_of_structured(kind: str, *params: int) -> int:
+    """Closed-form optimum cover sizes for the structured families.
+
+    Supported kinds: ``path``, ``cycle``, ``star``, ``complete``,
+    ``complete_bipartite``, ``petersen``.
+    """
+    if kind == "path":
+        return params[0] // 2
+    if kind == "cycle":
+        return (params[0] + 1) // 2
+    if kind == "star":
+        return 1 if params[0] >= 1 else 0
+    if kind == "complete":
+        return max(params[0] - 1, 0)
+    if kind == "complete_bipartite":
+        return min(params[0], params[1])
+    if kind == "petersen":
+        return 6
+    raise ValueError(f"unknown structured family {kind!r}")

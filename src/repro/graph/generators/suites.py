@@ -1,0 +1,179 @@
+"""The evaluation suite: synthetic stand-ins for the paper's 18 graphs.
+
+The paper's Table I spans two families:
+
+* **high-degree** — complements of DIMACS ``p_hat`` instances plus three
+  KONECT graphs with high average degree;
+* **low-degree** — sparse KONECT/SNAP graphs and two PACE ``vc-exact``
+  instances.
+
+Those datasets are not redistributable here, so each graph is replaced by
+a deterministic generator chosen to preserve the property the evaluation
+discriminates on: the average degree (which governs search-tree imbalance)
+and the instance difficulty ordering within each size class.  Sizes are
+scaled down so a pure-Python traversal completes in seconds; the
+``vc-exact`` stand-ins are deliberately generated *bipartite* so their
+exact optimum is available in polynomial time (König) even though — like
+the originals in the paper — their MVC search exceeds any reasonable
+budget.
+
+Three scales are provided: ``tiny`` (unit tests), ``small`` (the default
+benchmark scale) and ``full`` (slower, closer to the paper's hardness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..csr import CSRGraph
+from .phat import phat_complement
+from .random_graphs import gnp, preferential_attachment, random_bipartite, watts_strogatz
+from .structured import grid_graph
+
+__all__ = ["SuiteInstance", "paper_suite", "suite_instance", "SCALES", "HIGH_DEGREE", "LOW_DEGREE"]
+
+SCALES = ("tiny", "small", "full")
+HIGH_DEGREE = "high-degree"
+LOW_DEGREE = "low-degree"
+
+
+@dataclass
+class SuiteInstance:
+    """One evaluation graph: a named, seeded, deterministic generator."""
+
+    name: str
+    category: str
+    paper_graph: str
+    builder: Callable[[], CSRGraph]
+    bipartite: bool = False
+    note: str = ""
+    _cache: Optional[CSRGraph] = field(default=None, repr=False)
+
+    def graph(self) -> CSRGraph:
+        """Build (and memoise) the instance."""
+        if self._cache is None:
+            self._cache = self.builder()
+        return self._cache
+
+
+def _scaled(tiny: int, small: int, full: int, scale: str) -> int:
+    return {"tiny": tiny, "small": small, "full": full}[scale]
+
+
+def paper_suite(scale: str = "small") -> List[SuiteInstance]:
+    """The full 18-instance evaluation suite at the requested scale."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}")
+    suite: List[SuiteInstance] = []
+
+    # ---------------- high-degree: p_hat complements ---------------- #
+    phat_sizes = {
+        "300": _scaled(30, 90, 130, scale),
+        "500": _scaled(34, 100, 150, scale),
+        "700": _scaled(38, 110, 170, scale),
+        "1000": _scaled(42, 120, 190, scale),
+    }
+    for size_cls, tiers in [("300", (1, 2, 3)), ("500", (1, 2, 3)),
+                            ("700", (1, 2)), ("1000", (1, 2))]:
+        for tier in tiers:
+            n = phat_sizes[size_cls]
+            seed = int(size_cls) * 10 + tier
+            suite.append(
+                SuiteInstance(
+                    name=f"p_hat_{size_cls}_{tier}",
+                    category=HIGH_DEGREE,
+                    paper_graph=f"p_hat{size_cls}-{tier} (DIMACS, complemented)",
+                    builder=(lambda n=n, tier=tier, seed=seed: phat_complement(n, tier, seed=seed)),
+                    note="complement of a p_hat-style graph; tier 3 originals "
+                         "give the sparsest complements and hardest searches",
+                )
+            )
+
+    # ------------- high-degree: KONECT-like dense graphs ------------ #
+    n_ml_l = _scaled(24, 60, 90, scale)
+    n_ml_r = _scaled(18, 45, 70, scale)
+    suite.append(SuiteInstance(
+        name="movielens_100k",
+        category=HIGH_DEGREE,
+        paper_graph="movielens-100k rating (KONECT)",
+        builder=lambda n_ml_l=n_ml_l, n_ml_r=n_ml_r: random_bipartite(n_ml_l, n_ml_r, 0.28, seed=100),
+        bipartite=True,
+        note="bipartite user-item structure; exact optimum via König",
+    ))
+    wl_dims = {"tiny": (26, 22, 0.22), "small": (90, 75, 0.105), "full": (110, 90, 0.09)}[scale]
+    suite.append(SuiteInstance(
+        name="wikipedia_link_lo",
+        category=HIGH_DEGREE,
+        paper_graph="wikipedia_link_lo (KONECT)",
+        builder=lambda d=wl_dims: random_bipartite(d[0], d[1], d[2], seed=201),
+        bipartite=True,
+        note="the paper's hardest web-graph row (MVC exceeds the budget); "
+             "generated bipartite so the optimum is still known via König",
+    ))
+    n_wc = _scaled(34, 140, 180, scale)
+    suite.append(SuiteInstance(
+        name="wikipedia_link_csb",
+        category=HIGH_DEGREE,
+        paper_graph="wikipedia_link_csb (KONECT)",
+        builder=lambda n_wc=n_wc: phat_complement(n_wc, 1, seed=202),
+        note="dense link graph; easy at every instance type in the paper",
+    ))
+
+    # --------------------- low-degree graphs ------------------------ #
+    pg_side = _scaled(6, 12, 14, scale)
+    suite.append(SuiteInstance(
+        name="us_power_grid",
+        category=LOW_DEGREE,
+        paper_graph="US power grid (KONECT)",
+        builder=lambda pg_side=pg_side: grid_graph(pg_side, pg_side),
+        bipartite=True,
+        note="planar lattice: the lowest average degree of the suite with a "
+             "non-degenerate search (a pure near-tree reduces away at the "
+             "root at this scale)",
+    ))
+    n_lf = _scaled(60, 300, 500, scale)
+    suite.append(SuiteInstance(
+        name="lastfm_asia",
+        category=LOW_DEGREE,
+        paper_graph="LastFM Asia (SNAP)",
+        builder=lambda n_lf=n_lf: preferential_attachment(n_lf, 2, seed=43),
+        note="heavy-tailed social graph",
+    ))
+    n_sc = _scaled(40, 150, 220, scale)
+    suite.append(SuiteInstance(
+        name="sister_cities",
+        category=LOW_DEGREE,
+        paper_graph="Sister Cities (KONECT)",
+        builder=lambda n_sc=n_sc: watts_strogatz(n_sc, 4, 0.3, seed=44),
+        note="sparse small-world graph with cycles that defeat the "
+             "degree-one rule, giving a moderate search",
+    ))
+    n_v23 = _scaled(30, 140, 200, scale)
+    suite.append(SuiteInstance(
+        name="vc_exact_023",
+        category=LOW_DEGREE,
+        paper_graph="vc-exact_023 (PACE 2019)",
+        builder=lambda n_v23=n_v23: random_bipartite(n_v23, n_v23, 6.3 / n_v23, seed=45),
+        bipartite=True,
+        note="deliberately search-hostile (MVC exceeds any budget, as in the "
+             "paper); bipartite so k=min rows use the König optimum",
+    ))
+    n_v09 = _scaled(34, 160, 230, scale)
+    suite.append(SuiteInstance(
+        name="vc_exact_009",
+        category=LOW_DEGREE,
+        paper_graph="vc-exact_009 (PACE 2019)",
+        builder=lambda n_v09=n_v09: random_bipartite(n_v09, n_v09, 6.4 / n_v09, seed=46),
+        bipartite=True,
+        note="as vc_exact_023, larger",
+    ))
+    return suite
+
+
+def suite_instance(name: str, scale: str = "small") -> SuiteInstance:
+    """Look one suite member up by name."""
+    for inst in paper_suite(scale):
+        if inst.name == name:
+            return inst
+    raise KeyError(f"no suite instance named {name!r}")

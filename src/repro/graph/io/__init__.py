@@ -1,0 +1,20 @@
+"""Graph file formats: DIMACS, edge lists, METIS."""
+
+from .dimacs import format_dimacs, parse_dimacs, read_dimacs, write_dimacs
+from .edgelist import format_edgelist, parse_edgelist, read_edgelist, write_edgelist
+from .metis import format_metis, parse_metis, read_metis, write_metis
+
+__all__ = [
+    "format_dimacs",
+    "parse_dimacs",
+    "read_dimacs",
+    "write_dimacs",
+    "format_edgelist",
+    "parse_edgelist",
+    "read_edgelist",
+    "write_edgelist",
+    "format_metis",
+    "parse_metis",
+    "read_metis",
+    "write_metis",
+]

@@ -1,0 +1,84 @@
+"""DIMACS graph format (.col / .clq) reader and writer.
+
+The DIMACS challenge format the p_hat instances ship in::
+
+    c comment lines
+    p edge <n> <m>
+    e <u> <v>        (1-based vertex ids)
+
+The reader tolerates duplicate/mirrored ``e`` lines (several published
+instances contain them) by deduplicating; the writer emits each edge once.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO, Union
+
+from ..builders import from_edge_list
+from ..csr import CSRGraph
+
+__all__ = ["read_dimacs", "write_dimacs", "parse_dimacs", "format_dimacs"]
+
+PathLike = Union[str, Path]
+
+
+def parse_dimacs(text: str) -> CSRGraph:
+    """Parse DIMACS-format text into a graph."""
+    n = None
+    declared_m = None
+    edges = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) != 4 or parts[1] not in ("edge", "col", "clq"):
+                raise ValueError(f"line {lineno}: malformed problem line {line!r}")
+            if n is not None:
+                raise ValueError(f"line {lineno}: duplicate problem line")
+            n = int(parts[2])
+            declared_m = int(parts[3])
+        elif parts[0] == "e":
+            if n is None:
+                raise ValueError(f"line {lineno}: edge before problem line")
+            if len(parts) != 3:
+                raise ValueError(f"line {lineno}: malformed edge line {line!r}")
+            u, v = int(parts[1]) - 1, int(parts[2]) - 1
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"line {lineno}: vertex out of range")
+            if u != v:
+                edges.append((u, v))
+        else:
+            raise ValueError(f"line {lineno}: unknown record {parts[0]!r}")
+    if n is None:
+        raise ValueError("missing problem line")
+    graph = from_edge_list(n, edges)
+    if declared_m is not None and graph.m != declared_m and len(edges) != declared_m:
+        # Tolerated: many published files count each direction once anyway.
+        pass
+    return graph
+
+
+def format_dimacs(graph: CSRGraph, *, comment: str = "") -> str:
+    """Serialise a graph to DIMACS text."""
+    out = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            out.write(f"c {line}\n")
+    out.write(f"p edge {graph.n} {graph.m}\n")
+    for u, v in graph.edges():
+        out.write(f"e {u + 1} {v + 1}\n")
+    return out.getvalue()
+
+
+def read_dimacs(path: PathLike) -> CSRGraph:
+    """Read a DIMACS file from disk."""
+    return parse_dimacs(Path(path).read_text())
+
+
+def write_dimacs(graph: CSRGraph, path: PathLike, *, comment: str = "") -> None:
+    """Write a DIMACS file to disk."""
+    Path(path).write_text(format_dimacs(graph, comment=comment))

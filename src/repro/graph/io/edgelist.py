@@ -1,0 +1,61 @@
+"""Whitespace-separated edge-list files (KONECT / SNAP export style).
+
+Vertex labels may be arbitrary non-negative integers; they are compacted to
+a dense ``0..n-1`` range and the original labels returned alongside, which
+is how KONECT dumps are normally consumed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..builders import relabel_dense
+from ..csr import CSRGraph
+
+__all__ = ["read_edgelist", "write_edgelist", "parse_edgelist", "format_edgelist"]
+
+PathLike = Union[str, Path]
+
+
+def parse_edgelist(text: str) -> Tuple[CSRGraph, np.ndarray]:
+    """Parse edge-list text; returns ``(graph, original_labels)``.
+
+    Lines starting with ``#`` or ``%`` are comments (SNAP and KONECT
+    conventions respectively); self loops and duplicates are dropped.
+    """
+    edges = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line[0] in "#%":
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"line {lineno}: expected two vertex ids, got {line!r}")
+        u, v = int(parts[0]), int(parts[1])
+        if u < 0 or v < 0:
+            raise ValueError(f"line {lineno}: negative vertex id")
+        if u != v:
+            edges.append((u, v))
+    return relabel_dense(0, edges)
+
+
+def format_edgelist(graph: CSRGraph, *, header: str = "") -> str:
+    """Serialise to edge-list text (dense 0-based ids)."""
+    lines = []
+    if header:
+        lines.extend(f"# {h}" for h in header.splitlines())
+    lines.extend(f"{u} {v}" for u, v in graph.edges())
+    return "\n".join(lines) + "\n"
+
+
+def read_edgelist(path: PathLike) -> Tuple[CSRGraph, np.ndarray]:
+    """Read an edge-list file; returns ``(graph, original_labels)``."""
+    return parse_edgelist(Path(path).read_text())
+
+
+def write_edgelist(graph: CSRGraph, path: PathLike, *, header: str = "") -> None:
+    """Write an edge-list file."""
+    Path(path).write_text(format_edgelist(graph, header=header))

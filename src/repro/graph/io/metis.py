@@ -1,0 +1,79 @@
+"""METIS ``.graph`` format reader and writer (PACE challenge distribution format).
+
+Format::
+
+    <n> <m> [fmt]
+    <neighbours of vertex 1, 1-based, space separated>
+    ...
+    <neighbours of vertex n>
+
+Only unweighted graphs (fmt absent or ``0``) are supported, which covers
+the PACE vertex-cover track inputs this reproduction mimics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..builders import from_edge_list
+from ..csr import CSRGraph
+
+__all__ = ["read_metis", "write_metis", "parse_metis", "format_metis"]
+
+PathLike = Union[str, Path]
+
+
+def parse_metis(text: str) -> CSRGraph:
+    """Parse METIS text into a graph.
+
+    Blank lines *within* the body are legitimate: they are the adjacency
+    rows of isolated vertices.
+    """
+    lines = [raw.split("%")[0].strip() for raw in text.splitlines()]
+    start = 0
+    while start < len(lines) and lines[start] == "":
+        start += 1
+    if start >= len(lines):
+        raise ValueError("empty METIS file")
+    header = lines[start].split()
+    if len(header) not in (2, 3):
+        raise ValueError(f"malformed header {lines[start]!r}")
+    n, m = int(header[0]), int(header[1])
+    if len(header) == 3 and header[2] not in ("0", "00", "000"):
+        raise ValueError("weighted METIS graphs are not supported")
+    rest = lines[start + 1:]
+    trailing_junk = any(ln != "" for ln in rest[n:])
+    if len(rest) < n or trailing_junk:
+        raise ValueError(f"expected {n} adjacency rows, found {len(rest)}")
+    rows = rest[:n]
+    edges = []
+    for u, row in enumerate(rows):
+        for tok in row.split():
+            v = int(tok) - 1
+            if not 0 <= v < n:
+                raise ValueError(f"vertex {v + 1} out of range in row {u + 1}")
+            if u < v:
+                edges.append((u, v))
+    graph = from_edge_list(n, edges)
+    if graph.m != m:
+        raise ValueError(f"header declares {m} edges but body encodes {graph.m}")
+    return graph
+
+
+def format_metis(graph: CSRGraph) -> str:
+    """Serialise a graph to METIS text."""
+    lines = [f"{graph.n} {graph.m}"]
+    for v in range(graph.n):
+        lines.append(" ".join(str(int(u) + 1) for u in graph.neighbors(v)))
+    return "\n".join(lines) + "\n"
+
+
+def read_metis(path: PathLike) -> CSRGraph:
+    """Read a METIS file from disk."""
+    return parse_metis(Path(path).read_text())
+
+
+def write_metis(graph: CSRGraph, path: PathLike) -> None:
+    """Write a METIS file to disk."""
+    Path(path).write_text(format_metis(graph))

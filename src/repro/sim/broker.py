@@ -1,0 +1,92 @@
+"""Broker-style global worklist with the paper's termination protocol.
+
+Models the Broker Work Distributor (Kerbl et al.) as used in Section IV-C:
+a bounded FIFO whose operations pass through a serialised critical section
+(the source of worklist contention), plus the paper's modification — a
+retry loop around removal in which a block that finds the list empty
+checks whether *every* block in the grid is also waiting; if so the
+traversal is finished, otherwise the block sleeps and retries.
+
+The DES linearises operations by simulated time, so the ``busy_until``
+hand-off below reproduces exactly the serialisation a hardware queue's
+atomic broker induces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from ..graph.degree_array import VCState
+
+__all__ = ["BrokerWorklist", "WorklistStats"]
+
+
+@dataclass
+class WorklistStats:
+    """Population-conservation ledger (audited by tests)."""
+
+    adds: int = 0
+    removes: int = 0
+    rejected_adds: int = 0
+    failed_removes: int = 0
+    peak_population: int = 0
+
+
+@dataclass
+class BrokerWorklist:
+    """Bounded FIFO of self-contained tree nodes, with contention modelling.
+
+    ``add``/``try_remove`` take the caller's current simulated time and
+    return ``(result, cycles)`` where ``cycles`` includes any stall spent
+    waiting for the critical section.
+    """
+
+    capacity: int
+    serial_cycles: float = 180.0
+    entries: Deque[VCState] = field(default_factory=deque)
+    busy_until: float = 0.0
+    stats: WorklistStats = field(default_factory=WorklistStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("worklist capacity must be positive")
+
+    @property
+    def population(self) -> int:
+        return len(self.entries)
+
+    def _enter_critical(self, now: float) -> float:
+        """Serialise: returns the stall cycles before the op may start."""
+        start = max(now, self.busy_until)
+        self.busy_until = start + self.serial_cycles
+        return start - now
+
+    def add(self, state: VCState, now: float) -> Tuple[bool, float]:
+        """Append an entry; returns ``(accepted, cycles)``."""
+        stall = self._enter_critical(now)
+        if len(self.entries) >= self.capacity:
+            self.stats.rejected_adds += 1
+            return False, stall + self.serial_cycles
+        self.entries.append(state)
+        self.stats.adds += 1
+        self.stats.peak_population = max(self.stats.peak_population, len(self.entries))
+        return True, stall + self.serial_cycles
+
+    def try_remove(self, now: float) -> Tuple[Optional[VCState], float]:
+        """Pop the oldest entry; returns ``(state_or_None, cycles)``."""
+        stall = self._enter_critical(now)
+        if self.entries:
+            self.stats.removes += 1
+            return self.entries.popleft(), stall + self.serial_cycles
+        self.stats.failed_removes += 1
+        return None, stall + self.serial_cycles
+
+    def audit(self) -> None:
+        """Population conservation: adds - removes == current population."""
+        if self.stats.adds - self.stats.removes != len(self.entries):
+            raise AssertionError(
+                f"worklist ledger violated: {self.stats.adds} adds, "
+                f"{self.stats.removes} removes, {len(self.entries)} resident"
+            )

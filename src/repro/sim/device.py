@@ -1,0 +1,110 @@
+"""Virtual device specifications.
+
+The paper evaluates on a Volta V100 (80 SMs, 32 GB).  The simulator ships a
+faithful V100 preset plus smaller presets whose reduced SM counts keep the
+discrete-event simulation cheap while preserving the blocks-per-SM
+structure that the load-balance analysis (Fig. 5) depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "CPUSpec", "V100", "SMALL_SIM", "TINY_SIM", "EPYC_LIKE", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware limits that drive launch configuration and the cost model."""
+
+    name: str
+    num_sms: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    shared_mem_per_sm: int       # bytes
+    max_shared_mem_per_block: int  # bytes
+    global_mem_bytes: int
+    max_threads_per_block: int
+    warp_size: int = 32
+    clock_mhz: float = 1380.0
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1 or self.max_threads_per_sm < self.warp_size:
+            raise ValueError("degenerate device spec")
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise ValueError("block cannot exceed SM thread capacity")
+
+    def max_resident_blocks(self) -> int:
+        """Hardware cap on simultaneously resident blocks across the device."""
+        return self.num_sms * self.max_blocks_per_sm
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert simulated cycles into (virtual) seconds at the core clock."""
+        return cycles / (self.clock_mhz * 1e6)
+
+
+#: The paper's evaluation GPU.
+V100 = DeviceSpec(
+    name="V100",
+    num_sms=80,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    max_shared_mem_per_block=96 * 1024,
+    global_mem_bytes=32 * 1024**3,
+    max_threads_per_block=1024,
+    clock_mhz=1380.0,
+)
+
+#: Default simulation device: same per-SM shape as the V100 with fewer SMs,
+#: so a full-suite experiment stays fast while still exposing imbalance.
+SMALL_SIM = DeviceSpec(
+    name="SmallSim",
+    num_sms=8,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=4,
+    shared_mem_per_sm=96 * 1024,
+    max_shared_mem_per_block=96 * 1024,
+    global_mem_bytes=4 * 1024**3,
+    max_threads_per_block=1024,
+    clock_mhz=1380.0,
+)
+
+#: Miniature device for unit tests.
+TINY_SIM = DeviceSpec(
+    name="TinySim",
+    num_sms=2,
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=4,
+    shared_mem_per_sm=48 * 1024,
+    max_shared_mem_per_block=48 * 1024,
+    global_mem_bytes=256 * 1024**2,
+    max_threads_per_block=512,
+    clock_mhz=1000.0,
+)
+
+PRESETS = {"v100": V100, "small": SMALL_SIM, "tiny": TINY_SIM}
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Virtual CPU used to price the Sequential baseline through the cost
+    model, making Table I's Sequential column commensurable with the
+    simulated GPU engines.
+
+    ``effective_width`` models superscalar issue + SIMD + cache locality:
+    the scalar traversal retires roughly this many of the cost model's
+    work units per cycle.  The default is calibrated so that one tree
+    node costs a few microseconds on the virtual CPU, in line with the
+    EPYC 7551P the paper used.
+    """
+
+    name: str = "EPYC-like"
+    clock_mhz: float = 2600.0
+    effective_width: int = 8
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_mhz * 1e6)
+
+
+EPYC_LIKE = CPUSpec()

@@ -1,0 +1,182 @@
+"""Launch configuration: Section IV-E's block-size and kernel-variant logic.
+
+The paper selects the number of threads per block to satisfy, jointly:
+
+* an **upper limit** — the hardware block-size cap, and ``|V(G)|`` (threads
+  beyond the vertex count do no work);
+* a **lower limit** — the threads-per-block needed to reach full occupancy
+  given the cap on simultaneously resident blocks, which itself is the
+  minimum of (a) the hardware resident-block limit, (b) the shared-memory
+  limit (one intermediate graph per block in shared memory), and (c) the
+  global-memory limit (one maximally provisioned local stack per block).
+
+If no block size can satisfy both limits under the shared-memory kernel,
+the implementation falls back to the global-memory kernel variant; if even
+that fails, the kernel runs below full occupancy at the upper-limit block
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["LaunchConfig", "select_launch_config", "stack_entry_bytes", "prev_pow2", "next_pow2"]
+
+#: Per-entry header: cover-size and edge-count counters plus bookkeeping,
+#: mirroring the counter the paper stores alongside each degree array.
+_ENTRY_HEADER_BYTES = 16
+#: Degree arrays hold 32-bit degrees.
+_BYTES_PER_VERTEX = 4
+
+
+def prev_pow2(x: int) -> int:
+    """Largest power of two <= x (x >= 1)."""
+    if x < 1:
+        raise ValueError("x must be >= 1")
+    return 1 << (x.bit_length() - 1)
+
+
+def next_pow2(x: int) -> int:
+    """Smallest power of two >= x (x >= 1)."""
+    if x < 1:
+        raise ValueError("x must be >= 1")
+    return 1 << ((x - 1).bit_length()) if x > 1 else 1
+
+
+def stack_entry_bytes(n_vertices: int) -> int:
+    """Bytes one intermediate graph (degree array + counters) occupies."""
+    return n_vertices * _BYTES_PER_VERTEX + _ENTRY_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Resolved launch parameters for one kernel invocation."""
+
+    block_size: int
+    num_blocks: int
+    blocks_per_sm: int
+    use_shared_mem: bool
+    full_occupancy: bool
+    stack_depth_bound: int
+    stack_bytes_per_block: int
+
+    def total_threads(self) -> int:
+        return self.block_size * self.num_blocks
+
+    def global_stack_bytes(self) -> int:
+        """Total global memory the per-block stacks reserve."""
+        return self.stack_bytes_per_block * self.num_blocks
+
+
+def select_launch_config(
+    device: DeviceSpec,
+    n_vertices: int,
+    stack_depth_bound: int,
+    *,
+    block_size_override: int | None = None,
+    force_shared: bool | None = None,
+) -> LaunchConfig:
+    """Resolve the launch configuration per Section IV-E.
+
+    Parameters
+    ----------
+    device:
+        Target (virtual) device.
+    n_vertices:
+        ``|V(G)|`` of the input graph — bounds useful threads per block.
+    stack_depth_bound:
+        Maximum search depth: the greedy cover size for MVC, ``k`` for PVC.
+        Each block's stack is provisioned for this many entries.
+    block_size_override:
+        Force a specific block size (used by the robustness sweep of
+        Section V-A).  Must be a power of two within hardware limits.
+    force_shared:
+        Pin the kernel variant instead of letting the fallback logic choose.
+    """
+    if n_vertices < 1:
+        raise ValueError("graph must have at least one vertex")
+    if stack_depth_bound < 1:
+        stack_depth_bound = 1
+
+    entry = stack_entry_bytes(n_vertices)
+    stack_bytes = entry * stack_depth_bound
+
+    upper = min(device.max_threads_per_block, max(device.warp_size, prev_pow2(n_vertices)))
+
+    def resolve(use_shared: bool) -> LaunchConfig | None:
+        # (a) hardware resident-block cap
+        hw_blocks = device.max_resident_blocks()
+        # (b) shared-memory cap: one intermediate graph per block
+        if use_shared:
+            if entry > device.max_shared_mem_per_block:
+                return None
+            shared_blocks_per_sm = device.shared_mem_per_sm // entry
+            if shared_blocks_per_sm < 1:
+                return None
+            shared_blocks = device.num_sms * shared_blocks_per_sm
+        else:
+            shared_blocks = hw_blocks
+        # (c) global-memory cap: one provisioned stack per block
+        global_blocks = max(int(device.global_mem_bytes // stack_bytes), 0)
+        if global_blocks < 1:
+            return None
+        max_blocks = min(hw_blocks, shared_blocks, global_blocks)
+
+        desired_threads = device.num_sms * device.max_threads_per_sm
+        lower = next_pow2(max(1, -(-desired_threads // max_blocks)))
+        lower = max(lower, device.warp_size)
+
+        if block_size_override is not None:
+            bs = block_size_override
+            if bs & (bs - 1):
+                raise ValueError("block_size_override must be a power of two")
+            if bs > device.max_threads_per_block:
+                raise ValueError("block_size_override exceeds hardware limit")
+            full = bs >= lower and bs <= upper
+        elif lower <= upper:
+            # Any power of two in [lower, upper] achieves full occupancy; we
+            # take the smallest, which maximises the number of blocks and
+            # hence extractable parallelism.
+            bs = lower
+            full = True
+        else:
+            bs = upper
+            full = False
+
+        num_blocks = max(1, min(max_blocks, desired_threads // bs))
+        blocks_per_sm = max(1, num_blocks // device.num_sms)
+        num_blocks = min(num_blocks, blocks_per_sm * device.num_sms)
+        return LaunchConfig(
+            block_size=bs,
+            num_blocks=num_blocks,
+            blocks_per_sm=blocks_per_sm,
+            use_shared_mem=use_shared,
+            full_occupancy=full,
+            stack_depth_bound=stack_depth_bound,
+            stack_bytes_per_block=stack_bytes,
+        )
+
+    if force_shared is not None:
+        cfg = resolve(force_shared)
+        if cfg is None:
+            raise ValueError("forced kernel variant cannot run this graph on this device")
+        return cfg
+
+    shared_cfg = resolve(True)
+    if shared_cfg is not None and shared_cfg.full_occupancy:
+        return shared_cfg
+    global_cfg = resolve(False)
+    if global_cfg is not None and global_cfg.full_occupancy:
+        return global_cfg
+    # Neither variant reaches full occupancy: prefer the shared variant if
+    # it exists at all (faster accesses), else the global one.
+    if shared_cfg is not None:
+        return shared_cfg
+    if global_cfg is not None:
+        return global_cfg
+    raise ValueError(
+        f"graph with {n_vertices} vertices and depth bound {stack_depth_bound} "
+        f"cannot be launched on {device.name}: stacks exceed global memory"
+    )

@@ -1,0 +1,60 @@
+"""Per-block local stack, provisioned to a fixed depth bound.
+
+Section IV-E: dynamic allocation is too expensive on GPUs, so each block's
+stack is pre-allocated in global memory for the maximum possible tree depth
+— the greedy cover size for MVC, or ``k`` for PVC.  The simulator enforces
+the same bound: pushing beyond it is a hard error, because on the real
+device it would corrupt memory, and the paper's argument is precisely that
+the bound can never be exceeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..graph.degree_array import VCState
+
+__all__ = ["LocalStack", "StackOverflowError"]
+
+
+class StackOverflowError(RuntimeError):
+    """A block exceeded its provisioned stack depth (must never happen)."""
+
+
+@dataclass
+class LocalStack:
+    """Bounded LIFO of tree-node states."""
+
+    depth_bound: int
+    entries: List[VCState] = field(default_factory=list)
+    peak_depth: int = 0
+    pushes: int = 0
+    pops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.depth_bound < 1:
+            raise ValueError("stack depth bound must be positive")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+    def push(self, state: VCState) -> None:
+        if len(self.entries) >= self.depth_bound:
+            raise StackOverflowError(
+                f"stack depth bound {self.depth_bound} exceeded — the greedy/k "
+                f"depth argument of Section IV-E has been violated"
+            )
+        self.entries.append(state)
+        self.pushes += 1
+        self.peak_depth = max(self.peak_depth, len(self.entries))
+
+    def pop(self) -> VCState:
+        if not self.entries:
+            raise IndexError("pop from empty local stack")
+        self.pops += 1
+        return self.entries.pop()

@@ -1,0 +1,93 @@
+"""Deterministic discrete-event scheduler for block coroutines.
+
+Each simulated thread block is a Python generator that *yields* the number
+of cycles its next chunk of work costs and performs its shared-state
+interactions (worklist, incumbent bound, termination flags) inline between
+yields.  The scheduler resumes blocks in global-time order, so every
+shared-state access is linearised along the simulated clock — which is the
+property the CUDA implementation gets from atomics, here by construction.
+
+Determinism: ties on the clock are broken by an event sequence number, so
+one configuration always produces one trajectory — identical covers,
+identical per-SM loads, identical cycle totals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, List, Optional
+
+__all__ = ["BlockProgram", "Simulator", "SimulationError"]
+
+#: Block programs yield cycle costs as plain floats.
+BlockProgram = Generator[float, None, None]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation exceeds its event safety budget."""
+
+
+@dataclass
+class _BlockRun:
+    block_id: int
+    program: BlockProgram
+    now: float = 0.0
+    finished: bool = False
+
+
+@dataclass
+class Simulator:
+    """Run a set of block programs to completion.
+
+    Parameters
+    ----------
+    max_events:
+        Safety valve against accidental non-termination (a buggy block that
+        sleeps forever); generous by default.
+    """
+
+    max_events: int = 200_000_000
+    events_processed: int = field(default=0, init=False)
+
+    def run(self, programs: Iterable[BlockProgram], clocks: Optional[List[object]] = None) -> float:
+        """Drive all programs; returns the makespan (latest finish time).
+
+        ``clocks``, when given, must be one mutable object per program with
+        a writable ``now`` attribute; the scheduler publishes the current
+        simulated time there before each resume so the program (and any
+        helper it calls) can read its own clock.
+        """
+        runs = [_BlockRun(i, prog) for i, prog in enumerate(programs)]
+        heap: List[tuple[float, int, int]] = []
+        seq = 0
+        for run in runs:
+            heap.append((0.0, seq, run.block_id))
+            seq += 1
+        heapq.heapify(heap)
+        makespan = 0.0
+        while heap:
+            time_now, _, block_id = heapq.heappop(heap)
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded {self.max_events} events; simulation is likely stuck"
+                )
+            run = runs[block_id]
+            run.now = time_now
+            if clocks is not None:
+                clocks[block_id].now = time_now
+            try:
+                delay = run.program.send(None)
+            except StopIteration:
+                run.finished = True
+                makespan = max(makespan, time_now)
+                continue
+            if delay < 0:
+                raise SimulationError(f"block {block_id} yielded negative delay {delay}")
+            heapq.heappush(heap, (time_now + float(delay), seq, block_id))
+            seq += 1
+        unfinished = [r.block_id for r in runs if not r.finished]
+        if unfinished:  # pragma: no cover - defensive
+            raise SimulationError(f"blocks never finished: {unfinished}")
+        return makespan

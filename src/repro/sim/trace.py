@@ -1,0 +1,158 @@
+"""Execution tracing for the virtual GPU.
+
+A :class:`TraceRecorder` captures ``(block, start, end, kind)`` spans as
+blocks charge work, giving a complete timeline of a launch — the moral
+equivalent of an ``nsys``/``nvprof`` trace for the simulated device.  The
+recorder can render an ASCII Gantt chart (each SM one row, time bucketed
+into columns) and export spans as JSON for external tooling.
+
+Tracing is opt-in: set ``engine.tracer = TraceRecorder()`` before a
+solve (or assign ``ctx.tracer`` directly); every charge then emits one
+span.  Overhead is one append per charge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .context import BlockContext
+from .costmodel import BRANCH_KINDS, REDUCE_KINDS, WORK_DISTRIBUTION_KINDS
+
+__all__ = ["Span", "TraceRecorder", "attach_recorder", "render_gantt"]
+
+#: One glyph per activity group for the Gantt rendering.
+_GROUP_GLYPHS = (
+    (WORK_DISTRIBUTION_KINDS, "w"),
+    (REDUCE_KINDS, "r"),
+    (BRANCH_KINDS, "b"),
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One charged chunk of work on one block."""
+
+    block_id: int
+    sm_id: int
+    start: float
+    end: float
+    kind: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TraceRecorder:
+    """Collects spans; attach to contexts before running a simulation."""
+
+    spans: List[Span] = field(default_factory=list)
+    max_spans: int = 2_000_000
+
+    def record(self, ctx: BlockContext, kind: str, cycles: float) -> None:
+        if cycles <= 0 or len(self.spans) >= self.max_spans:
+            return
+        # ctx._pending holds work charged since the last yield: this span
+        # begins after the already-pending work completes.
+        start = ctx.now + (ctx._pending - cycles)
+        self.spans.append(Span(ctx.block_id, ctx.sm_id, start, start + cycles, kind))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def spans_of_block(self, block_id: int) -> List[Span]:
+        return [s for s in self.spans if s.block_id == block_id]
+
+    def busy_cycles_by_kind(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for s in self.spans:
+            out[s.kind] = out.get(s.kind, 0.0) + s.duration
+        return out
+
+    def makespan(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+    def utilisation(self, num_blocks: int) -> float:
+        """Busy fraction of the (blocks x makespan) area."""
+        total = self.makespan() * num_blocks
+        if total <= 0:
+            return 0.0
+        busy = sum(s.duration for s in self.spans)
+        return min(busy / total, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        """Chrome-trace-like JSON (one complete event per span)."""
+        events = [
+            {
+                "name": s.kind,
+                "ph": "X",
+                "ts": s.start,
+                "dur": s.duration,
+                "pid": s.sm_id,
+                "tid": s.block_id,
+            }
+            for s in self.spans
+        ]
+        return json.dumps({"traceEvents": events}, indent=None)
+
+
+def attach_recorder(ctx: BlockContext, recorder: TraceRecorder) -> None:
+    """Point a context's tracing hook at ``recorder``."""
+    ctx.tracer = recorder
+
+
+def _glyph(kind: str) -> str:
+    for kinds, glyph in _GROUP_GLYPHS:
+        if kind in kinds:
+            return glyph
+    return "."
+
+
+def render_gantt(
+    recorder: TraceRecorder,
+    *,
+    num_sms: int,
+    width: int = 80,
+    legend: bool = True,
+) -> str:
+    """ASCII Gantt chart: one row per SM, ``width`` time buckets.
+
+    Each bucket shows the dominant activity group in that SM/time cell:
+    ``w`` work distribution, ``r`` reducing, ``b`` branching, space idle.
+    """
+    makespan = recorder.makespan()
+    if makespan <= 0:
+        return "(empty trace)"
+    bucket = makespan / width
+    # per (sm, bucket): cycles per group glyph
+    grid: List[List[Dict[str, float]]] = [
+        [dict() for _ in range(width)] for _ in range(num_sms)
+    ]
+    for s in recorder.spans:
+        glyph = _glyph(s.kind)
+        b0 = min(int(s.start / bucket), width - 1)
+        b1 = min(int(s.end / bucket), width - 1)
+        for b in range(b0, b1 + 1):
+            cell_start = b * bucket
+            cell_end = cell_start + bucket
+            overlap = min(s.end, cell_end) - max(s.start, cell_start)
+            if overlap > 0:
+                cell = grid[s.sm_id][b]
+                cell[glyph] = cell.get(glyph, 0.0) + overlap
+    lines = []
+    for sm in range(num_sms):
+        row = []
+        for b in range(width):
+            cell = grid[sm][b]
+            row.append(max(cell, key=cell.get) if cell else " ")
+        lines.append(f"SM{sm:02d} |{''.join(row)}|")
+    out = "\n".join(lines)
+    if legend:
+        out += "\n      w=work distribution  r=reducing  b=branching  (blank=idle)"
+    return out

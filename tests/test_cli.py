@@ -1,0 +1,56 @@
+"""CLI smoke tests (tiny scale, quick budgets)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "table3", "fig5", "fig6", "sweeps", "ablation", "suite", "memory", "tree"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_requires_graph(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve"])
+
+    def test_budget_flag(self):
+        args = build_parser().parse_args(["table1", "--budget", "0.5"])
+        assert args.budget == 0.5
+
+
+class TestMain:
+    def test_suite_listing(self, capsys):
+        assert main(["suite", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "p_hat_300_1" in out and "vc_exact_009" in out
+
+    def test_solve_mvc(self, capsys):
+        assert main(["solve", "--graph", "p_hat_300_1", "--scale", "tiny",
+                     "--engine", "hybrid"]) == 0
+        assert "minimum vertex cover size" in capsys.readouterr().out
+
+    def test_solve_pvc(self, capsys):
+        assert main(["solve", "--graph", "p_hat_300_1", "--scale", "tiny",
+                     "--engine", "sequential", "--k", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "EXISTS" in out or "does not exist" in out
+
+    def test_ablation_quick(self, capsys):
+        assert main(["ablation", "--scale", "tiny", "--quick"]) == 0
+        assert "GlobalOnly" in capsys.readouterr().out
+
+    def test_memory_report(self, capsys):
+        assert main(["memory", "--scale", "tiny"]) == 0
+        assert "Memory budget" in capsys.readouterr().out
+
+    def test_tree_shape(self, capsys):
+        assert main(["tree", "--scale", "tiny", "--graph", "p_hat_300_3",
+                     "--node-budget", "2000"]) == 0
+        assert "Search-tree shape" in capsys.readouterr().out

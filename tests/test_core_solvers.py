@@ -1,0 +1,215 @@
+"""Tests for greedy, brute-force, sequential MVC/PVC and the facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute import all_minimum_covers, brute_force_mvc, brute_force_pvc
+from repro.core.greedy import greedy_cover
+from repro.core.sequential import solve_mvc_sequential, solve_pvc_sequential
+from repro.core.solver import ENGINES, solve_mvc, solve_pvc
+from repro.core.verify import (
+    assert_valid_cover,
+    is_vertex_cover,
+    minimal_cover_certificate,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.random_graphs import gnp, planted_cover
+from repro.graph.generators.structured import (
+    complete_bipartite,
+    cycle_graph,
+    mvc_of_structured,
+    path_graph,
+    petersen,
+    star_graph,
+)
+
+
+class TestBruteForce:
+    def test_known_optima(self, small_graphs):
+        for name, g, opt in small_graphs:
+            size, cover = brute_force_mvc(g)
+            assert size == opt, name
+            assert is_vertex_cover(g, cover)
+
+    def test_pvc_feasibility_boundary(self):
+        g = petersen()
+        assert brute_force_pvc(g, 6) is not None
+        assert brute_force_pvc(g, 5) is None
+
+    def test_pvc_returns_valid_cover(self):
+        g = cycle_graph(7)
+        cover = brute_force_pvc(g, 4)
+        assert cover is not None and is_vertex_cover(g, cover)
+
+    def test_all_minimum_covers_path3(self):
+        g = path_graph(3)
+        covers = all_minimum_covers(g)
+        assert covers == [frozenset({1})]
+
+    def test_empty_graph(self):
+        size, cover = brute_force_mvc(CSRGraph.empty(4))
+        assert size == 0 and cover == set()
+
+
+class TestGreedy:
+    def test_returns_valid_cover(self, small_graphs):
+        for name, g, opt in small_graphs:
+            res = greedy_cover(g)
+            assert is_vertex_cover(g, res.cover), name
+            assert res.size == len(res.cover)
+            assert res.size >= opt
+
+    def test_exact_on_star(self):
+        res = greedy_cover(star_graph(9))
+        assert res.size == 1
+
+    def test_empty_graph(self):
+        res = greedy_cover(CSRGraph.empty(3))
+        assert res.size == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(3, 20), p=st.floats(0.1, 0.8), seed=st.integers(0, 300))
+    def test_greedy_upper_bounds_optimum(self, n, p, seed):
+        g = gnp(n, p, seed=seed)
+        res = greedy_cover(g)
+        assert is_vertex_cover(g, res.cover)
+        if n <= 14:
+            opt, _ = brute_force_mvc(g)
+            assert res.size >= opt
+
+
+class TestSequentialMVC:
+    def test_known_optima(self, small_graphs):
+        for name, g, opt in small_graphs:
+            out = solve_mvc_sequential(g)
+            assert out.optimum == opt, name
+            assert_valid_cover(g, out.cover, out.optimum)
+
+    def test_matches_brute_force_on_random(self, random_graph_family):
+        for g in random_graph_family:
+            out = solve_mvc_sequential(g)
+            opt, _ = brute_force_mvc(g)
+            assert out.optimum == opt
+
+    def test_optimum_cover_is_minimal(self, random_graph_family):
+        for g in random_graph_family:
+            out = solve_mvc_sequential(g)
+            assert minimal_cover_certificate(g, out.cover) == []
+
+    def test_empty_graph(self):
+        out = solve_mvc_sequential(CSRGraph.empty(5))
+        assert out.optimum == 0 and len(out.cover) == 0
+
+    def test_single_edge(self):
+        out = solve_mvc_sequential(CSRGraph.from_edges(2, [(0, 1)]))
+        assert out.optimum == 1
+
+    def test_node_budget_trips(self):
+        g = gnp(40, 0.3, seed=50)
+        out = solve_mvc_sequential(g, node_budget=3)
+        assert out.timed_out
+        # best-so-far is still a valid cover (greedy at minimum)
+        assert is_vertex_cover(g, out.cover)
+
+    def test_planted_cover_upper_bound(self):
+        g = planted_cover(30, 8, seed=9)
+        out = solve_mvc_sequential(g)
+        assert out.optimum <= 8
+
+    def test_stats_populated(self):
+        g = gnp(14, 0.4, seed=2)
+        out = solve_mvc_sequential(g)
+        assert out.stats.nodes_visited >= 1
+        assert out.stats.nodes_visited == out.stats.branches + out.stats.prunes + out.stats.solutions_found
+
+
+class TestSequentialPVC:
+    def test_feasibility_boundary(self, small_graphs):
+        for name, g, opt in small_graphs:
+            if g.m == 0:
+                continue
+            assert solve_pvc_sequential(g, opt).feasible is True, name
+            if opt > 0:
+                assert solve_pvc_sequential(g, opt - 1).feasible is False, name
+
+    def test_found_cover_within_k(self):
+        g = petersen()
+        out = solve_pvc_sequential(g, 7)
+        assert out.feasible and out.optimum <= 7
+        assert_valid_cover(g, out.cover, out.optimum)
+
+    def test_k_zero_on_edgeless(self):
+        out = solve_pvc_sequential(CSRGraph.empty(3), 0)
+        assert out.feasible is True and out.optimum == 0
+
+    def test_k_zero_with_edges(self):
+        out = solve_pvc_sequential(path_graph(3), 0)
+        assert out.feasible is False
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            solve_pvc_sequential(path_graph(3), -1)
+
+    def test_tiny_k_proved_infeasible_at_root(self):
+        # |E| > (k - |S|)^2 prunes the root immediately: infeasibility of a
+        # small k is *proven*, not budgeted out (Fig. 1 line 5's bound).
+        g = gnp(40, 0.3, seed=51)
+        out = solve_pvc_sequential(g, 5, node_budget=2)
+        assert out.feasible is False and not out.timed_out
+        assert out.stats.nodes_visited <= 2
+
+    def test_timeout_reports_unknown(self):
+        # k large enough that the root bound cannot prune, small enough
+        # that no cover is found in two nodes -> budget trips, undetermined.
+        g = gnp(40, 0.3, seed=51)
+        out = solve_pvc_sequential(g, 25, node_budget=2)
+        assert out.timed_out and out.feasible is None
+
+
+class TestFacade:
+    def test_engine_names_stable(self):
+        assert set(ENGINES) == {
+            "sequential", "stackonly", "hybrid", "globalonly",
+            "cpu-threads", "cpu-process", "cpu-worksteal",
+        }
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            solve_mvc(path_graph(3), engine="quantum")
+        with pytest.raises(ValueError, match="unknown engine"):
+            solve_pvc(path_graph(3), 1, engine="quantum")
+
+    def test_facade_dispatch_sequential(self):
+        out = solve_mvc(petersen())
+        assert out.optimum == 6
+
+    def test_structured_formula_helper(self):
+        assert mvc_of_structured("path", 7) == 3
+        assert mvc_of_structured("complete_bipartite", 3, 9) == 3
+        with pytest.raises(ValueError):
+            mvc_of_structured("nope")
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(3, 14), p=st.floats(0.1, 0.8), seed=st.integers(0, 400))
+def test_sequential_matches_brute_force_property(n, p, seed):
+    g = gnp(n, p, seed=seed)
+    out = solve_mvc_sequential(g)
+    opt, _ = brute_force_mvc(g)
+    assert out.optimum == opt
+    assert is_vertex_cover(g, out.cover)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(3, 12), p=st.floats(0.1, 0.8), seed=st.integers(0, 400),
+       delta=st.integers(-2, 2))
+def test_pvc_consistent_with_mvc_property(n, p, seed, delta):
+    g = gnp(n, p, seed=seed)
+    opt, _ = brute_force_mvc(g)
+    k = opt + delta
+    if k < 0:
+        return
+    out = solve_pvc_sequential(g, k)
+    assert out.feasible == (k >= opt)

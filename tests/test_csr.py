@@ -1,0 +1,139 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import complete_graph, path_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.m == 3
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+
+    def test_from_edges_unordered_input(self):
+        a = CSRGraph.from_edges(4, [(1, 0), (2, 1), (3, 2)])
+        b = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert a == b
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self loop"):
+            CSRGraph.from_edges(3, [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CSRGraph.from_edges(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph.from_edges(3, [(0, 3)])
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(-1, [])
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.n == 5 and g.m == 0
+        assert g.max_degree() == 0
+        assert list(g.edges()) == []
+
+    def test_zero_vertex_graph(self):
+        g = CSRGraph.empty(0)
+        assert g.n == 0 and g.m == 0
+        assert g.average_degree() == 0.0
+
+    def test_complete_graph(self):
+        g = CSRGraph.complete(6)
+        assert g.m == 15
+        assert g.max_degree() == 5
+
+    def test_validation_catches_asymmetry(self):
+        indptr = np.array([0, 1, 1], dtype=np.int64)
+        indices = np.array([1], dtype=np.int32)
+        with pytest.raises(ValueError):
+            CSRGraph(indptr, indices)
+
+    def test_validation_catches_unsorted_rows(self):
+        indptr = np.array([0, 2, 3, 4], dtype=np.int64)
+        indices = np.array([2, 1, 0, 0], dtype=np.int32)
+        with pytest.raises(ValueError, match="sorted"):
+            CSRGraph(indptr, indices)
+
+    def test_arrays_are_read_only(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            g.indices[0] = 3
+        with pytest.raises(ValueError):
+            g.indptr[0] = 1
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        g = gnp(20, 0.4, seed=9)
+        for v in range(g.n):
+            row = g.neighbors(v)
+            assert np.all(np.diff(row) > 0)
+
+    def test_has_edge_matches_edge_list(self):
+        g = gnp(15, 0.3, seed=4)
+        edges = set(g.edges())
+        for u in range(g.n):
+            for v in range(g.n):
+                expected = (min(u, v), max(u, v)) in edges and u != v
+                assert g.has_edge(u, v) == expected
+
+    def test_has_edge_self(self):
+        g = path_graph(3)
+        assert not g.has_edge(1, 1)
+
+    def test_edge_array_matches_edges(self):
+        g = gnp(12, 0.5, seed=2)
+        arr = g.edge_array()
+        assert arr.shape == (g.m, 2)
+        assert set(map(tuple, arr.tolist())) == set(g.edges())
+
+    def test_degrees_sum_to_twice_m(self):
+        g = gnp(30, 0.2, seed=7)
+        assert int(g.degrees.sum()) == 2 * g.m
+
+    def test_average_degree(self):
+        g = path_graph(5)
+        assert g.average_degree() == pytest.approx(2 * 4 / 5)
+
+
+class TestDerivedGraphs:
+    def test_complement_roundtrip(self):
+        g = gnp(12, 0.4, seed=11)
+        assert g.complement().complement() == g
+
+    def test_complement_edge_count(self):
+        g = gnp(10, 0.3, seed=12)
+        assert g.complement().m == 10 * 9 // 2 - g.m
+
+    def test_complement_of_complete_is_empty(self):
+        assert complete_graph(5).complement().m == 0
+
+    def test_subgraph_induced(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.n == 3
+        assert set(sub.edges()) == {(0, 1), (1, 2)}
+
+    def test_subgraph_out_of_range(self):
+        with pytest.raises(ValueError):
+            path_graph(3).subgraph([0, 5])
+
+    def test_hash_and_eq(self):
+        a = path_graph(5)
+        b = path_graph(5)
+        assert a == b and hash(a) == hash(b)
+        assert a != path_graph(6)
+
+    def test_repr(self):
+        assert "n=5" in repr(path_graph(5))

@@ -1,0 +1,122 @@
+"""Cross-engine correctness: every engine returns the same optimum.
+
+This is the reproduction's central safety property — the three simulated
+GPU engines and the sequential baseline traverse the tree in different
+orders with different bound-propagation timing, but all must agree with
+brute force.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute import brute_force_mvc
+from repro.core.sequential import solve_mvc_sequential
+from repro.core.verify import assert_valid_cover, minimal_cover_certificate
+from repro.engines.globalonly import GlobalOnlyEngine
+from repro.engines.hybrid import HybridEngine
+from repro.engines.stackonly import StackOnlyEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.random_graphs import gnp, random_bipartite
+from repro.graph.generators.structured import cycle_graph, path_graph, petersen, star_graph
+from repro.sim.device import TINY_SIM
+
+ENGINE_FACTORIES = [
+    ("hybrid", lambda: HybridEngine(device=TINY_SIM)),
+    ("stackonly", lambda: StackOnlyEngine(device=TINY_SIM, start_depth=3)),
+    ("globalonly", lambda: GlobalOnlyEngine(device=TINY_SIM)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ENGINE_FACTORIES)
+class TestEngineMVC:
+    def test_structured_optima(self, name, factory, small_graphs):
+        for gname, g, opt in small_graphs:
+            res = factory().solve_mvc(g)
+            assert res.optimum == opt, (name, gname)
+            assert_valid_cover(g, res.cover, res.optimum)
+
+    def test_random_graphs_match_brute_force(self, name, factory, random_graph_family):
+        for g in random_graph_family:
+            res = factory().solve_mvc(g)
+            opt, _ = brute_force_mvc(g)
+            assert res.optimum == opt, name
+            assert minimal_cover_certificate(g, res.cover) == []
+
+    def test_empty_graph(self, name, factory):
+        res = factory().solve_mvc(CSRGraph.empty(4))
+        assert res.optimum == 0 and not res.timed_out
+
+    def test_single_edge(self, name, factory):
+        res = factory().solve_mvc(CSRGraph.from_edges(2, [(0, 1)]))
+        assert res.optimum == 1
+
+    def test_node_budget_times_out(self, name, factory):
+        g = gnp(30, 0.3, seed=77)
+        res = factory().solve_mvc(g, node_budget=2)
+        assert res.timed_out
+        # the greedy bound is still a valid answer
+        assert_valid_cover(g, res.cover, res.optimum)
+
+    def test_cycle_budget_times_out(self, name, factory):
+        g = gnp(30, 0.3, seed=78)
+        res = factory().solve_mvc(g, cycle_budget=1.0)
+        assert res.timed_out
+
+
+@pytest.mark.parametrize("name,factory", ENGINE_FACTORIES)
+class TestEnginePVC:
+    def test_feasibility_boundary(self, name, factory, small_graphs):
+        for gname, g, opt in small_graphs:
+            if g.m == 0:
+                continue
+            yes = factory().solve_pvc(g, opt)
+            assert yes.feasible is True, (name, gname)
+            assert yes.optimum <= opt
+            assert_valid_cover(g, yes.cover, yes.optimum)
+            if opt > 0:
+                no = factory().solve_pvc(g, opt - 1)
+                assert no.feasible is False, (name, gname)
+
+    def test_pvc_generous_k(self, name, factory):
+        g = petersen()
+        res = factory().solve_pvc(g, 9)
+        assert res.feasible is True and res.optimum <= 9
+
+    def test_pvc_k_zero_with_edges(self, name, factory):
+        res = factory().solve_pvc(path_graph(3), 0)
+        assert res.feasible is False
+
+    def test_pvc_negative_k(self, name, factory):
+        with pytest.raises(ValueError):
+            factory().solve_pvc(path_graph(3), -1)
+
+    def test_pvc_early_exit_visits_fewer_nodes(self, name, factory):
+        g = gnp(24, 0.35, seed=11)
+        opt = solve_mvc_sequential(g).optimum
+        mvc_nodes = factory().solve_mvc(g).nodes_visited
+        pvc_nodes = factory().solve_pvc(g, opt + 1).nodes_visited
+        assert pvc_nodes <= mvc_nodes
+
+
+class TestEngineAgreementProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(4, 14), p=st.floats(0.15, 0.7), seed=st.integers(0, 200))
+    def test_all_engines_agree_with_brute_force(self, n, p, seed):
+        g = gnp(n, p, seed=seed)
+        opt, _ = brute_force_mvc(g)
+        for name, factory in ENGINE_FACTORIES:
+            res = factory().solve_mvc(g)
+            assert res.optimum == opt, name
+            assert_valid_cover(g, res.cover, res.optimum)
+
+    @settings(max_examples=10, deadline=None)
+    @given(a=st.integers(2, 7), b=st.integers(2, 7), p=st.floats(0.2, 0.8),
+           seed=st.integers(0, 100))
+    def test_engines_match_konig_on_bipartite(self, a, b, p, seed):
+        from repro.core.matching import konig_cover
+
+        g = random_bipartite(a, b, p, seed=seed)
+        expected = konig_cover(g).size
+        for name, factory in ENGINE_FACTORIES:
+            assert factory().solve_mvc(g).optimum == expected, name

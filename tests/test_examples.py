@@ -1,0 +1,40 @@
+"""Smoke tests: the example scripts must stay runnable end to end.
+
+Only the fast examples run in the suite (the slower studies are exercised
+manually / by the benchmark harness); each runs in a subprocess exactly
+as a user would invoke it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "crew_scheduling.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "crew_scheduling.py",
+        "social_network_monitoring.py",
+        "load_balance_study.py",
+        "tuning_the_worklist.py",
+        "search_tree_anatomy.py",
+    } <= names

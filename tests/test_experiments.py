@@ -1,0 +1,163 @@
+"""End-to-end tests of the experiment harness at the tiny scale."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    INSTANCE_TYPES,
+    PAPER_TABLE2,
+    PRIOR_WORK_TABLE3_SECONDS,
+    ExperimentConfig,
+    resolve_minimum,
+    run_ablation,
+    run_fig5,
+    run_fig6,
+    run_sweeps,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.graph.generators.suites import paper_suite, suite_instance
+from repro.sim.device import TINY_SIM
+
+
+def tiny_cfg() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale="tiny",
+        device=TINY_SIM,
+        virtual_budget_s=0.01,
+        seq_node_guard=4000,
+        engine_node_guard=2500,
+        stackonly_depths=(4,),
+        hybrid_capacities=(256,),
+        hybrid_fractions=(0.25,),
+    )
+
+
+@pytest.fixture(scope="module")
+def table1_subset():
+    cfg = tiny_cfg()
+    return run_table1(cfg, instances=("p_hat_300_3", "sister_cities", "movielens_100k"))
+
+
+class TestResolveMinimum:
+    def test_bipartite_uses_konig(self):
+        inst = suite_instance("movielens_100k", "tiny")
+        minimum, source = resolve_minimum(inst, "tiny")
+        assert source == "konig"
+        assert minimum is not None and minimum > 0
+
+    def test_search_instances_resolve(self):
+        inst = suite_instance("p_hat_300_1", "tiny")
+        minimum, source = resolve_minimum(inst, "tiny")
+        assert source == "search"
+        assert minimum is not None
+
+
+class TestTable1:
+    def test_rows_and_cells_present(self, table1_subset):
+        assert len(table1_subset.rows) == 3
+        for row in table1_subset.rows:
+            assert (("sequential", "mvc")) in row.cells
+            assert (("hybrid", "mvc")) in row.cells
+
+    def test_engines_agree_on_optimum(self, table1_subset):
+        for row in table1_subset.rows:
+            opts = {
+                cell.optimum
+                for (engine, itype), cell in row.cells.items()
+                if itype == "mvc" and not cell.timed_out
+            }
+            assert len(opts) <= 1, row.instance.name
+
+    def test_pvc_k_cells_feasible(self, table1_subset):
+        for row in table1_subset.rows:
+            cell = row.cells.get(("hybrid", "pvc_k"))
+            if cell is not None and not cell.timed_out:
+                assert cell.feasible is True
+
+    def test_pvc_km1_cells_infeasible(self, table1_subset):
+        for row in table1_subset.rows:
+            cell = row.cells.get(("hybrid", "pvc_km1"))
+            if cell is not None and not cell.timed_out:
+                assert cell.feasible is False
+
+    def test_render_smoke(self, table1_subset):
+        text = table1_subset.render()
+        assert "Table I" in text and "p_hat_300_3" in text
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(KeyError):
+            run_table1(tiny_cfg(), instances=("nope",))
+
+
+class TestTable2:
+    def test_speedups_from_table1(self, table1_subset):
+        t2 = run_table2(table1_subset)
+        assert any(key[0] == "overall" for key in t2.speedups)
+        text = t2.render()
+        assert "Table II" in text
+
+    def test_paper_reference_values_recorded(self):
+        assert PAPER_TABLE2[("overall", "stackonly", "mvc")] == 72.9
+        assert len(PAPER_TABLE2) == 24
+
+
+class TestTable3:
+    def test_prior_work_rows(self):
+        assert len(PRIOR_WORK_TABLE3_SECONDS) == 10
+        cfg = tiny_cfg()
+        t3 = run_table3(cfg, table1=run_table1(
+            cfg, instances=("p_hat_300_1", "p_hat_300_2"), instance_types=("pvc_k",)))
+        assert len(t3.rows) == 2
+        assert "Table III" in t3.render()
+
+
+class TestFigures:
+    def test_fig5_entries(self):
+        cfg = tiny_cfg()
+        res = run_fig5(cfg, graphs=("p_hat_300_3",))
+        engines = {e.engine for e in res.entries}
+        assert engines == {"stackonly", "hybrid"}
+        for e in res.entries:
+            assert e.normalized_load.size == cfg.device.num_sms
+        assert "Fig. 5" in res.render()
+
+    def test_fig6_rows_include_mean(self):
+        cfg = tiny_cfg()
+        res = run_fig6(cfg, instances=("p_hat_300_3", "sister_cities"))
+        names = [r.name for r in res.rows]
+        assert names[-1] == "Mean"
+        assert len(names) == 3
+        for row in res.rows:
+            total = sum(row.fractions.values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+        assert "Fig. 6" in res.render()
+
+
+class TestSweepsAndAblation:
+    def test_sweeps_structure(self):
+        cfg = tiny_cfg()
+        sweeps = run_sweeps(cfg, instance="p_hat_300_3")
+        assert len(sweeps) == 3
+        for sweep in sweeps:
+            assert sweep.rows
+            assert sweep.render()
+
+    def test_ablation_shows_globalonly_traffic(self):
+        cfg = tiny_cfg()
+        res = run_ablation(cfg, instances=("p_hat_300_3",))
+        by_engine = {row["engine"]: row for row in res.rows}
+        assert by_engine["globalonly"]["wl adds"] > by_engine["hybrid"]["wl adds"]
+
+
+class TestConfig:
+    def test_quick_is_cheaper(self):
+        cfg = ExperimentConfig()
+        quick = cfg.quick()
+        assert quick.engine_node_guard < cfg.engine_node_guard
+        assert len(quick.stackonly_depths) == 1
+
+    def test_budget_conversion(self):
+        cfg = ExperimentConfig(virtual_budget_s=1.0)
+        assert cfg.seq_cycle_budget == pytest.approx(cfg.cpu.clock_mhz * 1e6)
+        assert cfg.gpu_cycle_budget == pytest.approx(cfg.device.clock_mhz * 1e6)

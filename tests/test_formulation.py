@@ -1,0 +1,110 @@
+"""Unit tests for the MVC/PVC formulations and their shared holders."""
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import BestBound, FoundFlag, MVCFormulation, PVCFormulation
+from repro.graph.degree_array import REMOVED, VCState
+
+
+def state_of(deg_values, cover_size, edge_count) -> VCState:
+    return VCState(np.asarray(deg_values, dtype=np.int32), cover_size, edge_count)
+
+
+class TestBestBound:
+    def test_offer_improves(self):
+        best = BestBound(size=10)
+        st = state_of([REMOVED, REMOVED, 0], 2, 0)
+        assert best.offer(st)
+        assert best.size == 2
+        assert best.cover.tolist() == [0, 1]
+        assert best.updates == 1
+
+    def test_offer_rejects_worse_and_equal(self):
+        best = BestBound(size=2)
+        assert not best.offer(state_of([REMOVED, REMOVED, 0], 2, 0))
+        assert not best.offer(state_of([REMOVED, REMOVED, REMOVED], 3, 0))
+        assert best.updates == 0
+
+    def test_monotone_decrease(self):
+        best = BestBound(size=5)
+        best.offer(state_of([REMOVED] * 4 + [0], 4, 0))
+        best.offer(state_of([REMOVED] * 3 + [0, 0], 3, 0))
+        best.offer(state_of([REMOVED] * 4 + [0], 4, 0))  # stale, ignored
+        assert best.size == 3
+
+
+class TestFoundFlag:
+    def test_set_records_first(self):
+        flag = FoundFlag()
+        flag.set(state_of([REMOVED, 0], 1, 0))
+        assert flag.found and flag.size == 1
+
+    def test_set_keeps_better(self):
+        flag = FoundFlag()
+        flag.set(state_of([REMOVED, REMOVED], 2, 0))
+        flag.set(state_of([REMOVED, 0], 1, 0))
+        assert flag.size == 1
+
+    def test_set_ignores_worse(self):
+        flag = FoundFlag()
+        flag.set(state_of([REMOVED, 0], 1, 0))
+        flag.set(state_of([REMOVED, REMOVED], 2, 0))
+        assert flag.size == 1
+
+
+class TestMVCFormulation:
+    def test_budget(self):
+        form = MVCFormulation(BestBound(size=10))
+        assert form.budget(0) == 9
+        assert form.budget(9) == 0
+        assert form.budget(10) == -1
+
+    def test_prune_on_cover_size(self):
+        form = MVCFormulation(BestBound(size=3))
+        assert form.prune(state_of([0, 0, 0], 3, 0))
+
+    def test_prune_on_edge_bound(self):
+        # budget = 2 -> more than 4 edges is hopeless (Fig. 1 line 5)
+        form = MVCFormulation(BestBound(size=3))
+        assert form.prune(state_of([5, 5, 2, 2, 2, 2], 0, 5))
+        assert not form.prune(state_of([2, 2, 2, 2], 0, 4))
+
+    def test_accept_never_stops_search(self):
+        form = MVCFormulation(BestBound(size=5))
+        assert form.accept(state_of([REMOVED, 0], 1, 0)) is False
+
+    def test_never_requests_stop(self):
+        form = MVCFormulation(BestBound(size=5))
+        assert not form.stop_requested()
+
+    def test_budget_tracks_shared_best(self):
+        best = BestBound(size=10)
+        form = MVCFormulation(best)
+        best.offer(state_of([REMOVED] * 4 + [0] * 4, 4, 0))
+        assert form.budget(0) == 3  # tightened by the shared update
+
+
+class TestPVCFormulation:
+    def test_budget(self):
+        form = PVCFormulation(k=4, flag=FoundFlag())
+        assert form.budget(0) == 4
+        assert form.budget(5) == -1
+
+    def test_prune_uses_k_squared_bound(self):
+        form = PVCFormulation(k=2, flag=FoundFlag())
+        assert form.prune(state_of([4, 4, 4, 4, 2], 0, 5))   # 5 > 2^2
+        assert not form.prune(state_of([2, 2, 2, 2], 0, 4))
+
+    def test_accept_sets_flag_and_stops(self):
+        flag = FoundFlag()
+        form = PVCFormulation(k=2, flag=flag)
+        assert form.accept(state_of([REMOVED, REMOVED, 0], 2, 0)) is True
+        assert flag.found
+        assert form.stop_requested()
+
+    def test_accept_rejects_oversized(self):
+        flag = FoundFlag()
+        form = PVCFormulation(k=1, flag=flag)
+        assert form.accept(state_of([REMOVED, REMOVED, 0], 2, 0)) is False
+        assert not flag.found

@@ -1,0 +1,154 @@
+"""Tests for the graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators.phat import PHAT_TIERS, phat, phat_complement
+from repro.graph.generators.random_graphs import (
+    gnm,
+    gnp,
+    planted_cover,
+    preferential_attachment,
+    random_bipartite,
+    watts_strogatz,
+)
+from repro.graph.generators.structured import (
+    binary_tree,
+    complete_bipartite,
+    cycle_graph,
+    disjoint_union,
+    grid_graph,
+    path_graph,
+    petersen,
+    power_grid_like,
+    star_graph,
+)
+from repro.core.matching import bipartition
+from repro.core.verify import is_vertex_cover
+
+
+class TestPhat:
+    def test_deterministic(self):
+        assert phat(40, 2, seed=7) == phat(40, 2, seed=7)
+
+    def test_seed_changes_graph(self):
+        assert phat(40, 2, seed=7) != phat(40, 2, seed=8)
+
+    def test_density_ordering(self):
+        g1 = phat(60, 1, seed=3)
+        g2 = phat(60, 2, seed=3)
+        g3 = phat(60, 3, seed=3)
+        assert g1.m < g2.m < g3.m
+
+    def test_complement_inverts_density(self):
+        c1 = phat_complement(60, 1, seed=3)
+        c3 = phat_complement(60, 3, seed=3)
+        assert c1.m > c3.m  # tier 1 original is sparse -> dense complement
+
+    def test_invalid_tier(self):
+        with pytest.raises(ValueError):
+            phat(10, 4)
+
+    def test_degree_spread_wider_than_gnp(self):
+        # the point of p_hat: per-vertex propensities spread the degrees
+        ph = phat(120, 2, seed=1)
+        er = gnp(120, ph.m / (120 * 119 / 2), seed=1)
+        assert np.std(ph.degrees) > np.std(er.degrees)
+
+
+class TestRandomGraphs:
+    def test_gnp_bounds(self):
+        g = gnp(30, 0.5, seed=1)
+        assert 0 <= g.m <= 30 * 29 // 2
+
+    def test_gnp_extremes(self):
+        assert gnp(10, 0.0, seed=1).m == 0
+        assert gnp(10, 1.0, seed=1).m == 45
+
+    def test_gnp_invalid_p(self):
+        with pytest.raises(ValueError):
+            gnp(5, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm(20, 37, seed=3)
+        assert g.m == 37
+
+    def test_gnm_bounds_checked(self):
+        with pytest.raises(ValueError):
+            gnm(5, 11)
+
+    def test_preferential_attachment_connected_core(self):
+        g = preferential_attachment(50, 2, seed=2)
+        assert g.n == 50
+        assert g.m >= 2 * (50 - 3)
+
+    def test_preferential_attachment_invalid_k(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(10, 0)
+
+    def test_watts_strogatz_degree_conserved(self):
+        g = watts_strogatz(40, 4, 0.0, seed=1)
+        assert g.m == 40 * 2  # pure ring lattice: n*k/2 edges
+
+    def test_watts_strogatz_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_random_bipartite_is_bipartite(self):
+        g = random_bipartite(12, 15, 0.3, seed=4)
+        assert bipartition(g) is not None
+
+    def test_planted_cover_is_cover(self):
+        g = planted_cover(25, 7, seed=5)
+        assert is_vertex_cover(g, range(7))
+
+
+class TestStructured:
+    def test_path_and_cycle_shapes(self):
+        assert path_graph(5).m == 4
+        assert cycle_graph(5).m == 5
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 6 and g.m == 6
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.n == 15 and g.m == 14
+
+    def test_petersen_is_cubic(self):
+        g = petersen()
+        assert all(g.degree(v) == 3 for v in range(10))
+
+    def test_disjoint_union(self):
+        g = disjoint_union(path_graph(3), cycle_graph(3))
+        assert g.n == 6 and g.m == 2 + 3
+
+    def test_power_grid_like_sparse(self):
+        g = power_grid_like(100, extra_edges=10, seed=1)
+        assert g.n == 100
+        assert g.m >= 99  # spanning tree at least
+        assert g.average_degree() < 4
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.m == 12 and bipartition(g) is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 40), p=st.floats(0, 1), seed=st.integers(0, 100))
+def test_gnp_always_simple_and_valid(n, p, seed):
+    g = gnp(n, p, seed=seed)
+    # revalidate structure from scratch
+    from repro.graph.csr import CSRGraph
+
+    CSRGraph(g.indptr.copy(), g.indices.copy(), validate=True)

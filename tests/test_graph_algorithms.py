@@ -1,0 +1,108 @@
+"""Tests for connected components, k-cores and BFS utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.algorithms import (
+    bfs_distances,
+    component_subgraphs,
+    connected_components,
+    core_numbers,
+    is_connected,
+    k_core_vertices,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+    petersen,
+    star_graph,
+)
+
+
+class TestComponents:
+    def test_single_component(self):
+        labels = connected_components(path_graph(5))
+        assert set(labels.tolist()) == {0}
+        assert is_connected(path_graph(5))
+
+    def test_disjoint_union_labels(self):
+        g = disjoint_union(path_graph(3), cycle_graph(4), star_graph(2))
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 3
+        assert not is_connected(g)
+
+    def test_isolated_vertices_are_components(self):
+        g = CSRGraph.empty(4)
+        assert len(set(connected_components(g).tolist())) == 4
+
+    def test_empty_graph_connected(self):
+        assert is_connected(CSRGraph.empty(0))
+
+    def test_component_subgraphs_partition(self):
+        g = disjoint_union(cycle_graph(5), complete_graph(4))
+        pieces = component_subgraphs(g)
+        assert len(pieces) == 2
+        ns = sorted(sub.n for sub, _ in pieces)
+        assert ns == [4, 5]
+        all_ids = np.sort(np.concatenate([ids for _, ids in pieces]))
+        assert all_ids.tolist() == list(range(9))
+
+    def test_component_subgraph_edges_preserved(self):
+        g = disjoint_union(cycle_graph(5), complete_graph(4))
+        for sub, ids in component_subgraphs(g):
+            for u, v in sub.edges():
+                assert g.has_edge(int(ids[u]), int(ids[v]))
+
+
+class TestCoreNumbers:
+    def test_cycle_is_2_core(self):
+        assert core_numbers(cycle_graph(6)).tolist() == [2] * 6
+
+    def test_tree_is_1_core(self):
+        assert core_numbers(path_graph(6)).max() == 1
+
+    def test_complete_graph(self):
+        assert core_numbers(complete_graph(5)).tolist() == [4] * 5
+
+    def test_petersen_is_3_core(self):
+        assert core_numbers(petersen()).tolist() == [3] * 10
+
+    def test_star_core(self):
+        core = core_numbers(star_graph(5))
+        assert core.max() == 1
+
+    def test_k_core_vertices(self):
+        g = disjoint_union(complete_graph(4), path_graph(4))
+        assert k_core_vertices(g, 3).tolist() == [0, 1, 2, 3]
+        assert k_core_vertices(g, 1).size == 8
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 25), p=st.floats(0, 0.8), seed=st.integers(0, 200))
+    def test_core_invariant(self, n, p, seed):
+        """Every vertex of the k-core has >= k neighbours inside it."""
+        g = gnp(n, p, seed=seed)
+        core = core_numbers(g)
+        for k in range(1, int(core.max(initial=0)) + 1):
+            members = set(np.flatnonzero(core >= k).tolist())
+            for v in members:
+                inside = sum(1 for u in g.neighbors(v) if int(u) in members)
+                assert inside >= k
+
+
+class TestBfs:
+    def test_path_distances(self):
+        assert bfs_distances(path_graph(5), 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_minus_one(self):
+        g = disjoint_union(path_graph(2), path_graph(2))
+        assert bfs_distances(g, 0).tolist() == [0, 1, -1, -1]
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_distances(path_graph(3), 9)

@@ -1,0 +1,121 @@
+"""Round-trip and error-handling tests for the graph file formats."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import path_graph, petersen
+from repro.graph.io.dimacs import format_dimacs, parse_dimacs, read_dimacs, write_dimacs
+from repro.graph.io.edgelist import (
+    format_edgelist,
+    parse_edgelist,
+    read_edgelist,
+    write_edgelist,
+)
+from repro.graph.io.metis import format_metis, parse_metis, read_metis, write_metis
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        g = gnp(15, 0.3, seed=1)
+        assert parse_dimacs(format_dimacs(g)) == g
+
+    def test_roundtrip_on_disk(self, tmp_path):
+        g = petersen()
+        path = tmp_path / "petersen.col"
+        write_dimacs(g, path, comment="the Petersen graph")
+        assert read_dimacs(path) == g
+
+    def test_comment_lines_ignored(self):
+        text = "c hello\nc world\np edge 2 1\ne 1 2\n"
+        g = parse_dimacs(text)
+        assert g.n == 2 and g.m == 1
+
+    def test_duplicate_edges_tolerated(self):
+        text = "p edge 3 2\ne 1 2\ne 2 1\n"
+        assert parse_dimacs(text).m == 1
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ValueError, match="problem line"):
+            parse_dimacs("e 1 2\n")
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            parse_dimacs("p edge 2 1\ne 1 5\n")
+
+    def test_malformed_record(self):
+        with pytest.raises(ValueError, match="unknown record"):
+            parse_dimacs("p edge 2 1\nx 1 2\n")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(ValueError, match="duplicate problem"):
+            parse_dimacs("p edge 2 1\np edge 2 1\n")
+
+
+class TestEdgelist:
+    def test_roundtrip(self):
+        g = gnp(12, 0.4, seed=2)
+        parsed, labels = parse_edgelist(format_edgelist(g))
+        # relabelling is dense; the graph has no isolated vertices lost?
+        # isolated vertices are dropped by edge lists, so compare edges only
+        assert parsed.m == g.m
+
+    def test_comments_both_styles(self):
+        text = "# snap comment\n% konect comment\n3 5\n5 7\n"
+        g, labels = parse_edgelist(text)
+        assert g.n == 3 and g.m == 2
+        assert labels.tolist() == [3, 5, 7]
+
+    def test_self_loops_dropped(self):
+        g, _ = parse_edgelist("1 1\n1 2\n")
+        assert g.m == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_edgelist("-1 2\n")
+
+    def test_roundtrip_on_disk(self, tmp_path):
+        g = path_graph(6)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path, header="a path")
+        parsed, labels = read_edgelist(path)
+        assert parsed.m == g.m
+
+
+class TestMetis:
+    def test_roundtrip(self):
+        g = gnp(14, 0.35, seed=3)
+        assert parse_metis(format_metis(g)) == g
+
+    def test_roundtrip_on_disk(self, tmp_path):
+        g = petersen()
+        path = tmp_path / "g.graph"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_comment_stripping(self):
+        text = "2 1 % header comment\n2\n1\n"
+        g = parse_metis(text)
+        assert g.m == 1
+
+    def test_weighted_rejected(self):
+        with pytest.raises(ValueError, match="weighted"):
+            parse_metis("2 1 011\n2 1\n1 1\n")
+
+    def test_wrong_row_count(self):
+        with pytest.raises(ValueError, match="adjacency rows"):
+            parse_metis("3 1\n2\n1\n")
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(ValueError, match="declares"):
+            parse_metis("2 5\n2\n1\n")
+
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_metis("")
+
+
+class TestCrossFormat:
+    def test_dimacs_to_metis_consistency(self):
+        g = gnp(10, 0.5, seed=4)
+        assert parse_metis(format_metis(parse_dimacs(format_dimacs(g)))) == g

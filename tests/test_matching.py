@@ -1,0 +1,97 @@
+"""Tests for the bipartite substrate (Hopcroft–Karp / König)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute import brute_force_mvc
+from repro.core.matching import bipartition, hopcroft_karp, konig_cover
+from repro.core.verify import is_vertex_cover
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.random_graphs import random_bipartite
+from repro.graph.generators.structured import (
+    complete_bipartite,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen,
+)
+
+
+class TestBipartition:
+    def test_even_cycle_is_bipartite(self):
+        parts = bipartition(cycle_graph(6))
+        assert parts is not None
+        left, right = parts
+        assert len(left) + len(right) == 6
+
+    def test_odd_cycle_is_not(self):
+        assert bipartition(cycle_graph(5)) is None
+
+    def test_petersen_is_not(self):
+        assert bipartition(petersen()) is None
+
+    def test_isolated_vertices_on_left(self):
+        g = CSRGraph.empty(3)
+        left, right = bipartition(g)
+        assert len(left) == 3 and len(right) == 0
+
+    def test_partition_is_proper(self):
+        g = random_bipartite(10, 12, 0.3, seed=5)
+        left, right = bipartition(g)
+        left_set = set(left.tolist())
+        for u, v in g.edges():
+            assert (u in left_set) != (v in left_set)
+
+
+class TestHopcroftKarp:
+    def test_complete_bipartite_perfect_matching(self):
+        g = complete_bipartite(4, 6)
+        left, right = bipartition(g)
+        match = hopcroft_karp(g, left, right)
+        matched_left = sum(1 for u in left if int(u) in match)
+        assert matched_left == 4
+
+    def test_path_matching(self):
+        g = path_graph(4)
+        left, right = bipartition(g)
+        match = hopcroft_karp(g, left, right)
+        assert sum(1 for u in left if int(u) in match) == 2
+
+    def test_matching_is_valid(self):
+        g = random_bipartite(15, 15, 0.2, seed=7)
+        left, right = bipartition(g)
+        match = hopcroft_karp(g, left, right)
+        for u, v in match.items():
+            assert match[v] == u
+            assert g.has_edge(u, v)
+
+
+class TestKonig:
+    def test_none_for_non_bipartite(self):
+        assert konig_cover(cycle_graph(5)) is None
+
+    def test_complete_bipartite(self):
+        res = konig_cover(complete_bipartite(3, 7))
+        assert res.size == 3
+        assert is_vertex_cover(complete_bipartite(3, 7), res.cover)
+
+    def test_grid(self):
+        g = grid_graph(4, 4)
+        res = konig_cover(g)
+        assert is_vertex_cover(g, res.cover)
+        opt, _ = brute_force_mvc(g)
+        assert res.size == opt
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(1, 7), b=st.integers(1, 7), p=st.floats(0.1, 0.9),
+           seed=st.integers(0, 300))
+    def test_konig_matches_brute_force(self, a, b, p, seed):
+        g = random_bipartite(a, b, p, seed=seed)
+        res = konig_cover(g)
+        assert res is not None
+        assert is_vertex_cover(g, res.cover)
+        opt, _ = brute_force_mvc(g)
+        assert res.size == opt
+        assert len(res.cover) == res.size

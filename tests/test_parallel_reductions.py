@@ -1,0 +1,105 @@
+"""Tests for the batch (GPU-semantics) reduction rules of Section IV-D."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute import brute_force_mvc
+from repro.core.formulation import BestBound, MVCFormulation
+from repro.core.parallel_reductions import (
+    apply_reductions_parallel,
+    degree_one_rule_parallel,
+    degree_two_triangle_rule_parallel,
+)
+from repro.core.verify import check_state_consistency
+from repro.graph.csr import CSRGraph
+from repro.graph.degree_array import REMOVED, Workspace, fresh_state
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import disjoint_union, path_graph
+
+
+def mvc_formulation(graph):
+    return MVCFormulation(BestBound(size=graph.n + 1))
+
+
+class TestDegreeOneParallel:
+    def test_isolated_edge_tie_break_takes_smaller_id(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        state = fresh_state(g)
+        degree_one_rule_parallel(g, state)
+        # Section IV-D: only the smaller-id endpoint is removed.
+        assert state.deg[0] == REMOVED
+        assert state.deg[1] == 0
+        assert state.cover_size == 1
+
+    def test_shared_neighbor_removed_once(self):
+        g = CSRGraph.from_edges(3, [(0, 2), (1, 2)])  # two leaves share 2
+        state = fresh_state(g)
+        degree_one_rule_parallel(g, state)
+        assert state.deg[2] == REMOVED
+        assert state.cover_size == 1
+
+    def test_many_isolated_edges(self):
+        g = disjoint_union(*[path_graph(2) for _ in range(4)])
+        state = fresh_state(g)
+        degree_one_rule_parallel(g, state)
+        assert state.cover_size == 4
+        assert state.edge_count == 0
+        # each pair's smaller endpoint was chosen
+        for base in range(0, 8, 2):
+            assert state.deg[base] == REMOVED
+
+    def test_path_chain_cascades(self):
+        g = path_graph(7)
+        state = fresh_state(g)
+        degree_one_rule_parallel(g, state)
+        assert state.edge_count == 0
+
+
+class TestDegreeTwoParallel:
+    def test_isolated_triangle_smallest_vertex_wins(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        state = fresh_state(g)
+        degree_two_triangle_rule_parallel(g, state)
+        # vertex 0's proposal wins: neighbours {1, 2} removed
+        assert state.deg[0] == 0
+        assert state.deg[1] == REMOVED and state.deg[2] == REMOVED
+
+    def test_two_disjoint_triangles(self):
+        t1 = CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        g = disjoint_union(t1, t1)
+        state = fresh_state(g)
+        degree_two_triangle_rule_parallel(g, state)
+        assert state.cover_size == 4
+        assert state.edge_count == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(4, 13), p=st.floats(0.15, 0.7), seed=st.integers(0, 500))
+def test_parallel_reductions_preserve_optimum(n, p, seed):
+    """The batch rules are exactly as strong as the serial ones."""
+    g = gnp(n, p, seed=seed)
+    opt_before, _ = brute_force_mvc(g)
+    state = fresh_state(g)
+    apply_reductions_parallel(g, state, mvc_formulation(g), Workspace.for_graph(g))
+    check_state_consistency(g, state)
+    alive = [v for v in range(n) if state.deg[v] >= 0]
+    opt_after, _ = brute_force_mvc(g.subgraph(alive))
+    assert state.cover_size + opt_after == opt_before
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(4, 14), p=st.floats(0.1, 0.6), seed=st.integers(0, 500))
+def test_parallel_and_serial_reach_same_residual_edge_count(n, p, seed):
+    """Both semantics fully eliminate the same reducible structures."""
+    from repro.core.reductions import apply_reductions
+
+    g = gnp(n, p, seed=seed)
+    a = fresh_state(g)
+    b = fresh_state(g)
+    apply_reductions(g, a, mvc_formulation(g), Workspace.for_graph(g))
+    apply_reductions_parallel(g, b, mvc_formulation(g), Workspace.for_graph(g))
+    # They may pick different cover vertices, but neither may leave a
+    # degree-one vertex or a reducible triangle behind.
+    for state in (a, b):
+        assert not np.any(state.deg == 1)

@@ -1,0 +1,172 @@
+"""Tests for the three reduction rules (serial semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute import brute_force_mvc
+from repro.core.formulation import BestBound, MVCFormulation, PVCFormulation, FoundFlag
+from repro.core.reductions import (
+    alive_pair,
+    apply_reductions,
+    degree_one_rule,
+    degree_two_triangle_rule,
+    first_alive_neighbor,
+    high_degree_rule,
+)
+from repro.core.stats import ReductionCounters
+from repro.core.verify import check_state_consistency
+from repro.graph.csr import CSRGraph
+from repro.graph.degree_array import REMOVED, Workspace, fresh_state
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import cycle_graph, path_graph, star_graph
+
+
+def mvc_formulation(graph, best=None):
+    return MVCFormulation(BestBound(size=best if best is not None else graph.n + 1))
+
+
+class TestDegreeOneRule:
+    def test_path2_takes_one_endpoint(self):
+        g = path_graph(2)
+        state = fresh_state(g)
+        changed = degree_one_rule(g, state)
+        assert changed
+        assert state.cover_size == 1
+        assert state.edge_count == 0
+
+    def test_star_takes_centre(self):
+        g = star_graph(5)
+        state = fresh_state(g)
+        degree_one_rule(g, state)
+        assert state.deg[0] == REMOVED          # the centre is forced in
+        assert state.cover_size == 1
+        assert state.edge_count == 0
+
+    def test_cascades_along_path(self):
+        g = path_graph(6)  # degree-one rule alone solves any path
+        state = fresh_state(g)
+        degree_one_rule(g, state)
+        assert state.edge_count == 0
+        assert state.cover_size == 3  # optimal for P6
+
+    def test_no_degree_one_vertices_no_change(self):
+        g = cycle_graph(5)
+        state = fresh_state(g)
+        assert not degree_one_rule(g, state)
+        assert state.cover_size == 0
+
+    def test_counters(self):
+        g = star_graph(3)
+        counters = ReductionCounters()
+        degree_one_rule(g, fresh_state(g), counters=counters)
+        assert counters.degree_one == 1
+
+
+class TestDegreeTwoTriangleRule:
+    def test_triangle_takes_two(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        state = fresh_state(g)
+        changed = degree_two_triangle_rule(g, state)
+        assert changed
+        assert state.cover_size == 2
+        assert state.edge_count == 0
+
+    def test_triangle_with_pendant_keeps_attached_vertices(self):
+        # triangle 0-1-2 plus edge 2-3: vertex 0 has degree 2, its
+        # neighbours 1,2 form a triangle -> {1,2} forced, covering 2-3 too.
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        state = fresh_state(g)
+        degree_two_triangle_rule(g, state)
+        assert state.deg[1] == REMOVED and state.deg[2] == REMOVED
+        assert state.edge_count == 0
+        assert state.cover_size == 2
+
+    def test_square_not_reduced(self):
+        g = cycle_graph(4)  # degree-two vertices but no triangle
+        state = fresh_state(g)
+        assert not degree_two_triangle_rule(g, state)
+
+    def test_alive_pair_helper(self):
+        g = cycle_graph(4)
+        state = fresh_state(g)
+        u, w = alive_pair(g, state.deg, 0)
+        assert {u, w} == {1, 3}
+
+    def test_first_alive_neighbor_raises_when_none(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        state = fresh_state(g)
+        state.deg[1] = REMOVED
+        with pytest.raises(ValueError):
+            first_alive_neighbor(g, state.deg, 0)
+
+
+class TestHighDegreeRule:
+    def test_fires_above_budget(self):
+        g = star_graph(6)
+        state = fresh_state(g)
+        # budget = best - |S| - 1 = 2: the centre (degree 6) must be taken
+        form = mvc_formulation(g, best=3)
+        changed = high_degree_rule(g, state, form)
+        assert changed
+        assert state.deg[0] == REMOVED
+        assert state.edge_count == 0
+
+    def test_noop_with_generous_budget(self):
+        g = star_graph(3)
+        state = fresh_state(g)
+        form = mvc_formulation(g)  # budget ~ n
+        assert not high_degree_rule(g, state, form)
+
+    def test_stops_when_budget_negative(self):
+        g = cycle_graph(5)
+        state = fresh_state(g)
+        state.cover_size = 10
+        form = mvc_formulation(g, best=3)  # budget < 0
+        assert not high_degree_rule(g, state, form)
+        # nothing was mass-removed
+        assert int(np.count_nonzero(state.deg == REMOVED)) == 0
+
+    def test_pvc_budget_uses_k(self):
+        g = star_graph(5)
+        state = fresh_state(g)
+        form = PVCFormulation(k=2, flag=FoundFlag())
+        high_degree_rule(g, state, form)
+        assert state.deg[0] == REMOVED  # degree 5 > k - |S| = 2
+
+
+class TestApplyReductions:
+    def test_fixed_point_reached(self):
+        g = gnp(20, 0.2, seed=3)
+        state = fresh_state(g)
+        ws = Workspace.for_graph(g)
+        apply_reductions(g, state, mvc_formulation(g), ws)
+        snapshot = state.deg.copy()
+        apply_reductions(g, state, mvc_formulation(g), ws)
+        assert np.array_equal(snapshot, state.deg)
+
+    def test_state_consistent_after_reduce(self):
+        for seed in range(5):
+            g = gnp(18, 0.3, seed=seed)
+            state = fresh_state(g)
+            apply_reductions(g, state, mvc_formulation(g), Workspace.for_graph(g))
+            check_state_consistency(g, state)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(4, 13), p=st.floats(0.15, 0.7), seed=st.integers(0, 500))
+def test_reductions_preserve_optimum(n, p, seed):
+    """Property: opt(G) == |forced set| + opt(reduced G).
+
+    This is the exactness guarantee of the degree-one / degree-two-triangle
+    rules (with an untightened bound the high-degree rule cannot fire).
+    """
+    g = gnp(n, p, seed=seed)
+    opt_before, _ = brute_force_mvc(g)
+    state = fresh_state(g)
+    apply_reductions(g, state, mvc_formulation(g), Workspace.for_graph(g))
+    alive = [v for v in range(n) if state.deg[v] >= 0]
+    sub = g.subgraph(alive)
+    opt_after, _ = brute_force_mvc(sub)
+    assert state.cover_size + opt_after == opt_before

@@ -1,0 +1,250 @@
+"""Tests for the cost model, DES scheduler, broker worklist, local stack
+and metrics aggregation."""
+
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.degree_array import fresh_state
+from repro.sim.broker import BrokerWorklist
+from repro.sim.costmodel import BRANCH_KINDS, KINDS, REDUCE_KINDS, WORK_DISTRIBUTION_KINDS, CostModel
+from repro.sim.local_stack import LocalStack, StackOverflowError
+from repro.sim.metrics import BlockMetrics, LaunchMetrics
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+class TestCostModel:
+    def test_all_kinds_priced(self):
+        cm = CostModel()
+        for kind in KINDS:
+            assert cm.op_cycles(kind, 10.0, 64) > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            CostModel().op_cycles("teleport", 1.0, 64)
+
+    def test_wider_blocks_cheaper_per_unit(self):
+        cm = CostModel()
+        narrow = cm.op_cycles("degree_one", 1000.0, 32)
+        wide = cm.op_cycles("degree_one", 1000.0, 256)
+        assert wide < narrow
+
+    def test_shared_memory_discount(self):
+        cm = CostModel()
+        shared = cm.op_cycles("degree_one", 1000.0, 64, use_shared=True)
+        glob = cm.op_cycles("degree_one", 1000.0, 64, use_shared=False)
+        assert shared < glob
+
+    def test_find_max_pays_reduction_tree(self):
+        cm = CostModel()
+        small = cm.op_cycles("find_max", 0.0, 32)
+        large = cm.op_cycles("find_max", 0.0, 1024)
+        assert large > small  # deeper tree
+
+    def test_scaled_copy(self):
+        cm = CostModel().scaled(2.0)
+        assert cm.op_cycles("degree_one", 100.0, 64) == pytest.approx(
+            2.0 * CostModel().op_cycles("degree_one", 100.0, 64)
+        )
+
+    def test_kind_partition_matches_fig6(self):
+        assert set(WORK_DISTRIBUTION_KINDS) | set(REDUCE_KINDS) | set(BRANCH_KINDS) \
+            == set(KINDS) - {"state_copy"}
+        assert len(WORK_DISTRIBUTION_KINDS) + len(REDUCE_KINDS) + len(BRANCH_KINDS) == 11
+
+
+class TestScheduler:
+    def test_single_program_runs_to_completion(self):
+        log = []
+
+        def prog():
+            log.append("a")
+            yield 5.0
+            log.append("b")
+
+        makespan = Simulator().run([prog()])
+        assert log == ["a", "b"]
+        assert makespan == 5.0
+
+    def test_interleaving_is_time_ordered(self):
+        log = []
+
+        def prog(name, delay):
+            yield delay
+            log.append(name)
+
+        Simulator().run([prog("slow", 10.0), prog("fast", 1.0)])
+        assert log == ["fast", "slow"]
+
+    def test_deterministic_tie_break(self):
+        order1, order2 = [], []
+
+        def prog(log, name):
+            yield 1.0
+            log.append(name)
+
+        Simulator().run([prog(order1, "a"), prog(order1, "b")])
+        Simulator().run([prog(order2, "a"), prog(order2, "b")])
+        assert order1 == order2
+
+    def test_negative_delay_rejected(self):
+        def prog():
+            yield -1.0
+
+        with pytest.raises(SimulationError, match="negative"):
+            Simulator().run([prog()])
+
+    def test_event_budget_guard(self):
+        def prog():
+            while True:
+                yield 1.0
+
+        with pytest.raises(SimulationError, match="stuck"):
+            Simulator(max_events=100).run([prog()])
+
+    def test_clock_published(self):
+        class Clock:
+            now = 0.0
+
+        clk = Clock()
+        seen = []
+
+        def prog():
+            yield 4.0
+            seen.append(clk.now)
+
+        Simulator().run([prog()], clocks=[clk])
+        assert seen == [4.0]
+
+
+def _state():
+    g = CSRGraph.from_edges(2, [(0, 1)])
+    return fresh_state(g)
+
+
+class TestBrokerWorklist:
+    def test_fifo_order(self):
+        wl = BrokerWorklist(capacity=4)
+        a, b = _state(), _state()
+        wl.add(a, 0.0)
+        wl.add(b, 0.0)
+        got, _ = wl.try_remove(0.0)
+        assert got is a
+
+    def test_capacity_rejection(self):
+        wl = BrokerWorklist(capacity=1)
+        assert wl.add(_state(), 0.0)[0] is True
+        accepted, _ = wl.add(_state(), 0.0)
+        assert accepted is False
+        assert wl.stats.rejected_adds == 1
+
+    def test_empty_remove_fails(self):
+        wl = BrokerWorklist(capacity=2)
+        got, _ = wl.try_remove(0.0)
+        assert got is None
+        assert wl.stats.failed_removes == 1
+
+    def test_contention_serialises(self):
+        wl = BrokerWorklist(capacity=8, serial_cycles=100.0)
+        _, c1 = wl.add(_state(), 0.0)
+        _, c2 = wl.add(_state(), 0.0)  # same instant: must stall
+        assert c2 > c1
+
+    def test_no_contention_after_gap(self):
+        wl = BrokerWorklist(capacity=8, serial_cycles=100.0)
+        _, c1 = wl.add(_state(), 0.0)
+        _, c2 = wl.add(_state(), 1000.0)
+        assert c2 == pytest.approx(c1)
+
+    def test_population_ledger(self):
+        wl = BrokerWorklist(capacity=8)
+        for _ in range(5):
+            wl.add(_state(), 0.0)
+        for _ in range(3):
+            wl.try_remove(0.0)
+        wl.audit()
+        assert wl.population == 2
+        assert wl.stats.peak_population == 5
+
+    def test_audit_catches_tampering(self):
+        wl = BrokerWorklist(capacity=8)
+        wl.add(_state(), 0.0)
+        wl.entries.pop()
+        with pytest.raises(AssertionError, match="ledger"):
+            wl.audit()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BrokerWorklist(capacity=0)
+
+
+class TestLocalStack:
+    def test_lifo(self):
+        stack = LocalStack(4)
+        a, b = _state(), _state()
+        stack.push(a)
+        stack.push(b)
+        assert stack.pop() is b
+        assert stack.pop() is a
+
+    def test_depth_bound_enforced(self):
+        stack = LocalStack(2)
+        stack.push(_state())
+        stack.push(_state())
+        with pytest.raises(StackOverflowError):
+            stack.push(_state())
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            LocalStack(2).pop()
+
+    def test_peak_tracking(self):
+        stack = LocalStack(5)
+        for _ in range(3):
+            stack.push(_state())
+        stack.pop()
+        assert stack.peak_depth == 3
+        assert stack.pushes == 3 and stack.pops == 1
+
+
+class TestMetrics:
+    def _metrics(self):
+        b0 = BlockMetrics(block_id=0, sm_id=0)
+        b1 = BlockMetrics(block_id=1, sm_id=1)
+        b0.nodes_visited = 30
+        b1.nodes_visited = 10
+        b0.charge("degree_one", 600.0)
+        b0.charge("wl_remove", 400.0)
+        b1.charge("degree_one", 100.0)
+        return LaunchMetrics(blocks=[b0, b1], num_sms=2)
+
+    def test_nodes_per_sm(self):
+        m = self._metrics()
+        assert m.nodes_per_sm().tolist() == [30, 10]
+        assert m.total_nodes() == 40
+
+    def test_normalized_load(self):
+        m = self._metrics()
+        assert m.normalized_load().tolist() == [1.5, 0.5]
+
+    def test_normalized_load_empty(self):
+        m = LaunchMetrics(blocks=[], num_sms=2)
+        assert m.normalized_load().tolist() == [0.0, 0.0]
+
+    def test_breakdown_is_per_block_mean(self):
+        m = self._metrics()
+        frac = m.breakdown_fractions()
+        # block0: 0.6 deg1; block1: 1.0 deg1 -> mean 0.8
+        assert frac["degree_one"] == pytest.approx(0.8)
+        assert frac["wl_remove"] == pytest.approx(0.2)
+
+    def test_cycles_by_kind_totals(self):
+        m = self._metrics()
+        totals = m.cycles_by_kind()
+        assert totals["degree_one"] == pytest.approx(700.0)
+
+    def test_idle_blocks_excluded_from_breakdown(self):
+        b0 = BlockMetrics(block_id=0, sm_id=0)
+        b0.charge("degree_one", 10.0)
+        idle = BlockMetrics(block_id=1, sm_id=1)
+        m = LaunchMetrics(blocks=[b0, idle], num_sms=2)
+        assert m.breakdown_fractions()["degree_one"] == pytest.approx(1.0)

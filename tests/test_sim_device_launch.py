@@ -1,0 +1,121 @@
+"""Tests for device specs and the Section IV-E launch-configuration logic."""
+
+import pytest
+
+from repro.sim.device import EPYC_LIKE, PRESETS, SMALL_SIM, TINY_SIM, V100, DeviceSpec
+from repro.sim.launch import (
+    next_pow2,
+    prev_pow2,
+    select_launch_config,
+    stack_entry_bytes,
+)
+
+
+class TestDeviceSpec:
+    def test_presets_exist(self):
+        assert set(PRESETS) == {"v100", "small", "tiny"}
+
+    def test_v100_shape(self):
+        assert V100.num_sms == 80
+        assert V100.max_resident_blocks() == 80 * 32
+
+    def test_cycles_to_seconds(self):
+        assert V100.cycles_to_seconds(V100.clock_mhz * 1e6) == pytest.approx(1.0)
+
+    def test_cpu_spec(self):
+        assert EPYC_LIKE.cycles_to_seconds(EPYC_LIKE.clock_mhz * 1e6) == pytest.approx(1.0)
+
+    def test_degenerate_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0, 2048, 32, 1, 1, 1, 1024)
+
+    def test_block_exceeding_sm_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 1, 512, 32, 1, 1, 1, 1024)
+
+
+class TestPow2Helpers:
+    def test_prev_pow2(self):
+        assert prev_pow2(1) == 1
+        assert prev_pow2(2) == 2
+        assert prev_pow2(3) == 2
+        assert prev_pow2(1024) == 1024
+        assert prev_pow2(1025) == 1024
+
+    def test_next_pow2(self):
+        assert next_pow2(1) == 1
+        assert next_pow2(3) == 4
+        assert next_pow2(64) == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            prev_pow2(0)
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+
+class TestLaunchConfig:
+    def test_block_size_is_power_of_two(self):
+        for n in (10, 100, 333, 5000):
+            cfg = select_launch_config(SMALL_SIM, n, 50)
+            assert cfg.block_size & (cfg.block_size - 1) == 0
+
+    def test_block_size_never_exceeds_vertex_pow2(self):
+        cfg = select_launch_config(V100, 100, 50)
+        assert cfg.block_size <= 64  # prev_pow2(100)
+
+    def test_small_graph_uses_warp_floor(self):
+        cfg = select_launch_config(SMALL_SIM, 5, 3)
+        assert cfg.block_size >= SMALL_SIM.warp_size or cfg.block_size == 32
+
+    def test_num_blocks_positive_and_bounded(self):
+        cfg = select_launch_config(SMALL_SIM, 200, 80)
+        assert 1 <= cfg.num_blocks <= SMALL_SIM.max_resident_blocks()
+
+    def test_stack_bytes_accounting(self):
+        cfg = select_launch_config(SMALL_SIM, 128, 40)
+        assert cfg.stack_bytes_per_block == stack_entry_bytes(128) * 40
+        assert cfg.global_stack_bytes() == cfg.stack_bytes_per_block * cfg.num_blocks
+        assert cfg.global_stack_bytes() <= SMALL_SIM.global_mem_bytes
+
+    def test_shared_memory_fallback_to_global_kernel(self):
+        # A graph too large for shared memory falls back to the
+        # global-memory kernel variant (Section IV-E's last paragraph).
+        big_n = SMALL_SIM.max_shared_mem_per_block // 4 + 100
+        cfg = select_launch_config(SMALL_SIM, big_n, 10)
+        assert not cfg.use_shared_mem
+
+    def test_global_memory_limits_blocks(self):
+        # Tiny device + deep stacks: the stack storage limit binds.
+        cfg = select_launch_config(TINY_SIM, 4000, 3000)
+        assert cfg.global_stack_bytes() <= TINY_SIM.global_mem_bytes
+
+    def test_impossible_launch_raises(self):
+        with pytest.raises(ValueError, match="global memory"):
+            select_launch_config(TINY_SIM, 3_000_000, 1_000_000)
+
+    def test_block_size_override_honoured(self):
+        cfg = select_launch_config(SMALL_SIM, 300, 50, block_size_override=128)
+        assert cfg.block_size == 128
+
+    def test_block_size_override_must_be_pow2(self):
+        with pytest.raises(ValueError, match="power of two"):
+            select_launch_config(SMALL_SIM, 300, 50, block_size_override=96)
+
+    def test_block_size_override_hw_limit(self):
+        with pytest.raises(ValueError, match="hardware"):
+            select_launch_config(SMALL_SIM, 300, 50, block_size_override=2048)
+
+    def test_force_shared_kernel(self):
+        cfg = select_launch_config(SMALL_SIM, 100, 20, force_shared=True)
+        assert cfg.use_shared_mem
+        cfg = select_launch_config(SMALL_SIM, 100, 20, force_shared=False)
+        assert not cfg.use_shared_mem
+
+    def test_depth_bound_floor(self):
+        cfg = select_launch_config(SMALL_SIM, 50, 0)
+        assert cfg.stack_depth_bound == 1
+
+    def test_total_threads(self):
+        cfg = select_launch_config(SMALL_SIM, 512, 100)
+        assert cfg.total_threads() == cfg.block_size * cfg.num_blocks

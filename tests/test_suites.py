@@ -1,0 +1,78 @@
+"""Tests for the paper-evaluation suite definition."""
+
+import pytest
+
+from repro.core.matching import konig_cover
+from repro.graph.generators.suites import (
+    HIGH_DEGREE,
+    LOW_DEGREE,
+    SCALES,
+    paper_suite,
+    suite_instance,
+)
+
+
+class TestSuiteShape:
+    def test_eighteen_instances_at_every_scale(self):
+        for scale in SCALES:
+            assert len(paper_suite(scale)) == 18
+
+    def test_category_split_matches_paper(self):
+        suite = paper_suite("tiny")
+        high = [i for i in suite if i.category == HIGH_DEGREE]
+        low = [i for i in suite if i.category == LOW_DEGREE]
+        assert len(high) == 13 and len(low) == 5
+
+    def test_names_unique(self):
+        names = [i.name for i in paper_suite("tiny")]
+        assert len(set(names)) == len(names)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            paper_suite("huge")
+
+    def test_lookup_by_name(self):
+        inst = suite_instance("p_hat_300_1", "tiny")
+        assert inst.category == HIGH_DEGREE
+        with pytest.raises(KeyError):
+            suite_instance("nope", "tiny")
+
+    def test_graph_memoised(self):
+        inst = suite_instance("p_hat_300_1", "tiny")
+        assert inst.graph() is inst.graph()
+
+
+class TestSuiteProperties:
+    def test_deterministic_generation(self):
+        a = suite_instance("sister_cities", "tiny").graph()
+        b = suite_instance("sister_cities", "tiny").graph()
+        assert a == b
+
+    def test_scales_are_ordered(self):
+        for name in ("p_hat_300_3", "us_power_grid", "vc_exact_023"):
+            tiny = suite_instance(name, "tiny").graph()
+            small = suite_instance(name, "small").graph()
+            assert tiny.n < small.n
+
+    def test_high_degree_exceeds_low_degree(self):
+        suite = paper_suite("tiny")
+        high = [i.graph().average_degree() for i in suite if i.category == HIGH_DEGREE]
+        low = [i.graph().average_degree() for i in suite if i.category == LOW_DEGREE]
+        assert min(high) > 4.0
+        assert max(low) < 8.0
+
+    def test_bipartite_flags_are_truthful(self):
+        for inst in paper_suite("tiny"):
+            if inst.bipartite:
+                assert konig_cover(inst.graph()) is not None, inst.name
+
+    def test_phat_tier_hardness_ordering_pre_complement(self):
+        # complements: tier-1 originals are densest post-complement
+        t1 = suite_instance("p_hat_300_1", "tiny").graph()
+        t3 = suite_instance("p_hat_300_3", "tiny").graph()
+        assert t1.average_degree() > t3.average_degree()
+
+    def test_all_graphs_nonempty(self):
+        for inst in paper_suite("tiny"):
+            g = inst.graph()
+            assert g.n > 0 and g.m > 0, inst.name
