@@ -12,6 +12,7 @@ suite::
     python -m repro ablation
     python -m repro solve --graph p_hat_300_3 --engine hybrid [--k 70]
     python -m repro suite            # list the evaluation suite
+    python -m repro bench            # hot-path micro-bench -> BENCH_micro.json
 """
 
 from __future__ import annotations
@@ -73,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node-budget", type=int, default=None)
 
     common(sub.add_parser("suite", help="list the evaluation suite"))
+
+    p = sub.add_parser("bench", help="micro-benchmark the substrate hot paths")
+    p.add_argument("--out", default="BENCH_micro.json",
+                   help="benchmark artifact path (see benchmarks/README.md for the schema)")
+    p.add_argument("--repeats", type=int, default=5, help="timing samples per case")
+    p.add_argument("--target-ms", type=float, default=50.0,
+                   help="approximate duration of one timing sample")
+    p.add_argument("--smoke", action="store_true",
+                   help="first run the pytest-benchmark suite with --benchmark-disable "
+                        "as a correctness smoke check")
     return parser
 
 
@@ -87,8 +98,43 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    cfg = _config(args)
     start = time.perf_counter()
+
+    if args.command == "bench":
+        import os
+
+        from .analysis.microbench import render_microbench, run_microbench, write_artifact
+
+        out_dir = os.path.dirname(os.path.abspath(args.out))
+        if not os.path.isdir(out_dir):
+            print(f"error: output directory does not exist: {out_dir}")
+            return 2
+
+        if args.smoke:
+            import subprocess
+            import sys as _sys
+            from pathlib import Path
+
+            bench_file = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_micro.py"
+            if not bench_file.exists():
+                print("error: --smoke needs the benchmarks/ directory of a source "
+                      f"checkout (not found at {bench_file.parent})")
+                return 2
+            smoke = subprocess.run(
+                [_sys.executable, "-m", "pytest", str(bench_file),
+                 "-q", "-o", "python_functions=bench_*", "--benchmark-disable"],
+            )
+            if smoke.returncode != 0:
+                print("benchmark smoke check FAILED; artifact not written")
+                return smoke.returncode
+        payload = run_microbench(repeats=args.repeats, target_s=args.target_ms / 1e3)
+        write_artifact(payload, args.out)
+        print(render_microbench(payload))
+        print(f"\nwrote {args.out}")
+        print(f"[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    cfg = _config(args)
 
     if args.command == "memory":
         from .analysis.memory import memory_report, render_memory_table

@@ -14,12 +14,14 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import (
+    REMOVED,
     VCState,
     Workspace,
     max_degree_vertex,
     remove_neighbors_into_cover,
     remove_vertex_into_cover,
 )
+from .kernels import SCALAR_KERNEL_MAX_M, SCALAR_KERNEL_MAX_N
 from .stats import ChargeFn, null_charge
 
 __all__ = [
@@ -66,6 +68,49 @@ PIVOTS: Dict[str, PivotFn] = {
 }
 
 
+def _expand_children_scalar(
+    graph: CSRGraph,
+    state: VCState,
+    vmax: int,
+    ws: Workspace,
+) -> Tuple[VCState, VCState]:
+    """Small-graph expansion in pure Python (same children, bit for bit).
+
+    Walking the cached adjacency tuples scales with the *alive* structure
+    around ``vmax`` instead of paying fixed vectorization overhead, which
+    is what dominates branch cost on small instances.  Sequentially
+    removing the members of ``N_alive(vmax)`` is equivalent to the batch
+    removal the vectorized path performs.
+    """
+    adj = graph.adjacency_tuples()
+    dl = state.deg.tolist()
+    # both children need N_alive(vmax); compute it once from the parent
+    live = [u for u in adj[vmax] if dl[u] >= 0]
+    # deferred child: remove every alive neighbour of vmax into the cover
+    # (sequential removal of the fixed set equals the batch removal; a
+    # member stays alive — merely decremented — until its own turn)
+    dl_def = dl.copy()
+    deleted = 0
+    for u in live:
+        dl_def[u] = REMOVED
+        for x in adj[u]:
+            dx = dl_def[x]
+            if dx >= 0:
+                deleted += 1
+                dl_def[x] = dx - 1
+    buf = ws.borrow_deg()
+    buf[:] = dl_def
+    deferred = VCState(buf, state.cover_size + len(live), state.edge_count - deleted)
+    # continued child: remove vmax alone (state is mutated in place)
+    for x in live:
+        dl[x] -= 1
+    dl[vmax] = REMOVED
+    state.deg[:] = dl
+    state.edge_count -= len(live)
+    state.cover_size += 1
+    return deferred, state
+
+
 def expand_children(
     graph: CSRGraph,
     state: VCState,
@@ -84,9 +129,23 @@ def expand_children(
       this child immediately (lines 27-29).
 
     ``state`` itself is mutated into the ``continued`` child to avoid one
-    copy; the deferred child is a fresh self-contained state.
+    copy; the deferred child is a fresh self-contained state whose degree
+    array comes from the workspace's buffer pool when one is supplied
+    (callers that prune states return the buffers via
+    :meth:`~repro.graph.degree_array.Workspace.release_deg`).
+
+    Uncharged small-graph calls take the scalar fast path; charged calls
+    keep the vectorized removals, whose work units are the cost meters.
     """
-    deferred = state.copy()
+    if (
+        charge is null_charge
+        and ws is not None
+        and ws.n == state.deg.size
+        and graph.n <= SCALAR_KERNEL_MAX_N
+        and graph.m <= SCALAR_KERNEL_MAX_M
+    ):
+        return _expand_children_scalar(graph, state, vmax, ws)
+    deferred = state.copy(ws)
     charge("state_copy", float(state.deg.size))
     deleted, n_removed = remove_neighbors_into_cover(graph, deferred.deg, vmax, ws)
     deferred.edge_count -= deleted

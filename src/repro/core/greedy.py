@@ -22,6 +22,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import (
+    REMOVED,
     VCState,
     Workspace,
     fresh_state,
@@ -29,6 +30,15 @@ from ..graph.degree_array import (
     remove_vertex_into_cover,
 )
 from .formulation import Formulation
+from .kernels import (
+    SCALAR_KERNEL_MAX_M,
+    SCALAR_KERNEL_MAX_N,
+    scalar_degree_one_exhaust,
+    scalar_degree_two_exhaust,
+    scalar_high_degree_exhaust,
+    scalar_remove,
+    scalar_seed,
+)
 from .reductions import degree_one_rule, degree_two_triangle_rule, high_degree_rule
 from .stats import ReductionCounters
 
@@ -65,12 +75,58 @@ class _TrivialBound(Formulation):
         return False
 
 
+def _greedy_cover_scalar(graph: CSRGraph) -> GreedyResult:
+    """The greedy pass in pure Python over cached adjacency tuples.
+
+    Fire-for-fire identical to the vectorized pass: the shared scalar
+    exhausts from :mod:`repro.core.kernels` run over dirty pending lists,
+    and each pick removes the lowest-id maximum-degree vertex.
+    """
+    adj = graph.adjacency_tuples()
+    dl = graph.degrees.tolist()
+    n = graph.n
+    edges = graph.m
+    cover = picks = 0
+    counters = ReductionCounters()
+    pending1, pending2, max_deg = scalar_seed(graph.degrees)
+    trivial_budget = lambda c: n - c  # noqa: E731 — _TrivialBound's budget
+    while edges > 0:
+        f1, e1 = scalar_degree_one_exhaust(adj, dl, pending1, pending2)
+        f2, e2 = scalar_degree_two_exhaust(adj, dl, pending1, pending2)
+        cover += f1 + 2 * f2
+        fh, eh, max_deg = scalar_high_degree_exhaust(
+            adj, dl, pending1, pending2, trivial_budget, cover, max_deg
+        )
+        cover += fh
+        edges -= e1 + e2 + eh
+        counters.degree_one += f1
+        counters.degree_two_triangle += 2 * f2
+        counters.high_degree += fh
+        if edges == 0:
+            break
+        # pick: lowest-id maximum-degree vertex (argmax semantics)
+        vmax = max(range(n), key=dl.__getitem__)
+        edges -= scalar_remove(adj, dl, vmax, pending1, pending2)
+        cover += 1
+        picks += 1
+    deg = np.asarray(dl, dtype=np.int32)
+    return GreedyResult(
+        size=cover,
+        cover=np.flatnonzero(deg == REMOVED).astype(np.int32),
+        max_degree_picks=picks,
+        reductions=counters,
+    )
+
+
 def greedy_cover(graph: CSRGraph, ws: Optional[Workspace] = None) -> GreedyResult:
     """Run the paper's greedy upper-bound heuristic.
 
     Returns a valid vertex cover; its size initialises ``best`` and bounds
-    the stack depth for the GPU launch configuration.
+    the stack depth for the GPU launch configuration.  Small graphs take
+    the scalar fast path (identical output).
     """
+    if graph.n <= SCALAR_KERNEL_MAX_N and graph.m <= SCALAR_KERNEL_MAX_M:
+        return _greedy_cover_scalar(graph)
     if ws is None:
         ws = Workspace.for_graph(graph)
     state = fresh_state(graph)

@@ -16,6 +16,17 @@ repeats.  The result is always a correct reduction (the serial rules'
 exchange arguments apply to every batch member independently), but the
 particular cover the search finds — and crucially the *work accounting* —
 matches what a cooperative thread block would do.
+
+The sweeps themselves now run on the vectorized kernel primitives
+(:mod:`repro.core.kernels`): one segment gather resolves every degree-one
+vertex's forced neighbour, and one batched binary search answers all
+triangle probes.  The batches, tie-breaks and the **charge stream are
+unchanged** — the simulated engines' cycle accounting (and therefore every
+reproduced table/figure) is bit-identical to the per-vertex
+implementation.  The only shortcut is taken when ``charge`` is the no-op
+:func:`~repro.core.stats.null_charge`: the per-candidate probe loop of the
+degree-two rule is skipped for candidates that cannot fire, which is
+invisible to both state and counters.
 """
 
 from __future__ import annotations
@@ -27,7 +38,8 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, remove_vertices_into_cover
 from .formulation import Formulation
-from .reductions import alive_pair, first_alive_neighbor, high_degree_rule
+from .kernels import alive_pairs, first_alive_neighbors
+from .reductions import high_degree_rule
 from .stats import ChargeFn, ReductionCounters, null_charge
 
 __all__ = [
@@ -44,7 +56,13 @@ def degree_one_rule_parallel(
     charge: ChargeFn = null_charge,
     counters: Optional[ReductionCounters] = None,
 ) -> bool:
-    """One-batch-per-sweep degree-one rule with the Section IV-D tie-breaks."""
+    """One-batch-per-sweep degree-one rule with the Section IV-D tie-breaks.
+
+    Fully vectorized: the forced-neighbour gather, the isolated-edge
+    ``min(u, v)`` arbitration and the shared-neighbour dedup all happen in
+    batch on the sweep snapshot (no sequential dependencies exist — the
+    batch is a pure function of the snapshot).
+    """
     deg = state.deg
     changed = False
     while True:
@@ -52,18 +70,10 @@ def degree_one_rule_parallel(
         charge("degree_one", float(deg.size))
         if ones.size == 0:
             return changed
-        ones_set = set(int(v) for v in ones)
-        targets: set[int] = set()
-        for v in ones:
-            v = int(v)
-            u = first_alive_neighbor(graph, deg, v)
-            if u in ones_set:
-                # isolated edge: both endpoints are degree one; the thread
-                # pair agrees to remove only the smaller-id endpoint.
-                targets.add(min(u, v))
-            else:
-                targets.add(u)
-        batch = np.fromiter(sorted(targets), dtype=np.int64, count=len(targets))
+        forced = first_alive_neighbors(graph, deg, ones).astype(np.int64)
+        # isolated edge (the forced neighbour is itself degree one): the
+        # thread pair agrees to remove only the smaller-id endpoint.
+        batch = np.unique(np.where(deg[forced] == 1, np.minimum(forced, ones), forced))
         work = int(deg[batch].sum())
         state.edge_count -= remove_vertices_into_cover(graph, deg, batch, ws)
         state.cover_size += int(batch.size)
@@ -85,26 +95,42 @@ def degree_two_triangle_rule_parallel(
     Proposals are processed in ascending vertex-id order within a sweep and
     re-validated against the current degrees, which is exactly the effect of
     the paper's "only the vertex with the smaller vertex ID removes its
-    neighbours" arbitration.
+    neighbours" arbitration.  Alive pairs and triangle probes come from the
+    snapshot in one vectorized batch; a candidate whose degree is still 2 at
+    its turn has an unchanged pair, so the snapshot is exact.
     """
     deg = state.deg
     changed = False
+    pair = ws.pair_buf if ws is not None else np.empty(2, dtype=np.int64)
+    emit_probes = charge is not null_charge
     while True:
         twos = np.flatnonzero(deg == 2)
         charge("degree_two_triangle", float(deg.size))
         if twos.size == 0:
             return changed
+        u, w = alive_pairs(graph, deg, twos)
+        tri = graph.has_edges(u, w)
+        if emit_probes:
+            # Walk every candidate so each deg-2 vertex's adjacency probe
+            # is charged exactly as a thread block would pay it.
+            cand_ids, u_ids, w_ids = twos.tolist(), u.tolist(), w.tolist()
+            tri_flags = tri.tolist()
+        else:
+            cand_ids, u_ids, w_ids = twos[tri].tolist(), u[tri].tolist(), w[tri].tolist()
+            tri_flags = None
         progressed = False
-        for v in twos:  # ascending ids: deterministic arbitration order
-            v = int(v)
+        for i in range(len(cand_ids)):
+            v = cand_ids[i]
             if deg[v] != 2:
                 continue  # lost the arbitration to a smaller-id vertex
-            u, w = alive_pair(graph, deg, v)
-            charge("degree_two_triangle", 1.0)
-            if not graph.has_edge(u, w):
-                continue
-            work = int(deg[u]) + int(deg[w])
-            state.edge_count -= remove_vertices_into_cover(graph, deg, [u, w], ws)
+            if tri_flags is not None:
+                charge("degree_two_triangle", 1.0)
+                if not tri_flags[i]:
+                    continue
+            uu, ww = u_ids[i], w_ids[i]
+            work = int(deg[uu]) + int(deg[ww])
+            pair[0], pair[1] = uu, ww
+            state.edge_count -= remove_vertices_into_cover(graph, deg, pair, ws)
             state.cover_size += 2
             charge("degree_two_triangle", float(work))
             if counters is not None:

@@ -14,6 +14,13 @@ turn, and the whole cascade repeats while anything changed):
 degree-array entries it scanned and how much neighbour-update work the
 forced removals caused, in abstract work units that
 :class:`repro.sim.costmodel.CostModel` converts into cycles.
+
+The per-vertex rules here are the **verification reference**: readable,
+charge-exact, and deliberately naive.  The production hot path is the
+vectorized, dirty-worklist cascade in :mod:`repro.core.kernels`, which
+reaches a bit-identical fixpoint; :func:`apply_reductions` now delegates
+to it, while :func:`apply_reductions_reference` keeps the original
+cascade for equivalence tests and cost-model instrumented runs.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from ..graph.degree_array import (
     remove_vertices_into_cover,
 )
 from .formulation import Formulation
+from .kernels import apply_reductions_fast
 from .stats import ChargeFn, ReductionCounters, null_charge
 
 __all__ = [
@@ -37,6 +45,7 @@ __all__ = [
     "degree_two_triangle_rule",
     "high_degree_rule",
     "apply_reductions",
+    "apply_reductions_reference",
     "first_alive_neighbor",
     "alive_pair",
 ]
@@ -109,6 +118,7 @@ def degree_two_triangle_rule(
         if twos.size == 0:
             return changed
         progressed = False
+        pair = ws.pair_buf if ws is not None else np.empty(2, dtype=np.int64)
         for v in twos:
             if deg[v] != 2:
                 continue
@@ -117,7 +127,8 @@ def degree_two_triangle_rule(
             if not graph.has_edge(u, w):
                 continue
             work = int(deg[u]) + int(deg[w])
-            state.edge_count -= remove_vertices_into_cover(graph, deg, [u, w], ws)
+            pair[0], pair[1] = u, w
+            state.edge_count -= remove_vertices_into_cover(graph, deg, pair, ws)
             state.cover_size += 2
             charge("degree_two_triangle", float(work))
             if counters is not None:
@@ -161,7 +172,7 @@ def high_degree_rule(
         changed = True
 
 
-def apply_reductions(
+def apply_reductions_reference(
     graph: CSRGraph,
     state: VCState,
     formulation: Formulation,
@@ -169,7 +180,11 @@ def apply_reductions(
     charge: ChargeFn = null_charge,
     counters: Optional[ReductionCounters] = None,
 ) -> None:
-    """Fig. 1's ``reduce``: cascade the three rules until a fixed point."""
+    """Fig. 1's ``reduce``: cascade the three rules until a fixed point.
+
+    The original per-vertex implementation, kept as the verification
+    reference and as the exact work-unit meter for cost-model runs.
+    """
     while True:
         changed = degree_one_rule(graph, state, ws, charge, counters)
         changed |= degree_two_triangle_rule(graph, state, ws, charge, counters)
@@ -178,3 +193,9 @@ def apply_reductions(
             counters.sweeps += 1
         if not changed:
             return
+
+
+#: The default ``reduce``: the vectorized dirty-worklist cascade, which
+#: reaches the same fixpoint as :func:`apply_reductions_reference` (the
+#: property tests in ``tests/test_kernels.py`` enforce this bit-for-bit).
+apply_reductions = apply_reductions_fast

@@ -23,7 +23,8 @@ from ..graph.degree_array import VCState, Workspace, fresh_state
 from .branching import PivotFn, expand_children, max_degree_pivot
 from .formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from .greedy import greedy_cover
-from .reductions import apply_reductions
+from .kernels import apply_reductions_fast
+from .reductions import apply_reductions_reference
 from .stats import ChargeFn, SearchStats, null_charge
 
 __all__ = ["SearchOutcome", "branch_and_reduce", "solve_mvc_sequential", "solve_pvc_sequential"]
@@ -54,6 +55,7 @@ def branch_and_reduce(
     stats: Optional[SearchStats] = None,
     charge: ChargeFn = null_charge,
     should_stop: Optional[Callable[[], bool]] = None,
+    reducer: Optional[Callable[..., None]] = None,
 ) -> SearchStats:
     """Exhaust the search tree under ``formulation`` starting from ``root``.
 
@@ -63,11 +65,19 @@ def branch_and_reduce(
     ``charge`` receives the same work-unit stream the GPU engines emit,
     which is how the harness prices the Sequential baseline through the
     CPU cost model for Table I.
+
+    ``reducer`` picks the reduction cascade.  By default uncharged runs use
+    the vectorized dirty-worklist kernels (the wall-clock hot path), while
+    charged runs keep the reference rules, whose per-sweep charge stream
+    *is* the Table I work meter.  Both reach the same fixpoint, so results
+    never depend on the choice.
     """
     if ws is None:
         ws = Workspace.for_graph(graph)
     if stats is None:
         stats = SearchStats()
+    if reducer is None:
+        reducer = apply_reductions_fast if charge is null_charge else apply_reductions_reference
     stack: List[VCState] = []
     current: Optional[VCState] = root if root is not None else fresh_state(graph)
     depth = 0
@@ -86,15 +96,17 @@ def branch_and_reduce(
             stats.extra["timed_out"] = 1.0
             break
         stats.nodes_visited += 1
-        apply_reductions(graph, current, formulation, ws, charge=charge, counters=stats.reductions)
+        reducer(graph, current, formulation, ws, charge=charge, counters=stats.reductions)
         if formulation.prune(current):
             stats.prunes += 1
+            ws.release_deg(current.deg)  # dead branch: recycle its buffer
             current = None
             continue
         charge("find_max", float(graph.n))
         if current.edge_count == 0:
             stats.solutions_found += 1
             stop_all = formulation.accept(current)
+            ws.release_deg(current.deg)  # accept() extracted the cover
             current = None
             if stop_all:
                 break

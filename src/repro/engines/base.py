@@ -268,12 +268,14 @@ class SimEngineBase:
             shared.graph, state, shared.formulation, ctx.ws, charge=ctx.charge_units
         )
         if shared.formulation.prune(state):
+            ctx.ws.release_deg(state.deg)  # dead node: recycle its buffer
             return PRUNED
         ctx.charge_units("find_max", float(shared.graph.n))
         vmax = max_degree_vertex(state.deg)
         if state.deg[vmax] <= 0:
             # No edges remain: a vertex cover has been found (Fig. 4 line 17).
             shared.formulation.accept(state)
+            ctx.ws.release_deg(state.deg)  # accept() extracted the cover
             return SOLUTION
         deferred, continued = expand_children(shared.graph, state, vmax, ctx.ws, charge=ctx.charge_units)
         return deferred, continued

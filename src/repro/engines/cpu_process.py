@@ -169,10 +169,12 @@ def _process_worker(
             flush_nodes()
         apply_reductions(graph, current, formulation, ws)
         if formulation.prune(current):
+            ws.release_deg(current.deg)  # dead branch: recycle into this worker's pool
             current = None
             continue
         if current.edge_count == 0:
-            formulation.accept(current)
+            formulation.accept(current)  # accept() deep-copies the state
+            ws.release_deg(current.deg)
             current = None
             continue
         vmax = max_degree_vertex(current.deg)

@@ -27,6 +27,7 @@ import numpy as np
 from ..core.branching import expand_children
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.greedy import greedy_cover
+from ..core.kernels import SCALAR_KERNEL_MAX_M, SCALAR_KERNEL_MAX_N
 from ..core.reductions import apply_reductions
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
@@ -133,6 +134,7 @@ def _worker(
         node_counts[wid] += 1
         apply_reductions(graph, current, formulation, ws)
         if formulation.prune(current):
+            ws.release_deg(current.deg)  # dead branch: recycle into this worker's pool
             current = None
             continue
         if current.edge_count == 0:
@@ -140,6 +142,7 @@ def _worker(
                 stop_all = formulation.accept(current)
                 if stop_all:
                     shared.cond.notify_all()
+            ws.release_deg(current.deg)  # accept() extracted the cover under the lock
             current = None
             continue
         vmax = max_degree_vertex(current.deg)
@@ -157,6 +160,9 @@ def _run_threads(
 ) -> tuple[_ThreadShared, List[int], float]:
     shared = _ThreadShared(n_workers, threshold, node_budget)
     shared.queue.append(fresh_state(graph))
+    # Build the graph's lazy query caches here, before workers exist, so
+    # the worker threads only ever read them.
+    graph.prewarm(adjacency=graph.n <= SCALAR_KERNEL_MAX_N and graph.m <= SCALAR_KERNEL_MAX_M)
     node_counts = [0] * n_workers
     threads = [
         threading.Thread(

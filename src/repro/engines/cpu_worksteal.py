@@ -26,6 +26,7 @@ import numpy as np
 from ..core.branching import expand_children
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.greedy import greedy_cover
+from ..core.kernels import SCALAR_KERNEL_MAX_M, SCALAR_KERNEL_MAX_N
 from ..core.reductions import apply_reductions
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
@@ -122,11 +123,13 @@ def _steal_worker(
         node_counts[wid] += 1
         apply_reductions(graph, current, formulation, ws)
         if formulation.prune(current):
+            ws.release_deg(current.deg)  # dead branch: recycle into this worker's pool
             current = None
             continue
         if current.edge_count == 0:
             with shared.lock:
                 formulation.accept(current)
+            ws.release_deg(current.deg)  # accept() extracted what it needs
             current = None
             continue
         vmax = max_degree_vertex(current.deg)
@@ -144,6 +147,8 @@ def _run_worksteal(
 ) -> tuple[_StealShared, List[int], float]:
     shared = _StealShared(n_workers, node_budget, seed)
     shared.deques[0].append(fresh_state(graph))
+    # Build the graph's lazy query caches before any worker can race them.
+    graph.prewarm(adjacency=graph.n <= SCALAR_KERNEL_MAX_N and graph.m <= SCALAR_KERNEL_MAX_M)
     node_counts = [0] * n_workers
     threads = [
         threading.Thread(target=_steal_worker,

@@ -217,6 +217,9 @@ class StackOnlyEngine(SimEngineBase):
                     # 0 -> the G - vmax child, 1 -> the G - N(vmax) child.
                     take_deferred = (idx >> (depth - 1 - level)) & 1
                     state = deferred if take_deferred else continued
+                    # the untaken sibling dies here; recycle its buffer
+                    dropped = continued if take_deferred else deferred
+                    ctx.ws.release_deg(dropped.deg)
                     if shared.stop_search():
                         dead = True
                         stopped = True

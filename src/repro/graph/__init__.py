@@ -3,6 +3,7 @@
 from .csr import CSRGraph
 from .degree_array import (
     REMOVED,
+    DirtyQueue,
     VCState,
     Workspace,
     fresh_state,
@@ -16,6 +17,7 @@ from .degree_array import (
 __all__ = [
     "CSRGraph",
     "REMOVED",
+    "DirtyQueue",
     "VCState",
     "Workspace",
     "fresh_state",

@@ -8,6 +8,13 @@ degree arrays layered on top of this structure (see
 The adjacency list of every vertex is stored sorted ascending, which lets
 :meth:`CSRGraph.has_edge` run as a binary search — the degree-two-triangle
 reduction rule relies on fast adjacency tests.
+
+Batched access is first-class: :meth:`CSRGraph.row_segments` gathers the
+adjacency rows of a whole vertex batch as one flat array plus segment
+offsets, and :meth:`CSRGraph.has_edges` answers many adjacency queries with
+a single binary search over a lazily cached, globally sorted edge-key
+array.  The vectorized reduction kernels (:mod:`repro.core.kernels`) are
+built entirely from these two primitives.
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ class CSRGraph:
     paper's kernels never modify) raises immediately.
     """
 
-    __slots__ = ("indptr", "indices", "n", "m", "_degrees")
+    __slots__ = ("indptr", "indices", "n", "m", "_degrees", "_edge_keys", "_adj_tuples")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         indptr = np.asarray(indptr, dtype=np.int64)
@@ -59,6 +66,8 @@ class CSRGraph:
             raise ValueError("indices length must be even for an undirected graph")
         self.m = int(indices.size // 2)
         self._degrees = np.diff(indptr).astype(np.int32)
+        self._edge_keys = None  # lazy sorted (u * n + v) keys for has_edges
+        self._adj_tuples = None  # lazy tuple-of-tuples adjacency for scalar kernels
         if validate:
             self._validate()
         self.indptr.setflags(write=False)
@@ -77,23 +86,25 @@ class CSRGraph:
         if n < 0:
             raise ValueError("n must be non-negative")
         pairs = _canonical_edge_array(n, edges)
-        deg = np.zeros(n, dtype=np.int64)
-        if pairs.size:
-            np.add.at(deg, pairs[:, 0], 1)
-            np.add.at(deg, pairs[:, 1], 1)
+        return cls._from_pairs(n, pairs, validate=validate)
+
+    @classmethod
+    def _from_pairs(cls, n: int, pairs: np.ndarray, *, validate: bool = False) -> "CSRGraph":
+        """Build from a canonical ``(m, 2)`` int64 edge array (``u < v`` rows).
+
+        Fully vectorized: both half-edge orientations are materialised and
+        lexsorted by ``(src, dst)``, which yields the flat ``indices`` array
+        directly with every row already sorted ascending.
+        """
+        if pairs.size == 0:
+            return cls(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int32),
+                       validate=validate)
+        src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        order = np.lexsort((dst, src))
+        indices = dst[order].astype(np.int32)
         indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(deg, out=indptr[1:])
-        indices = np.empty(int(indptr[-1]), dtype=np.int32)
-        cursor = indptr[:-1].copy()
-        for u, v in pairs:
-            indices[cursor[u]] = v
-            cursor[u] += 1
-            indices[cursor[v]] = u
-            cursor[v] += 1
-        # sort each adjacency row so has_edge can binary search
-        for v in range(n):
-            lo, hi = indptr[v], indptr[v + 1]
-            indices[lo:hi] = np.sort(indices[lo:hi])
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
         return cls(indptr, indices, validate=validate)
 
     @classmethod
@@ -133,6 +144,93 @@ class CSRGraph:
         pos = int(np.searchsorted(row, v))
         return pos < row.size and int(row[pos]) == v
 
+    def row_segments(self, verts: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather the adjacency rows of a vertex batch in one shot.
+
+        Returns ``(flat, counts, offsets)`` where ``flat`` is the
+        concatenation of the neighbour lists of ``verts`` (in batch order,
+        each row sorted ascending), ``counts[i]`` is the degree of
+        ``verts[i]`` and ``flat[offsets[i]:offsets[i + 1]]`` is its row.
+        This replaces per-vertex ``neighbors()`` loops in the hot kernels.
+        """
+        verts = np.asarray(verts, dtype=np.int64)
+        starts = self.indptr[verts]
+        counts = self.indptr[verts + 1] - starts
+        offsets = np.zeros(verts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return np.empty(0, dtype=np.int32), counts, offsets
+        pos = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets[:-1], counts)
+        return self.indices[pos], counts, offsets
+
+    def _sorted_edge_keys(self) -> np.ndarray:
+        """Lazily built, globally sorted ``u * n + v`` key per half-edge.
+
+        Rows are sorted and laid out in vertex order, so the flat key array
+        is globally ascending without any extra sort.
+        """
+        if self._edge_keys is None:
+            src = np.repeat(np.arange(self.n, dtype=np.int64), self._degrees)
+            keys = src * self.n + self.indices
+            keys.setflags(write=False)
+            self._edge_keys = keys
+        return self._edge_keys
+
+    def adjacency_tuples(self) -> tuple:
+        """Adjacency as a lazily cached tuple of sorted int tuples.
+
+        Plain-Python adjacency is what makes the scalar small-graph
+        reduction path (:mod:`repro.core.kernels`) fast: iterating a tuple
+        of ints costs nanoseconds per step where indexing a NumPy row pays
+        scalar-boxing overhead.  Only ever built for small graphs — large
+        ones take the vectorized path instead.
+        """
+        if self._adj_tuples is None:
+            flat = self.indices.tolist()
+            ptr = self.indptr.tolist()
+            self._adj_tuples = tuple(
+                tuple(flat[ptr[v] : ptr[v + 1]]) for v in range(self.n)
+            )
+        return self._adj_tuples
+
+    def prewarm(self, *, adjacency: bool = False) -> None:
+        """Build the lazy query caches up front.
+
+        Thread-spawning engines call this from the launching thread so
+        concurrent workers only ever read the caches instead of racing
+        the lazy initialisers (redundant builds under the GIL, a genuine
+        data race without it).  ``adjacency`` additionally builds the
+        plain-Python adjacency used by the scalar kernels — skip it for
+        large graphs, which never take the scalar path.
+        """
+        self._sorted_edge_keys()
+        if adjacency:
+            self.adjacency_tuples()
+
+    def has_edges(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorized adjacency test: ``out[i]`` iff ``us[i]~vs[i]`` is an edge.
+
+        One binary search over the cached sorted edge-key array answers the
+        whole batch — the bulk form of :meth:`has_edge` that the batched
+        degree-two-triangle kernel relies on.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.size == 0:
+            return np.zeros(0, dtype=bool)
+        keys = self._sorted_edge_keys()
+        if keys.size == 0:
+            return np.zeros(us.shape, dtype=bool)
+        n = self.n
+        # Out-of-range ids must answer False (as has_edge's row lookup
+        # would), not alias onto a valid u * n + v key.
+        valid = (us >= 0) & (us < n) & (vs >= 0) & (vs < n)
+        queries = us * n + vs
+        pos = np.searchsorted(keys, queries)
+        pos[pos == keys.size] = keys.size - 1
+        return (keys[pos] == queries) & valid
+
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate each undirected edge exactly once as ``(u, v)`` with ``u < v``."""
         for u in range(self.n):
@@ -160,27 +258,23 @@ class CSRGraph:
     # derived graphs
     # ------------------------------------------------------------------ #
     def complement(self) -> "CSRGraph":
-        """The complement graph (the paper complements DIMACS instances)."""
+        """The complement graph (the paper complements DIMACS instances).
+
+        Built via a dense adjacency mask (the complement is inherently
+        :math:`O(n^2)`-sized); ``np.nonzero`` on the row-major mask yields
+        the flat CSR indices with every row already sorted.
+        """
         n = self.n
-        rows = []
-        total = 0
-        full = np.arange(n, dtype=np.int32)
-        for v in range(n):
-            nbrs = self.neighbors(v)
-            keep = np.ones(n, dtype=bool)
-            keep[nbrs] = False
-            keep[v] = False
-            row = full[keep]
-            rows.append(row)
-            total += row.size
+        if n == 0:
+            return CSRGraph.empty(0)
+        present = np.zeros((n, n), dtype=bool)
+        src = np.repeat(np.arange(n, dtype=np.int64), self._degrees)
+        present[src, self.indices] = True
+        np.fill_diagonal(present, True)
+        rows, cols = np.nonzero(~present)
         indptr = np.zeros(n + 1, dtype=np.int64)
-        indices = np.empty(total, dtype=np.int32)
-        pos = 0
-        for v, row in enumerate(rows):
-            indices[pos : pos + row.size] = row
-            pos += row.size
-            indptr[v + 1] = pos
-        return CSRGraph(indptr, indices, validate=False)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+        return CSRGraph(indptr, cols.astype(np.int32), validate=False)
 
     def subgraph(self, keep: Sequence[int]) -> "CSRGraph":
         """The induced subgraph ``G[keep]`` with vertices relabelled 0..len-1."""
@@ -189,14 +283,13 @@ class CSRGraph:
             raise ValueError("subgraph vertices out of range")
         relabel = -np.ones(self.n, dtype=np.int64)
         relabel[keep_arr] = np.arange(keep_arr.size)
-        edges = []
-        for u in keep_arr:
-            ru = relabel[u]
-            for v in self.neighbors(int(u)):
-                rv = relabel[v]
-                if rv >= 0 and ru < rv:
-                    edges.append((int(ru), int(rv)))
-        return CSRGraph.from_edges(keep_arr.size, edges, validate=False)
+        flat, counts, _ = self.row_segments(keep_arr)
+        src = np.repeat(relabel[keep_arr], counts)
+        dst = relabel[flat]
+        mask = (dst >= 0) & (src < dst)
+        pairs = np.stack([src[mask], dst[mask]], axis=1) if flat.size else \
+            np.empty((0, 2), dtype=np.int64)
+        return CSRGraph._from_pairs(int(keep_arr.size), pairs)
 
     # ------------------------------------------------------------------ #
     # dunder / misc

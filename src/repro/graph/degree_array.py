@@ -11,12 +11,27 @@ This module provides the representation plus the batched removal operations
 every engine uses.  All operations mutate ``deg`` in place and return the
 number of edges they deleted so that callers can maintain an incremental
 edge count (the paper keeps an analogous deleted-vertex counter).
+
+Two hot-path facilities live here as well:
+
+* :class:`DirtyQueue` — a deduplicating worklist of vertices whose degree
+  changed.  The removal helpers push every decremented neighbour into the
+  queues they are handed, which is what lets the vectorized reduction
+  kernels (:mod:`repro.core.kernels`) re-examine only *dirty* vertices
+  instead of rescanning the whole degree array every sweep.
+* a pooled degree-array buffer on :class:`Workspace`
+  (:meth:`Workspace.borrow_deg` / :meth:`Workspace.release_deg`), so the
+  branch step's state copies recycle buffers instead of allocating a fresh
+  array per tree node.
+
+Removal validation (duplicate / already-removed batch members) is off on
+the hot path; pass ``debug=True`` to re-enable it, as the tests do.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +39,7 @@ from .csr import CSRGraph
 
 __all__ = [
     "REMOVED",
+    "DirtyQueue",
     "Workspace",
     "VCState",
     "fresh_state",
@@ -40,6 +56,59 @@ __all__ = [
 #: Sentinel degree value marking "removed from the graph, added to S".
 REMOVED: int = -1
 
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_I64.setflags(write=False)
+
+#: Upper bound on pooled degree arrays kept per workspace.
+_DEG_POOL_CAP = 64
+
+
+class DirtyQueue:
+    """Worklist of vertices whose degree recently changed.
+
+    ``push`` appends an id array as-is — duplicates (within a push or
+    across pushes) are fine, so removal hot paths enqueue raw adjacency
+    gathers without paying for dedup.  ``drain_sorted`` settles the debt
+    once per sweep: it hands back the pending ids deduplicated in
+    ascending order and resets the queue.  The buffer grows geometrically
+    and is bounded in practice by the degree decrements of one sweep.
+    """
+
+    __slots__ = ("buf", "count")
+
+    def __init__(self, n: int):
+        self.buf = np.empty(max(n, 16), dtype=np.int64)
+        self.count = 0
+
+    def push(self, verts: np.ndarray) -> None:
+        """Append ``verts`` (any int dtype, duplicates allowed)."""
+        k = verts.size
+        if k == 0:
+            return
+        need = self.count + k
+        if need > self.buf.size:
+            grown = np.empty(max(need, 2 * self.buf.size), dtype=np.int64)
+            grown[: self.count] = self.buf[: self.count]
+            self.buf = grown
+        self.buf[self.count : need] = verts
+        self.count = need
+
+    def drain_sorted(self) -> np.ndarray:
+        """The pending vertices, deduplicated ascending; empties the queue."""
+        if self.count == 0:
+            return _EMPTY_I64
+        out = np.unique(self.buf[: self.count])
+        self.count = 0
+        return out
+
+    def clear(self) -> None:
+        self.count = 0
+
+    def seed(self, verts: np.ndarray) -> None:
+        """Reset and fill with ``verts``."""
+        self.count = 0
+        self.push(verts)
+
 
 @dataclass
 class Workspace:
@@ -47,18 +116,53 @@ class Workspace:
 
     Allocating boolean masks per operation dominates runtime for small
     graphs; engines allocate one workspace per traversal and reuse it
-    (the HPC guides' "be easy on the memory" rule).
+    (the HPC guides' "be easy on the memory" rule).  Besides the batch
+    mask this carries a two-slot pair buffer (the degree-two-triangle
+    rules' ``{u, w}`` batches), the lazily created dirty queues of the
+    vectorized kernels, and a bounded pool of recycled degree arrays for
+    the branch step's state copies.
     """
 
     n: int
     in_batch: np.ndarray = field(init=False)
+    pair_buf: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         self.in_batch = np.zeros(self.n, dtype=bool)
+        self.pair_buf = np.empty(2, dtype=np.int64)
+        self._dirty: Optional[Tuple[DirtyQueue, DirtyQueue]] = None
+        self._deg_pool: List[np.ndarray] = []
 
     @classmethod
     def for_graph(cls, graph: CSRGraph) -> "Workspace":
         return cls(graph.n)
+
+    def dirty_queues(self) -> Tuple["DirtyQueue", "DirtyQueue"]:
+        """The (degree-one, degree-two) candidate queues, created on demand."""
+        if self._dirty is None:
+            self._dirty = (DirtyQueue(self.n), DirtyQueue(self.n))
+        return self._dirty
+
+    def borrow_deg(self) -> np.ndarray:
+        """A degree-array buffer: recycled if available, else freshly allocated."""
+        if self._deg_pool:
+            return self._deg_pool.pop()
+        return np.empty(self.n, dtype=np.int32)
+
+    def release_deg(self, deg: np.ndarray) -> None:
+        """Return a dead state's degree array to the pool.
+
+        The caller asserts exclusive ownership: nothing may read ``deg``
+        after this call.  Foreign arrays (wrong size/dtype, read-only) are
+        silently dropped so callers need not special-case them.
+        """
+        if (
+            deg.size == self.n
+            and deg.dtype == np.int32
+            and deg.flags.writeable
+            and len(self._deg_pool) < _DEG_POOL_CAP
+        ):
+            self._deg_pool.append(deg)
 
 
 @dataclass
@@ -73,8 +177,17 @@ class VCState:
     cover_size: int
     edge_count: int
 
-    def copy(self) -> "VCState":
-        """A deep copy — pushed states must not alias the working state."""
+    def copy(self, ws: Optional["Workspace"] = None) -> "VCState":
+        """A deep copy — pushed states must not alias the working state.
+
+        With a workspace, the degree array comes from its buffer pool
+        (filled by :meth:`Workspace.release_deg` when states die), which
+        keeps the branch step allocation-free in steady state.
+        """
+        if ws is not None and ws.n == self.deg.size:
+            buf = ws.borrow_deg()
+            np.copyto(buf, self.deg)
+            return VCState(buf, self.cover_size, self.edge_count)
         return VCState(self.deg.copy(), self.cover_size, self.edge_count)
 
     def cover(self) -> np.ndarray:
@@ -128,11 +241,17 @@ def alive_neighbors(graph: CSRGraph, deg: np.ndarray, v: int) -> np.ndarray:
     return nbrs[deg[nbrs] >= 0]
 
 
-def remove_vertex_into_cover(graph: CSRGraph, deg: np.ndarray, v: int) -> int:
+def remove_vertex_into_cover(
+    graph: CSRGraph,
+    deg: np.ndarray,
+    v: int,
+    dirty: Optional[Sequence[DirtyQueue]] = None,
+) -> int:
     """Remove one alive vertex into the cover; return edges deleted.
 
     Mirrors the paper's single-vertex removal (Fig. 4 lines 27-28): set the
-    sentinel, then decrement every alive neighbour's degree.
+    sentinel, then decrement every alive neighbour's degree.  Decremented
+    neighbours are pushed into every queue in ``dirty``.
     """
     dv = int(deg[v])
     if dv < 0:
@@ -142,6 +261,13 @@ def remove_vertex_into_cover(graph: CSRGraph, deg: np.ndarray, v: int) -> int:
         nbrs = graph.neighbors(v)
         live = nbrs[deg[nbrs] >= 0]
         deg[live] -= 1
+        if dirty is not None:
+            # Only vertices arriving at degree <= 2 can ever become rule
+            # candidates, and any later decrement re-pushes them; filtering
+            # here keeps the queues small on dense graphs.
+            small = live[deg[live] <= 2]
+            for queue in dirty:
+                queue.push(small)
     return dv
 
 
@@ -150,6 +276,9 @@ def remove_vertices_into_cover(
     deg: np.ndarray,
     verts: Sequence[int] | np.ndarray,
     ws: Optional[Workspace] = None,
+    *,
+    debug: bool = False,
+    dirty: Optional[Sequence[DirtyQueue]] = None,
 ) -> int:
     """Remove a *set* of alive vertices into the cover in one batch.
 
@@ -157,30 +286,46 @@ def remove_vertices_into_cover(
     deleted once even though both endpoints vanish; duplicate appearance of
     an external neighbour across several batch members is handled with
     ``np.subtract.at`` since each occurrence is a distinct edge.
+
+    This is hot-path code: batch sanity checks (no duplicates, no
+    already-removed members) only run under ``debug=True``, and every
+    decremented external neighbour is pushed into the queues in ``dirty``
+    so the vectorized kernels can track exactly which vertices changed.
     """
     verts = np.asarray(verts, dtype=np.int64)
     if verts.size == 0:
         return 0
     if verts.size == 1:
-        return remove_vertex_into_cover(graph, deg, int(verts[0]))
-    if np.unique(verts).size != verts.size:
-        raise ValueError("batch contains duplicate vertices")
-    if np.any(deg[verts] < 0):
-        raise ValueError("batch contains an already-removed vertex")
+        return remove_vertex_into_cover(graph, deg, int(verts[0]), dirty)
+    if debug:
+        if np.unique(verts).size != verts.size:
+            raise ValueError("batch contains duplicate vertices")
+        if np.any(deg[verts] < 0):
+            raise ValueError("batch contains an already-removed vertex")
     if ws is None:
         ws = Workspace(deg.size)
     in_batch = ws.in_batch
     in_batch[verts] = True
     sum_deg = int(deg[verts].sum())
-    # Gather all incident half-edges of the batch.
-    chunks = [graph.neighbors(int(v)) for v in verts]
-    nbrs_all = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int32)
+    # Gather all incident half-edges of the batch in one segment gather.
+    nbrs_all, _, _ = graph.row_segments(verts)
     alive_mask = deg[nbrs_all] >= 0
     internal_half_edges = int(np.count_nonzero(alive_mask & in_batch[nbrs_all]))
     external = nbrs_all[alive_mask & ~in_batch[nbrs_all]]
-    np.subtract.at(deg, external, 1)
+    if external.size:
+        # np.subtract.at is an order of magnitude slower than a bincount
+        # whenever the batch touches a sizeable fraction of the graph.
+        if deg.size <= (external.size << 4):
+            counts = np.bincount(external, minlength=deg.size)
+            np.subtract(deg, counts, out=deg, casting="unsafe")
+        else:
+            np.subtract.at(deg, external, 1)
     deg[verts] = REMOVED
     in_batch[verts] = False  # restore scratch
+    if dirty is not None and external.size:
+        small = external[deg[external] <= 2]  # see remove_vertex_into_cover
+        for queue in dirty:
+            queue.push(small)  # queues tolerate duplicate ids
     # Each internal edge contributed one unit to both endpoints' degrees.
     return sum_deg - internal_half_edges // 2
 

@@ -1,5 +1,7 @@
 """CLI smoke tests (tiny scale, quick budgets)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -54,3 +56,16 @@ class TestMain:
         assert main(["tree", "--scale", "tiny", "--graph", "p_hat_300_3",
                      "--node-budget", "2000"]) == 0
         assert "Search-tree shape" in capsys.readouterr().out
+
+    def test_bench_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_micro.json"
+        assert main(["bench", "--out", str(out), "--repeats", "1",
+                     "--target-ms", "1"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "repro-vc-microbench"
+        for case in ("reduce_serial", "reduce_reference", "sequential_solver_small"):
+            assert payload["results"][case]["best_s"] > 0
+        prov = payload["provenance"]
+        assert {"git_sha", "seeds", "python", "numpy", "platform"} <= set(prov)
+        assert "reduce_serial" in capsys.readouterr().out

@@ -137,3 +137,90 @@ class TestDerivedGraphs:
 
     def test_repr(self):
         assert "n=5" in repr(path_graph(5))
+
+
+class TestBatchedQueries:
+    def test_row_segments_matches_neighbors(self):
+        g = gnp(40, 0.15, seed=21)
+        verts = np.array([0, 3, 3, 17, 39], dtype=np.int64)
+        flat, counts, offsets = g.row_segments(verts)
+        assert counts.tolist() == [g.degree(int(v)) for v in verts]
+        for i, v in enumerate(verts):
+            seg = flat[offsets[i]:offsets[i + 1]]
+            assert seg.tolist() == g.neighbors(int(v)).tolist()
+
+    def test_row_segments_empty_batch(self):
+        g = path_graph(4)
+        flat, counts, offsets = g.row_segments(np.empty(0, dtype=np.int64))
+        assert flat.size == 0 and counts.size == 0 and offsets.tolist() == [0]
+
+    def test_has_edges_matches_has_edge(self):
+        g = gnp(25, 0.25, seed=22)
+        rng = np.random.default_rng(0)
+        us = rng.integers(0, g.n, size=200)
+        vs = rng.integers(0, g.n, size=200)
+        batched = g.has_edges(us, vs)
+        scalar = [g.has_edge(int(u), int(v)) for u, v in zip(us, vs)]
+        assert batched.tolist() == scalar
+
+    def test_has_edges_empty_and_edgeless(self):
+        g = gnp(10, 0.3, seed=23)
+        assert g.has_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)).size == 0
+        empty = CSRGraph.empty(4)
+        assert not empty.has_edges(np.array([0, 1]), np.array([1, 2])).any()
+
+    def test_adjacency_tuples_cached_and_correct(self):
+        g = gnp(15, 0.3, seed=24)
+        adj = g.adjacency_tuples()
+        assert adj is g.adjacency_tuples()  # cached
+        for v in range(g.n):
+            assert list(adj[v]) == g.neighbors(v).tolist()
+
+
+class TestVectorizedConstruction:
+    """from_edges / subgraph / complement are now lexsort-vectorized."""
+
+    def test_from_edges_unsorted_input_rows_sorted(self):
+        edges = [(4, 0), (2, 4), (0, 1), (3, 1)]
+        g = CSRGraph.from_edges(5, edges)
+        for v in range(g.n):
+            row = g.neighbors(v)
+            assert np.all(np.diff(row) > 0) if row.size > 1 else True
+        assert set(g.edges()) == {(0, 4), (2, 4), (0, 1), (1, 3)}
+
+    def test_from_edges_matches_manual_adjacency(self):
+        rng = np.random.default_rng(7)
+        n = 30
+        pairs = {(int(a), int(b)) for a, b in zip(rng.integers(0, n, 80), rng.integers(0, n, 80)) if a != b}
+        canon = {(min(u, v), max(u, v)) for u, v in pairs}
+        g = CSRGraph.from_edges(n, sorted(canon))
+        adj = {v: set() for v in range(n)}
+        for u, v in canon:
+            adj[u].add(v)
+            adj[v].add(u)
+        for v in range(n):
+            assert set(g.neighbors(v).tolist()) == adj[v]
+
+    def test_subgraph_matches_edge_filter(self):
+        g = gnp(25, 0.25, seed=26)
+        keep = [1, 2, 5, 8, 13, 21, 24]
+        relabel = {v: i for i, v in enumerate(keep)}
+        expected = {(relabel[u], relabel[v]) for u, v in g.edges()
+                    if u in relabel and v in relabel}
+        assert set(g.subgraph(keep).edges()) == expected
+
+    def test_subgraph_empty_keep(self):
+        g = gnp(10, 0.3, seed=27)
+        sub = g.subgraph([])
+        assert sub.n == 0 and sub.m == 0
+
+    def test_complement_matches_definition(self):
+        g = gnp(14, 0.35, seed=28)
+        comp = g.complement()
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                assert comp.has_edge(u, v) == (not g.has_edge(u, v))
+
+    def test_complement_passes_full_validation(self):
+        comp = gnp(9, 0.4, seed=29).complement()
+        CSRGraph(comp.indptr, comp.indices)  # validate=True re-checks invariants

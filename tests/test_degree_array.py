@@ -78,17 +78,17 @@ class TestBatchRemoval:
         assert deleted_batch == deleted_serial
         assert np.array_equal(a.deg, b.deg)
 
-    def test_batch_rejects_duplicates(self):
+    def test_batch_rejects_duplicates_in_debug_mode(self):
         g = path_graph(5)
         with pytest.raises(ValueError, match="duplicate"):
-            remove_vertices_into_cover(g, fresh_state(g).deg, [1, 1])
+            remove_vertices_into_cover(g, fresh_state(g).deg, [1, 1], debug=True)
 
-    def test_batch_rejects_removed(self):
+    def test_batch_rejects_removed_in_debug_mode(self):
         g = path_graph(5)
         state = fresh_state(g)
         remove_vertex_into_cover(g, state.deg, 1)
         with pytest.raises(ValueError, match="already-removed"):
-            remove_vertices_into_cover(g, state.deg, [1, 2])
+            remove_vertices_into_cover(g, state.deg, [1, 2], debug=True)
 
     def test_empty_batch(self):
         g = path_graph(5)
