@@ -1,0 +1,35 @@
+#!/bin/sh
+# Lightweight perf-artifact CI: catches benchmark-harness regressions
+# (broken cases, schema drift, dropped case names) without a full timed
+# run.  Wall time is dominated by one pytest --benchmark-disable pass.
+#
+#   sh benchmarks/ci_smoke.sh
+#
+# Exits non-zero if: any benchmark body fails, the freshly produced
+# artifact violates the documented schema, or a case present in the
+# committed BENCH_micro.json is missing from the smoke artifact.
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+
+python -m repro bench --smoke --out "$out"
+
+python - "$out" <<'EOF'
+import json
+import sys
+
+from repro.analysis.microbench import validate_artifact
+
+smoke = json.load(open(sys.argv[1]))
+validate_artifact(smoke)
+
+committed = json.load(open("BENCH_micro.json"))
+missing = sorted(set(committed["results"]) - set(smoke["results"]))
+if missing:
+    sys.exit(f"cases in committed BENCH_micro.json missing from smoke run: {missing}")
+print("ci_smoke: artifact schema OK, all committed case names present")
+EOF

@@ -24,13 +24,29 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["BENCH_SCHEMA_VERSION", "BenchCase", "bench_cases", "run_microbench", "write_artifact"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "CALIBRATION_SCHEMA_VERSION",
+    "BenchCase",
+    "bench_cases",
+    "run_microbench",
+    "write_artifact",
+    "validate_artifact",
+    "calibrate_scalar_cutoffs",
+    "load_scalar_calibration",
+]
 
 #: Bump when the JSON layout changes (documented in benchmarks/README.md).
 BENCH_SCHEMA_VERSION = 1
 
+#: Schema of the ``repro bench calibrate`` artifact.
+CALIBRATION_SCHEMA_VERSION = 1
+
 #: Seeds used by the benchmark graphs; recorded in the artifact.
 BENCH_SEEDS = {"sparse_gnp": 78, "phat_solver": 5, "phat_graph": 77}
+
+#: Seed for the calibration ladder graphs.
+CALIBRATION_SEED = 1234
 
 
 @dataclass
@@ -192,4 +208,208 @@ def render_microbench(payload: Dict[str, object]) -> str:
         best = float(res["best_s"]) * 1e6
         med = float(res["median_s"]) * 1e6
         lines.append(f"{name:28s} {best:10.1f}us {med:10.1f}us")
+    return "\n".join(lines)
+
+
+def validate_artifact(payload: Dict[str, object]) -> None:
+    """Assert the microbench artifact matches the documented schema.
+
+    Raises ``ValueError`` on any violation; the ``--smoke`` CI path runs
+    this so perf-artifact regressions (dropped cases, renamed keys, wrong
+    types) are caught without a full benchmark run.
+    """
+    def fail(msg: str) -> None:
+        raise ValueError(f"BENCH_micro artifact schema violation: {msg}")
+
+    if not isinstance(payload, dict):
+        fail("payload is not an object")
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+        fail(f"schema_version != {BENCH_SCHEMA_VERSION}")
+    if payload.get("kind") != "repro-vc-microbench":
+        fail("kind != 'repro-vc-microbench'")
+    results = payload.get("results")
+    if not isinstance(results, dict) or not results:
+        fail("results missing or empty")
+    for name, res in results.items():  # type: ignore[union-attr]
+        if not isinstance(res, dict):
+            fail(f"results[{name!r}] is not an object")
+        for key in ("description", "best_s", "median_s", "loops", "repeats"):
+            if key not in res:
+                fail(f"results[{name!r}] missing {key!r}")
+        for key in ("best_s", "median_s", "loops", "repeats"):
+            val = res[key]
+            if not isinstance(val, (int, float)) or val <= 0:
+                fail(f"results[{name!r}][{key!r}] is not a positive number")
+        if res["best_s"] > res["median_s"]:
+            fail(f"results[{name!r}] best_s exceeds median_s")
+    prov = payload.get("provenance")
+    if not isinstance(prov, dict):
+        fail("provenance missing")
+    for key in ("git_sha", "seeds", "python", "numpy", "platform", "timestamp_unix"):
+        if key not in prov:
+            fail(f"provenance missing {key!r}")
+
+
+# --------------------------------------------------------------------- #
+# scalar/vectorized crossover calibration (``repro bench calibrate``)
+# --------------------------------------------------------------------- #
+#: Vertex-count ladder probed for the ``SCALAR_KERNEL_MAX_N`` crossover
+#: (sparse graphs, average degree ~8) and edge-count ladder probed for
+#: ``SCALAR_KERNEL_MAX_M`` (densifying a fixed mid-size graph).
+CALIBRATION_N_LADDER = (128, 256, 512, 1024, 2048, 4096, 8192)
+CALIBRATION_M_LADDER = (1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17)
+CALIBRATION_M_PROBE_N = 768
+
+
+def _time_cascade(make_state, run, repeats: int) -> float:
+    """Median seconds of ``run(state)`` over fresh states (best of pairs)."""
+    samples = []
+    run(make_state())  # warm adjacency caches etc.
+    for _ in range(max(2, repeats)):
+        state = make_state()
+        t0 = time.perf_counter()
+        run(state)
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def calibrate_scalar_cutoffs(
+    repeats: int = 5,
+    n_ladder: Optional[tuple] = None,
+    m_ladder: Optional[tuple] = None,
+    apply: bool = True,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Measure both reduction-cascade paths and locate their crossover.
+
+    For each ladder point the scalar cascade and the vectorized
+    dirty-worklist cascade run to fixpoint on the same graph (both are
+    proven bit-identical, so only time differs).  The calibrated cutoffs
+    are the largest ladder values where the scalar path still wins; with
+    ``apply=True`` they are installed immediately via
+    :func:`repro.core.kernels.set_scalar_cutoffs`.
+
+    Cross-node dirty seeding shifts this crossover (seeded cascades do
+    less per-call work, amplifying fixed NumPy call overhead), which is
+    why the cutoff is measured rather than hand-tuned.
+    """
+    from ..core import kernels
+    from ..core.formulation import BestBound, MVCFormulation
+    from ..core.kernels import _apply_reductions_scalar, _apply_reductions_vectorized
+    from ..graph.degree_array import Workspace, fresh_state
+    from ..graph.generators.random_graphs import gnp
+
+    if n_ladder is None:
+        n_ladder = CALIBRATION_N_LADDER
+    if m_ladder is None:
+        m_ladder = CALIBRATION_M_LADDER
+
+    def probe(graph) -> Dict[str, float]:
+        ws = Workspace.for_graph(graph)
+        form = MVCFormulation(BestBound(size=graph.n + 1))
+        scalar_s = _time_cascade(
+            lambda: fresh_state(graph),
+            lambda st: _apply_reductions_scalar(graph, st, form),
+            repeats,
+        )
+        vector_s = _time_cascade(
+            lambda: fresh_state(graph),
+            lambda st: _apply_reductions_vectorized(graph, st, form, ws),
+            repeats,
+        )
+        return {"n": graph.n, "m": graph.m,
+                "scalar_s": scalar_s, "vectorized_s": vector_s}
+
+    n_samples = []
+    for n in sorted(n_ladder):
+        graph = gnp(int(n), min(1.0, 8.0 / max(int(n) - 1, 1)), seed=CALIBRATION_SEED)
+        n_samples.append(probe(graph))
+    max_n = 0
+    for sample in n_samples:  # largest ladder n where scalar still wins
+        if sample["scalar_s"] <= sample["vectorized_s"]:
+            max_n = max(max_n, int(sample["n"]))
+    if max_n == 0:  # vectorized won everywhere: keep scalar for trivial graphs
+        max_n = int(min(n_ladder))
+
+    # The m-crossover is probed at a fixed mid-size n (clamping it to a
+    # small measured max_n would make every ladder point past C(n,2)
+    # saturate into the same complete graph and measure nothing).
+    probe_n = CALIBRATION_M_PROBE_N
+    m_cap = probe_n * (probe_n - 1) // 2
+    m_samples = []
+    for m in sorted(m_ladder):
+        p = min(1.0, (2.0 * int(m)) / (probe_n * (probe_n - 1)))
+        graph = gnp(probe_n, p, seed=CALIBRATION_SEED)
+        m_samples.append(probe(graph))
+        if int(m) >= m_cap:  # denser ladder points would repeat this graph
+            break
+    max_m = 0
+    for sample in m_samples:
+        if sample["scalar_s"] <= sample["vectorized_s"]:
+            max_m = max(max_m, int(sample["m"]))
+    if max_m == 0:
+        max_m = int(min(m_ladder))
+
+    payload: Dict[str, object] = {
+        "schema_version": CALIBRATION_SCHEMA_VERSION,
+        "kind": "repro-vc-scalar-calibration",
+        # quick runs probe a toy ladder; the tag makes them unloadable so a
+        # CI artifact can never silently misroute the kernel dispatch
+        "quick": bool(quick),
+        "scalar_kernel_max_n": max_n,
+        "scalar_kernel_max_m": max_m,
+        "shipped_defaults": {
+            "scalar_kernel_max_n": kernels.DEFAULT_SCALAR_KERNEL_MAX_N,
+            "scalar_kernel_max_m": kernels.DEFAULT_SCALAR_KERNEL_MAX_M,
+        },
+        "samples": {"n_ladder": n_samples, "m_ladder": m_samples},
+        "provenance": {
+            "git_sha": _git_sha(),
+            "seed": CALIBRATION_SEED,
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "timestamp_unix": time.time(),
+        },
+    }
+    if apply:
+        kernels.set_scalar_cutoffs(max_n, max_m)
+    return payload
+
+
+def load_scalar_calibration(path: str, apply: bool = True) -> Dict[str, object]:
+    """Read a persisted calibration artifact; optionally install its cutoffs."""
+    from ..core import kernels
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("kind") != "repro-vc-scalar-calibration":
+        raise ValueError(f"{path} is not a scalar-calibration artifact")
+    if payload.get("quick"):
+        raise ValueError(
+            f"{path} was produced by a --quick (toy-ladder) run; its cutoffs are "
+            "not representative — regenerate with a full 'repro bench calibrate'"
+        )
+    max_n = int(payload["scalar_kernel_max_n"])
+    max_m = int(payload["scalar_kernel_max_m"])
+    if apply:
+        kernels.set_scalar_cutoffs(max_n, max_m)
+    return payload
+
+
+def render_calibration(payload: Dict[str, object]) -> str:
+    """Human-readable summary of one calibration artifact."""
+    lines = [f"{'ladder point':>18s} {'scalar':>12s} {'vectorized':>12s}  winner"]
+    samples = payload["samples"]
+    for group in ("n_ladder", "m_ladder"):
+        for s in samples[group]:  # type: ignore[index]
+            sc, ve = float(s["scalar_s"]) * 1e6, float(s["vectorized_s"]) * 1e6
+            tag = f"n={s['n']} m={s['m']}"
+            lines.append(f"{tag:>18s} {sc:10.1f}us {ve:10.1f}us  "
+                         f"{'scalar' if sc <= ve else 'vectorized'}")
+    lines.append(
+        f"calibrated cutoffs: SCALAR_KERNEL_MAX_N={payload['scalar_kernel_max_n']} "
+        f"SCALAR_KERNEL_MAX_M={payload['scalar_kernel_max_m']}"
+    )
     return "\n".join(lines)

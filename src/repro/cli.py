@@ -13,6 +13,8 @@ suite::
     python -m repro solve --graph p_hat_300_3 --engine hybrid [--k 70]
     python -m repro suite            # list the evaluation suite
     python -m repro bench            # hot-path micro-bench -> BENCH_micro.json
+    python -m repro bench calibrate  # scalar/vectorized crossover -> CALIBRATION.json
+    python -m repro bench --smoke    # CI mode: cheap repeats + artifact schema assert
 """
 
 from __future__ import annotations
@@ -76,14 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
     common(sub.add_parser("suite", help="list the evaluation suite"))
 
     p = sub.add_parser("bench", help="micro-benchmark the substrate hot paths")
-    p.add_argument("--out", default="BENCH_micro.json",
-                   help="benchmark artifact path (see benchmarks/README.md for the schema)")
+    p.add_argument("action", nargs="?", default="run", choices=("run", "calibrate"),
+                   help="'run' times the hot-path cases; 'calibrate' measures the "
+                        "scalar/vectorized cascade crossover and persists the cutoffs")
+    p.add_argument("--out", default=None,
+                   help="artifact path (default: BENCH_micro.json, or "
+                        "benchmarks/CALIBRATION.json for calibrate; schemas in "
+                        "benchmarks/README.md)")
     p.add_argument("--repeats", type=int, default=5, help="timing samples per case")
     p.add_argument("--target-ms", type=float, default=50.0,
                    help="approximate duration of one timing sample")
     p.add_argument("--smoke", action="store_true",
-                   help="first run the pytest-benchmark suite with --benchmark-disable "
-                        "as a correctness smoke check")
+                   help="CI mode: run the pytest-benchmark suite once under "
+                        "--benchmark-disable as a correctness check, time with few "
+                        "cheap repeats, and assert the artifact schema")
+    p.add_argument("--quick", action="store_true",
+                   help="calibrate only: probe a tiny ladder (smoke/CI use; the "
+                        "resulting cutoffs are not representative)")
     return parser
 
 
@@ -103,18 +114,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         import os
 
-        from .analysis.microbench import render_microbench, run_microbench, write_artifact
+        from .analysis.microbench import (
+            calibrate_scalar_cutoffs,
+            render_calibration,
+            render_microbench,
+            run_microbench,
+            validate_artifact,
+            write_artifact,
+        )
 
-        out_dir = os.path.dirname(os.path.abspath(args.out))
+        out = args.out
+        if out is None:
+            out = "benchmarks/CALIBRATION.json" if args.action == "calibrate" else "BENCH_micro.json"
+        out_dir = os.path.dirname(os.path.abspath(out))
         if not os.path.isdir(out_dir):
             print(f"error: output directory does not exist: {out_dir}")
             return 2
 
+        if args.action == "calibrate":
+            ladders = {}
+            if args.quick:
+                ladders = {"n_ladder": (64, 128), "m_ladder": (256, 512)}
+            payload = calibrate_scalar_cutoffs(repeats=args.repeats, apply=not args.quick,
+                                               quick=args.quick, **ladders)
+            write_artifact(payload, out)
+            print(render_calibration(payload))
+            print(f"\nwrote {out}")
+            print(f"[{time.perf_counter() - start:.1f}s wall]")
+            return 0
+
+        repeats, target_s = args.repeats, args.target_ms / 1e3
         if args.smoke:
             import subprocess
             import sys as _sys
             from pathlib import Path
 
+            repeats, target_s = min(repeats, 2), min(target_s, 2e-3)
             bench_file = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_micro.py"
             if not bench_file.exists():
                 print("error: --smoke needs the benchmarks/ directory of a source "
@@ -127,10 +162,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             if smoke.returncode != 0:
                 print("benchmark smoke check FAILED; artifact not written")
                 return smoke.returncode
-        payload = run_microbench(repeats=args.repeats, target_s=args.target_ms / 1e3)
-        write_artifact(payload, args.out)
+        payload = run_microbench(repeats=repeats, target_s=target_s)
+        if args.smoke:
+            validate_artifact(payload)
+            print("artifact schema OK")
+        write_artifact(payload, out)
         print(render_microbench(payload))
-        print(f"\nwrote {args.out}")
+        print(f"\nwrote {out}")
         print(f"[{time.perf_counter() - start:.1f}s wall]")
         return 0
 

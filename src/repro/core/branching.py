@@ -21,7 +21,7 @@ from ..graph.degree_array import (
     remove_neighbors_into_cover,
     remove_vertex_into_cover,
 )
-from .kernels import SCALAR_KERNEL_MAX_M, SCALAR_KERNEL_MAX_N
+from .kernels import scalar_path_ok
 from .stats import ChargeFn, null_charge
 
 __all__ = [
@@ -51,10 +51,30 @@ def min_positive_degree_pivot(state: VCState, rng: Optional[np.random.Generator]
     return int(candidates[np.argmin(deg[candidates])])
 
 
+#: Documented default seed for ``random_pivot`` when no rng is supplied,
+#: so CLI sweeps with ``--pivot random`` and no explicit seed stay
+#: deterministic (the module-level generator advances across calls but is
+#: reproducible run to run).
+RANDOM_PIVOT_DEFAULT_SEED = 0x5EED
+_default_pivot_rng: Optional[np.random.Generator] = None
+
+
+def _default_rng() -> np.random.Generator:
+    global _default_pivot_rng
+    if _default_pivot_rng is None:
+        _default_pivot_rng = np.random.default_rng(RANDOM_PIVOT_DEFAULT_SEED)
+    return _default_pivot_rng
+
+
 def random_pivot(state: VCState, rng: Optional[np.random.Generator] = None) -> int:
-    """A uniformly random positive-degree pivot (for sweeps)."""
+    """A uniformly random positive-degree pivot (for sweeps).
+
+    Without an explicit ``rng`` it draws from a process-wide generator
+    seeded with :data:`RANDOM_PIVOT_DEFAULT_SEED` — matching the other
+    pivots, which also accept ``rng=None``.
+    """
     if rng is None:
-        raise ValueError("random_pivot requires an rng")
+        rng = _default_rng()
     candidates = np.flatnonzero(state.deg > 0)
     if candidates.size == 0:
         raise ValueError("no positive-degree vertex to branch on")
@@ -91,23 +111,33 @@ def _expand_children_scalar(
     # member stays alive — merely decremented — until its own turn)
     dl_def = dl.copy()
     deleted = 0
+    touched_def: list = []
     for u in live:
         dl_def[u] = REMOVED
         for x in adj[u]:
             dx = dl_def[x]
             if dx >= 0:
                 deleted += 1
-                dl_def[x] = dx - 1
+                dx -= 1
+                dl_def[x] = dx
+                if dx <= 2:
+                    touched_def.append(x)
     buf = ws.borrow_deg()
     buf[:] = dl_def
-    deferred = VCState(buf, state.cover_size + len(live), state.edge_count - deleted)
+    deferred = VCState(buf, state.cover_size + len(live),
+                       state.edge_count - deleted, touched_def, state.max_deg_hint)
     # continued child: remove vmax alone (state is mutated in place)
+    touched_cont: list = []
     for x in live:
-        dl[x] -= 1
+        dx = dl[x] - 1
+        dl[x] = dx
+        if dx <= 2:
+            touched_cont.append(x)
     dl[vmax] = REMOVED
     state.deg[:] = dl
     state.edge_count -= len(live)
     state.cover_size += 1
+    state.dirty = touched_cont
     return deferred, state
 
 
@@ -134,6 +164,14 @@ def expand_children(
     (callers that prune states return the buffers via
     :meth:`~repro.graph.degree_array.Workspace.release_deg`).
 
+    Both children leave with their ``dirty`` hint populated: exactly the
+    vertices this branch step decremented into reduction-candidate range
+    (``deg <= 2``).  The child's reduction cascade seeds its worklists
+    from that set instead of rescanning all ``n`` degrees — the cross-node
+    dirty propagation the kernel layer's exactness argument extends to.
+    Without a workspace the vectorized path leaves the hints ``None``
+    (full rescan), which is always a safe fallback.
+
     Uncharged small-graph calls take the scalar fast path; charged calls
     keep the vectorized removals, whose work units are the cost meters.
     """
@@ -141,19 +179,36 @@ def expand_children(
         charge is null_charge
         and ws is not None
         and ws.n == state.deg.size
-        and graph.n <= SCALAR_KERNEL_MAX_N
-        and graph.m <= SCALAR_KERNEL_MAX_M
+        and scalar_path_ok(graph.n, graph.m)
     ):
         return _expand_children_scalar(graph, state, vmax, ws)
     deferred = state.copy(ws)
     charge("state_copy", float(state.deg.size))
-    deleted, n_removed = remove_neighbors_into_cover(graph, deferred.deg, vmax, ws)
+    # Charged reducers discard hints by contract (the work meter must not
+    # depend on state provenance), so don't pay for collecting them.
+    bq = (ws.branch_queue()
+          if charge is null_charge and ws is not None and ws.n == state.deg.size
+          else None)
+    if bq is not None:
+        bq.clear()
+        deleted, n_removed = remove_neighbors_into_cover(
+            graph, deferred.deg, vmax, ws, dirty=(bq,)
+        )
+        deferred.dirty = bq.drain_sorted()
+    else:
+        deferred.dirty = None
+        deleted, n_removed = remove_neighbors_into_cover(graph, deferred.deg, vmax, ws)
     deferred.edge_count -= deleted
     deferred.cover_size += n_removed
     charge("remove_neighbors", float(deleted + n_removed))
 
     work = int(state.deg[vmax])
-    state.edge_count -= remove_vertex_into_cover(graph, state.deg, vmax)
+    if bq is not None:
+        state.edge_count -= remove_vertex_into_cover(graph, state.deg, vmax, (bq,))
+        state.dirty = bq.drain_sorted()
+    else:
+        state.dirty = None
+        state.edge_count -= remove_vertex_into_cover(graph, state.deg, vmax)
     state.cover_size += 1
     charge("remove_vmax", float(work))
     return deferred, state

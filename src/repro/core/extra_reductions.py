@@ -166,6 +166,7 @@ def make_reducer(
         charge: ChargeFn = null_charge,
         counters: Optional[ReductionCounters] = None,
     ) -> None:
+        state.dirty = None  # full-scan cascade: consume the hint unhonoured
         while True:
             changed = degree_one_rule(graph, state, ws, charge, counters)
             changed |= degree_two_triangle_rule(graph, state, ws, charge, counters)

@@ -31,11 +31,10 @@ from ..graph.degree_array import (
 )
 from .formulation import Formulation
 from .kernels import (
-    SCALAR_KERNEL_MAX_M,
-    SCALAR_KERNEL_MAX_N,
     scalar_degree_one_exhaust,
     scalar_degree_two_exhaust,
     scalar_high_degree_exhaust,
+    scalar_path_ok,
     scalar_remove,
     scalar_seed,
 )
@@ -125,7 +124,7 @@ def greedy_cover(graph: CSRGraph, ws: Optional[Workspace] = None) -> GreedyResul
     the stack depth for the GPU launch configuration.  Small graphs take
     the scalar fast path (identical output).
     """
-    if graph.n <= SCALAR_KERNEL_MAX_N and graph.m <= SCALAR_KERNEL_MAX_M:
+    if scalar_path_ok(graph.n, graph.m):
         return _greedy_cover_scalar(graph)
     if ws is None:
         ws = Workspace.for_graph(graph)

@@ -79,6 +79,8 @@ __all__ = [
     "scalar_degree_one_exhaust",
     "scalar_degree_two_exhaust",
     "scalar_high_degree_exhaust",
+    "scalar_path_ok",
+    "set_scalar_cutoffs",
 ]
 
 _Queues = Tuple[DirtyQueue, DirtyQueue]
@@ -358,8 +360,45 @@ def high_degree_kernel(
 #: whole small adjacency row.  Above either, the batched kernels take
 #: over: the edge cap matters because the scalar loops walk full rows, so
 #: a dense mid-size graph (small ``n``, huge ``m``) must stay vectorized.
+#: The shipped defaults were hand-tuned; ``repro bench calibrate``
+#: re-measures the crossover on the current machine and applies it via
+#: :func:`set_scalar_cutoffs`.
 SCALAR_KERNEL_MAX_N = 2048
 SCALAR_KERNEL_MAX_M = 1 << 16
+
+#: The shipped (pre-calibration) cutoffs, kept for reset/provenance.
+DEFAULT_SCALAR_KERNEL_MAX_N = SCALAR_KERNEL_MAX_N
+DEFAULT_SCALAR_KERNEL_MAX_M = SCALAR_KERNEL_MAX_M
+
+
+def scalar_path_ok(n: int, m: int) -> bool:
+    """Whether a graph of ``n`` vertices / ``m`` edges takes the scalar path.
+
+    Reads the module globals at call time, so calibration (or a test
+    monkeypatching ``SCALAR_KERNEL_MAX_N``) affects every caller — the
+    branch step, the greedy bound and the CPU engines' prewarm all route
+    their path choice through here.
+    """
+    return n <= SCALAR_KERNEL_MAX_N and m <= SCALAR_KERNEL_MAX_M
+
+
+def set_scalar_cutoffs(max_n: Optional[int] = None, max_m: Optional[int] = None) -> Tuple[int, int]:
+    """Install measured scalar/vectorized crossover cutoffs; return them.
+
+    ``None`` leaves a cutoff unchanged.  Used by ``repro bench calibrate``
+    (see :func:`repro.analysis.microbench.calibrate_scalar_cutoffs`) after
+    timing both cascade paths on the current machine.
+    """
+    global SCALAR_KERNEL_MAX_N, SCALAR_KERNEL_MAX_M
+    if max_n is not None:
+        if max_n < 0:
+            raise ValueError("max_n must be non-negative")
+        SCALAR_KERNEL_MAX_N = int(max_n)
+    if max_m is not None:
+        if max_m < 0:
+            raise ValueError("max_m must be non-negative")
+        SCALAR_KERNEL_MAX_M = int(max_m)
+    return SCALAR_KERNEL_MAX_N, SCALAR_KERNEL_MAX_M
 
 
 def scalar_seed(deg: np.ndarray) -> Tuple[list, list, int]:
@@ -490,15 +529,43 @@ def _apply_reductions_scalar(
     state: VCState,
     formulation: Formulation,
     counters: Optional[ReductionCounters] = None,
+    hint=None,
 ) -> None:
     """The reduction cascade in pure Python for small graphs.
 
     Identical sweep structure and processing order as the reference rules
     (same fixpoint, same counters), built from the shared scalar exhausts
     above — the greedy bound reuses the very same loops.
+
+    ``hint`` is the branch step's touched-vertex set (see
+    ``VCState.dirty``): when present, the pending lists are seeded from it
+    instead of rescanning all ``n`` degrees.  Exactness: the parent node
+    was at a rule fixpoint when it branched, so every degree-one vertex of
+    this state — and every degree-two vertex whose triangle test could now
+    pass — was decremented into candidate range by the branch removals and
+    is therefore in the hint; degree-two vertices absent from it kept both
+    their degree and their (statically non-triangle) alive pair and can
+    never fire.
     """
     deg = state.deg
-    pending1, pending2, max_deg = scalar_seed(deg)
+    if hint is None:
+        pending1, pending2, max_deg = scalar_seed(deg)
+    else:
+        if isinstance(hint, np.ndarray):
+            # plain ints: np.int64 keys make every later list index pay a
+            # conversion, poisoning the whole cascade's inner loops
+            hint = hint.tolist()
+        pending1 = []
+        pending2 = []
+        for v in hint:
+            dv = deg[v]
+            if dv == 2:
+                pending2.append(v)
+            elif dv == 1:
+                pending1.append(v)
+        max_deg = state.max_deg_hint  # ancestor's stale-high bound
+        if max_deg < 0:
+            max_deg = int(deg.max()) if deg.size else 0
     cover = state.cover_size
     edges = state.edge_count
     budget_of = formulation.budget
@@ -507,6 +574,7 @@ def _apply_reductions_scalar(
         if budget < 0 or max_deg <= budget:
             # No rule can fire: the reference cascade would do one empty
             # round and stop.  Skip the list conversion entirely.
+            state.max_deg_hint = max_deg
             if counters is not None:
                 counters.sweeps += 1
             return
@@ -532,11 +600,57 @@ def _apply_reductions_scalar(
         deg[:] = dl
         state.cover_size = cover
         state.edge_count = edges
+    state.max_deg_hint = max_deg  # stale-high at the fixpoint: sound for children
     if counters is not None:
         counters.degree_one += c1
         counters.degree_two_triangle += c2
         counters.high_degree += ch
         counters.sweeps += sweeps
+
+
+def _apply_reductions_vectorized(
+    graph: CSRGraph,
+    state: VCState,
+    formulation: Formulation,
+    ws: Workspace,
+    charge: ChargeFn = null_charge,
+    counters: Optional[ReductionCounters] = None,
+    hint=None,
+) -> None:
+    """The vectorized dirty-worklist cascade (large graphs / charged runs).
+
+    With a ``hint`` (the branch step's touched-vertex set) the worklists
+    are seeded from it instead of one full degree scan; exactness follows
+    the same argument as the scalar path's hint seeding.  The workspace's
+    dirty queues are per-cascade scratch: seeding resets them, and the
+    trailing assert guarantees no pending vertex survives into the next
+    tree node's cascade, whatever path the loop exits through.
+    """
+    deg = state.deg
+    queues = ws.dirty_queues()
+    d1, d2 = queues
+    if hint is None:
+        seed = np.flatnonzero((deg >= 1) & (deg <= 2))  # one scan seeds both rules
+    else:
+        seed = np.asarray(hint, dtype=np.int64)
+        if seed.size:
+            sd = deg[seed]
+            seed = seed[(sd >= 1) & (sd <= 2)]
+    d1.seed(seed)
+    d2.seed(seed)
+    while True:
+        changed = degree_one_kernel(graph, state, ws, charge, counters, queues)
+        changed |= degree_two_triangle_kernel(graph, state, ws, charge, counters, queues)
+        changed |= high_degree_kernel(graph, state, formulation, ws, charge, counters, queues)
+        if counters is not None:
+            counters.sweeps += 1
+        if not changed:
+            break
+    if d1.count or d2.count:  # pragma: no cover - structural invariant
+        raise AssertionError(
+            "dirty-queue hygiene violated: a cascade returned with pending "
+            "vertices that would leak into the next tree node's reduce"
+        )
 
 
 def apply_reductions_fast(
@@ -554,27 +668,25 @@ def apply_reductions_fast(
     Small graphs run the scalar cascade; large ones the vectorized
     dirty-worklist kernels.  Charged runs always take the vectorized path
     so work accounting stays array-shaped.
+
+    The state's ``dirty`` hint (populated by ``expand_children`` with the
+    branch step's touched vertices) seeds the cascade's worklists, making
+    a child node's reduce start from O(touched) work instead of an O(n)
+    rescan.  The hint is consumed here — cleared before the cascade runs —
+    so it can never go stale on a reduced state.
     """
     deg = state.deg
-    if (
-        charge is null_charge
-        and deg.size <= SCALAR_KERNEL_MAX_N
-        and graph.m <= SCALAR_KERNEL_MAX_M
-    ):
-        _apply_reductions_scalar(graph, state, formulation, counters)
-        return
+    hint = state.dirty
+    if hint is not None:
+        state.dirty = None
+    if charge is null_charge:
+        if deg.size <= SCALAR_KERNEL_MAX_N and graph.m <= SCALAR_KERNEL_MAX_M:
+            _apply_reductions_scalar(graph, state, formulation, counters, hint)
+            return
+    else:
+        # Charged (cost-model) runs must emit the same work stream whether
+        # or not the state arrived with a hint: seed from a full rescan.
+        hint = None
     if ws is None or ws.n != deg.size:
         ws = Workspace(deg.size)
-    queues = ws.dirty_queues()
-    d1, d2 = queues
-    seed = np.flatnonzero((deg >= 1) & (deg <= 2))  # one scan seeds both rules
-    d1.seed(seed)
-    d2.seed(seed)
-    while True:
-        changed = degree_one_kernel(graph, state, ws, charge, counters, queues)
-        changed |= degree_two_triangle_kernel(graph, state, ws, charge, counters, queues)
-        changed |= high_degree_kernel(graph, state, formulation, ws, charge, counters, queues)
-        if counters is not None:
-            counters.sweeps += 1
-        if not changed:
-            return
+    _apply_reductions_vectorized(graph, state, formulation, ws, charge, counters, hint)

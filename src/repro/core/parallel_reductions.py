@@ -149,7 +149,13 @@ def apply_reductions_parallel(
     charge: ChargeFn = null_charge,
     counters: Optional[ReductionCounters] = None,
 ) -> None:
-    """The GPU blocks' ``reduce``: batch rules cascaded to a fixed point."""
+    """The GPU blocks' ``reduce``: batch rules cascaded to a fixed point.
+
+    Consumes (clears) the state's ``dirty`` hint without honouring it: the
+    per-sweep full scans *are* the Section IV-D work meter, and seeding
+    them would change every engine's charge stream.
+    """
+    state.dirty = None
     while True:
         changed = degree_one_rule_parallel(graph, state, ws, charge, counters)
         changed |= degree_two_triangle_rule_parallel(graph, state, ws, charge, counters)

@@ -183,8 +183,12 @@ def apply_reductions_reference(
     """Fig. 1's ``reduce``: cascade the three rules until a fixed point.
 
     The original per-vertex implementation, kept as the verification
-    reference and as the exact work-unit meter for cost-model runs.
+    reference and as the exact work-unit meter for cost-model runs.  It
+    rescans the full degree array by design, so the state's ``dirty`` hint
+    is consumed (cleared) rather than honoured — the fixpoint is the same
+    either way, and a hint must never outlive the cascade it describes.
     """
+    state.dirty = None
     while True:
         changed = degree_one_rule(graph, state, ws, charge, counters)
         changed |= degree_two_triangle_rule(graph, state, ws, charge, counters)

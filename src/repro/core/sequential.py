@@ -78,7 +78,10 @@ def branch_and_reduce(
         stats = SearchStats()
     if reducer is None:
         reducer = apply_reductions_fast if charge is null_charge else apply_reductions_reference
-    stack: List[VCState] = []
+    # Each stack entry carries the node's true ancestry depth: a continued
+    # child deepens the tree without a push, so ``len(stack)`` undercounts
+    # depth whenever branching resumes under a popped deferred child.
+    stack: List[tuple[VCState, int]] = []
     current: Optional[VCState] = root if root is not None else fresh_state(graph)
     depth = 0
 
@@ -88,7 +91,7 @@ def branch_and_reduce(
         if current is None:
             if not stack:
                 break
-            current = stack.pop()
+            current, depth = stack.pop()
         if node_budget is not None and stats.nodes_visited >= node_budget:
             stats.extra["timed_out"] = 1.0
             break
@@ -113,10 +116,10 @@ def branch_and_reduce(
             continue
         vmax = pivot(current, rng)
         deferred, current = expand_children(graph, current, vmax, ws, charge=charge)
-        stack.append(deferred)
+        depth += 1  # both children live one level below the branching node
+        stack.append((deferred, depth))
         stats.branches += 1
-        depth = len(stack)
-        stats.max_stack_depth = max(stats.max_stack_depth, depth)
+        stats.max_stack_depth = max(stats.max_stack_depth, len(stack))
         stats.max_depth_reached = max(stats.max_depth_reached, depth)
     return stats
 

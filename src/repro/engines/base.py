@@ -11,6 +11,16 @@ All three GPU engines (StackOnly, Hybrid, GlobalOnly) share:
 
 Engine subclasses provide only their traversal policy as a block program
 (a generator yielding cycle costs).
+
+Cross-node dirty propagation: the states produced by ``expand_children``
+carry the branch step's touched-vertex hint (``VCState.dirty``) through
+the per-block local stacks and the global worklist unchanged.  The
+simulated engines' ``reduce`` is the Section IV-D charged cascade, which
+deliberately consumes the hint *unhonoured* — its per-sweep full scans
+are the paper's work meter, so makespans and Table I cycles stay
+bit-identical to the pre-hint trees.  Only the wall-clock CPU paths
+(sequential solver, cpu-threads/worksteal/process engines) seed their
+cascades from it.
 """
 
 from __future__ import annotations

@@ -8,9 +8,12 @@ no item is in the queue or in transit.  ``inflight`` is incremented before
 every put and decremented after every successful get, so feeder-thread
 latency cannot produce a lost-work or premature-exit race.
 
-States cross process boundaries as ``(degree-array bytes, |S|, |E|)``
-triples — the same self-contained property (Section IV-B) that lets the
-GPU implementation move tree nodes between thread blocks.
+States cross process boundaries as ``(degree-array bytes, |S|, |E|,
+dirty-hint bytes)`` tuples — the same self-contained property
+(Section IV-B) that lets the GPU implementation move tree nodes between
+thread blocks, extended with the branch step's touched-vertex set so the
+receiving worker's reduction cascade seeds its worklist instead of
+rescanning the degree array.
 """
 
 from __future__ import annotations
@@ -32,16 +35,27 @@ from .cpu_threads import CpuParallelResult
 
 __all__ = ["solve_mvc_processes", "solve_pvc_processes"]
 
-_WirePayload = Tuple[bytes, int, int]
+_WirePayload = Tuple[bytes, int, int, Optional[bytes]]
 
 
 def _pack(state: VCState) -> _WirePayload:
-    return state.deg.tobytes(), state.cover_size, state.edge_count
+    """Serialize ``(deg bytes, |S|, |E|, dirty-hint bytes or None)``.
+
+    The dirty hint travels with the node so a donated child's reduction
+    cascade seeds from the branch step's touched set on whichever worker
+    picks it up, exactly as it would have on the producing worker.
+    """
+    dirty = state.dirty
+    dirty_bytes = (
+        None if dirty is None else np.asarray(dirty, dtype=np.int64).tobytes()
+    )
+    return state.deg.tobytes(), state.cover_size, state.edge_count, dirty_bytes
 
 
 def _unpack(payload: _WirePayload) -> VCState:
     deg = np.frombuffer(payload[0], dtype=np.int32).copy()
-    return VCState(deg, payload[1], payload[2])
+    dirty = None if payload[3] is None else np.frombuffer(payload[3], dtype=np.int64)
+    return VCState(deg, payload[1], payload[2], dirty)
 
 
 class _SharedMVC(Formulation):

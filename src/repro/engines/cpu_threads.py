@@ -27,7 +27,7 @@ import numpy as np
 from ..core.branching import expand_children
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.greedy import greedy_cover
-from ..core.kernels import SCALAR_KERNEL_MAX_M, SCALAR_KERNEL_MAX_N
+from ..core.kernels import scalar_path_ok
 from ..core.reductions import apply_reductions
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
@@ -162,7 +162,7 @@ def _run_threads(
     shared.queue.append(fresh_state(graph))
     # Build the graph's lazy query caches here, before workers exist, so
     # the worker threads only ever read them.
-    graph.prewarm(adjacency=graph.n <= SCALAR_KERNEL_MAX_N and graph.m <= SCALAR_KERNEL_MAX_M)
+    graph.prewarm(adjacency=scalar_path_ok(graph.n, graph.m))
     node_counts = [0] * n_workers
     threads = [
         threading.Thread(

@@ -26,7 +26,7 @@ import numpy as np
 from ..core.branching import expand_children
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.greedy import greedy_cover
-from ..core.kernels import SCALAR_KERNEL_MAX_M, SCALAR_KERNEL_MAX_N
+from ..core.kernels import scalar_path_ok
 from ..core.reductions import apply_reductions
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
@@ -148,7 +148,7 @@ def _run_worksteal(
     shared = _StealShared(n_workers, node_budget, seed)
     shared.deques[0].append(fresh_state(graph))
     # Build the graph's lazy query caches before any worker can race them.
-    graph.prewarm(adjacency=graph.n <= SCALAR_KERNEL_MAX_N and graph.m <= SCALAR_KERNEL_MAX_M)
+    graph.prewarm(adjacency=scalar_path_ok(graph.n, graph.m))
     node_counts = [0] * n_workers
     threads = [
         threading.Thread(target=_steal_worker,

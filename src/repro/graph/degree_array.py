@@ -131,6 +131,7 @@ class Workspace:
         self.in_batch = np.zeros(self.n, dtype=bool)
         self.pair_buf = np.empty(2, dtype=np.int64)
         self._dirty: Optional[Tuple[DirtyQueue, DirtyQueue]] = None
+        self._branch_queue: Optional[DirtyQueue] = None
         self._deg_pool: List[np.ndarray] = []
 
     @classmethod
@@ -138,10 +139,30 @@ class Workspace:
         return cls(graph.n)
 
     def dirty_queues(self) -> Tuple["DirtyQueue", "DirtyQueue"]:
-        """The (degree-one, degree-two) candidate queues, created on demand."""
+        """The (degree-one, degree-two) candidate queues, created on demand.
+
+        These queues are *per-cascade* scratch shared across every tree
+        node the workspace serves: each cascade must seed them (a seed
+        resets the pending count) and drain them to empty before
+        returning, so no node's pending vertices ever leak into the next
+        node's reduce (see the hygiene assert in
+        :func:`repro.core.kernels.apply_reductions_fast`).
+        """
         if self._dirty is None:
             self._dirty = (DirtyQueue(self.n), DirtyQueue(self.n))
         return self._dirty
+
+    def branch_queue(self) -> "DirtyQueue":
+        """Scratch queue collecting the branch step's touched vertices.
+
+        :func:`repro.core.branching.expand_children` clears it, routes one
+        child's removals through it, and drains it into the child's
+        ``dirty`` hint — reusing one buffer for every branch instead of
+        allocating a queue per tree node.
+        """
+        if self._branch_queue is None:
+            self._branch_queue = DirtyQueue(self.n)
+        return self._branch_queue
 
     def borrow_deg(self) -> np.ndarray:
         """A degree-array buffer: recycled if available, else freshly allocated."""
@@ -171,24 +192,48 @@ class VCState:
 
     ``deg[v] == REMOVED`` iff ``v`` has been placed in the cover.  Vertices
     of degree zero remain in the graph but are irrelevant to any cover.
+
+    ``dirty`` is the cross-node dirty-propagation hint: the vertices whose
+    degree the branch step decremented into candidate range (``<= 2``) when
+    this node was created, or ``None`` when unknown (the root, or a state
+    whose provenance was lost).  A reducer that honours the hint seeds its
+    worklist from it instead of rescanning all ``n`` degrees; every reducer
+    — honouring or not — *consumes* it (sets it back to ``None``), so a
+    hint can never outlive the one reduction cascade it describes.  The
+    hint is advisory: ``None`` always means "full rescan" and stays exact.
+    It may be a plain list (scalar branch path) or an int64 array
+    (vectorized branch path); duplicates are allowed.
+
+    ``max_deg_hint`` is a companion *stale-high* bound on the maximum
+    alive degree (or ``-1`` for unknown): degrees only ever decrease down
+    a subtree, so an ancestor's post-reduce maximum bounds every
+    descendant's, letting the scalar cascade skip its ``deg.max()`` seed
+    scan.  Stale-high is sound — at worst the high-degree rule performs
+    one scan that finds nothing and re-tightens the bound.
     """
 
     deg: np.ndarray
     cover_size: int
     edge_count: int
+    dirty: Optional[Sequence[int] | np.ndarray] = None
+    max_deg_hint: int = -1
 
     def copy(self, ws: Optional["Workspace"] = None) -> "VCState":
         """A deep copy — pushed states must not alias the working state.
 
         With a workspace, the degree array comes from its buffer pool
         (filled by :meth:`Workspace.release_deg` when states die), which
-        keeps the branch step allocation-free in steady state.
+        keeps the branch step allocation-free in steady state.  The dirty
+        hint is shared by reference: it is read-only by contract and both
+        copies describe the same pending cascade.
         """
         if ws is not None and ws.n == self.deg.size:
             buf = ws.borrow_deg()
             np.copyto(buf, self.deg)
-            return VCState(buf, self.cover_size, self.edge_count)
-        return VCState(self.deg.copy(), self.cover_size, self.edge_count)
+            return VCState(buf, self.cover_size, self.edge_count, self.dirty,
+                           self.max_deg_hint)
+        return VCState(self.deg.copy(), self.cover_size, self.edge_count, self.dirty,
+                       self.max_deg_hint)
 
     def cover(self) -> np.ndarray:
         """The cover ``S`` encoded by the sentinel entries."""
@@ -335,16 +380,21 @@ def remove_neighbors_into_cover(
     deg: np.ndarray,
     v: int,
     ws: Optional[Workspace] = None,
+    *,
+    dirty: Optional[Sequence[DirtyQueue]] = None,
 ) -> Tuple[int, int]:
     """Remove all alive neighbours of ``v`` into the cover (Fig. 4 lines 21-22).
 
     Returns ``(edges_deleted, n_removed)``.  ``v`` itself stays in the graph
-    and necessarily ends with degree zero.
+    and necessarily ends with degree zero.  Every external vertex the batch
+    decrements into candidate range is pushed into the queues in ``dirty``,
+    which is how the branch step records the touched set it hands to the
+    child's reduction cascade.
     """
     live = alive_neighbors(graph, deg, v)
     if live.size == 0:
         return 0, 0
-    deleted = remove_vertices_into_cover(graph, deg, live, ws)
+    deleted = remove_vertices_into_cover(graph, deg, live, ws, dirty=dirty)
     return deleted, int(live.size)
 
 

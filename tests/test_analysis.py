@@ -139,3 +139,98 @@ class TestSequentialSim:
         easy = solve_mvc_sequential_sim(phat_complement(40, 1, seed=3))
         hard = solve_mvc_sequential_sim(phat_complement(40, 3, seed=3))
         assert hard.cycles > easy.cycles
+
+
+class TestMicrobenchArtifacts:
+    def _tiny_payload(self):
+        from repro.analysis.microbench import run_microbench
+
+        return run_microbench(repeats=1, target_s=1e-3)
+
+    def test_validate_artifact_accepts_real_payload(self):
+        from repro.analysis.microbench import validate_artifact
+
+        validate_artifact(self._tiny_payload())  # must not raise
+
+    def test_validate_artifact_rejects_schema_drift(self):
+        import pytest
+
+        from repro.analysis.microbench import validate_artifact
+
+        good = self._tiny_payload()
+        bad_variants = []
+        b = dict(good); b["schema_version"] = 99; bad_variants.append(b)
+        b = dict(good); b["kind"] = "nope"; bad_variants.append(b)
+        b = dict(good); b["results"] = {}; bad_variants.append(b)
+        b = dict(good)
+        b["results"] = {k: {kk: vv for kk, vv in v.items() if kk != "median_s"}
+                        for k, v in good["results"].items()}
+        bad_variants.append(b)
+        b = dict(good); b.pop("provenance"); bad_variants.append(b)
+        for bad in bad_variants:
+            with pytest.raises(ValueError):
+                validate_artifact(bad)
+
+    def test_calibrate_scalar_cutoffs_tiny_ladder(self):
+        import repro.core.kernels as kernels
+        from repro.analysis.microbench import calibrate_scalar_cutoffs
+
+        before = (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M)
+        payload = calibrate_scalar_cutoffs(
+            repeats=2, n_ladder=(32, 64), m_ladder=(128, 256), apply=False)
+        assert (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M) == before
+        assert payload["kind"] == "repro-vc-scalar-calibration"
+        assert payload["scalar_kernel_max_n"] in (32, 64)
+        assert payload["scalar_kernel_max_m"] > 0
+        for sample in payload["samples"]["n_ladder"]:
+            assert sample["scalar_s"] > 0 and sample["vectorized_s"] > 0
+        assert payload["shipped_defaults"]["scalar_kernel_max_n"] == \
+            kernels.DEFAULT_SCALAR_KERNEL_MAX_N
+
+    def test_load_scalar_calibration_applies_and_roundtrips(self, tmp_path):
+        import json
+
+        import pytest
+
+        import repro.core.kernels as kernels
+        from repro.analysis.microbench import (
+            calibrate_scalar_cutoffs,
+            load_scalar_calibration,
+            write_artifact,
+        )
+
+        before = (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M)
+        try:
+            payload = calibrate_scalar_cutoffs(
+                repeats=2, n_ladder=(32,), m_ladder=(128,), apply=False)
+            path = tmp_path / "CALIBRATION.json"
+            write_artifact(payload, str(path))
+            loaded = load_scalar_calibration(str(path))
+            assert kernels.SCALAR_KERNEL_MAX_N == int(loaded["scalar_kernel_max_n"])
+            assert kernels.SCALAR_KERNEL_MAX_M == int(loaded["scalar_kernel_max_m"])
+        finally:
+            kernels.set_scalar_cutoffs(*before)
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(ValueError):
+            load_scalar_calibration(str(bogus))
+        quick = tmp_path / "quick.json"
+        quick_payload = dict(payload)
+        quick_payload["quick"] = True
+        quick.write_text(json.dumps(quick_payload))
+        with pytest.raises(ValueError, match="toy-ladder"):
+            load_scalar_calibration(str(quick))
+
+    def test_set_scalar_cutoffs_validates(self):
+        import pytest
+
+        import repro.core.kernels as kernels
+
+        before = (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M)
+        with pytest.raises(ValueError):
+            kernels.set_scalar_cutoffs(-1)
+        with pytest.raises(ValueError):
+            kernels.set_scalar_cutoffs(None, -5)
+        assert (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M) == before
+        assert kernels.scalar_path_ok(1, 1)
+        assert not kernels.scalar_path_ok(before[0] + 1, 1)

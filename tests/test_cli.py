@@ -69,3 +69,30 @@ class TestMain:
         prov = payload["provenance"]
         assert {"git_sha", "seeds", "python", "numpy", "platform"} <= set(prov)
         assert "reduce_serial" in capsys.readouterr().out
+
+    def test_bench_calibrate_writes_artifact(self, capsys, tmp_path):
+        import repro.core.kernels as kernels
+
+        out = tmp_path / "CALIBRATION.json"
+        before = (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M)
+        try:
+            # --quick probes a tiny ladder and does NOT install the cutoffs
+            assert main(["bench", "calibrate", "--quick", "--repeats", "2",
+                         "--out", str(out)]) == 0
+        finally:
+            kernels.set_scalar_cutoffs(*before)
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "repro-vc-scalar-calibration"
+        assert payload["quick"] is True  # toy ladder: tagged unloadable
+        assert payload["scalar_kernel_max_n"] > 0
+        assert payload["scalar_kernel_max_m"] > 0
+        assert payload["samples"]["n_ladder"] and payload["samples"]["m_ladder"]
+        assert "calibrated cutoffs" in capsys.readouterr().out
+
+    def test_bench_parser_accepts_action(self):
+        args = build_parser().parse_args(["bench", "calibrate"])
+        assert args.action == "calibrate"
+        args = build_parser().parse_args(["bench"])
+        assert args.action == "run"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "nonsense"])

@@ -192,6 +192,106 @@ class TestFacade:
             mvc_of_structured("nope")
 
 
+class TestTrueDepthTracking:
+    """``max_depth_reached`` must count true ancestry depth: a continued
+    child deepens the tree without a stack push, so whenever branching
+    resumes under a popped deferred child the old ``len(stack)`` aliasing
+    undercounted (corrupting the Fig. 4 tree-shape analyses)."""
+
+    # gnp(24, 0.2, seed=4) frozen as an explicit edge list: under the
+    # min-degree pivot its traversal provably reaches tree depth 2 while
+    # the stack never holds more than one deferred child.
+    DIVERGENT_N = 24
+    DIVERGENT_EDGES = [
+        (0, 4), (0, 8), (0, 19), (1, 2), (1, 21), (2, 3), (2, 9), (3, 4),
+        (3, 9), (3, 14), (3, 18), (4, 7), (4, 9), (4, 12), (4, 19), (4, 20),
+        (5, 9), (5, 17), (6, 13), (6, 20), (6, 22), (7, 23), (9, 13), (9, 15),
+        (9, 20), (9, 22), (10, 13), (10, 14), (10, 17), (10, 21), (12, 13),
+        (12, 19), (14, 20), (15, 19), (15, 20), (15, 22), (16, 23), (17, 22),
+        (17, 23), (19, 22),
+    ]
+
+    @staticmethod
+    def _recursive_max_depth(g, form, pivot):
+        """Continued-first DFS replicating branch_and_reduce's visit order,
+        recording the true depth of every child created."""
+        import sys
+
+        from repro.core.branching import expand_children
+        from repro.core.reductions import apply_reductions
+        from repro.graph.degree_array import Workspace, fresh_state
+
+        ws = Workspace.for_graph(g)
+        deepest = [0]
+        sys.setrecursionlimit(10_000)
+
+        def visit(state, depth):
+            apply_reductions(g, state, form, ws)
+            if form.prune(state):
+                return
+            if state.edge_count == 0:
+                form.accept(state)
+                return
+            vmax = pivot(state, None)
+            deferred, cont = expand_children(g, state, vmax, ws)
+            deepest[0] = max(deepest[0], depth + 1)
+            visit(cont, depth + 1)
+            visit(deferred, depth + 1)
+
+        visit(fresh_state(g), 0)
+        return deepest[0]
+
+    def test_depth_exceeds_stack_on_divergent_instance(self):
+        from repro.core.branching import PIVOTS
+        from repro.core.formulation import BestBound, MVCFormulation
+        from repro.core.sequential import branch_and_reduce
+
+        g = CSRGraph.from_edges(self.DIVERGENT_N, self.DIVERGENT_EDGES)
+        pivot = PIVOTS["min_degree"]
+        ref_form = MVCFormulation(BestBound(size=g.n + 1))
+        true_depth = self._recursive_max_depth(g, ref_form, pivot)
+
+        form = MVCFormulation(BestBound(size=g.n + 1))
+        stats = branch_and_reduce(g, form, pivot=pivot)
+        assert form.best.size == ref_form.best.size
+        assert stats.max_depth_reached == true_depth
+        assert stats.max_depth_reached > stats.max_stack_depth  # the regression
+
+    def test_depth_matches_recursive_reference_across_graphs(self):
+        from repro.core.branching import PIVOTS
+        from repro.core.formulation import BestBound, MVCFormulation
+        from repro.core.sequential import branch_and_reduce
+
+        cases = [(gnp(18, 0.25, seed=7), "max_degree"),
+                 (gnp(30, 0.15, seed=37), "max_degree"),
+                 (gnp(20, 0.25, seed=0), "min_degree"),
+                 (petersen(), "max_degree"),
+                 (cycle_graph(11), "max_degree")]
+        for g, pname in cases:
+            pivot = PIVOTS[pname]
+            true_depth = self._recursive_max_depth(
+                g, MVCFormulation(BestBound(size=g.n + 1)), pivot)
+            stats = branch_and_reduce(g, MVCFormulation(BestBound(size=g.n + 1)),
+                                      pivot=pivot)
+            assert stats.max_depth_reached == true_depth, pname
+            assert stats.max_depth_reached >= stats.max_stack_depth
+
+    def test_pure_continued_chain_depth_equals_stack(self):
+        """Sanity: with no divergence (a path graph explored under a no-op
+        reducer, every deferred child resolving immediately) the two
+        statistics coincide — the fix only ever raises depth."""
+        from repro.core.formulation import BestBound, MVCFormulation
+        from repro.core.sequential import branch_and_reduce
+
+        def noop(graph, state, formulation, ws, charge=None, counters=None):
+            state.dirty = None
+
+        g = path_graph(12)
+        stats = branch_and_reduce(g, MVCFormulation(BestBound(size=g.n + 1)),
+                                  reducer=noop)
+        assert stats.max_depth_reached == stats.max_stack_depth > 0
+
+
 @settings(max_examples=30, deadline=None)
 @given(n=st.integers(3, 14), p=st.floats(0.1, 0.8), seed=st.integers(0, 400))
 def test_sequential_matches_brute_force_property(n, p, seed):

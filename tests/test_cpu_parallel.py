@@ -94,3 +94,50 @@ class TestProcesses:
         from repro.core.sequential import solve_mvc_sequential
 
         assert res.optimum == solve_mvc_sequential(g).optimum
+
+
+class TestWirePayload:
+    """The process engine's wire format carries the dirty hint."""
+
+    def test_roundtrip_with_and_without_hint(self):
+        import numpy as np
+
+        from repro.engines.cpu_process import _pack, _unpack
+        from repro.graph.degree_array import VCState, fresh_state
+
+        g = gnp(20, 0.3, seed=5)
+        bare = fresh_state(g)
+        assert bare.dirty is None
+        out = _unpack(_pack(bare))
+        assert out.dirty is None
+        assert np.array_equal(out.deg, bare.deg)
+        assert (out.cover_size, out.edge_count) == (bare.cover_size, bare.edge_count)
+
+        for hint in ([3, 7, 7, 1], np.array([2, 5, 9], dtype=np.int64)):
+            state = VCState(bare.deg.copy(), 4, 11, hint)
+            out = _unpack(_pack(state))
+            assert out.dirty is not None
+            assert np.asarray(out.dirty, dtype=np.int64).tolist() == \
+                np.asarray(hint, dtype=np.int64).tolist()
+
+    def test_hinted_state_reduces_identically_after_roundtrip(self):
+        import numpy as np
+
+        from repro.core.branching import expand_children, max_degree_pivot
+        from repro.core.formulation import BestBound, MVCFormulation
+        from repro.core.reductions import apply_reductions
+        from repro.engines.cpu_process import _pack, _unpack
+        from repro.graph.degree_array import Workspace, fresh_state
+
+        g = gnp(30, 0.2, seed=8)
+        ws = Workspace.for_graph(g)
+        parent = fresh_state(g)
+        form = MVCFormulation(BestBound(size=g.n + 1))
+        apply_reductions(g, parent, form, ws)
+        deferred, _ = expand_children(g, parent, max_degree_pivot(parent), ws)
+        wired = _unpack(_pack(deferred))
+        apply_reductions(g, deferred, form, ws)
+        apply_reductions(g, wired, form, Workspace.for_graph(g))
+        assert np.array_equal(deferred.deg, wired.deg)
+        assert (deferred.cover_size, deferred.edge_count) == \
+            (wired.cover_size, wired.edge_count)

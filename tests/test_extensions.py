@@ -182,10 +182,23 @@ class TestBranchingPivots:
         g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
         assert min_positive_degree_pivot(fresh_state(g)) == 3
 
-    def test_random_pivot_needs_rng(self):
-        g = path_graph(3)
-        with pytest.raises(ValueError):
-            random_pivot(fresh_state(g))
+    def test_random_pivot_default_rng(self):
+        # rng=None must not crash (CLI sweeps pass no seed); the fallback
+        # generator is seeded, so a fresh one replays the same choices.
+        import repro.core.branching as branching_mod
+
+        g = path_graph(5)
+        branching_mod._default_pivot_rng = None
+        first = [random_pivot(fresh_state(g)) for _ in range(6)]
+        branching_mod._default_pivot_rng = None
+        assert [random_pivot(fresh_state(g)) for _ in range(6)] == first
+        assert all(fresh_state(g).deg[v] > 0 for v in first)
+
+    def test_random_pivot_explicit_rng_unchanged(self):
+        g = path_graph(5)
+        a = random_pivot(fresh_state(g), np.random.default_rng(7))
+        b = random_pivot(fresh_state(g), np.random.default_rng(7))
+        assert a == b
 
     def test_all_pivots_yield_exact_search(self, rng):
         g = gnp(14, 0.4, seed=31)

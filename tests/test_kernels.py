@@ -41,6 +41,12 @@ from repro.graph.generators.structured import (
 from repro.graph.generators.suites import paper_suite
 
 
+def hint_candidates(state):
+    """The rule-candidate set a state's dirty hint actually seeds."""
+    assert state.dirty is not None
+    return {int(v) for v in state.dirty if state.deg[v] in (1, 2)}
+
+
 def fixpoint(graph, reducer, best=None, k=None, ws=None):
     """Run ``reducer`` to fixpoint; return the comparable tuple."""
     state = fresh_state(graph)
@@ -159,6 +165,198 @@ def test_search_identical_under_both_reducers():
 
 
 # --------------------------------------------------------------------- #
+# cross-node dirty propagation: the seeded child cascade is bit-identical
+# to the full-rescan cascade at every node of a real traversal
+# --------------------------------------------------------------------- #
+def counters_tuple(c):
+    return (c.degree_one, c.degree_two_triangle, c.high_degree, c.sweeps)
+
+
+def walk_seeded_vs_rescan(g, best=None, k=None, node_cap=80):
+    """Replay branch-and-reduce; at every node run three cascades on the
+    same input state — hint-seeded, hint-stripped (full rescan), and the
+    reference rules — and assert a bit-identical fixpoint (degree array,
+    cover size, edge count, all reduction counters).  ``node_cap`` both
+    bounds runtime and forces a depth-limited early exit mid-tree, after
+    which the shared workspace must hold no pending dirty vertices."""
+    from repro.core.branching import max_degree_pivot
+    from repro.graph.degree_array import VCState
+
+    if k is None:
+        form = MVCFormulation(BestBound(size=best if best is not None else g.n + 1))
+    else:
+        form = PVCFormulation(k=k, flag=FoundFlag())
+    ws = Workspace.for_graph(g)
+    ws_rescan = Workspace.for_graph(g)
+    stack = [fresh_state(g)]
+    nodes = branches = 0
+    while stack and nodes < node_cap:
+        state = stack.pop()
+        nodes += 1
+        rescan = VCState(state.deg.copy(), state.cover_size, state.edge_count)
+        ref = VCState(state.deg.copy(), state.cover_size, state.edge_count)
+        assert rescan.dirty is None and rescan.max_deg_hint == -1
+        cs, cr, cf = ReductionCounters(), ReductionCounters(), ReductionCounters()
+        apply_reductions_fast(g, state, form, ws, counters=cs)
+        apply_reductions_fast(g, rescan, form, ws_rescan, counters=cr)
+        apply_reductions_reference(g, ref, form, counters=cf)
+        for other, cnt in ((rescan, cr), (ref, cf)):
+            assert state.deg.tobytes() == other.deg.tobytes()
+            assert state.cover_size == other.cover_size
+            assert state.edge_count == other.edge_count
+            assert counters_tuple(cs) == counters_tuple(cnt)
+        assert state.dirty is None  # the cascade consumed the hint
+        if form.prune(state) or state.edge_count == 0:
+            continue
+        vmax = max_degree_pivot(state)
+        deferred, cont = expand_children(g, state, vmax, ws)
+        assert deferred.dirty is not None and cont.dirty is not None
+        branches += 1
+        stack.append(deferred)
+        stack.append(cont)
+    d1, d2 = ws.dirty_queues()
+    assert d1.count == 0 and d2.count == 0
+    return branches
+
+
+class TestSeededCascadeEquivalence:
+    RANDOM = [(20, 0.3, 0), (40, 0.15, 1), (60, 0.08, 2), (30, 0.5, 3)]
+
+    def test_random_suite_scalar_path(self):
+        for n, p, seed in self.RANDOM:
+            assert walk_seeded_vs_rescan(gnp(n, p, seed=seed)) > 0
+            walk_seeded_vs_rescan(gnp(n, p, seed=seed), best=max(3, n // 3))
+
+    def test_random_suite_vectorized_path(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
+        for n, p, seed in self.RANDOM:
+            assert walk_seeded_vs_rescan(gnp(n, p, seed=seed), node_cap=40) > 0
+
+    def test_phat_suite_both_paths(self, monkeypatch):
+        for n, tier, seed in [(30, 2, 4), (40, 1, 5), (25, 3, 6)]:
+            g = phat_complement(n, tier, seed=seed)
+            assert walk_seeded_vs_rescan(g) > 0
+            monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
+            walk_seeded_vs_rescan(g, node_cap=40)
+            monkeypatch.undo()
+
+    def test_structured_suite(self, monkeypatch):
+        graphs = [
+            grid_graph(4, 5),
+            petersen(),
+            disjoint_union(path_graph(6), star_graph(4), petersen()),
+            disjoint_union(*[path_graph(2) for _ in range(5)]),
+        ]
+        for g in graphs:
+            walk_seeded_vs_rescan(g)
+            monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
+            walk_seeded_vs_rescan(g)
+            monkeypatch.undo()
+
+    def test_paper_suite_tiny(self):
+        for inst in paper_suite("tiny"):
+            walk_seeded_vs_rescan(inst.graph(), node_cap=30)
+
+    def test_pvc_budgets(self, monkeypatch):
+        walk_seeded_vs_rescan(gnp(40, 0.2, seed=11), k=10)
+        walk_seeded_vs_rescan(star_graph(7), k=2)
+        monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
+        walk_seeded_vs_rescan(gnp(40, 0.2, seed=11), k=10)
+
+    def test_depth_limited_early_exit(self, monkeypatch):
+        # Stop after very few nodes — mid-branch — on both kernel paths.
+        for cap in (1, 3, 7):
+            walk_seeded_vs_rescan(phat_complement(30, 2, seed=4), node_cap=cap)
+            monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
+            walk_seeded_vs_rescan(phat_complement(30, 2, seed=4), node_cap=cap)
+            monkeypatch.undo()
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(6, 50), p=st.floats(0.05, 0.6), seed=st.integers(0, 2_000),
+           tighten=st.integers(0, 2))
+    def test_property_random(self, n, p, seed, tighten):
+        best = None if tighten == 0 else max(2, n // (2 * tighten))
+        walk_seeded_vs_rescan(gnp(n, p, seed=seed), best=best, node_cap=25)
+
+
+def test_charged_reducers_immune_to_hints():
+    """Cost-model charge streams must not depend on whether a state
+    arrived with a dirty hint — charged cascades always full-rescan."""
+    from repro.core.branching import max_degree_pivot
+    from repro.core.parallel_reductions import apply_reductions_parallel
+    from repro.graph.degree_array import VCState
+
+    g = gnp(50, 0.12, seed=21)
+    ws = Workspace.for_graph(g)
+    parent = fresh_state(g)
+    form = MVCFormulation(BestBound(size=g.n + 1))
+    apply_reductions_fast(g, parent, form, ws)
+    assert parent.edge_count > 0
+    child, _ = expand_children(g, parent.copy(), max_degree_pivot(parent), ws)
+    assert child.dirty is not None
+
+    for reducer in (apply_reductions_reference, apply_reductions_parallel,
+                    apply_reductions_fast):
+        hinted = VCState(child.deg.copy(), child.cover_size, child.edge_count,
+                         child.dirty, child.max_deg_hint)
+        bare = VCState(child.deg.copy(), child.cover_size, child.edge_count)
+        streams = []
+        for st_ in (hinted, bare):
+            charges = []
+            reducer(g, st_, MVCFormulation(BestBound(size=g.n + 1)),
+                    Workspace.for_graph(g),
+                    charge=lambda kind, units: charges.append((kind, units)))
+            streams.append(charges)
+        assert streams[0] == streams[1], reducer.__name__
+        assert streams[0]  # the instrumented runs actually charged work
+        assert hinted.deg.tobytes() == bare.deg.tobytes()
+        assert hinted.dirty is None  # every reducer consumes the hint
+
+
+# --------------------------------------------------------------------- #
+# workspace dirty-queue hygiene across tree nodes
+# --------------------------------------------------------------------- #
+class TestWorklistHygiene:
+    def test_poisoned_queues_cannot_corrupt_a_cascade(self, monkeypatch):
+        """Stale pending vertices (as a buggy early exit would leave) are
+        flushed by the seed reset, never acted upon."""
+        monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
+        g = gnp(60, 0.08, seed=13)
+        ws = Workspace.for_graph(g)
+        d1, d2 = ws.dirty_queues()
+        d1.push(np.array([0, 1, 2, 3]))
+        d2.push(np.array([5, 6, 7]))
+        fast = fixpoint(g, apply_reductions_fast, ws=ws)
+        monkeypatch.undo()
+        assert fast == fixpoint(g, apply_reductions_reference)
+        assert d1.count == 0 and d2.count == 0
+
+    def test_budget_early_exit_leaves_queues_clean(self, monkeypatch):
+        """A cascade cut short by a doomed budget (high-degree rule bails
+        with budget < 0) must leave nothing pending for the next node."""
+        monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
+        g = gnp(50, 0.3, seed=3)
+        ws = Workspace.for_graph(g)
+        a = fixpoint(g, apply_reductions_fast, k=1, ws=ws)
+        d1, d2 = ws.dirty_queues()
+        assert d1.count == 0 and d2.count == 0
+        b = fixpoint(g, apply_reductions_fast, best=g.n + 1, ws=ws)  # reuse the workspace
+        monkeypatch.undo()
+        assert a == fixpoint(g, apply_reductions_reference, k=1)
+        assert b == fixpoint(g, apply_reductions_reference, best=g.n + 1)
+
+    def test_full_search_leaves_queues_clean(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
+        g = phat_complement(40, 2, seed=11)
+        ws = Workspace.for_graph(g)
+        best = BestBound(size=g.n + 1)
+        branch_and_reduce(g, MVCFormulation(best), ws=ws)
+        monkeypatch.undo()
+        d1, d2 = ws.dirty_queues()
+        assert d1.count == 0 and d2.count == 0
+
+
+# --------------------------------------------------------------------- #
 # batched helpers
 # --------------------------------------------------------------------- #
 class TestBatchHelpers:
@@ -272,18 +470,22 @@ class TestPoolAndScalarPaths:
             vmax = int(np.argmax(state.deg))
             ws = Workspace.for_graph(g)
             d_scalar, c_scalar = expand_children(g, state.copy(), vmax, ws)
-            monkeypatch.setattr("repro.core.branching.SCALAR_KERNEL_MAX_N", 0)
+            monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
             d_vec, c_vec = expand_children(g, state.copy(), vmax, ws)
             monkeypatch.undo()
             for a, b in ((d_scalar, d_vec), (c_scalar, c_vec)):
                 assert np.array_equal(a.deg, b.deg)
                 assert a.cover_size == b.cover_size
                 assert a.edge_count == b.edge_count
+                # The dirty hints may differ in raw form (the scalar path
+                # records intermediate arrivals, the vectorized path final
+                # degrees), but the candidate set they seed is identical.
+                assert hint_candidates(a) == hint_candidates(b)
 
     def test_greedy_scalar_matches_vectorized(self, monkeypatch):
         for g in (phat_complement(40, 2, seed=3), gnp(80, 0.05, seed=4), grid_graph(5, 5)):
             scalar = _greedy_cover_scalar(g)
-            monkeypatch.setattr("repro.core.greedy.SCALAR_KERNEL_MAX_N", 0)
+            monkeypatch.setattr(kernels_mod, "SCALAR_KERNEL_MAX_N", 0)
             vec = greedy_cover(g)
             monkeypatch.undo()
             assert scalar.size == vec.size
