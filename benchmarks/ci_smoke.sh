@@ -6,8 +6,10 @@
 #   sh benchmarks/ci_smoke.sh
 #
 # Exits non-zero if: any benchmark body fails, the freshly produced
-# artifact violates the documented schema, or a case present in the
-# committed BENCH_micro.json is missing from the smoke artifact.
+# artifact violates the documented schema, a case present in the
+# committed BENCH_micro.json is missing from the smoke artifact, or any
+# engine/frontier combination disagrees on a tiny-instance cover size
+# (the step-core/frontier layering guard; see docs/ARCHITECTURE.md).
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -32,4 +34,35 @@ missing = sorted(set(committed["results"]) - set(smoke["results"]))
 if missing:
     sys.exit(f"cases in committed BENCH_micro.json missing from smoke run: {missing}")
 print("ci_smoke: artifact schema OK, all committed case names present")
+EOF
+
+# --- engine x frontier agreement matrix (tiny instances, exact answers) ---
+python - <<'EOF'
+from repro.core.frontier import FRONTIERS
+from repro.core.sequential import solve_mvc_sequential
+from repro.core.solver import ENGINES, solve_mvc
+from repro.graph.generators.phat import phat_complement
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import grid_graph
+
+instances = [
+    ("gnp20", gnp(20, 0.2, seed=12)),
+    ("phat16", phat_complement(16, 2, seed=4)),
+    ("grid4x4", grid_graph(4, 4)),
+]
+checked = 0
+for name, graph in instances:
+    expected = solve_mvc_sequential(graph).optimum
+    for frontier in FRONTIERS:
+        got = solve_mvc_sequential(graph, frontier=frontier).optimum
+        assert got == expected, (name, frontier, got, expected)
+        checked += 1
+    for engine in ENGINES:
+        kwargs = {"n_workers": 2} if engine.startswith("cpu-") else {}
+        got = solve_mvc(graph, engine=engine, **kwargs).optimum
+        assert got == expected, (name, engine, got, expected)
+        checked += 1
+print(f"ci_smoke: engine x frontier matrix OK "
+      f"({checked} solver runs, {len(instances)} instances, "
+      f"{len(FRONTIERS)} frontiers, {len(ENGINES)} engines)")
 EOF

@@ -33,7 +33,9 @@ __all__ = [
     "write_artifact",
     "validate_artifact",
     "calibrate_scalar_cutoffs",
+    "calibrate_branch_batch_cutoff",
     "load_scalar_calibration",
+    "maybe_autoload_calibration",
 ]
 
 #: Bump when the JSON layout changes (documented in benchmarks/README.md).
@@ -260,6 +262,16 @@ CALIBRATION_N_LADDER = (128, 256, 512, 1024, 2048, 4096, 8192)
 CALIBRATION_M_LADDER = (1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16, 1 << 17)
 CALIBRATION_M_PROBE_N = 768
 
+#: Pivot-neighbourhood sizes probed for the deferred-child batch handoff
+#: (``BRANCH_BATCH_MIN_LIVE``): each point embeds a hub of exactly that
+#: alive degree in background noise and times both deferred-child
+#: constructions through the real branch step.
+CALIBRATION_BRANCH_LIVE_LADDER = (8, 16, 24, 32, 48, 64, 96)
+
+#: Sentinel installed when the batch path never wins on this machine
+#: (the scalar loop stays unconditional; documented in the artifact).
+BRANCH_BATCH_DISABLED = 1 << 30
+
 
 def _time_cascade(make_state, run, repeats: int) -> float:
     """Median seconds of ``run(state)`` over fresh states (best of pairs)."""
@@ -274,10 +286,98 @@ def _time_cascade(make_state, run, repeats: int) -> float:
     return samples[len(samples) // 2]
 
 
+def _branch_probe_graph(live: int, seed: int):
+    """A hub vertex of alive degree exactly ``live`` amid gnp-ish noise.
+
+    Vertex 0 is the pivot whose deferred child the probe constructs; the
+    remaining vertices carry background edges so the batch kernel's
+    segment gather sees realistic row lengths.
+    """
+    from ..graph.csr import CSRGraph
+
+    n = max(2 * live, 96)
+    rng = np.random.default_rng(seed)
+    edges = {(0, i) for i in range(1, live + 1)}
+    target_noise = 4 * n
+    u = rng.integers(1, n, size=target_noise)
+    v = rng.integers(1, n, size=target_noise)
+    for a, b in zip(u.tolist(), v.tolist()):
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return CSRGraph.from_edges(n, sorted(edges), validate=False)
+
+
+def calibrate_branch_batch_cutoff(
+    repeats: int = 5,
+    live_ladder: Optional[tuple] = None,
+) -> Dict[str, object]:
+    """Measure the deferred-child scalar/batch crossover by pivot degree.
+
+    For each ladder point both deferred-child constructions run through
+    the *real* branch step (:func:`repro.core.branching.expand_children`'s
+    scalar path), toggled by ``BRANCH_BATCH_MIN_LIVE``; the calibrated
+    cutoff is the smallest ladder degree from which the batch kernel wins
+    at every larger point, or :data:`BRANCH_BATCH_DISABLED` when the
+    scalar loop wins everywhere (the ROADMAP's measured outcome for the
+    *general* batch path at n≈50 — the cheap kernel exists to beat it).
+    The module globals are restored before returning; installation is the
+    caller's decision.
+    """
+    from ..core import kernels
+    from ..core.branching import _expand_children_scalar
+    from ..graph.degree_array import Workspace, fresh_state
+
+    if live_ladder is None:
+        live_ladder = CALIBRATION_BRANCH_LIVE_LADDER
+
+    saved = kernels.BRANCH_BATCH_MIN_LIVE
+    samples = []
+    try:
+        for live in sorted(live_ladder):
+            graph = _branch_probe_graph(int(live), CALIBRATION_SEED)
+            ws = Workspace.for_graph(graph)
+            parent = fresh_state(graph)
+            graph.adjacency_tuples()  # warm the cache both paths share
+
+            def construct() -> None:
+                state = parent.copy(ws)
+                deferred, continued = _expand_children_scalar(graph, state, 0, ws)
+                ws.release_deg(deferred.deg)
+                ws.release_deg(continued.deg)
+
+            def timed() -> float:
+                best = float("inf")
+                loops = 32
+                for _ in range(max(2, repeats)):
+                    t0 = time.perf_counter()
+                    for _ in range(loops):
+                        construct()
+                    best = min(best, (time.perf_counter() - t0) / loops)
+                return best
+
+            kernels.BRANCH_BATCH_MIN_LIVE = BRANCH_BATCH_DISABLED
+            scalar_s = timed()
+            kernels.BRANCH_BATCH_MIN_LIVE = 0
+            batch_s = timed()
+            samples.append({"live": int(live), "scalar_s": scalar_s,
+                            "batch_s": batch_s})
+    finally:
+        kernels.BRANCH_BATCH_MIN_LIVE = saved
+
+    min_live = BRANCH_BATCH_DISABLED
+    # smallest ladder point from which the batch path wins monotonically
+    for i, sample in enumerate(samples):
+        if all(s["batch_s"] <= s["scalar_s"] for s in samples[i:]):
+            min_live = sample["live"]
+            break
+    return {"branch_batch_min_live": min_live, "samples": samples}
+
+
 def calibrate_scalar_cutoffs(
     repeats: int = 5,
     n_ladder: Optional[tuple] = None,
     m_ladder: Optional[tuple] = None,
+    branch_ladder: Optional[tuple] = None,
     apply: bool = True,
     quick: bool = False,
 ) -> Dict[str, object]:
@@ -288,7 +388,9 @@ def calibrate_scalar_cutoffs(
     proven bit-identical, so only time differs).  The calibrated cutoffs
     are the largest ladder values where the scalar path still wins; with
     ``apply=True`` they are installed immediately via
-    :func:`repro.core.kernels.set_scalar_cutoffs`.
+    :func:`repro.core.kernels.set_scalar_cutoffs`.  The deferred-child
+    branch-batch crossover (:func:`calibrate_branch_batch_cutoff`) is
+    measured and installed alongside.
 
     Cross-node dirty seeding shifts this crossover (seeded cascades do
     less per-call work, amplifying fixed NumPy call overhead), which is
@@ -351,6 +453,8 @@ def calibrate_scalar_cutoffs(
     if max_m == 0:
         max_m = int(min(m_ladder))
 
+    branch = calibrate_branch_batch_cutoff(repeats=repeats, live_ladder=branch_ladder)
+
     payload: Dict[str, object] = {
         "schema_version": CALIBRATION_SCHEMA_VERSION,
         "kind": "repro-vc-scalar-calibration",
@@ -359,11 +463,14 @@ def calibrate_scalar_cutoffs(
         "quick": bool(quick),
         "scalar_kernel_max_n": max_n,
         "scalar_kernel_max_m": max_m,
+        "branch_batch_min_live": branch["branch_batch_min_live"],
         "shipped_defaults": {
             "scalar_kernel_max_n": kernels.DEFAULT_SCALAR_KERNEL_MAX_N,
             "scalar_kernel_max_m": kernels.DEFAULT_SCALAR_KERNEL_MAX_M,
+            "branch_batch_min_live": kernels.DEFAULT_BRANCH_BATCH_MIN_LIVE,
         },
-        "samples": {"n_ladder": n_samples, "m_ladder": m_samples},
+        "samples": {"n_ladder": n_samples, "m_ladder": m_samples,
+                    "branch_live_ladder": branch["samples"]},
         "provenance": {
             "git_sha": _git_sha(),
             "seed": CALIBRATION_SEED,
@@ -375,6 +482,7 @@ def calibrate_scalar_cutoffs(
     }
     if apply:
         kernels.set_scalar_cutoffs(max_n, max_m)
+        kernels.set_branch_batch_cutoff(max(2, int(branch["branch_batch_min_live"])))
     return payload
 
 
@@ -395,7 +503,64 @@ def load_scalar_calibration(path: str, apply: bool = True) -> Dict[str, object]:
     max_m = int(payload["scalar_kernel_max_m"])
     if apply:
         kernels.set_scalar_cutoffs(max_n, max_m)
+        if "branch_batch_min_live" in payload:  # added after schema v1 shipped
+            kernels.set_branch_batch_cutoff(
+                max(2, int(payload["branch_batch_min_live"]))
+            )
     return payload
+
+
+#: Environment flag controlling import-time calibration auto-load (see
+#: :func:`maybe_autoload_calibration`).
+CALIBRATION_ENV_VAR = "REPRO_CALIBRATION"
+
+#: Default artifact location inside a source checkout, relative to the
+#: repository root (what ``repro bench calibrate`` writes).
+CALIBRATION_DEFAULT_RELPATH = "benchmarks/CALIBRATION.json"
+
+#: Recognised boolean spellings for :data:`CALIBRATION_ENV_VAR`.  Anything
+#: not in either set is interpreted as an artifact path.
+CALIBRATION_OFF_VALUES = frozenset(("", "0", "off", "no", "false"))
+CALIBRATION_ON_VALUES = frozenset(("1", "auto", "on", "yes", "true"))
+
+
+def maybe_autoload_calibration(environ: Optional[Dict[str, str]] = None) -> Optional[Dict[str, object]]:
+    """Install persisted cutoffs at import time, gated by ``REPRO_CALIBRATION``.
+
+    Invoked from ``repro/__init__`` so a calibrated machine applies its
+    measured scalar/vectorized and branch-batch crossovers to every run
+    without code changes:
+
+    * an off spelling (:data:`CALIBRATION_OFF_VALUES`: unset, ``""``,
+      ``"0"``, ``"off"``, ``"no"``, ``"false"``) — no-op (the shipped
+      defaults stay), returns ``None``;
+    * an on spelling (:data:`CALIBRATION_ON_VALUES`: ``"1"``, ``"auto"``,
+      ``"on"``, ``"yes"``, ``"true"``) — load
+      ``benchmarks/CALIBRATION.json`` from the source checkout; silently
+      skipped (returns ``None``) when the artifact does not exist, e.g.
+      in an installed wheel;
+    * any other value — an explicit artifact path; a missing file raises.
+
+    A ``--quick`` (toy-ladder) artifact is always **refused** with
+    ``ValueError``, loudly: silently running a whole session on
+    unrepresentative cutoffs is exactly the failure mode the ``quick``
+    tag exists to prevent.  Regenerate with a full
+    ``repro bench calibrate`` instead.
+    """
+    import os
+    from pathlib import Path
+
+    env = os.environ if environ is None else environ
+    value = env.get(CALIBRATION_ENV_VAR, "").strip()
+    if value.lower() in CALIBRATION_OFF_VALUES:
+        return None
+    if value.lower() in CALIBRATION_ON_VALUES:
+        root = Path(__file__).resolve().parents[3]
+        path = root / CALIBRATION_DEFAULT_RELPATH
+        if not path.is_file():
+            return None
+        return load_scalar_calibration(str(path))
+    return load_scalar_calibration(value)
 
 
 def render_calibration(payload: Dict[str, object]) -> str:
@@ -408,8 +573,20 @@ def render_calibration(payload: Dict[str, object]) -> str:
             tag = f"n={s['n']} m={s['m']}"
             lines.append(f"{tag:>18s} {sc:10.1f}us {ve:10.1f}us  "
                          f"{'scalar' if sc <= ve else 'vectorized'}")
+    for s in samples.get("branch_live_ladder", ()):  # type: ignore[union-attr]
+        sc, ba = float(s["scalar_s"]) * 1e6, float(s["batch_s"]) * 1e6
+        tag = f"live={s['live']}"
+        lines.append(f"{tag:>18s} {sc:10.1f}us {ba:10.1f}us  "
+                     f"{'scalar' if sc <= ba else 'batch'}")
+    min_live = payload.get("branch_batch_min_live")
+    branch_note = (
+        "disabled (scalar wins everywhere)"
+        if min_live is not None and int(min_live) >= BRANCH_BATCH_DISABLED
+        else min_live
+    )
     lines.append(
         f"calibrated cutoffs: SCALAR_KERNEL_MAX_N={payload['scalar_kernel_max_n']} "
-        f"SCALAR_KERNEL_MAX_M={payload['scalar_kernel_max_m']}"
+        f"SCALAR_KERNEL_MAX_M={payload['scalar_kernel_max_m']} "
+        f"BRANCH_BATCH_MIN_LIVE={branch_note}"
     )
     return "\n".join(lines)

@@ -11,6 +11,7 @@ suite::
     python -m repro sweeps [--instance p_hat_300_3]
     python -m repro ablation
     python -m repro solve --graph p_hat_300_3 --engine hybrid [--k 70]
+    python -m repro solve --graph p_hat_300_3 --engine sequential --frontier best-first
     python -m repro suite            # list the evaluation suite
     python -m repro bench            # hot-path micro-bench -> BENCH_micro.json
     python -m repro bench calibrate  # scalar/vectorized crossover -> CALIBRATION.json
@@ -74,13 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "cpu-threads", "cpu-process", "cpu-worksteal"))
     p.add_argument("--k", type=int, default=None, help="solve PVC with this k instead of MVC")
     p.add_argument("--node-budget", type=int, default=None)
+    p.add_argument("--frontier", default=None,
+                   choices=("lifo", "fifo", "hybrid", "stealing", "best-first"),
+                   help="worklist discipline for the sequential engine "
+                        "(default: lifo, the Fig. 1 depth-first stack)")
 
     common(sub.add_parser("suite", help="list the evaluation suite"))
 
     p = sub.add_parser("bench", help="micro-benchmark the substrate hot paths")
     p.add_argument("action", nargs="?", default="run", choices=("run", "calibrate"),
                    help="'run' times the hot-path cases; 'calibrate' measures the "
-                        "scalar/vectorized cascade crossover and persists the cutoffs")
+                        "scalar/vectorized cascade and branch-batch crossovers and "
+                        "persists the cutoffs (set REPRO_CALIBRATION=1 to auto-load "
+                        "them at import in later runs; --quick artifacts are refused)")
     p.add_argument("--out", default=None,
                    help="artifact path (default: BENCH_micro.json, or "
                         "benchmarks/CALIBRATION.json for calibrate; schemas in "
@@ -134,7 +141,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.action == "calibrate":
             ladders = {}
             if args.quick:
-                ladders = {"n_ladder": (64, 128), "m_ladder": (256, 512)}
+                ladders = {"n_ladder": (64, 128), "m_ladder": (256, 512),
+                           "branch_ladder": (8, 16)}
             payload = calibrate_scalar_cutoffs(repeats=args.repeats, apply=not args.quick,
                                                quick=args.quick, **ladders)
             write_artifact(payload, out)
@@ -203,14 +211,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "solve":
         from .core.solver import solve_mvc, solve_pvc
 
+        if args.frontier is not None and args.engine != "sequential":
+            print(f"error: --frontier applies to --engine sequential only "
+                  f"(engine {args.engine!r} has a fixed worklist discipline)")
+            return 2
         inst = suite_instance(args.graph, args.scale)
         graph = inst.graph()
+        extra = {} if args.frontier is None else {"frontier": args.frontier}
         if args.k is None:
-            out = solve_mvc(graph, engine=args.engine, node_budget=args.node_budget)
+            out = solve_mvc(graph, engine=args.engine, node_budget=args.node_budget, **extra)
             print(f"{args.graph}: minimum vertex cover size = {out.optimum}"
                   f"{' (budget exceeded, best found)' if out.timed_out else ''}")
         else:
-            out = solve_pvc(graph, args.k, engine=args.engine, node_budget=args.node_budget)
+            out = solve_pvc(graph, args.k, engine=args.engine,
+                            node_budget=args.node_budget, **extra)
             print(f"{args.graph}: cover of size <= {args.k} "
                   f"{'EXISTS (found ' + str(out.optimum) + ')' if out.feasible else 'does not exist' if out.feasible is False else 'undetermined (budget)'}")
         print(f"[{time.perf_counter() - start:.1f}s wall]")

@@ -1,7 +1,18 @@
 """Core branch-and-reduce machinery for MVC and PVC."""
 
 from .formulation import BestBound, FoundFlag, MVCFormulation, PVCFormulation
+from .frontier import (
+    FRONTIERS,
+    BestFirstFrontier,
+    Frontier,
+    GlobalWorklistFrontier,
+    HybridThresholdFrontier,
+    LifoFrontier,
+    StealingDequeFrontier,
+    make_frontier,
+)
 from .greedy import GreedyResult, greedy_cover
+from .nodestep import LEAF, PRUNED, Children, NodeStep, StepOutcome
 from .sequential import (
     SearchOutcome,
     branch_and_reduce,
@@ -17,6 +28,19 @@ __all__ = [
     "FoundFlag",
     "MVCFormulation",
     "PVCFormulation",
+    "Frontier",
+    "FRONTIERS",
+    "LifoFrontier",
+    "GlobalWorklistFrontier",
+    "HybridThresholdFrontier",
+    "StealingDequeFrontier",
+    "BestFirstFrontier",
+    "make_frontier",
+    "NodeStep",
+    "StepOutcome",
+    "Children",
+    "PRUNED",
+    "LEAF",
     "GreedyResult",
     "greedy_cover",
     "SearchOutcome",

@@ -18,9 +18,11 @@ from ..graph.degree_array import (
     VCState,
     Workspace,
     max_degree_vertex,
+    remove_neighbors_batch_cheap,
     remove_neighbors_into_cover,
     remove_vertex_into_cover,
 )
+from . import kernels
 from .kernels import scalar_path_ok
 from .stats import ChargeFn, null_charge
 
@@ -106,26 +108,39 @@ def _expand_children_scalar(
     dl = state.deg.tolist()
     # both children need N_alive(vmax); compute it once from the parent
     live = [u for u in adj[vmax] if dl[u] >= 0]
-    # deferred child: remove every alive neighbour of vmax into the cover
-    # (sequential removal of the fixed set equals the batch removal; a
-    # member stays alive — merely decremented — until its own turn)
-    dl_def = dl.copy()
-    deleted = 0
-    touched_def: list = []
-    for u in live:
-        dl_def[u] = REMOVED
-        for x in adj[u]:
-            dx = dl_def[x]
-            if dx >= 0:
-                deleted += 1
-                dx -= 1
-                dl_def[x] = dx
-                if dx <= 2:
-                    touched_def.append(x)
-    buf = ws.borrow_deg()
-    buf[:] = dl_def
-    deferred = VCState(buf, state.cover_size + len(live),
-                       state.edge_count - deleted, touched_def, state.max_deg_hint)
+    if len(live) >= kernels.BRANCH_BATCH_MIN_LIVE:
+        # High-degree pivot: the interpreted removal loop below would walk
+        # every adjacency row of N_alive(vmax); hand the deferred child to
+        # the cheap batch kernel instead (same child, bit for bit — the
+        # touched-set representation differs but the dirty-hint contract
+        # allows it).  The parent's array is still untouched here.
+        buf = ws.borrow_deg()
+        np.copyto(buf, state.deg)
+        deleted, n_removed, touched = remove_neighbors_batch_cheap(graph, buf, vmax, ws)
+        deferred = VCState(buf, state.cover_size + n_removed,
+                           state.edge_count - deleted, touched, state.max_deg_hint)
+    else:
+        # deferred child: remove every alive neighbour of vmax into the
+        # cover (sequential removal of the fixed set equals the batch
+        # removal; a member stays alive — merely decremented — until its
+        # own turn)
+        dl_def = dl.copy()
+        deleted = 0
+        touched_def: list = []
+        for u in live:
+            dl_def[u] = REMOVED
+            for x in adj[u]:
+                dx = dl_def[x]
+                if dx >= 0:
+                    deleted += 1
+                    dx -= 1
+                    dl_def[x] = dx
+                    if dx <= 2:
+                        touched_def.append(x)
+        buf = ws.borrow_deg()
+        buf[:] = dl_def
+        deferred = VCState(buf, state.cover_size + len(live),
+                           state.edge_count - deleted, touched_def, state.max_deg_hint)
     # continued child: remove vmax alone (state is mutated in place)
     touched_cont: list = []
     for x in live:

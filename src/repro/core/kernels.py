@@ -81,6 +81,7 @@ __all__ = [
     "scalar_high_degree_exhaust",
     "scalar_path_ok",
     "set_scalar_cutoffs",
+    "set_branch_batch_cutoff",
 ]
 
 _Queues = Tuple[DirtyQueue, DirtyQueue]
@@ -369,6 +370,33 @@ SCALAR_KERNEL_MAX_M = 1 << 16
 #: The shipped (pre-calibration) cutoffs, kept for reset/provenance.
 DEFAULT_SCALAR_KERNEL_MAX_N = SCALAR_KERNEL_MAX_N
 DEFAULT_SCALAR_KERNEL_MAX_M = SCALAR_KERNEL_MAX_M
+
+#: Pivot-neighbourhood size above which the scalar branch step hands the
+#: deferred child's removal to the cheap batch kernel
+#: (:func:`repro.graph.degree_array.remove_neighbors_batch_cheap`).  Below
+#: it, walking the adjacency tuples in the interpreter is cheaper than the
+#: kernel's fixed NumPy call overhead.  The shipped default was measured
+#: on the dev machine; ``repro bench calibrate`` re-measures the crossover
+#: and persists it as ``branch_batch_min_live`` in CALIBRATION.json.
+BRANCH_BATCH_MIN_LIVE = 40
+
+#: The shipped (pre-calibration) branch-batch cutoff, for reset/provenance.
+DEFAULT_BRANCH_BATCH_MIN_LIVE = BRANCH_BATCH_MIN_LIVE
+
+
+def set_branch_batch_cutoff(min_live: Optional[int] = None) -> int:
+    """Install the measured deferred-child batch crossover; return it.
+
+    ``None`` leaves the cutoff unchanged.  Installed by ``repro bench
+    calibrate`` / :func:`repro.analysis.microbench.load_scalar_calibration`
+    next to the scalar-cascade cutoffs.
+    """
+    global BRANCH_BATCH_MIN_LIVE
+    if min_live is not None:
+        if min_live < 2:
+            raise ValueError("min_live must be >= 2 (a 0/1-neighbour batch is scalar)")
+        BRANCH_BATCH_MIN_LIVE = int(min_live)
+    return BRANCH_BATCH_MIN_LIVE
 
 
 def scalar_path_ok(n: int, m: int) -> bool:

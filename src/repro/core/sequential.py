@@ -1,30 +1,35 @@
 """The sequential branch-and-reduce solver (Fig. 1, iterative form).
 
-This is the paper's *Sequential* baseline: one CPU worker, depth-first
-traversal with an explicit stack (the same structure the GPU blocks use,
-which keeps the three implementations directly comparable, as required for
-the paper's "all versions use the same data structure and reduction rules"
-fairness note).
+This is the paper's *Sequential* baseline: one CPU worker composing the
+shared node step (:mod:`repro.core.nodestep`) with a frontier policy
+(:mod:`repro.core.frontier`) — by default the explicit depth-first stack
+(the same structure the GPU blocks use, which keeps the implementations
+directly comparable, as required for the paper's "all versions use the
+same data structure and reduction rules" fairness note).
 
-The traversal order matches Fig. 1/Fig. 4: at a branching node the
-``G - vmax`` child is explored first and the ``G - N(vmax)`` child is
-deferred to the stack.
+The default traversal order matches Fig. 1/Fig. 4: at a branching node
+the ``G - vmax`` child is explored first and the ``G - N(vmax)`` child is
+deferred to the frontier.  Any other registered frontier policy
+(``repro solve --frontier ...``) replays the same node step under a
+different discipline — FIFO, hybrid-threshold, stealing, or best-first —
+and must reach the same optimum (the engine-equivalence property tests
+enforce this).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state
-from .branching import PivotFn, expand_children, max_degree_pivot
+from .branching import PivotFn, max_degree_pivot
 from .formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
+from .frontier import Frontier, LifoFrontier, make_frontier
 from .greedy import greedy_cover
-from .kernels import apply_reductions_fast
-from .reductions import apply_reductions_reference
+from .nodestep import LEAF, PRUNED, NodeStep, Reducer
 from .stats import ChargeFn, SearchStats, null_charge
 
 __all__ = ["SearchOutcome", "branch_and_reduce", "solve_mvc_sequential", "solve_pvc_sequential"]
@@ -55,7 +60,8 @@ def branch_and_reduce(
     stats: Optional[SearchStats] = None,
     charge: ChargeFn = null_charge,
     should_stop: Optional[Callable[[], bool]] = None,
-    reducer: Optional[Callable[..., None]] = None,
+    reducer: Optional[Reducer] = None,
+    frontier: Union[Frontier, str, None] = None,
 ) -> SearchStats:
     """Exhaust the search tree under ``formulation`` starting from ``root``.
 
@@ -66,61 +72,96 @@ def branch_and_reduce(
     which is how the harness prices the Sequential baseline through the
     CPU cost model for Table I.
 
-    ``reducer`` picks the reduction cascade.  By default uncharged runs use
-    the vectorized dirty-worklist kernels (the wall-clock hot path), while
-    charged runs keep the reference rules, whose per-sweep charge stream
-    *is* the Table I work meter.  Both reach the same fixpoint, so results
-    never depend on the choice.
+    ``reducer`` picks the reduction cascade (see
+    :func:`repro.core.nodestep.default_reducer`: vectorized kernels for
+    uncharged runs, the charge-exact reference rules otherwise).
+
+    ``frontier`` picks the worklist discipline: a
+    :class:`~repro.core.frontier.Frontier` instance, a registered policy
+    name, or ``None`` for the Fig. 1 depth-first stack.  Frontier items
+    are ``(state, depth)`` pairs — each carries the node's true ancestry
+    depth, because a continued child deepens the tree without a push, so
+    the frontier population undercounts depth whenever branching resumes
+    under a popped deferred child.
     """
     if ws is None:
         ws = Workspace.for_graph(graph)
     if stats is None:
         stats = SearchStats()
-    if reducer is None:
-        reducer = apply_reductions_fast if charge is null_charge else apply_reductions_reference
-    # Each stack entry carries the node's true ancestry depth: a continued
-    # child deepens the tree without a push, so ``len(stack)`` undercounts
-    # depth whenever branching resumes under a popped deferred child.
-    stack: List[tuple[VCState, int]] = []
+    if frontier is None:
+        frontier = LifoFrontier()
+    elif isinstance(frontier, str):
+        frontier = make_frontier(frontier)
+    step = NodeStep(
+        graph, formulation, ws,
+        reducer=reducer, pivot=pivot, rng=rng, charge=charge,
+        counters=stats.reductions,
+    ).run
+    fpush = frontier.push
+    fpop = frontier.pop
+    stop_requested = formulation.stop_requested
+    accept = formulation.accept
+    release_deg = ws.release_deg
     current: Optional[VCState] = root if root is not None else fresh_state(graph)
     depth = 0
+    # Traversal counters live in locals for the duration of the loop (the
+    # attribute churn would otherwise dominate the step wrapper's cost) and
+    # are written back — including on an error escaping the step — below.
+    nodes = stats.nodes_visited
+    branches = stats.branches
+    prunes = stats.prunes
+    solutions = stats.solutions_found
+    max_stack = stats.max_stack_depth
+    max_depth = stats.max_depth_reached
+    timed_out = False
 
-    while True:
-        if formulation.stop_requested():
-            break
-        if current is None:
-            if not stack:
+    try:
+        while True:
+            if stop_requested():
                 break
-            current, depth = stack.pop()
-        if node_budget is not None and stats.nodes_visited >= node_budget:
-            stats.extra["timed_out"] = 1.0
-            break
-        if should_stop is not None and should_stop():
-            stats.extra["timed_out"] = 1.0
-            break
-        stats.nodes_visited += 1
-        reducer(graph, current, formulation, ws, charge=charge, counters=stats.reductions)
-        if formulation.prune(current):
-            stats.prunes += 1
-            ws.release_deg(current.deg)  # dead branch: recycle its buffer
-            current = None
-            continue
-        charge("find_max", float(graph.n))
-        if current.edge_count == 0:
-            stats.solutions_found += 1
-            stop_all = formulation.accept(current)
-            ws.release_deg(current.deg)  # accept() extracted the cover
-            current = None
-            if stop_all:
+            if current is None:
+                item = fpop()
+                if item is None:
+                    break
+                current, depth = item
+            if node_budget is not None and nodes >= node_budget:
+                timed_out = True
                 break
-            continue
-        vmax = pivot(current, rng)
-        deferred, current = expand_children(graph, current, vmax, ws, charge=charge)
-        depth += 1  # both children live one level below the branching node
-        stack.append((deferred, depth))
-        stats.branches += 1
-        stats.max_stack_depth = max(stats.max_stack_depth, len(stack))
-        stats.max_depth_reached = max(stats.max_depth_reached, depth)
+            if should_stop is not None and should_stop():
+                timed_out = True
+                break
+            nodes += 1
+            outcome = step(current)
+            if outcome is PRUNED:
+                prunes += 1
+                current = None
+                continue
+            if outcome is LEAF:
+                solutions += 1
+                stop_all = accept(current)
+                release_deg(current.deg)  # accept() extracted the cover
+                current = None
+                if stop_all:
+                    break
+                continue
+            current = outcome.continued
+            depth += 1  # both children live one level below the branching node
+            fpush((outcome.deferred, depth))
+            branches += 1
+            population = len(frontier)
+            if population > max_stack:
+                max_stack = population
+            if depth > max_depth:
+                max_depth = depth
+    finally:
+        stats.nodes_visited = nodes
+        stats.branches = branches
+        stats.prunes = prunes
+        stats.solutions_found = solutions
+        stats.max_stack_depth = max_stack
+        stats.max_depth_reached = max_depth
+        if timed_out:
+            stats.extra["timed_out"] = 1.0
     return stats
 
 
@@ -130,6 +171,7 @@ def solve_mvc_sequential(
     node_budget: Optional[int] = None,
     pivot: PivotFn = max_degree_pivot,
     rng: Optional[np.random.Generator] = None,
+    frontier: Union[Frontier, str, None] = None,
 ) -> SearchOutcome:
     """Solve MINIMUM VERTEX COVER with the Fig. 1 algorithm.
 
@@ -142,7 +184,8 @@ def solve_mvc_sequential(
     formulation = MVCFormulation(best)
     if graph.m == 0:
         return SearchOutcome("mvc", 0, np.empty(0, dtype=np.int32), None, False, greedy_size=0)
-    stats = branch_and_reduce(graph, formulation, ws=ws, node_budget=node_budget, pivot=pivot, rng=rng)
+    stats = branch_and_reduce(graph, formulation, ws=ws, node_budget=node_budget,
+                              pivot=pivot, rng=rng, frontier=frontier)
     timed_out = bool(stats.extra.get("timed_out"))
     return SearchOutcome(
         formulation="mvc",
@@ -162,6 +205,7 @@ def solve_pvc_sequential(
     node_budget: Optional[int] = None,
     pivot: PivotFn = max_degree_pivot,
     rng: Optional[np.random.Generator] = None,
+    frontier: Union[Frontier, str, None] = None,
 ) -> SearchOutcome:
     """Solve PARAMETERIZED VERTEX COVER: find a cover of size at most ``k``."""
     if k < 0:
@@ -178,7 +222,8 @@ def solve_pvc_sequential(
         # parameterized formulation (Section IV-E uses k instead); the PVC
         # search itself always runs and stops at its first accepted cover.
         stats = branch_and_reduce(
-            graph, formulation, ws=ws, node_budget=node_budget, pivot=pivot, rng=rng
+            graph, formulation, ws=ws, node_budget=node_budget, pivot=pivot,
+            rng=rng, frontier=frontier
         )
     timed_out = bool(stats.extra.get("timed_out"))
     return SearchOutcome(

@@ -43,6 +43,7 @@ def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
     if engine == "sequential":
         _split_engine_opts(options)  # device/cost-model knobs do not apply
         return solve_mvc_sequential(graph, **options)
+    _reject_frontier_opt(engine, options)
     if engine in ("stackonly", "hybrid", "globalonly"):
         eng = _sim_engine(engine)(**_split_engine_opts(options))
         return eng.solve_mvc(graph, **options)
@@ -69,6 +70,7 @@ def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options:
     if engine == "sequential":
         _split_engine_opts(options)  # device/cost-model knobs do not apply
         return solve_pvc_sequential(graph, k, **options)
+    _reject_frontier_opt(engine, options)
     if engine in ("stackonly", "hybrid", "globalonly"):
         eng = _sim_engine(engine)(**_split_engine_opts(options))
         return eng.solve_pvc(graph, k, **options)
@@ -92,6 +94,20 @@ def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options:
 
 _ENGINE_CTOR_KEYS = ("device", "cost_model", "start_depth", "worklist_capacity",
                      "worklist_threshold_fraction", "block_size_override")
+
+
+def _reject_frontier_opt(engine: str, options: Dict[str, Any]) -> None:
+    """Frontier policies are a sequential-traversal knob.
+
+    The parallel engines' disciplines are fixed by what they model
+    (per-block stacks, the broker worklist, stealing deques); silently
+    dropping a requested policy would misreport the scenario that ran.
+    """
+    if options.pop("frontier", None) is not None:
+        raise ValueError(
+            f"the 'frontier' option applies to engine='sequential' only; "
+            f"engine {engine!r} has a fixed worklist discipline"
+        )
 
 
 def _split_engine_opts(options: Dict[str, Any]) -> Dict[str, Any]:

@@ -4,13 +4,15 @@ All three GPU engines (StackOnly, Hybrid, GlobalOnly) share:
 
 * the launch ritual — greedy bound on the "CPU", stack-depth bound, launch
   configuration per Section IV-E, block/SM placement;
-* the per-tree-node processing step (reduce → prune-check → find-max →
-  accept-or-branch), charged through the cost model with the parallel-
-  semantics reduction rules of Section IV-D;
+* the per-tree-node processing step — the shared
+  :class:`~repro.core.nodestep.NodeStep` (reduce → prune-check →
+  find-max → accept-or-branch), charged through the cost model with the
+  parallel-semantics reduction rules of Section IV-D;
 * the worklist wait/termination protocol of Section IV-C.
 
-Engine subclasses provide only their traversal policy as a block program
-(a generator yielding cycle costs).
+Engine subclasses provide only their frontier discipline as a block
+program (a generator yielding cycle costs) composing the step with the
+bounded local stack and/or the broker worklist.
 
 Cross-node dirty propagation: the states produced by ``expand_children``
 carry the branch step's touched-vertex hint (``VCState.dirty``) through
@@ -30,7 +32,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core.branching import expand_children
+from ..core import nodestep
 from ..core.formulation import (
     BestBound,
     Formulation,
@@ -39,9 +41,8 @@ from ..core.formulation import (
     PVCFormulation,
 )
 from ..core.greedy import greedy_cover
-from ..core.parallel_reductions import apply_reductions_parallel
 from ..graph.csr import CSRGraph
-from ..graph.degree_array import VCState, fresh_state, max_degree_vertex
+from ..graph.degree_array import VCState, fresh_state
 from ..sim.broker import BrokerWorklist
 from ..sim.context import BlockContext, SharedState
 from ..sim.costmodel import CostModel
@@ -264,31 +265,32 @@ class SimEngineBase:
     # ------------------------------------------------------------------ #
     @staticmethod
     def process_node(ctx: BlockContext, state: VCState) -> Union[str, Tuple[VCState, VCState]]:
-        """One Fig. 4 iteration body: reduce, check, and possibly branch.
+        """One Fig. 4 iteration body: the shared node step plus sim bookkeeping.
 
         Returns :data:`PRUNED`, :data:`SOLUTION`, or the pair
-        ``(deferred_child, continued_child)``.  All work is charged to the
-        block; the caller yields ``ctx.take_pending()`` afterwards.
+        ``(deferred_child, continued_child)``.  The step itself — reduce,
+        prune-check, find-max, branch — is the one
+        :class:`~repro.core.nodestep.NodeStep` every engine composes
+        (bound to this block's charge hook in ``BlockContext``); this
+        wrapper adds the device-side bookkeeping (node counting, the
+        virtual-time breaker) and performs the Fig. 4 line 17 acceptance,
+        which in the DES is a shared-memory interaction linearised between
+        yields.  All work is charged to the block; the caller yields
+        ``ctx.take_pending()`` afterwards.
         """
         shared = ctx.shared
         ctx.metrics.nodes_visited += 1
         shared.check_time(ctx.now)
         shared.note_node()
-        apply_reductions_parallel(
-            shared.graph, state, shared.formulation, ctx.ws, charge=ctx.charge_units
-        )
-        if shared.formulation.prune(state):
-            ctx.ws.release_deg(state.deg)  # dead node: recycle its buffer
+        outcome = ctx.step.run(state)
+        if outcome is nodestep.PRUNED:
             return PRUNED
-        ctx.charge_units("find_max", float(shared.graph.n))
-        vmax = max_degree_vertex(state.deg)
-        if state.deg[vmax] <= 0:
+        if outcome is nodestep.LEAF:
             # No edges remain: a vertex cover has been found (Fig. 4 line 17).
             shared.formulation.accept(state)
             ctx.ws.release_deg(state.deg)  # accept() extracted the cover
             return SOLUTION
-        deferred, continued = expand_children(shared.graph, state, vmax, ctx.ws, charge=ctx.charge_units)
-        return deferred, continued
+        return outcome.deferred, outcome.continued
 
     @staticmethod
     def wl_wait_remove(ctx: BlockContext) -> Iterator[float]:

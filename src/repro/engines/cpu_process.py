@@ -8,12 +8,14 @@ no item is in the queue or in transit.  ``inflight`` is incremented before
 every put and decremented after every successful get, so feeder-thread
 latency cannot produce a lost-work or premature-exit race.
 
-States cross process boundaries as ``(degree-array bytes, |S|, |E|,
-dirty-hint bytes)`` tuples — the same self-contained property
-(Section IV-B) that lets the GPU implementation move tree nodes between
-thread blocks, extended with the branch step's touched-vertex set so the
-receiving worker's reduction cascade seeds its worklist instead of
-rescanning the degree array.
+States cross process boundaries through the :class:`VCState`-owned wire
+codec (:meth:`~repro.graph.degree_array.VCState.to_wire` /
+:meth:`~repro.graph.degree_array.VCState.from_wire`) — the same
+self-contained property (Section IV-B) that lets the GPU implementation
+move tree nodes between thread blocks, extended with the cross-node hints
+so the receiving worker's reduction cascade seeds its worklist instead of
+rescanning the degree array.  The codec lives with the state, so this
+engine never needs to know which fields a tree node carries.
 """
 
 from __future__ import annotations
@@ -25,37 +27,15 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..core.branching import expand_children
 from ..core.formulation import Formulation
+from ..core.frontier import LifoFrontier, hybrid_should_donate
 from ..core.greedy import greedy_cover
-from ..core.reductions import apply_reductions
+from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..graph.csr import CSRGraph
-from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
+from ..graph.degree_array import VCState, Workspace, fresh_state
 from .cpu_threads import CpuParallelResult
 
 __all__ = ["solve_mvc_processes", "solve_pvc_processes"]
-
-_WirePayload = Tuple[bytes, int, int, Optional[bytes]]
-
-
-def _pack(state: VCState) -> _WirePayload:
-    """Serialize ``(deg bytes, |S|, |E|, dirty-hint bytes or None)``.
-
-    The dirty hint travels with the node so a donated child's reduction
-    cascade seeds from the branch step's touched set on whichever worker
-    picks it up, exactly as it would have on the producing worker.
-    """
-    dirty = state.dirty
-    dirty_bytes = (
-        None if dirty is None else np.asarray(dirty, dtype=np.int64).tobytes()
-    )
-    return state.deg.tobytes(), state.cover_size, state.edge_count, dirty_bytes
-
-
-def _unpack(payload: _WirePayload) -> VCState:
-    deg = np.frombuffer(payload[0], dtype=np.int32).copy()
-    dirty = None if payload[3] is None else np.frombuffer(payload[3], dtype=np.int64)
-    return VCState(deg, payload[1], payload[2], dirty)
 
 
 class _SharedMVC(Formulation):
@@ -126,7 +106,8 @@ def _process_worker(
     else:
         formulation = _SharedPVC(k, found)
     ws = Workspace.for_graph(graph)
-    local: List[VCState] = []
+    step = NodeStep(graph, formulation, ws).run  # fast kernels, uncharged
+    local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
     local_nodes = 0
 
@@ -161,7 +142,7 @@ def _process_worker(
                     continue
                 with inflight.get_lock():
                     inflight.value -= 1
-                return _unpack(payload)
+                return VCState.from_wire(payload)
         finally:
             if registered_idle:
                 with idle.get_lock():
@@ -171,9 +152,8 @@ def _process_worker(
         if done.is_set() or formulation.stop_requested():
             break
         if current is None:
-            if local:
-                current = local.pop()
-            else:
+            current = local.pop()
+            if current is None:
                 flush_nodes()
                 current = get_work()
                 if current is None:
@@ -181,34 +161,33 @@ def _process_worker(
         local_nodes += 1
         if local_nodes >= 32:
             flush_nodes()
-        apply_reductions(graph, current, formulation, ws)
-        if formulation.prune(current):
-            ws.release_deg(current.deg)  # dead branch: recycle into this worker's pool
+        outcome = step(current)
+        if outcome is PRUNED:
             current = None
             continue
-        if current.edge_count == 0:
+        if outcome is LEAF:
             formulation.accept(current)  # accept() deep-copies the state
             ws.release_deg(current.deg)
             current = None
             continue
-        vmax = max_degree_vertex(current.deg)
-        deferred, current = expand_children(graph, current, vmax, ws)
+        deferred = outcome.deferred
+        current = outcome.continued
         # Hybrid donation policy; qsize() is advisory but only steers policy.
         try:
-            hungry = work_q.qsize() < threshold
+            hungry = hybrid_should_donate(work_q.qsize(), threshold)
         except NotImplementedError:  # pragma: no cover - macOS
             hungry = True
         if hungry:
             with inflight.get_lock():
                 inflight.value += 1
-            work_q.put(_pack(deferred))
+            work_q.put(deferred.to_wire())
         else:
-            local.append(deferred)
+            local.push(deferred)
 
     flush_nodes()
     best = formulation.local_best
     result_q.put(
-        (wid, local_nodes, None if best is None else (_pack(best)))
+        (wid, local_nodes, None if best is None else best.to_wire())
     )
 
 
@@ -240,7 +219,7 @@ def _run_processes(
     _process_worker.n_workers = n_workers
     with inflight.get_lock():
         inflight.value += 1
-    work_q.put(_pack(fresh_state(graph)))
+    work_q.put(fresh_state(graph).to_wire())
 
     procs = [
         ctx.Process(
@@ -268,7 +247,7 @@ def _run_processes(
     for _, _, payload in results:
         if payload is None:
             continue
-        state = _unpack(payload)
+        state = VCState.from_wire(payload)
         if best_state is None or state.cover_size < best_state.cover_size:
             best_state = state
     timed_out = done.is_set() and not found.is_set() and node_budget is not None \

@@ -18,19 +18,18 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from ..core.branching import expand_children
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
+from ..core.frontier import GlobalWorklistFrontier, LifoFrontier, hybrid_should_donate
 from ..core.greedy import greedy_cover
 from ..core.kernels import scalar_path_ok
-from ..core.reductions import apply_reductions
+from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..graph.csr import CSRGraph
-from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
+from ..graph.degree_array import VCState, Workspace, fresh_state
 
 __all__ = ["CpuParallelResult", "solve_mvc_threads", "solve_pvc_threads"]
 
@@ -57,11 +56,17 @@ class CpuParallelResult:
 
 
 class _ThreadShared:
-    """Coordination state shared by all worker threads."""
+    """Coordination state shared by all worker threads.
+
+    The shared pool is a plain :class:`GlobalWorklistFrontier` (FIFO);
+    this class owns only the *coordination* around it — the condition
+    variable, the all-waiting termination test, and the node budget.
+    Ordering policy lives in the frontier layer, synchronisation here.
+    """
 
     def __init__(self, n_workers: int, threshold: int, node_budget: Optional[int]):
         self.cond = threading.Condition()
-        self.queue: Deque[VCState] = deque()
+        self.queue: GlobalWorklistFrontier = GlobalWorklistFrontier()
         self.threshold = threshold
         self.n_workers = n_workers
         self.waiting = 0
@@ -88,9 +93,10 @@ class _ThreadShared:
                 if self.stop(formulation):
                     self.waiting -= 1
                     return None
-                if self.queue:
+                state = self.queue.pop()
+                if state is not None:
                     self.waiting -= 1
-                    return self.queue.popleft()
+                    return state
                 if self.waiting == self.n_workers:
                     self.done = True
                     self.cond.notify_all()
@@ -98,14 +104,14 @@ class _ThreadShared:
                     return None
                 self.cond.wait(timeout=0.05)
 
-    def donate_or_keep(self, state: VCState, local: List[VCState]) -> None:
-        """Hybrid policy: feed the global queue while it is below threshold."""
+    def donate_or_keep(self, state: VCState, local: LifoFrontier) -> None:
+        """Fig. 4's donation policy: feed the pool while it is hungry."""
         with self.cond:
-            if len(self.queue) < self.threshold:
-                self.queue.append(state)
+            if hybrid_should_donate(len(self.queue), self.threshold):
+                self.queue.push(state)
                 self.cond.notify()
                 return
-        local.append(state)
+        local.push(state)
 
 
 def _worker(
@@ -116,28 +122,27 @@ def _worker(
     wid: int,
 ) -> None:
     ws = Workspace.for_graph(graph)
-    local: List[VCState] = []
+    step = NodeStep(graph, formulation, ws).run  # fast kernels, uncharged
+    local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
     while True:
         with shared.cond:
             if shared.stop(formulation):
                 break
         if current is None:
-            if local:
-                current = local.pop()
-            else:
+            current = local.pop()
+            if current is None:
                 current = shared.wait_remove(formulation)
                 if current is None:
                     break
         with shared.cond:
             shared.note_node()
         node_counts[wid] += 1
-        apply_reductions(graph, current, formulation, ws)
-        if formulation.prune(current):
-            ws.release_deg(current.deg)  # dead branch: recycle into this worker's pool
+        outcome = step(current)
+        if outcome is PRUNED:
             current = None
             continue
-        if current.edge_count == 0:
+        if outcome is LEAF:
             with shared.cond:
                 stop_all = formulation.accept(current)
                 if stop_all:
@@ -145,8 +150,8 @@ def _worker(
             ws.release_deg(current.deg)  # accept() extracted the cover under the lock
             current = None
             continue
-        vmax = max_degree_vertex(current.deg)
-        deferred, current = expand_children(graph, current, vmax, ws)
+        deferred = outcome.deferred
+        current = outcome.continued
         shared.donate_or_keep(deferred, local)
 
 
@@ -159,7 +164,7 @@ def _run_threads(
     node_budget: Optional[int],
 ) -> tuple[_ThreadShared, List[int], float]:
     shared = _ThreadShared(n_workers, threshold, node_budget)
-    shared.queue.append(fresh_state(graph))
+    shared.queue.push(fresh_state(graph))
     # Build the graph's lazy query caches here, before workers exist, so
     # the worker threads only ever read them.
     graph.prewarm(adjacency=scalar_path_ok(graph.n, graph.m))

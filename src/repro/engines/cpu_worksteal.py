@@ -15,40 +15,47 @@ declaring itself truly idle.
 
 from __future__ import annotations
 
-import random
 import threading
 import time
-from collections import deque
-from typing import Deque, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from ..core.branching import expand_children
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
+from ..core.frontier import StealingDequeFrontier
 from ..core.greedy import greedy_cover
 from ..core.kernels import scalar_path_ok
-from ..core.reductions import apply_reductions
+from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..graph.csr import CSRGraph
-from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
+from ..graph.degree_array import VCState, Workspace, fresh_state
 from .cpu_threads import CpuParallelResult
 
 __all__ = ["solve_mvc_worksteal", "solve_pvc_worksteal"]
 
 
 class _StealShared:
-    """Per-worker deques plus the idle-consensus termination state."""
+    """Lock + idle-consensus coordination around a stealing frontier.
+
+    The ordering policy — own-end pops, oldest-first steals from a random
+    victim — is :class:`~repro.core.frontier.StealingDequeFrontier`; this
+    class contributes only the synchronisation the real threads need: one
+    lock around the lanes, the idle-consensus termination test, and the
+    node budget.
+    """
 
     def __init__(self, n_workers: int, node_budget: Optional[int], seed: int):
         self.n_workers = n_workers
         self.lock = threading.Lock()
-        self.deques: List[Deque[VCState]] = [deque() for _ in range(n_workers)]
+        self.frontier = StealingDequeFrontier(n_lanes=n_workers, seed=seed)
         self.idle = 0
         self.done = False
         self.nodes = 0
         self.node_budget = node_budget
         self.timed_out = False
-        self.steals = 0
-        self.rng = random.Random(seed)
+
+    @property
+    def steals(self) -> int:
+        return self.frontier.steals
 
     def stop(self, formulation: Formulation) -> bool:
         return self.done or self.timed_out or formulation.stop_requested()
@@ -61,37 +68,31 @@ class _StealShared:
 
     def push(self, wid: int, state: VCState) -> None:
         with self.lock:
-            self.deques[wid].append(state)
+            self.frontier.push_lane(wid, state)
 
     def pop_own(self, wid: int) -> Optional[VCState]:
         with self.lock:
-            if self.deques[wid]:
-                return self.deques[wid].pop()
-        return None
+            return self.frontier.pop_own(wid)
 
-    def steal(self, wid: int, formulation: Formulation) -> Optional[VCState]:
+    def steal_blocking(self, wid: int, formulation: Formulation) -> Optional[VCState]:
         """Blocking steal loop with idle consensus."""
         registered = False
         try:
             while True:
                 if self.stop(formulation):
                     return None
-                victims = [v for v in range(self.n_workers) if v != wid]
-                self.rng.shuffle(victims)
-                for victim in victims:
-                    with self.lock:
-                        if self.deques[victim]:
-                            if registered:
-                                self.idle -= 1
-                                registered = False
-                            self.steals += 1
-                            # steal the oldest entry: the largest sub-tree
-                            return self.deques[victim].popleft()
+                with self.lock:
+                    state = self.frontier.steal(wid)
+                    if state is not None:
+                        if registered:
+                            self.idle -= 1
+                            registered = False
+                        return state
                 with self.lock:
                     if not registered:
                         self.idle += 1
                         registered = True
-                    if self.idle >= self.n_workers and all(not d for d in self.deques):
+                    if self.idle >= self.n_workers and not self.frontier:
                         self.done = True
                         return None
                 time.sleep(0.0005)
@@ -109,6 +110,7 @@ def _steal_worker(
     wid: int,
 ) -> None:
     ws = Workspace.for_graph(graph)
+    step = NodeStep(graph, formulation, ws).run  # fast kernels, uncharged
     current: Optional[VCState] = None
     while True:
         if shared.stop(formulation):
@@ -116,24 +118,23 @@ def _steal_worker(
         if current is None:
             current = shared.pop_own(wid)
             if current is None:
-                current = shared.steal(wid, formulation)
+                current = shared.steal_blocking(wid, formulation)
                 if current is None:
                     break
         shared.note_node()
         node_counts[wid] += 1
-        apply_reductions(graph, current, formulation, ws)
-        if formulation.prune(current):
-            ws.release_deg(current.deg)  # dead branch: recycle into this worker's pool
+        outcome = step(current)
+        if outcome is PRUNED:
             current = None
             continue
-        if current.edge_count == 0:
+        if outcome is LEAF:
             with shared.lock:
                 formulation.accept(current)
             ws.release_deg(current.deg)  # accept() extracted what it needs
             current = None
             continue
-        vmax = max_degree_vertex(current.deg)
-        deferred, current = expand_children(graph, current, vmax, ws)
+        deferred = outcome.deferred
+        current = outcome.continued
         shared.push(wid, deferred)
 
 
@@ -146,7 +147,7 @@ def _run_worksteal(
     seed: int,
 ) -> tuple[_StealShared, List[int], float]:
     shared = _StealShared(n_workers, node_budget, seed)
-    shared.deques[0].append(fresh_state(graph))
+    shared.frontier.push_lane(0, fresh_state(graph))
     # Build the graph's lazy query caches before any worker can race them.
     graph.prewarm(adjacency=scalar_path_ok(graph.n, graph.m))
     node_counts = [0] * n_workers

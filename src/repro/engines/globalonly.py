@@ -15,8 +15,9 @@ simply corrupt or drop work, which is not a useful failure mode to model.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, Optional
 
+from ..core.frontier import LifoFrontier
 from ..graph.degree_array import VCState
 from ..sim.context import BlockContext
 from ..sim.costmodel import CostModel
@@ -45,7 +46,7 @@ class GlobalOnlyEngine(SimEngineBase):
 
     def _program(self, ctx: BlockContext) -> Iterator[float]:
         shared = ctx.shared
-        spill: List[VCState] = []
+        spill: LifoFrontier = LifoFrontier()  # saturation overflow, not policy
         current: Optional[VCState] = None
         while True:
             if shared.stop_search() and not shared.done:
@@ -68,7 +69,7 @@ class GlobalOnlyEngine(SimEngineBase):
             accepted, cycles = shared.worklist.add(deferred, ctx.now)
             ctx.charge_cycles("wl_add", cycles + ctx.state_move_cycles())
             if not accepted:
-                spill.append(deferred)
+                spill.push(deferred)
                 ctx.charge_cycles("stack_push", ctx.state_move_cycles())
                 ctx.metrics.peak_stack_depth = max(ctx.metrics.peak_stack_depth, len(spill))
             accepted, cycles = shared.worklist.add(continued, ctx.now)

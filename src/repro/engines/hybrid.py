@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, Optional
 
+from ..core.frontier import hybrid_should_donate
 from ..sim.context import BlockContext
 from ..sim.costmodel import CostModel
 from ..sim.device import SMALL_SIM, DeviceSpec
@@ -75,8 +76,9 @@ class HybridEngine(SimEngineBase):
                 current = None
                 continue
             deferred, current = outcome
-            # Fig. 4 lines 23-26: donate to the worklist while it is hungry.
-            if shared.worklist.population >= threshold:
+            # Fig. 4 lines 23-26: donate to the worklist while it is hungry
+            # (the one threshold predicate every hybrid variant shares).
+            if not hybrid_should_donate(shared.worklist.population, threshold):
                 ctx.stack.push(deferred)
                 ctx.charge_cycles("stack_push",
                                   shared.cost.op_cycles("stack_push", 0.0, shared.launch.block_size,

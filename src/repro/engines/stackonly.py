@@ -23,8 +23,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional
 
-from ..graph.degree_array import VCState, Workspace, fresh_state, max_degree_vertex
-from ..core.branching import expand_children
+from ..graph.degree_array import VCState, Workspace, fresh_state
+from ..core import nodestep
+from ..core.nodestep import NodeStep
 from ..core.parallel_reductions import apply_reductions_parallel
 from ..sim.context import BlockContext, SharedState
 from ..sim.costmodel import CostModel
@@ -111,6 +112,11 @@ class StackOnlyEngine(SimEngineBase):
         """
         meter = _GpuCostMeter(shared)
         ws = Workspace.for_graph(shared.graph)
+        # The shared node step, metered like one expansion-phase block lane.
+        step = NodeStep(
+            shared.graph, shared.formulation, ws,
+            reducer=apply_reductions_parallel, charge=meter.charge,
+        ).run
         frontier: List[VCState] = [fresh_state(shared.graph)]
         total_cycles = 0.0
         peak_frontier = 1
@@ -123,28 +129,22 @@ class StackOnlyEngine(SimEngineBase):
             for i, state in enumerate(frontier):
                 meter.cycles = 0.0
                 shared.note_node()
-                apply_reductions_parallel(
-                    shared.graph, state, shared.formulation, ws, charge=meter.charge
-                )
-                if shared.formulation.prune(state):
+                outcome = step(state)
+                if outcome is nodestep.PRUNED:
                     lanes[i % len(lanes)] += meter.cycles
                     continue
-                meter.charge("find_max", float(shared.graph.n))
-                vmax = max_degree_vertex(state.deg)
-                if state.deg[vmax] <= 0:
+                if outcome is nodestep.LEAF:
                     shared.formulation.accept(state)
+                    ws.release_deg(state.deg)  # accept() extracted the cover
                     lanes[i % len(lanes)] += meter.cycles
                     continue
-                deferred, continued = expand_children(
-                    shared.graph, state, vmax, ws, charge=meter.charge
-                )
                 # both children are written back to global memory
                 meter.charge("stack_push", 0.0)
                 meter.cycles += 2 * shared.cost.state_move_cycles(
                     shared.graph.n, shared.launch.block_size,
                     use_shared=shared.launch.use_shared_mem,
                 )
-                next_frontier.extend((continued, deferred))
+                next_frontier.extend((outcome.continued, outcome.deferred))
                 lanes[i % len(lanes)] += meter.cycles
             total_cycles += max(lanes) + GRID_LAUNCH_CYCLES
             frontier = next_frontier

@@ -42,6 +42,7 @@ __all__ = [
     "DirtyQueue",
     "Workspace",
     "VCState",
+    "WirePayload",
     "fresh_state",
     "alive_vertices",
     "cover_vertices",
@@ -49,12 +50,18 @@ __all__ = [
     "remove_vertex_into_cover",
     "remove_vertices_into_cover",
     "remove_neighbors_into_cover",
+    "remove_neighbors_batch_cheap",
     "alive_neighbors",
     "max_degree_vertex",
 ]
 
 #: Sentinel degree value marking "removed from the graph, added to S".
 REMOVED: int = -1
+
+#: The self-contained serialized form of one :class:`VCState` (see
+#: :meth:`VCState.to_wire`): ``(deg bytes, |S|, |E|, dirty bytes | None,
+#: max_deg_hint)``.
+WirePayload = Tuple[bytes, int, int, Optional[bytes], int]
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
 _EMPTY_I64.setflags(write=False)
@@ -239,6 +246,32 @@ class VCState:
         """The cover ``S`` encoded by the sentinel entries."""
         return cover_vertices(self.deg)
 
+    def to_wire(self) -> "WirePayload":
+        """Serialize into the self-contained wire tuple (Section IV-B).
+
+        ``(deg bytes, |S|, |E|, dirty-hint bytes or None, max_deg_hint)``
+        — the same self-containedness that lets the GPU implementation
+        move tree nodes between thread blocks, extended with both
+        cross-node hints so a donated child reduces on the receiving
+        worker exactly as it would have on the producer.  This codec is
+        the *one* place a state crosses a process boundary; a new
+        ``VCState`` field is added here (and in :meth:`from_wire`) or it
+        does not travel.
+        """
+        dirty = self.dirty
+        dirty_bytes = (
+            None if dirty is None else np.asarray(dirty, dtype=np.int64).tobytes()
+        )
+        return self.deg.tobytes(), self.cover_size, self.edge_count, dirty_bytes, \
+            self.max_deg_hint
+
+    @classmethod
+    def from_wire(cls, payload: "WirePayload") -> "VCState":
+        """Rebuild a state from :meth:`to_wire`'s tuple (fresh buffers)."""
+        deg = np.frombuffer(payload[0], dtype=np.int32).copy()
+        dirty = None if payload[3] is None else np.frombuffer(payload[3], dtype=np.int64)
+        return cls(deg, payload[1], payload[2], dirty, payload[4])
+
     def n_alive(self) -> int:
         return int(np.count_nonzero(self.deg >= 0))
 
@@ -396,6 +429,58 @@ def remove_neighbors_into_cover(
         return 0, 0
     deleted = remove_vertices_into_cover(graph, deg, live, ws, dirty=dirty)
     return deleted, int(live.size)
+
+
+def remove_neighbors_batch_cheap(
+    graph: CSRGraph,
+    deg: np.ndarray,
+    v: int,
+    ws: Workspace,
+) -> Tuple[int, int, np.ndarray]:
+    """Neighbourhood removal stripped to the branch step's needs.
+
+    Semantically :func:`remove_neighbors_into_cover`, minus everything the
+    branch step does not need: no :class:`DirtyQueue` round-trip and no
+    ``np.unique`` — the touched set is returned raw (duplicates possible,
+    unordered), which the dirty-hint contract explicitly permits.  Returns
+    ``(edges_deleted, n_removed, touched)`` where ``touched`` holds the
+    external vertices left in candidate range (``deg <= 2``).
+
+    The previous handoff of the deferred child to the general batch path
+    measured *slower* than the scalar loop at n≈50 precisely because of
+    those two overheads; this kernel is what makes batching win at
+    moderate pivot degrees (``repro bench calibrate`` measures the
+    remaining crossover, persisted as ``branch_batch_min_live``).
+    """
+    nbrs = graph.neighbors(v)
+    live = nbrs[deg[nbrs] >= 0]
+    k = int(live.size)
+    if k == 0:
+        return 0, 0, _EMPTY_I64
+    if k == 1:
+        u = int(live[0])
+        deleted = remove_vertex_into_cover(graph, deg, u)
+        ext = graph.neighbors(u)
+        alive_ext = ext[(deg[ext] >= 0) & (deg[ext] <= 2)]
+        return deleted, 1, alive_ext.astype(np.int64)
+    in_batch = ws.in_batch
+    in_batch[live] = True
+    sum_deg = int(deg[live].sum())
+    flat, _, _ = graph.row_segments(live)
+    alive_mask = deg[flat] >= 0
+    inb = in_batch[flat]
+    internal_half_edges = int(np.count_nonzero(alive_mask & inb))
+    external = flat[alive_mask & ~inb]
+    if external.size:
+        if deg.size <= (external.size << 4):
+            counts = np.bincount(external, minlength=deg.size)
+            np.subtract(deg, counts, out=deg, casting="unsafe")
+        else:
+            np.subtract.at(deg, external, 1)
+    deg[live] = REMOVED
+    in_batch[live] = False  # restore scratch
+    touched = (external[deg[external] <= 2] if external.size else _EMPTY_I64)
+    return sum_deg - internal_half_edges // 2, k, touched
 
 
 def max_degree_vertex(deg: np.ndarray) -> int:

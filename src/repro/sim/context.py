@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.formulation import Formulation
+from ..core.nodestep import NodeStep
+from ..core.parallel_reductions import apply_reductions_parallel
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import Workspace
 from .broker import BrokerWorklist
@@ -77,7 +79,8 @@ class SharedState:
 class BlockContext:
     """One simulated thread block's execution context."""
 
-    __slots__ = ("block_id", "sm_id", "shared", "stack", "ws", "metrics", "now", "_pending", "tracer")
+    __slots__ = ("block_id", "sm_id", "shared", "stack", "ws", "step", "metrics",
+                 "now", "_pending", "tracer")
 
     def __init__(self, block_id: int, sm_id: int, shared: SharedState, stack_bound: int):
         self.block_id = block_id
@@ -85,6 +88,12 @@ class BlockContext:
         self.shared = shared
         self.stack = LocalStack(stack_bound)
         self.ws = Workspace.for_graph(shared.graph)
+        # The shared node step, metered through this block's charge hook
+        # with the Section IV-D parallel-semantics reduction rules.
+        self.step = NodeStep(
+            shared.graph, shared.formulation, self.ws,
+            reducer=apply_reductions_parallel, charge=self.charge_units,
+        )
         self.metrics = BlockMetrics(block_id=block_id, sm_id=sm_id)
         self.now = 0.0           # written by the scheduler before each resume
         self._pending = 0.0      # cycles charged since the last yield

@@ -6,13 +6,18 @@ stack is pre-allocated in global memory for the maximum possible tree depth
 the same bound: pushing beyond it is a hard error, because on the real
 device it would corrupt memory, and the paper's argument is precisely that
 the bound can never be exceeded.
+
+Structurally this is the bounded, metric-instrumented realisation of the
+:class:`~repro.core.frontier.LifoFrontier` policy — the simulated engines
+compose it with the shared node step exactly as the sequential solver
+composes its frontier, with the cost model charging each push/pop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List
 
+from ..core.frontier import LifoFrontier
 from ..graph.degree_array import VCState
 
 __all__ = ["LocalStack", "StackOverflowError"]
@@ -22,39 +27,47 @@ class StackOverflowError(RuntimeError):
     """A block exceeded its provisioned stack depth (must never happen)."""
 
 
-@dataclass
-class LocalStack:
-    """Bounded LIFO of tree-node states."""
+class LocalStack(LifoFrontier):
+    """Bounded LIFO of tree-node states (a depth-bounded ``LifoFrontier``).
 
-    depth_bound: int
-    entries: List[VCState] = field(default_factory=list)
-    peak_depth: int = 0
-    pushes: int = 0
-    pops: int = 0
+    Unlike the single-owner frontier contract, :meth:`pop` raises on an
+    empty stack: a simulated block only pops after an explicit emptiness
+    check (charged through the cost model), so an empty pop is a protocol
+    bug, not a policy outcome.
+    """
 
-    def __post_init__(self) -> None:
-        if self.depth_bound < 1:
+    __slots__ = ("depth_bound", "peak_depth", "pushes", "pops")
+
+    def __init__(self, depth_bound: int) -> None:
+        if depth_bound < 1:
             raise ValueError("stack depth bound must be positive")
+        super().__init__()
+        self.depth_bound = depth_bound
+        self.peak_depth = 0
+        self.pushes = 0
+        self.pops = 0
 
-    def __len__(self) -> int:
-        return len(self.entries)
+    @property
+    def entries(self) -> List[VCState]:
+        """The resident states, oldest first (metrics / test introspection)."""
+        return self._items
 
     @property
     def empty(self) -> bool:
-        return not self.entries
+        return not self._items
 
     def push(self, state: VCState) -> None:
-        if len(self.entries) >= self.depth_bound:
+        if len(self._items) >= self.depth_bound:
             raise StackOverflowError(
                 f"stack depth bound {self.depth_bound} exceeded — the greedy/k "
                 f"depth argument of Section IV-E has been violated"
             )
-        self.entries.append(state)
+        self._items.append(state)
         self.pushes += 1
-        self.peak_depth = max(self.peak_depth, len(self.entries))
+        self.peak_depth = max(self.peak_depth, len(self._items))
 
     def pop(self) -> VCState:
-        if not self.entries:
+        if not self._items:
             raise IndexError("pop from empty local stack")
         self.pops += 1
-        return self.entries.pop()
+        return self._items.pop()

@@ -510,3 +510,83 @@ def test_parallel_rules_identical_charged_and_uncharged():
         assert np.array_equal(a.deg, b.deg)
         assert (a.cover_size, a.edge_count) == (b.cover_size, b.edge_count)
         assert charges  # the instrumented run actually charged work
+
+
+# --------------------------------------------------------------------- #
+# deferred-child batch handoff: both removal paths build the same child
+# --------------------------------------------------------------------- #
+class TestBranchBatchHandoff:
+    """``BRANCH_BATCH_MIN_LIVE`` only moves work, never results."""
+
+    def _expand_both_ways(self, g):
+        from repro.core.branching import max_degree_pivot
+
+        ws = Workspace.for_graph(g)
+        form = MVCFormulation(BestBound(size=g.n + 1))
+        parent = fresh_state(g)
+        apply_reductions_fast(g, parent, form, ws)
+        if parent.edge_count == 0:
+            return None
+        vmax = max_degree_pivot(parent, None)
+        out = []
+        saved = kernels_mod.BRANCH_BATCH_MIN_LIVE
+        try:
+            for cutoff in (10**9, 0):  # scalar loop vs forced batch kernel
+                kernels_mod.BRANCH_BATCH_MIN_LIVE = cutoff
+                state = parent.copy(ws)
+                state.dirty = None
+                deferred, continued = expand_children(g, state, vmax, ws)
+                out.append((deferred, continued))
+        finally:
+            kernels_mod.BRANCH_BATCH_MIN_LIVE = saved
+        return out
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(8, 60), p=st.floats(0.05, 0.6), seed=st.integers(0, 500))
+    def test_children_bit_identical_and_hints_equivalent(self, n, p, seed):
+        g = gnp(n, p, seed=seed)
+        both = self._expand_both_ways(g)
+        if both is None:
+            return
+        (d_scalar, c_scalar), (d_batch, c_batch) = both
+        assert np.array_equal(d_scalar.deg, d_batch.deg)
+        assert (d_scalar.cover_size, d_scalar.edge_count) == \
+            (d_batch.cover_size, d_batch.edge_count)
+        assert np.array_equal(c_scalar.deg, c_batch.deg)
+        assert (c_scalar.cover_size, c_scalar.edge_count) == \
+            (c_batch.cover_size, c_batch.edge_count)
+        # hint representations may differ; the candidate sets they seed not
+        assert hint_candidates(d_scalar) == hint_candidates(d_batch)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(10, 40), p=st.floats(0.15, 0.55), seed=st.integers(0, 200))
+    def test_traversal_identical_under_forced_batch(self, n, p, seed):
+        g = gnp(n, p, seed=seed)
+
+        def run():
+            best = BestBound(size=g.n + 1)
+            stats = branch_and_reduce(g, MVCFormulation(best))
+            return (best.size, stats.nodes_visited, stats.branches, stats.prunes,
+                    stats.reductions.degree_one, stats.reductions.degree_two_triangle,
+                    stats.reductions.high_degree)
+
+        baseline = run()
+        saved = kernels_mod.BRANCH_BATCH_MIN_LIVE
+        try:
+            kernels_mod.BRANCH_BATCH_MIN_LIVE = 2
+            forced = run()
+        finally:
+            kernels_mod.BRANCH_BATCH_MIN_LIVE = saved
+        assert forced == baseline
+
+    def test_set_branch_batch_cutoff_validates(self):
+        from repro.core.kernels import set_branch_batch_cutoff
+
+        saved = kernels_mod.BRANCH_BATCH_MIN_LIVE
+        try:
+            assert set_branch_batch_cutoff(None) == saved
+            assert set_branch_batch_cutoff(17) == 17
+            with pytest.raises(ValueError):
+                set_branch_batch_cutoff(1)
+        finally:
+            kernels_mod.BRANCH_BATCH_MIN_LIVE = saved
