@@ -93,6 +93,14 @@ def bench_greedy_bound(benchmark):
     benchmark(greedy_cover, GRAPH)
 
 
+def bench_greedy_bound_large(benchmark):
+    # Above the scalar cutoff: the worklist-driven vectorized pick loop.
+    g = gnp(4096, 8.0 / 4095.0, seed=21)
+    ws = Workspace.for_graph(g)
+    result = benchmark(lambda: greedy_cover(g, ws))
+    assert result.size > 0
+
+
 def bench_sequential_solver_small(benchmark):
     g = phat_complement(50, 2, seed=5)
     result = benchmark(solve_mvc_sequential, g)

@@ -7,9 +7,11 @@
 #
 # Exits non-zero if: any benchmark body fails, the freshly produced
 # artifact violates the documented schema, a case present in the
-# committed BENCH_micro.json is missing from the smoke artifact, or any
+# committed BENCH_micro.json is missing from the smoke artifact, any
 # engine/frontier combination disagrees on a tiny-instance cover size
-# (the step-core/frontier layering guard; see docs/ARCHITECTURE.md).
+# (the step-core/frontier layering guard; see docs/ARCHITECTURE.md), or
+# the experiment layer's smoke grid fails its schema / zero-recompute
+# resume / bit-identical verification gate (see docs/EXPERIMENTS.md).
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -66,3 +68,13 @@ print(f"ci_smoke: engine x frontier matrix OK "
       f"({checked} solver runs, {len(instances)} instances, "
       f"{len(FRONTIERS)} frontiers, {len(ENGINES)} engines)")
 EOF
+
+# --- experiment layer: tiny grid -> schema + resume + fidelity gate ---
+# `experiment run --smoke` executes the built-in 2-engine x 2-frontier x
+# 1-suite grid into a scratch store, asserts the manifest/results.jsonl
+# schema, re-runs to assert the resume recomputes ZERO completed cells,
+# and re-executes every cell live asserting virtual cycles/seconds and
+# node counts bit-identical to the stored records.
+exp_store="$(mktemp -d /tmp/bench_smoke_exp.XXXXXX)"
+trap 'rm -f "$out"; rm -rf "$exp_store"' EXIT
+python -m repro experiment run --smoke --store "$exp_store"

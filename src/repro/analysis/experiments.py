@@ -22,6 +22,12 @@ Censoring follows the paper: cells whose virtual time exceeds the budget
 (the analog of the paper's two-hour cap) — or whose real node count
 exceeds a wall-clock guard — print as ``>budget`` and are excluded from
 speedup aggregation.
+
+Cells execute through :func:`run_cell` — the same entry point the
+:mod:`repro.experiment` runner uses — and :func:`run_table1` can be
+rebased on the experiment store (``store=``): fingerprint-matched cells
+load from ``results.jsonl`` instead of re-solving, fresh ones append,
+making the Table I harness itself resumable (see ``docs/EXPERIMENTS.md``).
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ __all__ = [
     "CellResult",
     "Table1Row",
     "Table1Result",
+    "run_cell",
     "run_table1",
     "run_table2",
     "run_table3",
@@ -151,6 +158,52 @@ class CellResult:
     wall_seconds: float
     detail: str = ""              # best depth / best worklist config
     metrics: Optional[LaunchMetrics] = None
+    #: accumulated virtual cycles — the charge stream's integral.  Stored
+    #: at full float precision so a persisted cell can be asserted
+    #: bit-identical against a fresh engine invocation.
+    cycles: Optional[float] = None
+    #: search-tree shape counters (sequential cells only).
+    tree: Optional[Dict[str, int]] = None
+
+    def to_record(self) -> Dict[str, object]:
+        """The JSON-serializable form persisted by the experiment store.
+
+        ``metrics`` (per-SM load objects) deliberately does not travel:
+        everything the paper tables need — virtual seconds, exact cycles,
+        node counts, tree shape — is scalar.  JSON round-trips Python
+        floats exactly (shortest-repr), so ``seconds``/``cycles`` survive
+        the store bit-identical.
+        """
+        return {
+            "engine": self.engine,
+            "instance_type": self.instance_type,
+            "seconds": self.seconds,
+            "timed_out": bool(self.timed_out),
+            "nodes": int(self.nodes),
+            "optimum": None if self.optimum is None else int(self.optimum),
+            "feasible": self.feasible,
+            "wall_seconds": float(self.wall_seconds),
+            "detail": self.detail,
+            "cycles": self.cycles,
+            "tree": self.tree,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "CellResult":
+        """Rebuild a cell from :meth:`to_record` output (metrics-free)."""
+        return cls(
+            engine=str(record["engine"]),
+            instance_type=str(record["instance_type"]),
+            seconds=record["seconds"],  # type: ignore[arg-type]
+            timed_out=bool(record["timed_out"]),
+            nodes=int(record["nodes"]),  # type: ignore[arg-type]
+            optimum=record["optimum"],  # type: ignore[arg-type]
+            feasible=record["feasible"],  # type: ignore[arg-type]
+            wall_seconds=float(record["wall_seconds"]),  # type: ignore[arg-type]
+            detail=str(record.get("detail", "")),
+            cycles=record.get("cycles"),  # type: ignore[arg-type]
+            tree=record.get("tree"),  # type: ignore[arg-type]
+        )
 
 
 @dataclass
@@ -231,12 +284,16 @@ def resolve_minimum(inst: SuiteInstance, scale: str, node_guard: int = 150_000) 
 # --------------------------------------------------------------------- #
 # cell runners
 # --------------------------------------------------------------------- #
-def _run_sequential_cell(graph, itype: str, k: Optional[int], cfg: ExperimentConfig) -> CellResult:
+def _run_sequential_cell(
+    graph, itype: str, k: Optional[int], cfg: ExperimentConfig,
+    frontier: Optional[str] = None,
+) -> CellResult:
     start = time.perf_counter()
     if itype == "mvc":
         out = solve_mvc_sequential_sim(
             graph, cpu=cfg.cpu, cost_model=cfg.cost_model,
             node_budget=cfg.seq_node_guard, cycle_budget=cfg.seq_cycle_budget,
+            frontier=frontier,
         )
         feasible = None
     else:
@@ -244,8 +301,10 @@ def _run_sequential_cell(graph, itype: str, k: Optional[int], cfg: ExperimentCon
         out = solve_pvc_sequential_sim(
             graph, k, cpu=cfg.cpu, cost_model=cfg.cost_model,
             node_budget=cfg.seq_node_guard, cycle_budget=cfg.seq_cycle_budget,
+            frontier=frontier,
         )
         feasible = out.feasible
+    stats = out.stats
     return CellResult(
         engine="sequential",
         instance_type=itype,
@@ -255,6 +314,15 @@ def _run_sequential_cell(graph, itype: str, k: Optional[int], cfg: ExperimentCon
         optimum=out.optimum,
         feasible=feasible,
         wall_seconds=time.perf_counter() - start,
+        detail="" if frontier in (None, "lifo") else f"frontier={frontier}",
+        cycles=out.cycles,
+        tree={
+            "branches": stats.branches,
+            "prunes": stats.prunes,
+            "solutions": stats.solutions_found,
+            "max_depth": stats.max_depth_reached,
+            "max_stack": stats.max_stack_depth,
+        },
     )
 
 
@@ -304,7 +372,34 @@ def _run_engine_cell(engine_name: str, graph, itype: str, k: Optional[int], cfg:
         wall_seconds=time.perf_counter() - start,
         detail=best_detail,
         metrics=best.metrics,
+        cycles=best.makespan_cycles,
     )
+
+
+def run_cell(
+    engine: str,
+    graph,
+    itype: str,
+    k: Optional[int],
+    cfg: ExperimentConfig,
+    frontier: Optional[str] = None,
+) -> CellResult:
+    """Run one experiment cell: one engine on one instance formulation.
+
+    The single entry point both the Table I harness and the
+    :mod:`repro.experiment` runner execute cells through, so stored
+    cells and live cells are produced by the very same code path.
+    ``frontier`` applies to the sequential engine only (the parallel
+    engines' disciplines are fixed by what they model).
+    """
+    if engine == "sequential":
+        return _run_sequential_cell(graph, itype, k, cfg, frontier)
+    if frontier is not None:
+        raise ValueError(
+            f"the 'frontier' axis applies to engine='sequential' only; "
+            f"engine {engine!r} has a fixed worklist discipline"
+        )
+    return _run_engine_cell(engine, graph, itype, k, cfg)
 
 
 def _k_for(itype: str, minimum: int) -> int:
@@ -314,6 +409,39 @@ def _k_for(itype: str, minimum: int) -> int:
 # --------------------------------------------------------------------- #
 # Table I / II
 # --------------------------------------------------------------------- #
+def _table1_descriptor(
+    cfg: ExperimentConfig,
+    suite_names: Sequence[str],
+    engines: Sequence[str],
+    instance_types: Sequence[str],
+) -> Dict[str, object]:
+    """The deterministic identity of one store-backed Table I run.
+
+    Everything that can change a cell's *result* goes in — including the
+    full device/CPU/cost-model parameters, not just their names, so a
+    custom ``CostModel`` (or a re-tuned device preset) can never be
+    served another configuration's cells as fingerprint matches.
+    """
+    from dataclasses import asdict
+
+    return {
+        "kind": "table1",
+        "scale": cfg.scale,
+        "device": asdict(cfg.device),
+        "cpu": asdict(cfg.cpu),
+        "cost_model": asdict(cfg.cost_model),
+        "virtual_budget_s": cfg.virtual_budget_s,
+        "seq_node_guard": cfg.seq_node_guard,
+        "engine_node_guard": cfg.engine_node_guard,
+        "stackonly_depths": list(cfg.stackonly_depths),
+        "hybrid_capacities": list(cfg.hybrid_capacities),
+        "hybrid_fractions": list(cfg.hybrid_fractions),
+        "instances": list(suite_names),
+        "engines": list(engines),
+        "instance_types": list(instance_types),
+    }
+
+
 def run_table1(
     cfg: Optional[ExperimentConfig] = None,
     *,
@@ -321,8 +449,18 @@ def run_table1(
     engines: Sequence[str] = ("sequential", "stackonly", "hybrid"),
     instance_types: Sequence[str] = INSTANCE_TYPES,
     verbose: bool = False,
+    store=None,
 ) -> Table1Result:
-    """Regenerate Table I on the synthetic suite."""
+    """Regenerate Table I on the synthetic suite.
+
+    With a :class:`repro.experiment.store.RunStore` in ``store``, the
+    harness is store-backed: each cell is keyed by its fingerprint
+    (graph hash × configuration hash), fingerprint-matched cells are
+    loaded from the run's ``results.jsonl`` instead of re-solved, and
+    newly computed cells are appended — so an interrupted ``repro
+    table1 --store …`` resumes where it stopped and later PRs can diff
+    the very same cells across runs.
+    """
     cfg = cfg or ExperimentConfig()
     suite = paper_suite(cfg.scale)
     if instances is not None:
@@ -331,10 +469,22 @@ def run_table1(
         missing = wanted - {inst.name for inst in suite}
         if missing:
             raise KeyError(f"unknown suite instances: {sorted(missing)}")
+
+    run = None
+    done: Dict[str, Dict[str, object]] = {}
+    if store is not None:
+        from ..experiment.spec import cell_fingerprint, graph_fingerprint
+
+        descriptor = _table1_descriptor(
+            cfg, [inst.name for inst in suite], engines, instance_types)
+        run = store.open_run(name="table1", spec=descriptor)
+        done = run.completed()
+
     rows: List[Table1Row] = []
     for inst in suite:
         graph = inst.graph()
         minimum, min_source = resolve_minimum(inst, cfg.scale)
+        graph_fp = graph_fingerprint(graph) if run is not None else ""
         row = Table1Row(
             instance=inst, n=graph.n, m=graph.m,
             avg_degree=graph.average_degree(),
@@ -350,10 +500,33 @@ def run_table1(
             else:
                 k = None
             for engine in engines:
-                if engine == "sequential":
-                    cell = _run_sequential_cell(graph, itype, k, cfg)
+                fp = None
+                if run is not None:
+                    payload = {
+                        "instance": inst.name,
+                        "engine": engine,
+                        "frontier": None,
+                        "instance_type": itype,
+                        "k": k,
+                        "repeat": 0,
+                        "config": run.manifest["spec"],
+                    }
+                    fp = cell_fingerprint(graph_fp, payload)
+                if fp is not None and fp in done:
+                    cell = CellResult.from_record(done[fp]["result"])
                 else:
-                    cell = _run_engine_cell(engine, graph, itype, k, cfg)
+                    cell = run_cell(engine, graph, itype, k, cfg)
+                    if run is not None:
+                        run.append({
+                            "fingerprint": fp,
+                            "instance": inst.name,
+                            "engine": engine,
+                            "frontier": None,
+                            "instance_type": itype,
+                            "k": k,
+                            "repeat": 0,
+                            "result": cell.to_record(),
+                        })
                 row.cells[(engine, itype)] = cell
                 if verbose:
                     print(
@@ -362,6 +535,9 @@ def run_table1(
                         f"(nodes={cell.nodes}, wall={cell.wall_seconds:.1f}s)"
                     )
         rows.append(row)
+    if run is not None:
+        run.finish("complete")
+        store.index_run(run)
     return Table1Result(rows=rows, config=cfg)
 
 

@@ -45,7 +45,8 @@ BENCH_SCHEMA_VERSION = 1
 CALIBRATION_SCHEMA_VERSION = 1
 
 #: Seeds used by the benchmark graphs; recorded in the artifact.
-BENCH_SEEDS = {"sparse_gnp": 78, "phat_solver": 5, "phat_graph": 77}
+BENCH_SEEDS = {"sparse_gnp": 78, "phat_solver": 5, "phat_graph": 77,
+               "greedy_gnp": 21}
 
 #: Seed for the calibration ladder graphs.
 CALIBRATION_SEED = 1234
@@ -63,6 +64,7 @@ class BenchCase:
 def bench_cases() -> List[BenchCase]:
     """Build the standard case list (imports deferred: keep CLI start fast)."""
     from ..core.formulation import BestBound, MVCFormulation
+    from ..core.greedy import greedy_cover
     from ..core.kernels import apply_reductions_fast
     from ..core.parallel_reductions import apply_reductions_parallel
     from ..core.reductions import apply_reductions_reference
@@ -75,8 +77,11 @@ def bench_cases() -> List[BenchCase]:
     sparse = gnp(400, 0.01, seed=BENCH_SEEDS["sparse_gnp"])
     dense = phat_complement(100, 2, seed=BENCH_SEEDS["phat_graph"])
     solver_graph = phat_complement(50, 2, seed=BENCH_SEEDS["phat_solver"])
+    # Above the scalar cutoff: exercises the worklist-driven greedy pass.
+    greedy_graph = gnp(4096, 8.0 / 4095.0, seed=BENCH_SEEDS["greedy_gnp"])
     ws_sparse = Workspace.for_graph(sparse)
     ws_dense = Workspace.for_graph(dense)
+    ws_greedy = Workspace.for_graph(greedy_graph)
     edges = list(dense.edges())
     batch = np.arange(0, 40, 2)
 
@@ -112,6 +117,9 @@ def bench_cases() -> List[BenchCase]:
         clone = state.copy(ws_dense)
         ws_dense.release_deg(clone.deg)
 
+    def greedy_large():
+        return greedy_cover(greedy_graph, ws_greedy)
+
     return [
         BenchCase("reduce_serial", reduce_fast,
                   "apply_reductions (fast kernels) to fixpoint on gnp(400, 0.01)"),
@@ -127,6 +135,9 @@ def bench_cases() -> List[BenchCase]:
                   "20-vertex batch removal into the cover"),
         BenchCase("state_copy_pooled", state_copy_pooled,
                   "pooled VCState.copy via the workspace buffer pool"),
+        BenchCase("greedy_bound_large", greedy_large,
+                  "greedy upper bound on gnp(4096, ~deg 8): the vectorized "
+                  "worklist-driven pick loop"),
     ]
 
 

@@ -14,11 +14,12 @@ The same mechanism implements the paper's two-hour cap for the baseline: a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..core.formulation import BestBound, FoundFlag, MVCFormulation, PVCFormulation
+from ..core.frontier import Frontier
 from ..core.greedy import greedy_cover
 from ..core.sequential import branch_and_reduce
 from ..core.stats import SearchStats
@@ -76,8 +77,16 @@ def solve_mvc_sequential_sim(
     cost_model: Optional[CostModel] = None,
     node_budget: Optional[int] = None,
     cycle_budget: Optional[float] = None,
+    frontier: Union[Frontier, str, None] = None,
 ) -> SequentialSimResult:
-    """MVC with the Fig. 1 baseline, metered in virtual CPU time."""
+    """MVC with the Fig. 1 baseline, metered in virtual CPU time.
+
+    ``frontier`` selects the worklist discipline exactly as in
+    :func:`repro.core.sequential.solve_mvc_sequential`; a non-default
+    policy replays the same node step (and work-unit pricing) in a
+    different traversal order, which is how the experiment layer sweeps
+    frontier policies under the cost model.
+    """
     meter = CpuCostMeter(cpu, cost_model)
     ws = Workspace.for_graph(graph)
     greedy = greedy_cover(graph, ws)
@@ -90,7 +99,7 @@ def solve_mvc_sequential_sim(
             should_stop = lambda: meter.cycles > cycle_budget
         stats = branch_and_reduce(
             graph, formulation, ws=ws, node_budget=node_budget,
-            charge=meter.charge, should_stop=should_stop,
+            charge=meter.charge, should_stop=should_stop, frontier=frontier,
         )
     return SequentialSimResult(
         formulation="mvc",
@@ -114,6 +123,7 @@ def solve_pvc_sequential_sim(
     cost_model: Optional[CostModel] = None,
     node_budget: Optional[int] = None,
     cycle_budget: Optional[float] = None,
+    frontier: Union[Frontier, str, None] = None,
 ) -> SequentialSimResult:
     """PVC with the Fig. 1 baseline, metered in virtual CPU time."""
     if k < 0:
@@ -130,7 +140,7 @@ def solve_pvc_sequential_sim(
             should_stop = lambda: meter.cycles > cycle_budget
         stats = branch_and_reduce(
             graph, formulation, ws=ws, node_budget=node_budget,
-            charge=meter.charge, should_stop=should_stop,
+            charge=meter.charge, should_stop=should_stop, frontier=frontier,
         )
     else:
         flag.found, flag.size, flag.cover = True, 0, np.empty(0, dtype=np.int32)

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-__all__ = ["render_table", "format_seconds", "format_speedup", "format_ratio"]
+__all__ = ["render_table", "render_markdown_table", "format_seconds",
+           "format_speedup", "format_ratio"]
 
 
 def format_seconds(seconds: Optional[float], timed_out: bool = False, budget_label: str = ">budget") -> str:
@@ -71,3 +72,30 @@ def render_table(
     out.append(sep)
     out.extend(fmt_row(r) for r in str_rows)
     return "\n".join(out)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    aligns: Optional[Sequence[str]] = None,
+) -> str:
+    """GitHub-flavoured markdown table (the experiment reports' format).
+
+    Same column conventions as :func:`render_table`: first column left,
+    the rest right, overridable per column with ``aligns``.
+    """
+    ncols = len(headers)
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, header has {ncols}")
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (ncols - 1)
+    rule = ["---" if a == "l" else "---:" for a in aligns]
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join(rule) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in str_rows)
+    return "\n".join(lines)

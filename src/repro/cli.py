@@ -16,6 +16,16 @@ suite::
     python -m repro bench            # hot-path micro-bench -> BENCH_micro.json
     python -m repro bench calibrate  # scalar/vectorized crossover -> CALIBRATION.json
     python -m repro bench --smoke    # CI mode: cheap repeats + artifact schema assert
+
+Declarative experiment orchestration (spec -> runner -> store -> report;
+see docs/EXPERIMENTS.md)::
+
+    python -m repro experiment run --spec sweep.json [--store experiments] [--workers 4]
+    python -m repro experiment resume <run_id>       # skip completed cells
+    python -m repro experiment report <run_id> [--verify]
+    python -m repro experiment index                 # rebuild the SQLite index
+    python -m repro experiment list
+    python -m repro experiment run --smoke           # CI gate: schema + zero-recompute resume
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import time
 from typing import List, Optional
 
 from .analysis.experiments import (
+    PRIOR_WORK_TABLE3_SECONDS,
     ExperimentConfig,
     run_ablation,
     run_fig5,
@@ -57,7 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--verbose", action="store_true")
 
     for name in ("table1", "table2", "table3", "fig5", "fig6", "ablation"):
-        common(sub.add_parser(name, help=f"regenerate {name}"))
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        common(p)
+        if name in ("table1", "table2", "table3"):
+            p.add_argument("--store", default=None, metavar="DIR",
+                           help="experiment store directory: load fingerprint-"
+                                "matched cells instead of re-solving, append "
+                                "fresh ones (resumable; see docs/EXPERIMENTS.md)")
     common(sub.add_parser("memory", help="Section III-C memory budget per suite graph"))
     p = sub.add_parser("tree", help="Section III search-tree shape statistics")
     common(p)
@@ -71,16 +88,57 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--graph", required=True, help="suite instance name")
     p.add_argument("--engine", default="hybrid",
-                   choices=("sequential", "stackonly", "hybrid", "globalonly",
-                            "cpu-threads", "cpu-process", "cpu-worksteal"))
+                   help="engine name from the ENGINES registry (default: hybrid)")
     p.add_argument("--k", type=int, default=None, help="solve PVC with this k instead of MVC")
     p.add_argument("--node-budget", type=int, default=None)
     p.add_argument("--frontier", default=None,
-                   choices=("lifo", "fifo", "hybrid", "stealing", "best-first"),
-                   help="worklist discipline for the sequential engine "
-                        "(default: lifo, the Fig. 1 depth-first stack)")
+                   help="worklist discipline for the sequential engine, from "
+                        "the FRONTIERS registry (default: lifo, the Fig. 1 "
+                        "depth-first stack)")
 
     common(sub.add_parser("suite", help="list the evaluation suite"))
+
+    p = sub.add_parser(
+        "experiment",
+        help="declarative experiment orchestration: spec -> runner -> store -> report",
+    )
+    esub = p.add_subparsers(dest="experiment_command", required=True)
+
+    def exp_common(ep: argparse.ArgumentParser) -> None:
+        ep.add_argument("--store", default=None, metavar="DIR",
+                        help="store root directory (default: experiments/)")
+        ep.add_argument("--verbose", action="store_true")
+
+    ep = esub.add_parser("run", help="execute a spec (skipping completed cells)")
+    exp_common(ep)
+    ep.add_argument("--spec", default=None, metavar="SPEC.json",
+                    help="experiment spec file (schema in docs/EXPERIMENTS.md)")
+    ep.add_argument("--workers", type=int, default=0,
+                    help="process-pool width; <=1 runs inline (default)")
+    ep.add_argument("--no-resume", action="store_true",
+                    help="re-execute every cell, shadowing stored records")
+    ep.add_argument("--smoke", action="store_true",
+                    help="CI gate: run a built-in tiny 2-engine x 2-frontier "
+                         "x 1-suite grid into a scratch store (unless --store "
+                         "is passed explicitly), assert the manifest/results "
+                         "schema, then resume and assert zero recomputed "
+                         "cells and bit-identical live verification")
+    ep = esub.add_parser("resume", help="continue an interrupted run by id")
+    exp_common(ep)
+    ep.add_argument("run_id")
+    ep.add_argument("--workers", type=int, default=0)
+    ep = esub.add_parser("report", help="regenerate report.md from the store")
+    exp_common(ep)
+    ep.add_argument("run_id")
+    ep.add_argument("--verify", action="store_true",
+                    help="re-run every stored cell live and assert virtual "
+                         "cycles/seconds, nodes and optima bit-identical")
+    ep.add_argument("--max-cells", type=int, default=None,
+                    help="with --verify: cap the number of re-executed cells")
+    ep = esub.add_parser("index", help="rebuild the cross-run SQLite index offline")
+    exp_common(ep)
+    ep = esub.add_parser("list", help="list runs in the store")
+    exp_common(ep)
 
     p = sub.add_parser("bench", help="micro-benchmark the substrate hot paths")
     p.add_argument("action", nargs="?", default="run", choices=("run", "calibrate"),
@@ -114,9 +172,152 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     return cfg
 
 
+#: The built-in ``experiment run --smoke`` grid: 2 engines x 2 frontiers
+#: x 1 suite instance at tiny scale — small enough for CI, wide enough to
+#: exercise the frontier axis, the engine axis and the PVC k resolution.
+SMOKE_SPEC = {
+    "name": "ci-smoke",
+    "scale": "tiny",
+    "device": "TinySim",
+    "instances": ["p_hat_300_1"],
+    "engines": ["sequential", "hybrid"],
+    "frontiers": ["lifo", "best-first"],
+    "instance_types": ["mvc", "pvc_k"],
+    "repeats": 1,
+    "virtual_budget_s": 0.01,
+    "seq_node_guard": 4000,
+    "engine_node_guard": 2500,
+    "stackonly_depths": [4],
+    "hybrid_capacities": [256],
+    "hybrid_fractions": [0.25],
+}
+
+
+def _cmd_experiment(args: argparse.Namespace, start: float) -> int:
+    from .experiment import (
+        RunStore,
+        load_spec,
+        run_experiment,
+        validate_manifest,
+        verify_run_against_live,
+        write_report,
+    )
+
+    echo = print if getattr(args, "verbose", False) else None
+    cmd = args.experiment_command
+
+    if cmd == "run" and args.smoke:
+        import tempfile
+
+        root = args.store or tempfile.mkdtemp(prefix="repro-experiment-smoke-")
+        store = RunStore(root)
+        spec = load_spec(dict(SMOKE_SPEC))
+        first = run_experiment(spec, store, n_workers=args.workers, echo=echo)
+        validate_manifest(first.run.manifest)
+        records = first.run.completed()
+        if len(records) != first.planned or first.executed != first.planned:
+            print(f"experiment smoke FAILED: planned {first.planned} cells, "
+                  f"executed {first.executed}, stored {len(records)}")
+            return 1
+        second = run_experiment(spec, store, n_workers=args.workers, echo=echo)
+        if second.executed != 0 or second.skipped != first.planned:
+            print(f"experiment smoke FAILED: resume recomputed "
+                  f"{second.executed} of {first.planned} completed cells")
+            return 1
+        verified = verify_run_against_live(store, first.run.run_id)
+        write_report(store, first.run.run_id)
+        print(f"experiment smoke OK: {first.planned} cells, schema valid, "
+              f"resume recomputed 0, {verified} cells verified bit-identical "
+              f"against live engines (store: {root})")
+        print(f"[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    store = RunStore(args.store or "experiments")
+
+    if cmd == "run":
+        if args.spec is None:
+            print("error: experiment run needs --spec SPEC.json (or --smoke)")
+            return 2
+        try:
+            spec = load_spec(args.spec)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}")
+            return 2
+        outcome = run_experiment(spec, store, n_workers=args.workers,
+                                 resume=not args.no_resume, echo=echo)
+        write_report(store, outcome.run.run_id)
+        print(f"{outcome.run.run_id}: {outcome.planned} cells planned, "
+              f"{outcome.executed} executed, {outcome.skipped} skipped "
+              f"(fingerprint-matched)\nartifacts: {outcome.run.directory}")
+        print(f"[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    if cmd == "resume":
+        try:
+            run = store.get_run(args.run_id)
+            spec = load_spec(dict(run.manifest["spec"]))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+        except ValueError:
+            print(f"error: run {args.run_id!r} was not created by 'repro "
+                  f"experiment run'; re-run the command that created it "
+                  f"(e.g. 'repro table1 --store' runs resume there)")
+            return 2
+        outcome = run_experiment(spec, store, n_workers=args.workers,
+                                 run_id=args.run_id, echo=echo)
+        write_report(store, args.run_id)
+        print(f"{args.run_id}: resumed — {outcome.executed} executed, "
+              f"{outcome.skipped} skipped (already complete)")
+        print(f"[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    if cmd == "report":
+        try:
+            text = write_report(store, args.run_id)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        print(text)
+        if args.verify:
+            verified = verify_run_against_live(store, args.run_id,
+                                               max_cells=args.max_cells)
+            print(f"verified: {verified} cells bit-identical to live "
+                  f"engine invocation")
+        print(f"[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    if cmd == "index":
+        counts = store.reindex()
+        for run_id, count in sorted(counts.items()):
+            print(f"{run_id:40s} {count:6d} cells")
+        print(f"indexed {len(counts)} runs -> {store.index_path}")
+        return 0
+
+    if cmd == "list":
+        runs = store.runs()
+        if not runs:
+            print(f"(no runs under {store.root})")
+            return 0
+        print(f"{'run_id':40s} {'status':12s} {'cells':>6s}  name")
+        for run in runs:
+            manifest = run.manifest
+            print(f"{run.run_id:40s} {str(manifest['status']):12s} "
+                  f"{len(run.completed()):6d}  {manifest['name']}")
+        return 0
+
+    raise AssertionError(f"unhandled experiment command {cmd!r}")  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     start = time.perf_counter()
+
+    if args.command == "experiment":
+        return _cmd_experiment(args, start)
 
     if args.command == "bench":
         import os
@@ -209,8 +410,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "solve":
-        from .core.solver import solve_mvc, solve_pvc
+        from .core.frontier import FRONTIERS
+        from .core.solver import ENGINES, solve_mvc, solve_pvc
 
+        # Validate names against the live registries so a typo dies with
+        # one line naming the legal values, not a traceback.
+        if args.engine not in ENGINES:
+            print(f"error: unknown engine {args.engine!r}; choose from: "
+                  f"{', '.join(ENGINES)}")
+            return 2
+        if args.frontier is not None and args.frontier not in FRONTIERS:
+            print(f"error: unknown frontier {args.frontier!r}; choose from: "
+                  f"{', '.join(sorted(FRONTIERS))}")
+            return 2
         if args.frontier is not None and args.engine != "sequential":
             print(f"error: --frontier applies to --engine sequential only "
                   f"(engine {args.engine!r} has a fixed worklist discipline)")
@@ -230,12 +442,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[{time.perf_counter() - start:.1f}s wall]")
         return 0
 
+    store = None
+    if getattr(args, "store", None) is not None:
+        from .experiment.store import RunStore
+
+        store = RunStore(args.store)
+
     if args.command == "table1":
-        print(run_table1(cfg, verbose=args.verbose).render())
+        print(run_table1(cfg, verbose=args.verbose, store=store).render())
     elif args.command == "table2":
-        print(run_table2(cfg=cfg).render())
+        print(run_table2(table1=run_table1(cfg, store=store)).render())
     elif args.command == "table3":
-        print(run_table3(cfg).render())
+        print(run_table3(cfg, table1=run_table1(
+            cfg, instances=list(PRIOR_WORK_TABLE3_SECONDS),
+            instance_types=("pvc_k",), store=store)).render())
     elif args.command == "fig5":
         print(run_fig5(cfg).render())
     elif args.command == "fig6":

@@ -31,6 +31,9 @@ from ..graph.degree_array import (
 )
 from .formulation import Formulation
 from .kernels import (
+    degree_one_kernel,
+    degree_two_triangle_kernel,
+    high_degree_kernel,
     scalar_degree_one_exhaust,
     scalar_degree_two_exhaust,
     scalar_high_degree_exhaust,
@@ -117,15 +120,15 @@ def _greedy_cover_scalar(graph: CSRGraph) -> GreedyResult:
     )
 
 
-def greedy_cover(graph: CSRGraph, ws: Optional[Workspace] = None) -> GreedyResult:
-    """Run the paper's greedy upper-bound heuristic.
+def _greedy_cover_rules(graph: CSRGraph, ws: Optional[Workspace] = None) -> GreedyResult:
+    """The greedy pass over the reference serial rules (pre-vectorization).
 
-    Returns a valid vertex cover; its size initialises ``best`` and bounds
-    the stack depth for the GPU launch configuration.  Small graphs take
-    the scalar fast path (identical output).
+    Kept as the equivalence oracle for the worklist-driven pass below (and
+    as the A side of the interleaved A/B pair recorded in
+    ``BENCH_micro.json``): per pick iteration it runs one round of the
+    three reference rule exhausts, each a full O(n) rescan with
+    interpreted per-vertex removals.
     """
-    if scalar_path_ok(graph.n, graph.m):
-        return _greedy_cover_scalar(graph)
     if ws is None:
         ws = Workspace.for_graph(graph)
     state = fresh_state(graph)
@@ -148,3 +151,67 @@ def greedy_cover(graph: CSRGraph, ws: Optional[Workspace] = None) -> GreedyResul
         max_degree_picks=picks,
         reductions=counters,
     )
+
+
+def _greedy_cover_vectorized(graph: CSRGraph, ws: Workspace) -> GreedyResult:
+    """The greedy inner loop on the dirty-worklist kernels (hot path).
+
+    Fire-for-fire identical to :func:`_greedy_cover_rules`: one round of
+    the three rule exhausts per max-degree pick, in the same order — but
+    the cheap rules drain the workspace's pooled dirty queues instead of
+    rescanning all ``n`` degrees, and each pick's decremented neighbours
+    re-enter the queues through ``remove_vertex_into_cover``.  The queue
+    invariant (every vertex at candidate degree is pending) survives the
+    picks for the same reason it survives removals inside the cascade:
+    the only way a vertex reaches degree 1 or 2 is a decrement, and every
+    decrement pushes.  A candidate drained without firing can never fire
+    until its degree changes (its alive pair and the static triangle test
+    are frozen while its degree is), at which point it is re-pushed.
+    """
+    state = fresh_state(graph)
+    bound = _TrivialBound(graph.n)
+    counters = ReductionCounters()
+    picks = 0
+    queues = ws.dirty_queues()
+    d1, d2 = queues
+    deg = state.deg
+    seed = np.flatnonzero((deg >= 1) & (deg <= 2))
+    d1.seed(seed)
+    d2.seed(seed)
+    try:
+        while state.edge_count > 0:
+            degree_one_kernel(graph, state, ws, counters=counters, queues=queues)
+            degree_two_triangle_kernel(graph, state, ws, counters=counters, queues=queues)
+            high_degree_kernel(graph, state, bound, ws, counters=counters, queues=queues)
+            if state.edge_count == 0:
+                break
+            vmax = max_degree_vertex(deg)
+            state.edge_count -= remove_vertex_into_cover(graph, deg, vmax, queues)
+            state.cover_size += 1
+            picks += 1
+    finally:
+        # The queues are per-workspace scratch shared with the reduction
+        # cascades; leave no pending vertex behind for the next user.
+        d1.clear()
+        d2.clear()
+    return GreedyResult(
+        size=state.cover_size,
+        cover=state.cover(),
+        max_degree_picks=picks,
+        reductions=counters,
+    )
+
+
+def greedy_cover(graph: CSRGraph, ws: Optional[Workspace] = None) -> GreedyResult:
+    """Run the paper's greedy upper-bound heuristic.
+
+    Returns a valid vertex cover; its size initialises ``best`` and bounds
+    the stack depth for the GPU launch configuration.  Small graphs take
+    the scalar fast path; larger ones the dirty-worklist kernels — all
+    three paths produce identical covers (property-tested).
+    """
+    if scalar_path_ok(graph.n, graph.m):
+        return _greedy_cover_scalar(graph)
+    if ws is None:
+        ws = Workspace.for_graph(graph)
+    return _greedy_cover_vectorized(graph, ws)

@@ -1,0 +1,62 @@
+"""Declarative experiment orchestration with a persistent, resumable store.
+
+The layer the paper's evaluation grids run through (see
+``docs/EXPERIMENTS.md`` for the spec schema and artifact layout)::
+
+    spec.py    declarative grid (engines × frontiers × instances × types
+               × repeats), validated against the live registries, with
+               content-addressed spec hashes and per-cell fingerprints
+    runner.py  expands the grid, skips fingerprint-matched completed
+               cells, fans the rest over a process pool
+    store.py   per-run artifacts (manifest.json / results.jsonl /
+               report.md) plus the cross-run SQLite index
+    report.py  regenerates the paper tables from the store and asserts
+               stored charge streams bit-identical to live engine runs
+
+CLI: ``repro experiment run|resume|report|index|list``.
+"""
+
+from .report import (
+    VerificationError,
+    render_report,
+    speedups_from_run,
+    table1_from_run,
+    verify_run_against_live,
+    write_report,
+)
+from .runner import RunOutcome, plan_run, run_experiment
+from .spec import (
+    EXPERIMENT_ENGINES,
+    CellSpec,
+    ExperimentSpec,
+    InstanceRef,
+    cell_fingerprint,
+    graph_fingerprint,
+    load_spec,
+    spec_hash,
+)
+from .store import Run, RunStore, validate_cell_record, validate_manifest
+
+__all__ = [
+    "EXPERIMENT_ENGINES",
+    "CellSpec",
+    "ExperimentSpec",
+    "InstanceRef",
+    "Run",
+    "RunOutcome",
+    "RunStore",
+    "VerificationError",
+    "cell_fingerprint",
+    "graph_fingerprint",
+    "load_spec",
+    "plan_run",
+    "render_report",
+    "run_experiment",
+    "speedups_from_run",
+    "spec_hash",
+    "table1_from_run",
+    "validate_cell_record",
+    "validate_manifest",
+    "verify_run_against_live",
+    "write_report",
+]

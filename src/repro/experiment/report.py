@@ -1,0 +1,290 @@
+"""Reports from the store: paper tables without re-solving anything.
+
+Once a run's cells are persisted, every paper artifact they feed can be
+regenerated offline — Table I (virtual seconds), the Table II-style
+geometric-mean speedups, and the Fig. 4-adjacent search-tree shape
+summary — by reading ``results.jsonl`` instead of re-running engines.
+
+The one thing a store must never do is drift from the engines it claims
+to describe, so :func:`verify_run_against_live` re-executes stored cells
+through the very same :func:`~repro.analysis.experiments.run_cell` path
+and asserts the persisted charge-stream integrals (virtual cycles,
+virtual seconds), node counts and optima **bit-identical** — JSON
+round-trips doubles exactly, so equality here is ``==``, not "approx".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import tables
+from ..analysis.experiments import (
+    INSTANCE_TYPES,
+    CellResult,
+    Table1Result,
+    Table1Row,
+    Table2Result,
+    run_table2,
+)
+from .runner import _execute_cell, experiment_config
+from .spec import ExperimentSpec
+from .store import Run, RunStore
+
+__all__ = [
+    "table1_from_run",
+    "speedups_from_run",
+    "tree_shape_rows",
+    "render_report",
+    "write_report",
+    "VerificationError",
+    "verify_run_against_live",
+]
+
+
+def _spec_of(run: Run) -> ExperimentSpec:
+    """The run's spec — refusing cleanly when the run is not spec-shaped.
+
+    The store also hosts runs created by ``repro table1|2|3 --store``
+    (manifest spec kind ``table1``); those resume through the table
+    commands, not through ``repro experiment``.
+    """
+    spec = dict(run.manifest["spec"])  # type: ignore[arg-type]
+    if spec.get("kind") != "repro-vc-experiment-spec":
+        raise ValueError(
+            f"run {run.run_id!r} was not created by 'repro experiment run' "
+            f"(spec kind {spec.get('kind', 'unknown')!r}); re-run the command "
+            "that created it — e.g. 'repro table1 --store' runs resume there"
+        )
+    return ExperimentSpec.from_dict(spec)
+
+
+def _suite_instance_for(info: Dict[str, object], scale: str):
+    """A row's SuiteInstance: the live suite member, or a file stand-in."""
+    from ..graph.generators.suites import SuiteInstance, suite_instance
+
+    ref = info["ref"]
+    if isinstance(ref, str):
+        return suite_instance(ref, scale)
+    return SuiteInstance(
+        name=str(info["label"]),
+        category="file",
+        paper_graph=str(ref["path"]),  # type: ignore[index]
+        builder=lambda: (_ for _ in ()).throw(
+            RuntimeError("file instances render from stored metadata only")),
+    )
+
+
+def _select_cell(
+    records: List[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """The Table I representative among a cell group's records.
+
+    Groups hold one record per (frontier, repeat); Table I shows the
+    default discipline's first repeat — the same cell a plain
+    ``run_table1`` computes — preferring ``lifo``/``None`` frontier and
+    ``repeat == 0``, falling back deterministically.
+    """
+    if not records:
+        return None
+
+    def rank(rec: Dict[str, object]) -> Tuple[int, int, str]:
+        frontier = rec["frontier"]
+        return (0 if frontier in (None, "lifo") else 1,
+                int(rec["repeat"]),  # type: ignore[arg-type]
+                str(frontier))
+
+    return sorted(records, key=rank)[0]
+
+
+def table1_from_run(store: RunStore, run_id: str) -> Table1Result:
+    """Rebuild the Table I layout purely from a run's stored cells."""
+    run = store.get_run(run_id)
+    spec = _spec_of(run)
+    cfg = experiment_config(spec)
+    grouped: Dict[Tuple[str, str, str], List[Dict[str, object]]] = {}
+    for record in run.completed().values():
+        key = (str(record["instance"]), str(record["engine"]),
+               str(record["instance_type"]))
+        grouped.setdefault(key, []).append(record)
+
+    rows: List[Table1Row] = []
+    for info in run.manifest.get("instances", []):  # type: ignore[union-attr]
+        row = Table1Row(
+            instance=_suite_instance_for(info, spec.scale),
+            n=int(info["n"]), m=int(info["m"]),
+            avg_degree=float(info["avg_degree"]),
+            minimum=info["minimum"], min_source=str(info["min_source"]),
+        )
+        for itype in INSTANCE_TYPES:
+            for engine in spec.engines:
+                record = _select_cell(grouped.get(
+                    (str(info["label"]), engine, itype), []))
+                if record is not None:
+                    row.cells[(engine, itype)] = CellResult.from_record(
+                        record["result"])  # type: ignore[arg-type]
+        rows.append(row)
+    return Table1Result(rows=rows, config=cfg)
+
+
+def speedups_from_run(store: RunStore, run_id: str) -> Table2Result:
+    """Table II-style geometric-mean speedups computed from stored cells."""
+    return run_table2(table1=table1_from_run(store, run_id))
+
+
+def tree_shape_rows(run: Run) -> List[Dict[str, object]]:
+    """Search-tree shape of every stored sequential cell (Fig. 4 stats)."""
+    rows = []
+    for record in run.completed().values():
+        result = record["result"]
+        tree = result.get("tree")  # type: ignore[union-attr]
+        if record["engine"] != "sequential" or not tree:
+            continue
+        rows.append({
+            "instance": record["instance"],
+            "type": record["instance_type"],
+            "frontier": record["frontier"] or "lifo",
+            "repeat": record["repeat"],
+            "nodes": result["nodes"],  # type: ignore[index]
+            "branches": tree["branches"],
+            "prunes": tree["prunes"],
+            "max depth": tree["max_depth"],
+            "max stack": tree["max_stack"],
+        })
+    rows.sort(key=lambda r: (r["instance"], r["type"], r["frontier"], r["repeat"]))
+    return rows
+
+
+def render_report(store: RunStore, run_id: str) -> str:
+    """The run's ``report.md``: paper tables + reproduction footer."""
+    run = store.get_run(run_id)
+    manifest = run.manifest
+    table1 = table1_from_run(store, run_id)
+    speedups = speedups_from_run(store, run_id)
+    shape = tree_shape_rows(run)
+
+    parts = [
+        f"# Experiment report — `{run.run_id}`",
+        "",
+        f"{len(run.completed())} stored cells over "
+        f"{len(manifest.get('instances', []))} instances "  # type: ignore[arg-type]
+        f"(status: {manifest['status']}).",
+        "",
+        "## Table I — execution time (virtual seconds)",
+        "",
+        "```",
+        table1.render(),
+        "```",
+        "",
+        "## Aggregate speedups (geometric mean)",
+        "",
+        "```",
+        speedups.render(),
+        "```",
+        "",
+        "## Search-tree shape (sequential cells)",
+        "",
+    ]
+    if shape:
+        headers = list(shape[0])
+        parts.append(tables.render_markdown_table(
+            headers, [[row[h] for h in headers] for row in shape]))
+    else:
+        parts.append("_no sequential cells in this run_")
+
+    # Table I's layout fixes its engine columns (sequential / stackonly /
+    # hybrid); any other stored engine — e.g. the globalonly ablation —
+    # still gets its cells reported rather than silently dropped.
+    table1_engines = {"sequential", "stackonly", "hybrid"}
+    extra = sorted(
+        (rec for rec in run.completed().values()
+         if rec["engine"] not in table1_engines),
+        key=lambda rec: (rec["instance"], rec["instance_type"],
+                         rec["engine"], rec["repeat"]),
+    )
+    if extra:
+        parts += ["", "## Engines outside the Table I columns", ""]
+        parts.append(tables.render_markdown_table(
+            ["instance", "type", "engine", "seconds", "nodes", "optimum"],
+            [[rec["instance"], rec["instance_type"], rec["engine"],
+              tables.format_seconds(rec["result"]["seconds"],  # type: ignore[index]
+                                    bool(rec["result"]["timed_out"])),  # type: ignore[index]
+              rec["result"]["nodes"], rec["result"]["optimum"]]  # type: ignore[index]
+             for rec in extra]))
+    prov = manifest["provenance"]
+    parts += [
+        "",
+        "---",
+        f"run `{run.run_id}` · spec `{str(manifest['spec_hash'])[:12]}` · "
+        f"git `{str(prov['git_sha'])[:12]}` · "  # type: ignore[index]
+        f"python {prov['python']} · numpy {prov['numpy']}",  # type: ignore[index]
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def write_report(store: RunStore, run_id: str) -> str:
+    """Render and persist ``report.md``; return the text."""
+    text = render_report(store, run_id)
+    store.get_run(run_id).write_report(text)
+    return text
+
+
+# --------------------------------------------------------------------- #
+# bit-identical verification against live engines
+# --------------------------------------------------------------------- #
+class VerificationError(AssertionError):
+    """A stored cell disagreed with its live re-execution."""
+
+
+#: Result fields that must survive the store bit-identically.  Everything
+#: deterministic is here; ``wall_seconds`` is real time and excluded.
+_EXACT_FIELDS = ("seconds", "cycles", "nodes", "optimum", "feasible",
+                 "timed_out", "detail", "tree")
+
+
+def verify_run_against_live(
+    store: RunStore,
+    run_id: str,
+    *,
+    max_cells: Optional[int] = None,
+) -> int:
+    """Re-run stored cells live; assert charge streams bit-identical.
+
+    Every compared field — virtual ``seconds`` and ``cycles`` (the charge
+    stream's integral), ``nodes``, ``optimum``, feasibility, tree shape —
+    must match with ``==``.  Raises :class:`VerificationError` naming
+    every mismatching cell and field; returns the number of verified
+    cells on success.
+    """
+    run = store.get_run(run_id)
+    spec_dict = _spec_of(run).to_dict()  # clean refusal for non-spec runs
+    records = sorted(
+        run.completed().values(),
+        key=lambda rec: (rec["instance"], rec["engine"], rec["instance_type"],
+                         str(rec["frontier"]), rec["repeat"]),
+    )
+    if max_cells is not None:
+        records = records[:max_cells]
+    mismatches: List[str] = []
+    for record in records:
+        identity = {key: record[key] for key in (
+            "fingerprint", "instance", "engine", "frontier",
+            "instance_type", "k", "repeat")}
+        ref = next(
+            info["ref"] for info in run.manifest["instances"]  # type: ignore[union-attr]
+            if info["label"] == record["instance"])
+        live = _execute_cell(spec_dict, identity, ref)["result"]
+        stored = record["result"]
+        for field in _EXACT_FIELDS:
+            if stored.get(field) != live.get(field):  # type: ignore[union-attr]
+                mismatches.append(
+                    f"{record['instance']}/{record['instance_type']}/"
+                    f"{record['engine']}"
+                    f"{'/' + str(record['frontier']) if record['frontier'] else ''}"
+                    f" repeat={record['repeat']}: {field} stored="
+                    f"{stored.get(field)!r} live={live.get(field)!r}")  # type: ignore[union-attr]
+    if mismatches:
+        raise VerificationError(
+            "stored cells diverged from live engine invocation:\n  "
+            + "\n  ".join(mismatches))
+    return len(records)

@@ -1,0 +1,318 @@
+"""Experiment runner: expand a spec, fan out, skip what already ran.
+
+The runner turns an :class:`~repro.experiment.spec.ExperimentSpec` into
+planned cells, resolves each instance once (graph construction, graph
+fingerprint, exact minimum for the PVC columns), drops the cells whose
+fingerprint already has a record in the run's ``results.jsonl`` (the
+resume contract), and executes the remainder — inline, or fanned out
+over a ``ProcessPoolExecutor``.
+
+Every cell goes through :func:`repro.analysis.experiments.run_cell`,
+i.e. the exact NodeStep × frontier × engine composition a direct
+``repro solve`` / ``run_table1`` invocation uses — which is what lets
+:mod:`repro.experiment.report` assert stored charge streams bit-identical
+against live re-execution.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..analysis.experiments import ExperimentConfig, run_cell
+from ..graph.csr import CSRGraph
+from .spec import ExperimentSpec, InstanceRef, cell_fingerprint, graph_fingerprint
+from .store import Run, RunStore
+
+__all__ = [
+    "InstanceInfo",
+    "PlannedCell",
+    "RunOutcome",
+    "load_instance_graph",
+    "experiment_config",
+    "plan_run",
+    "run_experiment",
+]
+
+#: Node guard for the one-off exact-minimum resolution of file instances.
+_MINIMUM_NODE_GUARD = 150_000
+
+
+# --------------------------------------------------------------------- #
+# instance resolution
+# --------------------------------------------------------------------- #
+def load_instance_graph(ref: InstanceRef, scale: str) -> CSRGraph:
+    """Build a suite instance or read an on-disk graph file by extension."""
+    if ref.suite is not None:
+        from ..graph.generators.suites import suite_instance
+
+        return suite_instance(ref.suite, scale).graph()
+    path = Path(ref.path)  # type: ignore[arg-type]
+    suffix = path.suffix.lower()
+    if suffix in (".col", ".clq", ".dimacs"):
+        from ..graph.io.dimacs import read_dimacs
+
+        return read_dimacs(path)
+    if suffix in (".graph", ".metis"):
+        from ..graph.io.metis import read_metis
+
+        return read_metis(path)
+    from ..graph.io.edgelist import read_edgelist
+
+    return read_edgelist(path)[0]
+
+
+def _resolve_minimum(ref: InstanceRef, graph: CSRGraph, scale: str) -> Tuple[Optional[int], str]:
+    """Exact minimum cover size of an instance, and how we know it."""
+    if ref.suite is not None:
+        from ..analysis.experiments import resolve_minimum
+        from ..graph.generators.suites import suite_instance
+
+        return resolve_minimum(suite_instance(ref.suite, scale), scale)
+    from ..core.matching import konig_cover
+    from ..core.sequential import solve_mvc_sequential
+
+    konig = konig_cover(graph)
+    if konig is not None:
+        return konig.size, "konig"
+    out = solve_mvc_sequential(graph, node_budget=_MINIMUM_NODE_GUARD)
+    if out.timed_out:
+        return None, "unknown"
+    return out.optimum, "search"
+
+
+@dataclass
+class InstanceInfo:
+    """Per-instance metadata recorded in the run manifest."""
+
+    label: str
+    ref: object               # the spec's JSON form of the instance
+    n: int
+    m: int
+    avg_degree: float
+    graph_fp: str
+    minimum: Optional[int]
+    min_source: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "label": self.label, "ref": self.ref, "n": self.n, "m": self.m,
+            "avg_degree": self.avg_degree, "graph_fp": self.graph_fp,
+            "minimum": self.minimum, "min_source": self.min_source,
+        }
+
+
+@dataclass
+class PlannedCell:
+    """One executable cell with its resolved ``k`` and fingerprint."""
+
+    instance: InstanceInfo
+    engine: str
+    frontier: Optional[str]
+    instance_type: str
+    k: Optional[int]
+    repeat: int
+    fingerprint: str
+
+    def identity(self) -> Dict[str, object]:
+        """The record fields shared by results.jsonl and the index."""
+        return {
+            "fingerprint": self.fingerprint,
+            "instance": self.instance.label,
+            "engine": self.engine,
+            "frontier": self.frontier,
+            "instance_type": self.instance_type,
+            "k": self.k,
+            "repeat": self.repeat,
+        }
+
+
+@dataclass
+class RunOutcome:
+    """What one ``run_experiment`` invocation did."""
+
+    run: Run
+    planned: int
+    executed: int
+    skipped: int
+    instances: List[InstanceInfo] = field(default_factory=list)
+
+
+def experiment_config(spec: ExperimentSpec) -> ExperimentConfig:
+    """The :class:`ExperimentConfig` every cell of this spec runs under."""
+    from .spec import resolve_spec_device
+
+    return ExperimentConfig(
+        scale=spec.scale,
+        device=resolve_spec_device(spec.device),
+        virtual_budget_s=spec.virtual_budget_s,
+        seq_node_guard=spec.seq_node_guard,
+        engine_node_guard=spec.engine_node_guard,
+        stackonly_depths=spec.stackonly_depths,
+        hybrid_capacities=spec.hybrid_capacities,
+        hybrid_fractions=spec.hybrid_fractions,
+    )
+
+
+# --------------------------------------------------------------------- #
+# planning
+# --------------------------------------------------------------------- #
+def plan_run(spec: ExperimentSpec) -> Tuple[List[InstanceInfo], List[PlannedCell]]:
+    """Resolve instances and expand the grid into fingerprinted cells.
+
+    PVC cells whose ``k`` cannot be resolved (minimum unknown within the
+    guard) or would be negative are dropped here — deterministically, so
+    a resume plans the identical cell list.
+    """
+    from ..analysis.experiments import _k_for
+
+    infos: Dict[InstanceRef, InstanceInfo] = {}
+    for ref in spec.instances:
+        graph = load_instance_graph(ref, spec.scale)
+        minimum, min_source = _resolve_minimum(ref, graph, spec.scale)
+        infos[ref] = InstanceInfo(
+            label=ref.label, ref=ref.to_json(), n=graph.n, m=graph.m,
+            avg_degree=graph.average_degree(),
+            graph_fp=graph_fingerprint(graph),
+            minimum=minimum, min_source=min_source,
+        )
+
+    planned: List[PlannedCell] = []
+    config = spec.cell_config()
+    for cell in spec.expand_cells():
+        info = infos[cell.instance]
+        if cell.instance_type == "mvc":
+            k = None
+        else:
+            if info.minimum is None:
+                continue  # the paper could not run these either
+            k = _k_for(cell.instance_type, info.minimum)
+            if k < 0:
+                continue
+        payload = {
+            "instance": info.label,
+            "engine": cell.engine,
+            "frontier": cell.frontier,
+            "instance_type": cell.instance_type,
+            "k": k,
+            "repeat": cell.repeat,
+            "config": config,
+        }
+        planned.append(PlannedCell(
+            instance=info, engine=cell.engine, frontier=cell.frontier,
+            instance_type=cell.instance_type, k=k, repeat=cell.repeat,
+            fingerprint=cell_fingerprint(info.graph_fp, payload),
+        ))
+    return list(infos.values()), planned
+
+
+# --------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------- #
+#: Per-process graph cache for pool workers (key: ref JSON × scale).
+_GRAPH_CACHE: Dict[str, CSRGraph] = {}
+_CALIBRATION_APPLIED: set = set()
+
+
+def _cached_graph(ref_json: object, scale: str) -> CSRGraph:
+    key = f"{ref_json!r}@{scale}"
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        graph = load_instance_graph(InstanceRef.from_json(ref_json), scale)
+        _GRAPH_CACHE[key] = graph
+    return graph
+
+
+def _maybe_apply_calibration(path: Optional[str]) -> None:
+    if path is None or path in _CALIBRATION_APPLIED:
+        return
+    from ..analysis.microbench import load_scalar_calibration
+
+    load_scalar_calibration(path)
+    _CALIBRATION_APPLIED.add(path)
+
+
+def _execute_cell(spec_dict: Dict[str, object], cell_fields: Dict[str, object],
+                  ref_json: object) -> Dict[str, object]:
+    """Worker entry point: rebuild the graph, run the cell, return the record.
+
+    Top-level (picklable) on purpose; runs both inline and inside pool
+    workers so the two paths cannot drift.
+    """
+    spec = ExperimentSpec.from_dict(spec_dict)
+    _maybe_apply_calibration(spec.calibration)
+    cfg = experiment_config(spec)
+    graph = _cached_graph(ref_json, spec.scale)
+    result = run_cell(
+        cell_fields["engine"],  # type: ignore[arg-type]
+        graph,
+        cell_fields["instance_type"],  # type: ignore[arg-type]
+        cell_fields["k"],  # type: ignore[arg-type]
+        cfg,
+        frontier=cell_fields["frontier"],  # type: ignore[arg-type]
+    )
+    return {**cell_fields, "result": result.to_record()}
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    store: RunStore,
+    *,
+    n_workers: int = 0,
+    resume: bool = True,
+    run_id: Optional[str] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> RunOutcome:
+    """Execute a spec against a store; skip fingerprint-matched cells.
+
+    ``n_workers <= 1`` runs inline (deterministic order, no processes);
+    larger values fan the pending cells out over a process pool.  With
+    ``resume=False`` every planned cell re-executes and shadows its old
+    record.  Returns the executed/skipped counts the resume tests (and
+    the ``--smoke`` CI gate) assert on.
+    """
+    spec.validate()
+    say = echo if echo is not None else (lambda _msg: None)
+    run = store.open_run(name=spec.name, spec=spec.to_dict(), run_id=run_id)
+    t0 = time.perf_counter()
+    infos, planned = plan_run(spec)
+    run.update_manifest(
+        n_cells=len(planned),
+        instances=[info.to_json() for info in infos],
+    )
+    done = run.completed() if resume else {}
+    pending = [cell for cell in planned if cell.fingerprint not in done]
+    skipped = len(planned) - len(pending)
+    say(f"{run.run_id}: {len(planned)} cells planned, {skipped} already "
+        f"complete, {len(pending)} to run")
+
+    spec_dict = spec.to_dict()
+    if n_workers <= 1 or len(pending) <= 1:
+        for cell in pending:
+            record = _execute_cell(spec_dict, cell.identity(), cell.instance.ref)
+            run.append(record)
+            say(f"  done {cell.instance.label}/{cell.instance_type}/"
+                f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}")
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {
+                pool.submit(_execute_cell, spec_dict, cell.identity(),
+                            cell.instance.ref): cell
+                for cell in pending
+            }
+            for future in as_completed(futures):
+                cell = futures[future]
+                run.append(future.result())  # single-writer append
+                say(f"  done {cell.instance.label}/{cell.instance_type}/"
+                    f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}")
+    run.finish("complete")
+    store.index_run(run)
+    say(f"{run.run_id}: executed {len(pending)}, skipped {skipped} "
+        f"[{time.perf_counter() - t0:.1f}s wall]")
+    return RunOutcome(
+        run=run, planned=len(planned), executed=len(pending),
+        skipped=skipped, instances=infos,
+    )

@@ -1,0 +1,354 @@
+"""Declarative experiment specs: the grid an experiment runs over.
+
+An :class:`ExperimentSpec` is a plain JSON-able description of a
+cartesian experiment — engines × frontier policies × instances ×
+instance types × repeats, plus the shared budgets and engine parameter
+grids — validated against the live registries (``ENGINES`` from
+:mod:`repro.core.solver`, ``FRONTIERS`` from :mod:`repro.core.frontier`,
+the evaluation suite, the Table I instance types), so a typo fails at
+spec load with a one-line error naming the legal values, not half-way
+through a sweep.
+
+Identity is content-addressed at two levels:
+
+* :func:`spec_hash` — SHA-256 over the spec's canonical JSON; the run id
+  of a spec's run directory is derived from it, which is what makes
+  ``repro experiment run`` on an unchanged spec a *resume*.
+* :func:`cell_fingerprint` — SHA-256 over one cell's payload (instance,
+  engine, frontier, type, k, repeat, config) combined with
+  :func:`graph_fingerprint` (SHA-256 over the instance's CSR arrays).
+  A completed cell is skipped on re-run iff its fingerprint matches,
+  so editing the spec — or the graph generator — invalidates exactly
+  the cells whose results could change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "EXPERIMENT_ENGINES",
+    "InstanceRef",
+    "CellSpec",
+    "ExperimentSpec",
+    "load_spec",
+    "spec_hash",
+    "canonical_json",
+    "graph_fingerprint",
+    "cell_fingerprint",
+]
+
+#: Bump when the spec layout changes (documented in docs/EXPERIMENTS.md).
+SPEC_SCHEMA_VERSION = 1
+
+#: Engines the experiment layer can price in virtual seconds — the
+#: sequential baseline plus the simulated-GPU engines.  (The real
+#: ``cpu-*`` engines report wall-clock only and are deliberately not
+#: part of the Table I grid.)
+EXPERIMENT_ENGINES: Tuple[str, ...] = ("sequential", "stackonly", "hybrid", "globalonly")
+
+#: Simulated devices selectable from a spec.
+SPEC_DEVICES: Tuple[str, ...] = ("SmallSim", "TinySim")
+
+
+def resolve_spec_device(name: str):
+    """The :class:`~repro.sim.device.DeviceSpec` behind a spec device name."""
+    from ..sim.device import SMALL_SIM, TINY_SIM
+
+    return {"SmallSim": SMALL_SIM, "TinySim": TINY_SIM}[name]
+
+
+def _one_line_choice_error(kind: str, got: object, choices: Sequence[str]) -> ValueError:
+    return ValueError(f"unknown {kind} {got!r}; choose from: {', '.join(choices)}")
+
+
+@dataclass(frozen=True)
+class InstanceRef:
+    """One evaluation instance: a suite member or an on-disk graph file."""
+
+    suite: Optional[str] = None   # suite instance name (resolved at spec scale)
+    path: Optional[str] = None    # metis/.graph, dimacs/.col/.clq, else edge list
+
+    def __post_init__(self) -> None:
+        if (self.suite is None) == (self.path is None):
+            raise ValueError(
+                "instance must be exactly one of a suite name or {'path': ...}: "
+                f"got suite={self.suite!r} path={self.path!r}"
+            )
+
+    @property
+    def label(self) -> str:
+        return self.suite if self.suite is not None else Path(self.path).stem  # type: ignore[arg-type]
+
+    def to_json(self) -> object:
+        return self.suite if self.suite is not None else {"path": self.path}
+
+    @classmethod
+    def from_json(cls, obj: object) -> "InstanceRef":
+        if isinstance(obj, str):
+            return cls(suite=obj)
+        if isinstance(obj, dict) and set(obj) == {"path"}:
+            return cls(path=str(obj["path"]))
+        raise ValueError(
+            f"instance must be a suite name or {{'path': ...}}, got {obj!r}"
+        )
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One expanded grid cell (k still unresolved: it needs the optimum)."""
+
+    instance: InstanceRef
+    engine: str
+    frontier: Optional[str]   # sequential engine only; None otherwise
+    instance_type: str
+    repeat: int
+
+
+@dataclass
+class ExperimentSpec:
+    """A declarative experiment: axes, budgets and engine parameter grids."""
+
+    name: str
+    scale: str = "tiny"
+    device: str = "SmallSim"
+    instances: List[InstanceRef] = field(default_factory=list)
+    engines: Tuple[str, ...] = ("sequential", "hybrid")
+    #: frontier axis; pairs with the sequential engine only.
+    frontiers: Tuple[str, ...] = ("lifo",)
+    instance_types: Tuple[str, ...] = ("mvc",)
+    repeats: int = 1
+    seed: int = 0
+    virtual_budget_s: float = 0.01
+    seq_node_guard: int = 4000
+    engine_node_guard: int = 2500
+    stackonly_depths: Tuple[int, ...] = (4,)
+    hybrid_capacities: Tuple[int, ...] = (256,)
+    hybrid_fractions: Tuple[float, ...] = (0.25,)
+    #: optional CALIBRATION.json applied in every worker before solving —
+    #: calibration moves the scalar/vectorized dispatch, never results, so
+    #: it is excluded from cell fingerprints.
+    calibration: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "ExperimentSpec":
+        """Check every axis against the live registries; return self."""
+        from ..core.frontier import FRONTIERS
+        from ..graph.generators.suites import SCALES, paper_suite
+
+        if not self.name or not str(self.name).replace("-", "").replace("_", "").isalnum():
+            raise ValueError(
+                f"experiment name must be non-empty [-_ alphanumeric], got {self.name!r}"
+            )
+        if self.scale not in SCALES:
+            raise _one_line_choice_error("scale", self.scale, SCALES)
+        if self.device not in SPEC_DEVICES:
+            raise _one_line_choice_error("device", self.device, SPEC_DEVICES)
+        if not self.instances:
+            raise ValueError("spec declares no instances")
+        suite_names = {inst.name for inst in paper_suite(self.scale)}
+        for ref in self.instances:
+            if ref.suite is not None and ref.suite not in suite_names:
+                raise _one_line_choice_error(
+                    "suite instance", ref.suite, sorted(suite_names))
+            if ref.path is not None and not Path(ref.path).is_file():
+                raise ValueError(f"instance file does not exist: {ref.path}")
+        if not self.engines:
+            raise ValueError("spec declares no engines")
+        for engine in self.engines:
+            if engine not in EXPERIMENT_ENGINES:
+                raise _one_line_choice_error("engine", engine, EXPERIMENT_ENGINES)
+        if not self.frontiers:
+            raise ValueError("spec declares no frontiers (use ['lifo'] for the default)")
+        for frontier in self.frontiers:
+            if frontier not in FRONTIERS:
+                raise _one_line_choice_error("frontier", frontier, sorted(FRONTIERS))
+        from ..analysis.experiments import INSTANCE_TYPES
+
+        for itype in self.instance_types:
+            if itype not in INSTANCE_TYPES:
+                raise _one_line_choice_error("instance type", itype, INSTANCE_TYPES)
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.virtual_budget_s <= 0:
+            raise ValueError("virtual_budget_s must be positive")
+        if self.seq_node_guard < 1 or self.engine_node_guard < 1:
+            raise ValueError("node guards must be positive")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "kind": "repro-vc-experiment-spec",
+            "name": self.name,
+            "scale": self.scale,
+            "device": self.device,
+            "instances": [ref.to_json() for ref in self.instances],
+            "engines": list(self.engines),
+            "frontiers": list(self.frontiers),
+            "instance_types": list(self.instance_types),
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "virtual_budget_s": self.virtual_budget_s,
+            "seq_node_guard": self.seq_node_guard,
+            "engine_node_guard": self.engine_node_guard,
+            "stackonly_depths": list(self.stackonly_depths),
+            "hybrid_capacities": list(self.hybrid_capacities),
+            "hybrid_fractions": list(self.hybrid_fractions),
+            "calibration": self.calibration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
+        if not isinstance(data, dict):
+            raise ValueError("experiment spec must be a JSON object")
+        version = data.get("schema_version", SPEC_SCHEMA_VERSION)
+        if version != SPEC_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported spec schema_version {version!r} (expected {SPEC_SCHEMA_VERSION})"
+            )
+        known = {
+            "schema_version", "kind", "name", "scale", "device", "instances",
+            "engines", "frontiers", "instance_types", "repeats", "seed",
+            "virtual_budget_s", "seq_node_guard", "engine_node_guard",
+            "stackonly_depths", "hybrid_capacities", "hybrid_fractions",
+            "calibration",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown spec fields: {unknown}")
+        if "name" not in data:
+            raise ValueError("spec is missing the required 'name' field")
+        if "instances" not in data:
+            raise ValueError("spec is missing the required 'instances' field")
+        defaults = cls(name="x")
+        spec = cls(
+            name=str(data["name"]),
+            scale=str(data.get("scale", defaults.scale)),
+            device=str(data.get("device", defaults.device)),
+            instances=[InstanceRef.from_json(obj) for obj in data["instances"]],  # type: ignore[union-attr]
+            engines=tuple(data.get("engines", defaults.engines)),  # type: ignore[arg-type]
+            frontiers=tuple(data.get("frontiers", defaults.frontiers)),  # type: ignore[arg-type]
+            instance_types=tuple(data.get("instance_types", defaults.instance_types)),  # type: ignore[arg-type]
+            repeats=int(data.get("repeats", defaults.repeats)),  # type: ignore[arg-type]
+            seed=int(data.get("seed", defaults.seed)),  # type: ignore[arg-type]
+            virtual_budget_s=float(data.get("virtual_budget_s", defaults.virtual_budget_s)),  # type: ignore[arg-type]
+            seq_node_guard=int(data.get("seq_node_guard", defaults.seq_node_guard)),  # type: ignore[arg-type]
+            engine_node_guard=int(data.get("engine_node_guard", defaults.engine_node_guard)),  # type: ignore[arg-type]
+            stackonly_depths=tuple(data.get("stackonly_depths", defaults.stackonly_depths)),  # type: ignore[arg-type]
+            hybrid_capacities=tuple(data.get("hybrid_capacities", defaults.hybrid_capacities)),  # type: ignore[arg-type]
+            hybrid_fractions=tuple(data.get("hybrid_fractions", defaults.hybrid_fractions)),  # type: ignore[arg-type]
+            calibration=data.get("calibration"),  # type: ignore[arg-type]
+        )
+        return spec.validate()
+
+    # ------------------------------------------------------------------ #
+    # grid expansion
+    # ------------------------------------------------------------------ #
+    def expand_cells(self) -> List[CellSpec]:
+        """The cartesian grid, in deterministic order.
+
+        The frontier axis pairs with the sequential engine only: the
+        parallel engines' worklist disciplines are fixed by what they
+        model, so giving them a frontier would misreport the scenario
+        (same contract as ``repro solve --frontier``).
+        """
+        cells: List[CellSpec] = []
+        for ref in self.instances:
+            for itype in self.instance_types:
+                for engine in self.engines:
+                    frontiers: Sequence[Optional[str]]
+                    frontiers = self.frontiers if engine == "sequential" else (None,)
+                    for frontier in frontiers:
+                        for repeat in range(self.repeats):
+                            cells.append(CellSpec(
+                                instance=ref, engine=engine, frontier=frontier,
+                                instance_type=itype, repeat=repeat,
+                            ))
+        return cells
+
+    def cell_config(self) -> Dict[str, object]:
+        """The config sub-dict hashed into every cell fingerprint.
+
+        Everything that can change a cell's *result* — budgets, device,
+        parameter grids, seed — and nothing that cannot (``name``,
+        ``calibration``: proven speed-only).  The device is hashed by its
+        full parameters, not its preset name, so re-tuning a preset in
+        code invalidates the cells it priced.
+        """
+        from dataclasses import asdict
+
+        return {
+            "scale": self.scale,
+            "device": asdict(resolve_spec_device(self.device)),
+            "virtual_budget_s": self.virtual_budget_s,
+            "seq_node_guard": self.seq_node_guard,
+            "engine_node_guard": self.engine_node_guard,
+            "stackonly_depths": list(self.stackonly_depths),
+            "hybrid_capacities": list(self.hybrid_capacities),
+            "hybrid_fractions": list(self.hybrid_fractions),
+            "seed": self.seed,
+        }
+
+
+def load_spec(source: Union[str, Path, Dict[str, object]]) -> ExperimentSpec:
+    """Load and validate a spec from a JSON file path or an in-memory dict."""
+    if isinstance(source, dict):
+        return ExperimentSpec.from_dict(source)
+    text = Path(source).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{source}: not valid JSON ({exc})") from None
+    return ExperimentSpec.from_dict(data)
+
+
+# --------------------------------------------------------------------- #
+# content-addressed identity
+# --------------------------------------------------------------------- #
+def canonical_json(obj: object) -> str:
+    """Stable JSON text: sorted keys, no whitespace drift."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec: Union[ExperimentSpec, Dict[str, object]]) -> str:
+    """SHA-256 of a spec's canonical JSON (hex)."""
+    data = spec.to_dict() if isinstance(spec, ExperimentSpec) else spec
+    return hashlib.sha256(canonical_json(data).encode()).hexdigest()
+
+
+def graph_fingerprint(graph) -> str:
+    """SHA-256 over a CSR graph's defining arrays (hex).
+
+    Hashes ``n``, ``m`` and the ``indptr``/``indices`` arrays in a
+    dtype-normalized (int64, little-endian) form, so the fingerprint is
+    a property of the graph, not of how it was constructed.
+    """
+    h = hashlib.sha256()
+    h.update(f"csr:{graph.n}:{graph.m}:".encode())
+    h.update(np.ascontiguousarray(graph.indptr, dtype="<i8").tobytes())
+    h.update(np.ascontiguousarray(graph.indices, dtype="<i8").tobytes())
+    return h.hexdigest()
+
+
+def cell_fingerprint(graph_fp: str, payload: Dict[str, object]) -> str:
+    """SHA-256 identity of one cell: graph hash × configuration hash.
+
+    ``payload`` is the cell's identity dict (instance label, engine,
+    frontier, instance type, k, repeat, config).  Matching fingerprints
+    mean "this exact solve already happened" — the resume contract.
+    """
+    body = canonical_json({"graph": graph_fp, **payload})
+    return hashlib.sha256(body.encode()).hexdigest()

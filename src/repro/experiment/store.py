@@ -1,0 +1,375 @@
+"""Persistent, resumable experiment results store.
+
+Layout (everything human-readable, everything machine-validated)::
+
+    <store root>/
+        index.sqlite                  # cross-run index: runs + cells tables
+        <run_id>/
+            manifest.json             # spec + hashes + provenance + status
+            results.jsonl             # one completed cell per line, append-only
+            report.md                 # regenerated paper tables (report.py)
+
+``results.jsonl`` is the source of truth: it is appended (and flushed)
+record-by-record, so a killed run loses at most the cell in flight.
+Resume reads the surviving lines back as a ``fingerprint -> record`` map
+and skips every matched cell; a truncated trailing line (the kill victim)
+is ignored, and re-appending after it keeps the file valid.
+
+The SQLite index is a *derived* artifact in the spirit of the
+experimentation-layer exemplars: it is rebuilt offline from the run
+directories (``repro experiment index``), never written mid-run, and
+exists so cross-PR questions — "how did `p_hat_300_3` mvc cells move
+across the last five runs?" — are one SQL query instead of a JSONL crawl.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "Run",
+    "RunStore",
+    "validate_manifest",
+    "validate_cell_record",
+]
+
+#: Bump when manifest.json / results.jsonl layout changes
+#: (documented in docs/EXPERIMENTS.md).
+MANIFEST_SCHEMA_VERSION = 1
+
+MANIFEST_KIND = "repro-vc-experiment-manifest"
+
+_RESULT_REQUIRED = (
+    "engine", "instance_type", "seconds", "timed_out", "nodes",
+    "optimum", "feasible", "wall_seconds", "cycles",
+)
+
+
+def _fail(msg: str) -> None:
+    raise ValueError(f"experiment artifact schema violation: {msg}")
+
+
+def validate_manifest(manifest: Dict[str, object]) -> None:
+    """Assert a run manifest matches the documented schema."""
+    if not isinstance(manifest, dict):
+        _fail("manifest is not an object")
+    if manifest.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        _fail(f"manifest schema_version != {MANIFEST_SCHEMA_VERSION}")
+    if manifest.get("kind") != MANIFEST_KIND:
+        _fail(f"manifest kind != {MANIFEST_KIND!r}")
+    for key in ("run_id", "name", "spec", "spec_hash", "status",
+                "created_unix", "provenance"):
+        if key not in manifest:
+            _fail(f"manifest missing {key!r}")
+    if not isinstance(manifest["spec"], dict):
+        _fail("manifest spec is not an object")
+    if manifest["status"] not in ("running", "complete", "interrupted"):
+        _fail(f"manifest status {manifest['status']!r} unknown")
+    prov = manifest["provenance"]
+    if not isinstance(prov, dict):
+        _fail("manifest provenance is not an object")
+    for key in ("git_sha", "python", "numpy", "platform"):
+        if key not in prov:
+            _fail(f"manifest provenance missing {key!r}")
+
+
+def validate_cell_record(record: Dict[str, object]) -> None:
+    """Assert one results.jsonl record matches the documented schema."""
+    if not isinstance(record, dict):
+        _fail("cell record is not an object")
+    for key in ("fingerprint", "instance", "engine", "frontier",
+                "instance_type", "k", "repeat", "result"):
+        if key not in record:
+            _fail(f"cell record missing {key!r}")
+    if not isinstance(record["fingerprint"], str) or len(record["fingerprint"]) != 64:
+        _fail("cell fingerprint is not a sha256 hex digest")
+    if not isinstance(record["repeat"], int):
+        _fail("cell repeat is not an integer")
+    result = record["result"]
+    if not isinstance(result, dict):
+        _fail("cell result is not an object")
+    for key in _RESULT_REQUIRED:
+        if key not in result:
+            _fail(f"cell result missing {key!r}")
+    if result["seconds"] is not None and not isinstance(result["seconds"], (int, float)):
+        _fail("cell result seconds is neither null nor a number")
+    if not isinstance(result["timed_out"], bool):
+        _fail("cell result timed_out is not a boolean")
+    if not isinstance(result["nodes"], int) or result["nodes"] < 0:
+        _fail("cell result nodes is not a non-negative integer")
+
+
+def _provenance() -> Dict[str, object]:
+    import platform
+    import sys
+
+    import numpy as np
+
+    from ..analysis.microbench import _git_sha
+
+    return {
+        "git_sha": _git_sha(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+class Run:
+    """Handle on one run directory; owns its three artifacts."""
+
+    def __init__(self, store: "RunStore", run_id: str):
+        self.store = store
+        self.run_id = run_id
+        self.directory = store.root / run_id
+        self.manifest_path = self.directory / "manifest.json"
+        self.results_path = self.directory / "results.jsonl"
+        self.report_path = self.directory / "report.md"
+        self._manifest: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest(self) -> Dict[str, object]:
+        if self._manifest is None:
+            self._manifest = json.loads(self.manifest_path.read_text())
+        return self._manifest
+
+    def _write_manifest(self, manifest: Dict[str, object]) -> None:
+        validate_manifest(manifest)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        tmp.replace(self.manifest_path)  # atomic: a kill never truncates it
+        self._manifest = manifest
+
+    def update_manifest(self, **fields: object) -> None:
+        manifest = dict(self.manifest)
+        manifest.update(fields)
+        self._write_manifest(manifest)
+
+    def finish(self, status: str) -> None:
+        self.update_manifest(status=status, finished_unix=time.time())
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def completed(self) -> Dict[str, Dict[str, object]]:
+        """``fingerprint -> record`` for every intact results line.
+
+        A line that fails to parse (the torn tail of a killed run) is
+        skipped; later records for the same fingerprint win, so a
+        forced re-run simply shadows the stale record.
+        """
+        done: Dict[str, Dict[str, object]] = {}
+        if not self.results_path.exists():
+            return done
+        with self.results_path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    validate_cell_record(record)
+                except ValueError:
+                    continue  # torn write: the record was never completed
+                done[record["fingerprint"]] = record
+        return done
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Validate and durably append one completed cell.
+
+        If the file's last byte is not a newline — the signature of a
+        write torn by a kill — the torn line is terminated first, so the
+        new record never concatenates onto the corpse (which would
+        corrupt *two* records instead of zero).
+        """
+        validate_cell_record(record)
+        torn_tail = False
+        if self.results_path.exists() and self.results_path.stat().st_size > 0:
+            with self.results_path.open("rb") as fh:
+                fh.seek(-1, 2)
+                torn_tail = fh.read(1) != b"\n"
+        with self.results_path.open("a") as fh:
+            if torn_tail:
+                fh.write("\n")
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+
+    def write_report(self, text: str) -> Path:
+        self.report_path.write_text(text)
+        return self.report_path
+
+
+class RunStore:
+    """A directory of runs plus the cross-run SQLite index."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.root / "index.sqlite"
+
+    # ------------------------------------------------------------------ #
+    # runs
+    # ------------------------------------------------------------------ #
+    def open_run(
+        self,
+        *,
+        name: str,
+        spec: Dict[str, object],
+        run_id: Optional[str] = None,
+    ) -> Run:
+        """Create the run for ``spec`` — or reopen it for resume.
+
+        The run id derives from the spec hash, so an unchanged spec maps
+        to the same directory and its completed cells; any spec edit
+        yields a fresh run.  Reopening flips the status back to
+        ``running`` (the resume path) but never touches results.
+        """
+        from .spec import spec_hash
+
+        digest = spec_hash(spec)
+        if run_id is None:
+            run_id = f"{name}-{digest[:10]}"
+        run = Run(self, run_id)
+        if run.manifest_path.exists():
+            if run.manifest["spec_hash"] != digest:
+                raise ValueError(
+                    f"run {run_id!r} exists with a different spec "
+                    f"(stored {run.manifest['spec_hash'][:10]}, requested {digest[:10]}); "
+                    "rename the experiment or remove the stale run directory"
+                )
+            run.update_manifest(status="running")
+            return run
+        run.directory.mkdir(parents=True, exist_ok=True)
+        run._write_manifest({
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "kind": MANIFEST_KIND,
+            "run_id": run_id,
+            "name": name,
+            "spec": spec,
+            "spec_hash": digest,
+            "status": "running",
+            "created_unix": time.time(),
+            "provenance": _provenance(),
+        })
+        return run
+
+    def get_run(self, run_id: str) -> Run:
+        """An existing run by id (raises ``KeyError`` with the known ids)."""
+        run = Run(self, run_id)
+        if not run.manifest_path.exists():
+            known = sorted(r.run_id for r in self.runs())
+            raise KeyError(
+                f"no run {run_id!r} under {self.root}; "
+                f"known runs: {', '.join(known) if known else '(none)'}"
+            )
+        return run
+
+    def runs(self) -> List[Run]:
+        """Every run directory with an intact manifest, sorted by id."""
+        found = []
+        for path in sorted(self.root.iterdir()) if self.root.is_dir() else []:
+            if path.is_dir() and (path / "manifest.json").exists():
+                found.append(Run(self, path.name))
+        return found
+
+    # ------------------------------------------------------------------ #
+    # SQLite index
+    # ------------------------------------------------------------------ #
+    def connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.index_path)
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS runs ("
+            " run_id TEXT PRIMARY KEY, name TEXT, spec_hash TEXT,"
+            " status TEXT, created_unix REAL, git_sha TEXT,"
+            " n_cells INTEGER, n_done INTEGER)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS cells ("
+            " run_id TEXT, fingerprint TEXT, instance TEXT, engine TEXT,"
+            " frontier TEXT, instance_type TEXT, repeat INTEGER,"
+            " seconds REAL, timed_out INTEGER, nodes INTEGER,"
+            " optimum INTEGER, cycles REAL, wall_seconds REAL, record TEXT,"
+            " PRIMARY KEY (run_id, fingerprint))"
+        )
+        return conn
+
+    def index_run(self, run: Run) -> int:
+        """(Re)index one run from its on-disk artifacts; return cell count."""
+        manifest = run.manifest
+        records = list(run.completed().values())
+        with self.connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO runs VALUES (?,?,?,?,?,?,?,?)",
+                (
+                    run.run_id,
+                    manifest["name"],
+                    manifest["spec_hash"],
+                    manifest["status"],
+                    manifest["created_unix"],
+                    manifest["provenance"]["git_sha"],  # type: ignore[index]
+                    manifest.get("n_cells"),
+                    len(records),
+                ),
+            )
+            conn.execute("DELETE FROM cells WHERE run_id = ?", (run.run_id,))
+            conn.executemany(
+                "INSERT INTO cells VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                [
+                    (
+                        run.run_id,
+                        rec["fingerprint"],
+                        rec["instance"],
+                        rec["engine"],
+                        rec["frontier"],
+                        rec["instance_type"],
+                        rec["repeat"],
+                        rec["result"]["seconds"],  # type: ignore[index]
+                        int(bool(rec["result"]["timed_out"])),  # type: ignore[index]
+                        rec["result"]["nodes"],  # type: ignore[index]
+                        rec["result"]["optimum"],  # type: ignore[index]
+                        rec["result"]["cycles"],  # type: ignore[index]
+                        rec["result"]["wall_seconds"],  # type: ignore[index]
+                        json.dumps(rec, sort_keys=True),
+                    )
+                    for rec in records
+                ],
+            )
+        return len(records)
+
+    def reindex(self) -> Dict[str, int]:
+        """Rebuild the whole index offline from the run directories."""
+        counts = {}
+        for run in self.runs():
+            counts[run.run_id] = self.index_run(run)
+        return counts
+
+    def query_cells(
+        self,
+        *,
+        run_id: Optional[str] = None,
+        instance: Optional[str] = None,
+        engine: Optional[str] = None,
+        instance_type: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Full cell records matching the filters, across runs."""
+        clauses, params = [], []
+        for column, value in (("run_id", run_id), ("instance", instance),
+                              ("engine", engine), ("instance_type", instance_type)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        sql = "SELECT record FROM cells"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY run_id, instance, engine, instance_type, repeat"
+        with self.connect() as conn:
+            rows = conn.execute(sql, params).fetchall()
+        return [json.loads(row[0]) for row in rows]

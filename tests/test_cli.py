@@ -111,6 +111,116 @@ class TestMain:
                      "--engine", "hybrid", "--frontier", "lifo"]) == 2
         assert "sequential" in capsys.readouterr().out
 
+    def test_solve_unknown_frontier_lists_registry(self, capsys):
+        """A typo dies with one line naming the FRONTIERS keys, no traceback."""
+        from repro.core.frontier import FRONTIERS
+
+        assert main(["solve", "--graph", "p_hat_300_3", "--scale", "tiny",
+                     "--engine", "sequential", "--frontier", "bogus-policy"]) == 2
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        assert len(lines) == 1
+        assert "unknown frontier 'bogus-policy'" in lines[0]
+        for name in FRONTIERS:
+            assert name in lines[0]
+
+    def test_solve_unknown_engine_lists_registry(self, capsys):
+        from repro.core.solver import ENGINES
+
+        assert main(["solve", "--graph", "p_hat_300_3", "--scale", "tiny",
+                     "--engine", "warp-drive"]) == 2
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        assert len(lines) == 1
+        assert "unknown engine 'warp-drive'" in lines[0]
+        for name in ENGINES:
+            assert name in lines[0]
+
+
+class TestExperimentCLI:
+    """The `repro experiment` subcommand group (docs/EXPERIMENTS.md)."""
+
+    def test_parser_accepts_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "run", "--spec", "s.json"])
+        assert args.experiment_command == "run"
+        args = parser.parse_args(["experiment", "report", "rid", "--verify"])
+        assert args.experiment_command == "report" and args.run_id == "rid"
+        for cmd in (["experiment"], ["experiment", "nonsense"]):
+            with pytest.raises(SystemExit):
+                parser.parse_args(cmd)
+
+    def test_run_requires_spec(self, capsys):
+        assert main(["experiment", "run"]) == 2
+        assert "--spec" in capsys.readouterr().out
+
+    def test_bad_spec_fails_with_one_line_error(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"name": "x", "instances": ["p_hat_300_1"],
+                                    "engines": ["warp9"], "scale": "tiny"}))
+        assert main(["experiment", "run", "--spec", str(spec),
+                     "--store", str(tmp_path / "store")]) == 2
+        out = capsys.readouterr().out
+        assert "unknown engine 'warp9'" in out and "choose from" in out
+
+    def test_smoke_then_report_list_index(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["experiment", "run", "--smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "experiment smoke OK" in out
+        assert "resume recomputed 0" in out
+
+        assert main(["experiment", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "ci-smoke" in out and "complete" in out
+        run_id = next(line.split()[0] for line in out.splitlines()
+                      if line.startswith("ci-smoke"))
+
+        assert main(["experiment", "report", run_id, "--store", store,
+                     "--verify", "--max-cells", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "verified: 2 cells" in out
+
+        assert main(["experiment", "index", "--store", store]) == 0
+        assert "indexed 1 runs" in capsys.readouterr().out
+
+    def test_run_spec_and_resume(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-e2e", "scale": "tiny", "device": "TinySim",
+            "instances": ["p_hat_300_1"], "engines": ["sequential"],
+            "frontiers": ["lifo"], "instance_types": ["mvc"],
+        }))
+        store = str(tmp_path / "store")
+        assert main(["experiment", "run", "--spec", str(spec_path),
+                     "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed, 0 skipped" in out
+        run_id = next(line.split(":")[0] for line in out.splitlines()
+                      if line.startswith("cli-e2e"))
+        assert main(["experiment", "resume", run_id, "--store", store]) == 0
+        assert "0 executed, 1 skipped" in capsys.readouterr().out
+
+    def test_report_unknown_run_lists_known_ids(self, capsys, tmp_path):
+        assert main(["experiment", "report", "nope",
+                     "--store", str(tmp_path)]) == 2
+        assert "no run 'nope'" in capsys.readouterr().out
+
+    def test_table1_store_flag(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        # first run computes and persists; parser must accept --store
+        assert main(["table1", "--scale", "tiny", "--quick",
+                     "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "Table I" in first
+        # second run renders the identical table from stored cells
+        assert main(["table1", "--scale", "tiny", "--quick",
+                     "--store", store]) == 0
+        second = capsys.readouterr().out
+        table = lambda text: [ln for ln in text.splitlines()
+                              if ln.startswith(("Table", "Graph", "p_hat", "-"))]
+        assert table(first) == table(second)
+
 
 class TestCalibrationAutoload:
     """REPRO_CALIBRATION: opt-in import-time cutoff installation."""

@@ -1,0 +1,415 @@
+"""Tests for the experiment subsystem: spec → runner → store → report.
+
+The two contracts the tentpole stands on:
+
+* **resume**: re-running an (interrupted) experiment recomputes only the
+  cells whose fingerprints have no stored record — asserted by *counting
+  executed solves*, not just by outcome fields;
+* **fidelity**: everything the store regenerates (Table I virtual
+  seconds, cycles, node counts) is bit-identical to a direct engine
+  invocation.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, run_table1
+from repro.experiment import (
+    ExperimentSpec,
+    InstanceRef,
+    RunStore,
+    cell_fingerprint,
+    graph_fingerprint,
+    load_spec,
+    run_experiment,
+    spec_hash,
+    table1_from_run,
+    validate_cell_record,
+    validate_manifest,
+    verify_run_against_live,
+    write_report,
+)
+from repro.experiment.report import VerificationError, tree_shape_rows
+from repro.graph.generators.random_graphs import gnp
+from repro.sim.device import TINY_SIM
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    base = {
+        "name": "unit",
+        "scale": "tiny",
+        "device": "TinySim",
+        "instances": ["p_hat_300_1"],
+        "engines": ["sequential", "hybrid"],
+        "frontiers": ["lifo", "best-first"],
+        "instance_types": ["mvc"],
+        "repeats": 1,
+        "virtual_budget_s": 0.01,
+        "seq_node_guard": 4000,
+        "engine_node_guard": 2500,
+        "stackonly_depths": [4],
+        "hybrid_capacities": [256],
+        "hybrid_fractions": [0.25],
+    }
+    base.update(overrides)
+    return load_spec(base)
+
+
+# --------------------------------------------------------------------- #
+# spec validation and identity
+# --------------------------------------------------------------------- #
+class TestSpec:
+    def test_roundtrip_through_dict(self):
+        spec = tiny_spec()
+        again = ExperimentSpec.from_dict(spec.to_dict())
+        assert again.to_dict() == spec.to_dict()
+        assert spec_hash(again) == spec_hash(spec)
+
+    @pytest.mark.parametrize("field,value,fragment", [
+        ("engines", ["sequential", "warp9"], "unknown engine 'warp9'"),
+        ("frontiers", ["lifo", "random"], "unknown frontier 'random'"),
+        ("scale", "huge", "unknown scale 'huge'"),
+        ("device", "H100", "unknown device 'H100'"),
+        ("instances", ["p_hat_9000_1"], "unknown suite instance"),
+        ("instance_types", ["mvc", "tsp"], "unknown instance type 'tsp'"),
+    ])
+    def test_bad_axis_values_fail_with_choices(self, field, value, fragment):
+        with pytest.raises(ValueError, match="choose from") as err:
+            tiny_spec(**{field: value})
+        assert fragment in str(err.value)
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            tiny_spec(gpu_count=8)
+
+    def test_missing_instance_file_rejected(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            tiny_spec(instances=[{"path": "/nonexistent/g.col"}])
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="no instances"):
+            tiny_spec(instances=[])
+        with pytest.raises(ValueError, match="no engines"):
+            tiny_spec(engines=[])
+
+    def test_spec_hash_sensitive_to_content(self):
+        assert spec_hash(tiny_spec()) != spec_hash(tiny_spec(repeats=2))
+
+    def test_frontier_axis_pairs_with_sequential_only(self):
+        cells = tiny_spec().expand_cells()
+        seq = [c for c in cells if c.engine == "sequential"]
+        hyb = [c for c in cells if c.engine == "hybrid"]
+        assert {c.frontier for c in seq} == {"lifo", "best-first"}
+        assert {c.frontier for c in hyb} == {None}
+
+    def test_not_json_file(self, tmp_path):
+        bad = tmp_path / "spec.json"
+        bad.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_spec(bad)
+
+
+class TestFingerprints:
+    def test_graph_fingerprint_is_content_addressed(self):
+        a = gnp(30, 0.2, seed=1)
+        b = gnp(30, 0.2, seed=1)
+        c = gnp(30, 0.2, seed=2)
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+        assert graph_fingerprint(a) != graph_fingerprint(c)
+
+    def test_cell_fingerprint_sensitive_to_every_axis(self):
+        base = {"instance": "x", "engine": "sequential", "frontier": "lifo",
+                "instance_type": "mvc", "k": None, "repeat": 0,
+                "config": {"scale": "tiny"}}
+        fp = cell_fingerprint("g" * 64, base)
+        for mutation in ({"engine": "hybrid"}, {"frontier": "fifo"},
+                         {"repeat": 1}, {"k": 3},
+                         {"config": {"scale": "small"}}):
+            assert cell_fingerprint("g" * 64, {**base, **mutation}) != fp
+        assert cell_fingerprint("h" * 64, base) != fp
+
+
+# --------------------------------------------------------------------- #
+# runner + store end-to-end
+# --------------------------------------------------------------------- #
+class TestRunnerAndStore:
+    def test_run_produces_valid_artifacts(self, tmp_path):
+        store = RunStore(tmp_path)
+        outcome = run_experiment(tiny_spec(), store)
+        assert outcome.planned == outcome.executed == 3  # 2 frontiers + hybrid
+        run = outcome.run
+        validate_manifest(run.manifest)
+        records = run.completed()
+        assert len(records) == 3
+        for record in records.values():
+            validate_cell_record(record)
+        assert run.manifest["status"] == "complete"
+        assert run.manifest["n_cells"] == 3
+        assert run.manifest["instances"][0]["label"] == "p_hat_300_1"
+
+    def test_resume_executes_zero_solves(self, tmp_path, monkeypatch):
+        """The resume contract, asserted by counting actual solve calls."""
+        import repro.experiment.runner as runner_mod
+
+        store = RunStore(tmp_path)
+        spec = tiny_spec()
+        run_experiment(spec, store)
+
+        calls = []
+        real_run_cell = runner_mod.run_cell
+        monkeypatch.setattr(runner_mod, "run_cell",
+                            lambda *a, **kw: calls.append(a) or real_run_cell(*a, **kw))
+        outcome = run_experiment(spec, store)
+        assert outcome.executed == 0
+        assert outcome.skipped == 3
+        assert calls == []  # not a single engine invocation happened
+
+    def test_interrupted_run_recomputes_only_missing_cells(self, tmp_path, monkeypatch):
+        """Drop one record + tear the tail; resume recomputes exactly those."""
+        import repro.experiment.runner as runner_mod
+
+        store = RunStore(tmp_path)
+        spec = tiny_spec()
+        first = run_experiment(spec, store)
+        results = first.run.results_path
+        lines = results.read_text().splitlines()
+        assert len(lines) == 3
+        # keep cell 0 intact, drop cell 1, tear cell 2 mid-record (the kill)
+        results.write_text(lines[0] + "\n" + lines[2][: len(lines[2]) // 2])
+
+        calls = []
+        real_run_cell = runner_mod.run_cell
+        monkeypatch.setattr(runner_mod, "run_cell",
+                            lambda *a, **kw: calls.append(a) or real_run_cell(*a, **kw))
+        outcome = run_experiment(spec, store)
+        assert outcome.skipped == 1
+        assert outcome.executed == 2
+        assert len(calls) == 2
+        assert len(outcome.run.completed()) == 3  # whole grid stored again
+
+    def test_rerun_results_are_bit_identical(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = tiny_spec()
+        run_experiment(spec, store)
+        before = {fp: rec["result"] for fp, rec in store.runs()[0].completed().items()}
+        outcome = run_experiment(spec, store, resume=False)  # force re-execution
+        assert outcome.executed == 3
+        after = {fp: rec["result"] for fp, rec in outcome.run.completed().items()}
+        assert set(before) == set(after)
+        for fp in before:
+            for key in ("seconds", "cycles", "nodes", "optimum", "tree"):
+                assert before[fp][key] == after[fp][key], (fp, key)
+
+    def test_process_pool_matches_inline(self, tmp_path):
+        spec = tiny_spec(name="pool")
+        inline_store = RunStore(tmp_path / "inline")
+        pool_store = RunStore(tmp_path / "pool")
+        inline = run_experiment(spec, inline_store, n_workers=0)
+        pooled = run_experiment(spec, pool_store, n_workers=2)
+        a = inline.run.completed()
+        b = pooled.run.completed()
+        assert set(a) == set(b)
+        for fp in a:
+            for key in ("seconds", "cycles", "nodes", "optimum"):
+                assert a[fp]["result"][key] == b[fp]["result"][key]
+
+    def test_file_instances_and_pvc_axis(self, tmp_path):
+        from repro.graph.io.dimacs import write_dimacs
+
+        g = gnp(18, 0.25, seed=8)
+        path = tmp_path / "inst.col"
+        write_dimacs(g, path)
+        spec = tiny_spec(
+            name="file-inst",
+            instances=[{"path": str(path)}],
+            engines=["sequential"],
+            frontiers=["lifo"],
+            instance_types=["mvc", "pvc_k"],
+        )
+        store = RunStore(tmp_path / "store")
+        outcome = run_experiment(spec, store)
+        assert outcome.executed == 2
+        info = outcome.run.manifest["instances"][0]
+        assert info["label"] == "inst"
+        assert info["minimum"] is not None
+        assert info["graph_fp"] == graph_fingerprint(g)
+        by_type = {rec["instance_type"]: rec for rec in outcome.run.completed().values()}
+        assert by_type["pvc_k"]["k"] == info["minimum"]
+        assert by_type["pvc_k"]["result"]["feasible"] is True
+
+    def test_conflicting_run_id_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        run = store.open_run(name="x", spec={"a": 1})
+        with pytest.raises(ValueError, match="different spec"):
+            store.open_run(name="x", spec={"a": 2}, run_id=run.run_id)
+
+
+# --------------------------------------------------------------------- #
+# reports and verification
+# --------------------------------------------------------------------- #
+class TestReport:
+    @pytest.fixture(scope="class")
+    def stored_run(self, tmp_path_factory):
+        store = RunStore(tmp_path_factory.mktemp("store"))
+        spec = tiny_spec(
+            name="report",
+            instances=["p_hat_300_1", "sister_cities"],
+            engines=["sequential", "stackonly", "hybrid"],
+            frontiers=["lifo"],
+            instance_types=["mvc", "pvc_k"],
+        )
+        outcome = run_experiment(spec, store)
+        return store, outcome
+
+    def test_table1_from_store_matches_live_harness(self, stored_run):
+        """Store-regenerated Table I == a direct run_table1 invocation."""
+        store, outcome = stored_run
+        stored = table1_from_run(store, outcome.run.run_id)
+        cfg = ExperimentConfig(
+            scale="tiny", device=TINY_SIM, virtual_budget_s=0.01,
+            seq_node_guard=4000, engine_node_guard=2500,
+            stackonly_depths=(4,), hybrid_capacities=(256,),
+            hybrid_fractions=(0.25,),
+        )
+        live = run_table1(cfg, instances=("p_hat_300_1", "sister_cities"),
+                          instance_types=("mvc", "pvc_k"))
+        assert stored.render() == live.render()
+        for row_s, row_l in zip(stored.rows, live.rows):
+            for key, cell_l in row_l.cells.items():
+                cell_s = row_s.cells[key]
+                assert cell_s.seconds == cell_l.seconds, key
+                assert cell_s.cycles == cell_l.cycles, key
+                assert cell_s.nodes == cell_l.nodes, key
+
+    def test_verify_against_live_passes(self, stored_run):
+        store, outcome = stored_run
+        assert verify_run_against_live(store, outcome.run.run_id) == \
+            len(outcome.run.completed())
+
+    def test_verify_detects_tampering(self, tmp_path):
+        store = RunStore(tmp_path)
+        outcome = run_experiment(tiny_spec(), store)
+        results = outcome.run.results_path
+        lines = [json.loads(line) for line in results.read_text().splitlines()]
+        lines[0]["result"]["cycles"] = (lines[0]["result"]["cycles"] or 0.0) + 1.0
+        results.write_text("\n".join(json.dumps(rec) for rec in lines) + "\n")
+        with pytest.raises(VerificationError, match="cycles"):
+            verify_run_against_live(store, outcome.run.run_id)
+
+    def test_report_md_written_with_footer(self, stored_run):
+        store, outcome = stored_run
+        text = write_report(store, outcome.run.run_id)
+        assert outcome.run.report_path.read_text() == text
+        assert "Table I" in text
+        assert "p_hat_300_1" in text
+        assert "git `" in text  # the reproduction footer
+
+    def test_tree_shape_rows_cover_sequential_cells(self, stored_run):
+        store, outcome = stored_run
+        rows = tree_shape_rows(outcome.run)
+        assert rows and all(r["nodes"] >= 0 for r in rows)
+        assert {r["instance"] for r in rows} == {"p_hat_300_1", "sister_cities"}
+
+    def test_engines_outside_table1_columns_still_reported(self, tmp_path):
+        """globalonly has no Table I column but its cells must not vanish."""
+        store = RunStore(tmp_path)
+        outcome = run_experiment(
+            tiny_spec(name="ablate", engines=["sequential", "globalonly"],
+                      frontiers=["lifo"]), store)
+        text = write_report(store, outcome.run.run_id)
+        assert "Engines outside the Table I columns" in text
+        assert "globalonly" in text
+
+    def test_non_experiment_runs_refused_cleanly(self, tmp_path):
+        """Runs created by `repro table1 --store` are not spec-shaped; the
+        report layer must refuse with a clear message, not a traceback."""
+        cfg = ExperimentConfig(
+            scale="tiny", device=TINY_SIM, virtual_budget_s=0.01,
+            seq_node_guard=4000, engine_node_guard=2500,
+            stackonly_depths=(4,), hybrid_capacities=(256,),
+            hybrid_fractions=(0.25,),
+        )
+        store = RunStore(tmp_path)
+        run_table1(cfg, instances=("p_hat_300_1",), instance_types=("mvc",),
+                   store=store)
+        run_id = store.runs()[0].run_id
+        with pytest.raises(ValueError, match="not created by 'repro experiment run'"):
+            write_report(store, run_id)
+        with pytest.raises(ValueError, match="not created by 'repro experiment run'"):
+            verify_run_against_live(store, run_id)
+
+
+# --------------------------------------------------------------------- #
+# SQLite index
+# --------------------------------------------------------------------- #
+class TestIndex:
+    def test_index_and_query(self, tmp_path):
+        store = RunStore(tmp_path)
+        outcome = run_experiment(tiny_spec(), store)
+        cells = store.query_cells(run_id=outcome.run.run_id)
+        assert len(cells) == 3
+        seq = store.query_cells(engine="sequential")
+        assert len(seq) == 2
+        assert all(rec["engine"] == "sequential" for rec in seq)
+
+    def test_offline_reindex_rebuilds_from_artifacts(self, tmp_path):
+        store = RunStore(tmp_path)
+        outcome = run_experiment(tiny_spec(), store)
+        store.index_path.unlink()
+        counts = store.reindex()
+        assert counts == {outcome.run.run_id: 3}
+        assert len(store.query_cells()) == 3
+
+
+# --------------------------------------------------------------------- #
+# store-backed run_table1 (analysis layer rebased on the store)
+# --------------------------------------------------------------------- #
+class TestStoreBackedTable1:
+    def test_second_invocation_loads_from_store(self, tmp_path, monkeypatch):
+        import repro.analysis.experiments as exp_mod
+
+        cfg = ExperimentConfig(
+            scale="tiny", device=TINY_SIM, virtual_budget_s=0.01,
+            seq_node_guard=4000, engine_node_guard=2500,
+            stackonly_depths=(4,), hybrid_capacities=(256,),
+            hybrid_fractions=(0.25,),
+        )
+        store = RunStore(tmp_path)
+        live = run_table1(cfg, instances=("p_hat_300_1",), instance_types=("mvc",))
+        first = run_table1(cfg, instances=("p_hat_300_1",),
+                           instance_types=("mvc",), store=store)
+        assert first.render() == live.render()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("store-backed table1 re-solved a stored cell")
+
+        monkeypatch.setattr(exp_mod, "run_cell", boom)
+        second = run_table1(cfg, instances=("p_hat_300_1",),
+                            instance_types=("mvc",), store=store)
+        assert second.render() == live.render()
+        cell_live = live.rows[0].cells[("sequential", "mvc")]
+        cell_stored = second.rows[0].cells[("sequential", "mvc")]
+        assert cell_stored.seconds == cell_live.seconds
+        assert cell_stored.cycles == cell_live.cycles
+
+    def test_cost_model_changes_invalidate_the_run(self, tmp_path):
+        """A different CostModel must map to a different run — stale cells
+        priced under other cycle costs can never be fingerprint matches."""
+        from repro.sim.costmodel import CostModel
+
+        base = dict(scale="tiny", device=TINY_SIM, virtual_budget_s=0.01,
+                    seq_node_guard=4000, engine_node_guard=2500,
+                    stackonly_depths=(4,), hybrid_capacities=(256,),
+                    hybrid_fractions=(0.25,))
+        store = RunStore(tmp_path)
+        run_table1(ExperimentConfig(**base), instances=("p_hat_300_1",),
+                   instance_types=("mvc",), store=store)
+        defaults = CostModel()
+        tuned = CostModel(per_unit_cycles=dict(defaults.per_unit_cycles,
+                                               degree_one=999.0))
+        run_table1(ExperimentConfig(cost_model=tuned, **base),
+                   instances=("p_hat_300_1",), instance_types=("mvc",),
+                   store=store)
+        assert len(store.runs()) == 2  # distinct run ids, no stale reuse

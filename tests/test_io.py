@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.graph.csr import CSRGraph
 from repro.graph.generators.random_graphs import gnp
 from repro.graph.generators.structured import path_graph, petersen
 from repro.graph.io.dimacs import format_dimacs, parse_dimacs, read_dimacs, write_dimacs
@@ -13,6 +16,26 @@ from repro.graph.io.edgelist import (
     write_edgelist,
 )
 from repro.graph.io.metis import format_metis, parse_metis, read_metis, write_metis
+
+
+@st.composite
+def arbitrary_graphs(draw, max_n: int = 14):
+    """Arbitrary small graphs, isolated vertices very much included.
+
+    ``n`` is drawn independently of the edge set, so high-id vertices are
+    frequently untouched — exactly the case edge-list files cannot
+    represent and adjacency formats must (blank METIS rows).
+    """
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    if n == 1:
+        return CSRGraph.from_edges(1, [])
+    edges = draw(st.sets(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+        .map(lambda t: (min(t), max(t)))
+        .filter(lambda t: t[0] != t[1]),
+        max_size=min(n * (n - 1) // 2, 30),
+    ))
+    return CSRGraph.from_edges(n, sorted(edges))
 
 
 class TestDimacs:
@@ -119,3 +142,82 @@ class TestCrossFormat:
     def test_dimacs_to_metis_consistency(self):
         g = gnp(10, 0.5, seed=4)
         assert parse_metis(format_metis(parse_dimacs(format_dimacs(g)))) == g
+
+
+class TestRoundTripProperties:
+    """write → read → write property tests (experiment specs reference
+    on-disk instances, so the readers/writers must be exact inverses)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(arbitrary_graphs())
+    def test_metis_roundtrip_exact(self, g):
+        text = format_metis(g)
+        parsed = parse_metis(text)
+        assert parsed == g                      # isolated vertices preserved
+        assert format_metis(parsed) == text     # write∘read∘write is identity
+
+    @settings(max_examples=40, deadline=None)
+    @given(arbitrary_graphs())
+    def test_dimacs_roundtrip_exact(self, g):
+        text = format_dimacs(g)
+        parsed = parse_dimacs(text)
+        assert parsed == g                      # n travels in the problem line
+        assert format_dimacs(parsed) == text
+
+    @settings(max_examples=40, deadline=None)
+    @given(arbitrary_graphs(), st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20))
+    def test_dimacs_comments_do_not_change_the_graph(self, g, comment):
+        text = format_dimacs(g, comment=comment)
+        assert parse_dimacs(text) == g
+
+    @settings(max_examples=40, deadline=None)
+    @given(arbitrary_graphs())
+    def test_metis_comments_do_not_change_the_graph(self, g):
+        # KONECT-style % comments: on the header and on every body row —
+        # including the *blank* rows of isolated vertices, which must
+        # survive as comment-only lines.
+        lines = format_metis(g).split("\n")
+        commented = "\n".join(line + " % noise" for line in lines) + "\n% trailing\n"
+        assert parse_metis(commented) == g
+
+    @settings(max_examples=40, deadline=None)
+    @given(arbitrary_graphs())
+    def test_edgelist_roundtrip_stabilizes(self, g):
+        """Edge lists drop isolated vertices; one round trip reaches the
+        dense-label fixpoint and the second must be the identity."""
+        parsed1, labels1 = parse_edgelist(format_edgelist(g))
+        assert parsed1.m == g.m
+        # the label array maps every parsed edge back to an edge of g
+        for u, v in parsed1.edges():
+            assert g.has_edge(int(labels1[u]), int(labels1[v]))
+        text1 = format_edgelist(parsed1)
+        parsed2, labels2 = parse_edgelist(text1)
+        assert parsed2 == parsed1
+        assert labels2.tolist() == list(range(parsed1.n))
+        assert format_edgelist(parsed2) == text1
+
+    @settings(max_examples=40, deadline=None)
+    @given(arbitrary_graphs())
+    def test_edgelist_comments_and_blanks_ignored(self, g):
+        body = format_edgelist(g, header="generated\nby tests")
+        noisy = "% konect-style\n\n" + body + "\n# trailing snap comment\n"
+        parsed_noisy, _ = parse_edgelist(noisy)
+        parsed_clean, _ = parse_edgelist(body)
+        assert parsed_noisy == parsed_clean
+
+    @settings(max_examples=25, deadline=None)
+    @given(arbitrary_graphs())
+    def test_on_disk_roundtrips(self, g):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            write_metis(g, root / "g.graph")
+            assert read_metis(root / "g.graph") == g
+            write_dimacs(g, root / "g.col", comment="prop")
+            assert read_dimacs(root / "g.col") == g
+            write_edgelist(g, root / "g.txt")
+            parsed, _ = read_edgelist(root / "g.txt")
+            assert parsed.m == g.m

@@ -492,6 +492,50 @@ class TestPoolAndScalarPaths:
             assert np.array_equal(scalar.cover, vec.cover)
             assert scalar.max_degree_picks == vec.max_degree_picks
 
+    def test_greedy_worklist_pass_matches_reference_rules(self):
+        """The vectorized pick loop ≡ the reference-rules pass, fire for fire.
+
+        Covers, pick counts AND reduction counters must match: the
+        worklist-driven pass claims the exact same sequence of rule
+        fires and max-degree picks as one reference-rule round per pick.
+        """
+        from repro.core.greedy import _greedy_cover_rules, _greedy_cover_vectorized
+
+        graphs = (
+            phat_complement(40, 2, seed=3),
+            phat_complement(120, 3, seed=7),
+            gnp(300, 0.02, seed=9),
+            gnp(80, 0.05, seed=4),
+            grid_graph(6, 6),
+            star_graph(9),
+        )
+        for g in graphs:
+            rules = _greedy_cover_rules(g)
+            vec = _greedy_cover_vectorized(g, Workspace.for_graph(g))
+            assert rules.size == vec.size
+            assert np.array_equal(rules.cover, vec.cover)
+            assert rules.max_degree_picks == vec.max_degree_picks
+            for field in ("degree_one", "degree_two_triangle", "high_degree"):
+                assert getattr(rules.reductions, field) == getattr(vec.reductions, field)
+
+    def test_greedy_worklist_pass_leaves_queues_clean(self):
+        """Shared-workspace hygiene: no pending vertex may survive greedy."""
+        from repro.core.greedy import _greedy_cover_vectorized
+
+        g = gnp(120, 0.05, seed=13)
+        ws = Workspace.for_graph(g)
+        _greedy_cover_vectorized(g, ws)
+        d1, d2 = ws.dirty_queues()
+        assert d1.count == 0 and d2.count == 0
+        # and the same workspace still serves an exact vectorized cascade
+        state = fresh_state(g)
+        kernels_mod._apply_reductions_vectorized(
+            g, state, MVCFormulation(BestBound(size=g.n + 1)), ws)
+        ref = fresh_state(g)
+        apply_reductions_reference(g, ref, MVCFormulation(BestBound(size=g.n + 1)),
+                                   Workspace.for_graph(g))
+        assert np.array_equal(state.deg, ref.deg)
+
 
 # --------------------------------------------------------------------- #
 # parallel-semantics rules: charge instrumentation must not change results
