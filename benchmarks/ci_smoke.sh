@@ -9,9 +9,12 @@
 # artifact violates the documented schema, a case present in the
 # committed BENCH_micro.json is missing from the smoke artifact, any
 # engine/frontier combination disagrees on a tiny-instance cover size
-# (the step-core/frontier layering guard; see docs/ARCHITECTURE.md), or
-# the experiment layer's smoke grid fails its schema / zero-recompute
-# resume / bit-identical verification gate (see docs/EXPERIMENTS.md).
+# (the step-core/frontier layering guard; see docs/ARCHITECTURE.md),
+# any bound/engine combination disagrees — or a strong bound fails to
+# shrink a bipartite search tree — (the bounds-layer guard), or the
+# experiment layer's smoke grid (which sweeps the bound axis) fails its
+# schema / zero-recompute resume / bit-identical verification gate
+# (see docs/EXPERIMENTS.md).
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -69,7 +72,46 @@ print(f"ci_smoke: engine x frontier matrix OK "
       f"{len(FRONTIERS)} frontiers, {len(ENGINES)} engines)")
 EOF
 
+# --- bound x engine agreement matrix (+ bipartite tree-shrink guard) ---
+python - <<'EOF'
+from repro.core.bounds import BOUNDS
+from repro.core.sequential import solve_mvc_sequential
+from repro.core.solver import ENGINES, solve_mvc
+from repro.graph.generators.phat import phat_complement
+from repro.graph.generators.random_graphs import gnp, random_bipartite
+
+instances = [
+    ("gnp20", gnp(20, 0.2, seed=12)),
+    ("phat16", phat_complement(16, 2, seed=4)),
+    ("bipartite", random_bipartite(12, 14, 0.3, seed=3)),
+]
+checked = 0
+for name, graph in instances:
+    expected = solve_mvc_sequential(graph).optimum
+    for bound in BOUNDS:
+        got = solve_mvc_sequential(graph, bound=bound).optimum
+        assert got == expected, (name, bound, got, expected)
+        checked += 1
+    for engine in ENGINES:
+        kwargs = {"n_workers": 2} if engine.startswith("cpu-") else {}
+        got = solve_mvc(graph, engine=engine, bound="matching", **kwargs).optimum
+        assert got == expected, (name, engine, got, expected)
+        checked += 1
+# strong bounds must shrink the tree on a bipartite instance
+bip = random_bipartite(16, 24, 0.25, seed=1)
+greedy_nodes = solve_mvc_sequential(bip).stats.nodes_visited
+for strong in ("matching", "konig"):
+    nodes = solve_mvc_sequential(bip, bound=strong).stats.nodes_visited
+    assert nodes < greedy_nodes, (strong, nodes, greedy_nodes)
+    checked += 1
+print(f"ci_smoke: bound x engine matrix OK "
+      f"({checked} solver runs, {len(instances)} instances, "
+      f"{len(BOUNDS)} bounds, {len(ENGINES)} engines, "
+      f"bipartite tree-shrink verified)")
+EOF
+
 # --- experiment layer: tiny grid -> schema + resume + fidelity gate ---
+# (the built-in smoke grid also sweeps the bound axis: see SMOKE_SPEC)
 # `experiment run --smoke` executes the built-in 2-engine x 2-frontier x
 # 1-suite grid into a scratch store, asserts the manifest/results.jsonl
 # schema, re-runs to assert the resume recomputes ZERO completed cells,

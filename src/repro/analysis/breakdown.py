@@ -5,12 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from ..sim.costmodel import BRANCH_KINDS, REDUCE_KINDS, WORK_DISTRIBUTION_KINDS
+from ..sim.costmodel import BOUND_KINDS, BRANCH_KINDS, REDUCE_KINDS, WORK_DISTRIBUTION_KINDS
 from ..sim.metrics import LaunchMetrics
 
 __all__ = ["ACTIVITY_LABELS", "GROUPS", "BreakdownRow", "breakdown_row", "mean_breakdown"]
 
-#: Display names for the eleven Fig. 6 activities, in the figure's order.
+#: Display names for the eleven Fig. 6 activities, in the figure's order,
+#: plus the ``lower_bound`` extension (non-default bound policies only —
+#: all-zero, and therefore invisible, on the paper's default engines).
 ACTIVITY_LABELS: Dict[str, str] = {
     "wl_add": "Add to worklist",
     "wl_remove": "Remove from worklist",
@@ -23,12 +25,14 @@ ACTIVITY_LABELS: Dict[str, str] = {
     "find_max": "Find max degree vertex",
     "remove_vmax": "Remove max-degree vertex",
     "remove_neighbors": "Remove neighbors of max-degree vertex",
+    "lower_bound": "Lower-bound policy evaluation",
 }
 
 GROUPS: Dict[str, tuple] = {
     "Work distribution and load balancing": WORK_DISTRIBUTION_KINDS,
     "Reducing": REDUCE_KINDS,
     "Branching": BRANCH_KINDS,
+    "Bounding": BOUND_KINDS,
 }
 
 

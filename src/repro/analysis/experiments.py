@@ -119,6 +119,8 @@ class ExperimentConfig:
     #: Hybrid (capacity, threshold-fraction) grid (the paper sweeps both).
     hybrid_capacities: Tuple[int, ...] = (1024,)
     hybrid_fractions: Tuple[float, ...] = (0.25,)
+    #: worker-team width for the wall-clock ``cpu-*`` engines.
+    cpu_workers: int = 2
 
     def quick(self) -> "ExperimentConfig":
         """A cheaper copy for pytest benchmarks."""
@@ -133,6 +135,7 @@ class ExperimentConfig:
             stackonly_depths=(6,),
             hybrid_capacities=(1024,),
             hybrid_fractions=(0.25,),
+            cpu_workers=self.cpu_workers,
         )
 
     @property
@@ -284,16 +287,27 @@ def resolve_minimum(inst: SuiteInstance, scale: str, node_guard: int = 150_000) 
 # --------------------------------------------------------------------- #
 # cell runners
 # --------------------------------------------------------------------- #
+def _cell_detail(frontier: Optional[str], bound: Optional[str]) -> str:
+    """The non-default axis values a cell ran under, for the detail column."""
+    parts = []
+    if frontier not in (None, "lifo"):
+        parts.append(f"frontier={frontier}")
+    if bound not in (None, "greedy"):
+        parts.append(f"bound={bound}")
+    return ",".join(parts)
+
+
 def _run_sequential_cell(
     graph, itype: str, k: Optional[int], cfg: ExperimentConfig,
     frontier: Optional[str] = None,
+    bound: Optional[str] = None,
 ) -> CellResult:
     start = time.perf_counter()
     if itype == "mvc":
         out = solve_mvc_sequential_sim(
             graph, cpu=cfg.cpu, cost_model=cfg.cost_model,
             node_budget=cfg.seq_node_guard, cycle_budget=cfg.seq_cycle_budget,
-            frontier=frontier,
+            frontier=frontier, bound=bound,
         )
         feasible = None
     else:
@@ -301,7 +315,7 @@ def _run_sequential_cell(
         out = solve_pvc_sequential_sim(
             graph, k, cpu=cfg.cpu, cost_model=cfg.cost_model,
             node_budget=cfg.seq_node_guard, cycle_budget=cfg.seq_cycle_budget,
-            frontier=frontier,
+            frontier=frontier, bound=bound,
         )
         feasible = out.feasible
     stats = out.stats
@@ -314,7 +328,7 @@ def _run_sequential_cell(
         optimum=out.optimum,
         feasible=feasible,
         wall_seconds=time.perf_counter() - start,
-        detail="" if frontier in (None, "lifo") else f"frontier={frontier}",
+        detail=_cell_detail(frontier, bound),
         cycles=out.cycles,
         tree={
             "branches": stats.branches,
@@ -326,13 +340,15 @@ def _run_sequential_cell(
     )
 
 
-def _run_engine_cell(engine_name: str, graph, itype: str, k: Optional[int], cfg: ExperimentConfig) -> CellResult:
+def _run_engine_cell(engine_name: str, graph, itype: str, k: Optional[int],
+                     cfg: ExperimentConfig, bound: str = "greedy") -> CellResult:
     """Run one GPU engine, taking the best over its parameter grid."""
     start = time.perf_counter()
     candidates = []
     if engine_name == "stackonly":
         for depth in cfg.stackonly_depths:
-            eng = StackOnlyEngine(device=cfg.device, cost_model=cfg.cost_model, start_depth=depth)
+            eng = StackOnlyEngine(device=cfg.device, cost_model=cfg.cost_model,
+                                  start_depth=depth, bound=bound)
             candidates.append((f"depth={depth}", eng))
     elif engine_name == "hybrid":
         for cap in cfg.hybrid_capacities:
@@ -340,10 +356,13 @@ def _run_engine_cell(engine_name: str, graph, itype: str, k: Optional[int], cfg:
                 eng = HybridEngine(
                     device=cfg.device, cost_model=cfg.cost_model,
                     worklist_capacity=cap, worklist_threshold_fraction=frac,
+                    bound=bound,
                 )
                 candidates.append((f"cap={cap},thr={frac}", eng))
     elif engine_name == "globalonly":
-        candidates.append(("", GlobalOnlyEngine(device=cfg.device, cost_model=cfg.cost_model)))
+        candidates.append(("", GlobalOnlyEngine(device=cfg.device,
+                                                cost_model=cfg.cost_model,
+                                                bound=bound)))
     else:
         raise ValueError(engine_name)
 
@@ -361,6 +380,7 @@ def _run_engine_cell(engine_name: str, graph, itype: str, k: Optional[int], cfg:
             best = res
             best_detail = detail
     assert best is not None
+    best_detail = ",".join(p for p in (best_detail, _cell_detail(None, bound)) if p)
     return CellResult(
         engine=engine_name,
         instance_type=itype,
@@ -376,6 +396,44 @@ def _run_engine_cell(engine_name: str, graph, itype: str, k: Optional[int], cfg:
     )
 
 
+def _run_cpu_cell(engine_name: str, graph, itype: str, k: Optional[int],
+                  cfg: ExperimentConfig, bound: str = "greedy") -> CellResult:
+    """Run one real ``cpu-*`` engine in wall-clock mode.
+
+    These cells have no virtual pricing: ``seconds``/``cycles`` stay
+    ``None`` and ``wall_seconds`` is the measurement — the store schema
+    has carried it since PR 4, this is the mode that fills it with real
+    engine runs.  Node counts are scheduling-dependent, so only the
+    deterministic fields (optimum / feasibility) are verifiable.
+    """
+    from ..core.solver import solve_mvc, solve_pvc
+
+    start = time.perf_counter()
+    kwargs = dict(engine=engine_name, n_workers=cfg.cpu_workers,
+                  node_budget=cfg.engine_node_guard, bound=bound)
+    if itype == "mvc":
+        out = solve_mvc(graph, **kwargs)
+        feasible = None
+    else:
+        assert k is not None
+        out = solve_pvc(graph, k, **kwargs)
+        feasible = out.feasible
+    detail = ",".join(p for p in (
+        f"wall-clock,workers={cfg.cpu_workers}", _cell_detail(None, bound)) if p)
+    return CellResult(
+        engine=engine_name,
+        instance_type=itype,
+        seconds=None,
+        timed_out=out.timed_out,
+        nodes=out.nodes_visited,
+        optimum=out.optimum,
+        feasible=feasible,
+        wall_seconds=time.perf_counter() - start,
+        detail=detail,
+        cycles=None,
+    )
+
+
 def run_cell(
     engine: str,
     graph,
@@ -383,6 +441,7 @@ def run_cell(
     k: Optional[int],
     cfg: ExperimentConfig,
     frontier: Optional[str] = None,
+    bound: str = "greedy",
 ) -> CellResult:
     """Run one experiment cell: one engine on one instance formulation.
 
@@ -390,16 +449,20 @@ def run_cell(
     :mod:`repro.experiment` runner execute cells through, so stored
     cells and live cells are produced by the very same code path.
     ``frontier`` applies to the sequential engine only (the parallel
-    engines' disciplines are fixed by what they model).
+    engines' disciplines are fixed by what they model); ``bound``
+    applies to every engine.  The real ``cpu-*`` engines run in
+    wall-clock mode (no virtual pricing).
     """
     if engine == "sequential":
-        return _run_sequential_cell(graph, itype, k, cfg, frontier)
+        return _run_sequential_cell(graph, itype, k, cfg, frontier, bound)
     if frontier is not None:
         raise ValueError(
             f"the 'frontier' axis applies to engine='sequential' only; "
             f"engine {engine!r} has a fixed worklist discipline"
         )
-    return _run_engine_cell(engine, graph, itype, k, cfg)
+    if engine.startswith("cpu-"):
+        return _run_cpu_cell(engine, graph, itype, k, cfg, bound)
+    return _run_engine_cell(engine, graph, itype, k, cfg, bound)
 
 
 def _k_for(itype: str, minimum: int) -> int:

@@ -70,7 +70,12 @@ def bench_cases() -> List[BenchCase]:
     from ..core.reductions import apply_reductions_reference
     from ..core.sequential import solve_mvc_sequential
     from ..graph.csr import CSRGraph
-    from ..graph.degree_array import Workspace, fresh_state, remove_vertices_into_cover
+    from ..graph.degree_array import (
+        Workspace,
+        fresh_state,
+        remove_neighbors_into_cover,
+        remove_vertices_into_cover,
+    )
     from ..graph.generators.phat import phat_complement
     from ..graph.generators.random_graphs import gnp
 
@@ -112,6 +117,10 @@ def bench_cases() -> List[BenchCase]:
         state = fresh_state(dense)
         remove_vertices_into_cover(dense, state.deg, batch, ws_dense)
 
+    def remove_neighbors_hub():
+        state = fresh_state(dense)
+        remove_neighbors_into_cover(dense, state.deg, 0, ws_dense)
+
     def state_copy_pooled():
         state = fresh_state(dense)
         clone = state.copy(ws_dense)
@@ -133,6 +142,9 @@ def bench_cases() -> List[BenchCase]:
                   "vectorized CSR construction of phat_complement(100, 2)"),
         BenchCase("batch_removal", batch_removal,
                   "20-vertex batch removal into the cover"),
+        BenchCase("remove_neighbors", remove_neighbors_hub,
+                  "hub neighbourhood removal on phat_complement(100, 2): the "
+                  "fused single-gather branch kernel"),
         BenchCase("state_copy_pooled", state_copy_pooled,
                   "pooled VCState.copy via the workspace buffer pool"),
         BenchCase("greedy_bound_large", greedy_large,

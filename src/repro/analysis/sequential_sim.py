@@ -18,6 +18,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from ..core.bounds import BoundPolicy
 from ..core.formulation import BestBound, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.frontier import Frontier
 from ..core.greedy import greedy_cover
@@ -78,6 +79,7 @@ def solve_mvc_sequential_sim(
     node_budget: Optional[int] = None,
     cycle_budget: Optional[float] = None,
     frontier: Union[Frontier, str, None] = None,
+    bound: Union[BoundPolicy, str, None] = None,
 ) -> SequentialSimResult:
     """MVC with the Fig. 1 baseline, metered in virtual CPU time.
 
@@ -85,7 +87,13 @@ def solve_mvc_sequential_sim(
     :func:`repro.core.sequential.solve_mvc_sequential`; a non-default
     policy replays the same node step (and work-unit pricing) in a
     different traversal order, which is how the experiment layer sweeps
-    frontier policies under the cost model.
+    frontier policies under the cost model.  ``bound`` selects the
+    pruning policy the same way; a non-default bound charges its
+    per-node prune evaluations to the ``lower_bound`` activity kind
+    (see :mod:`repro.sim.costmodel`).  Frontier-*ordering* evaluations
+    — including a ``best-first`` heap re-keyed by the active bound —
+    are outside the work meter, as frontier ordering always has been
+    (the built-in greedy key is likewise unmetered).
     """
     meter = CpuCostMeter(cpu, cost_model)
     ws = Workspace.for_graph(graph)
@@ -100,6 +108,7 @@ def solve_mvc_sequential_sim(
         stats = branch_and_reduce(
             graph, formulation, ws=ws, node_budget=node_budget,
             charge=meter.charge, should_stop=should_stop, frontier=frontier,
+            bound=bound,
         )
     return SequentialSimResult(
         formulation="mvc",
@@ -124,6 +133,7 @@ def solve_pvc_sequential_sim(
     node_budget: Optional[int] = None,
     cycle_budget: Optional[float] = None,
     frontier: Union[Frontier, str, None] = None,
+    bound: Union[BoundPolicy, str, None] = None,
 ) -> SequentialSimResult:
     """PVC with the Fig. 1 baseline, metered in virtual CPU time."""
     if k < 0:
@@ -141,6 +151,7 @@ def solve_pvc_sequential_sim(
         stats = branch_and_reduce(
             graph, formulation, ws=ws, node_budget=node_budget,
             charge=meter.charge, should_stop=should_stop, frontier=frontier,
+            bound=bound,
         )
     else:
         flag.found, flag.size, flag.cover = True, 0, np.empty(0, dtype=np.int32)

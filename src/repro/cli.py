@@ -12,6 +12,7 @@ suite::
     python -m repro ablation
     python -m repro solve --graph p_hat_300_3 --engine hybrid [--k 70]
     python -m repro solve --graph p_hat_300_3 --engine sequential --frontier best-first
+    python -m repro solve --graph user_item --engine hybrid --bound konig
     python -m repro suite            # list the evaluation suite
     python -m repro bench            # hot-path micro-bench -> BENCH_micro.json
     python -m repro bench calibrate  # scalar/vectorized crossover -> CALIBRATION.json
@@ -23,6 +24,7 @@ see docs/EXPERIMENTS.md)::
     python -m repro experiment run --spec sweep.json [--store experiments] [--workers 4]
     python -m repro experiment resume <run_id>       # skip completed cells
     python -m repro experiment report <run_id> [--verify]
+    python -m repro experiment diff <run_a> <run_b>  # cell-level cross-run diff
     python -m repro experiment index                 # rebuild the SQLite index
     python -m repro experiment list
     python -m repro experiment run --smoke           # CI gate: schema + zero-recompute resume
@@ -95,6 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worklist discipline for the sequential engine, from "
                         "the FRONTIERS registry (default: lifo, the Fig. 1 "
                         "depth-first stack)")
+    p.add_argument("--bound", default=None,
+                   help="pruning/lower-bound policy from the BOUNDS registry, "
+                        "any engine (default: greedy, the paper's rule)")
 
     common(sub.add_parser("suite", help="list the evaluation suite"))
 
@@ -135,6 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "cycles/seconds, nodes and optima bit-identical")
     ep.add_argument("--max-cells", type=int, default=None,
                     help="with --verify: cap the number of re-executed cells")
+    ep = esub.add_parser("diff", help="compare two runs' cells over the SQLite index")
+    exp_common(ep)
+    ep.add_argument("run_a")
+    ep.add_argument("run_b")
     ep = esub.add_parser("index", help="rebuild the cross-run SQLite index offline")
     exp_common(ep)
     ep = esub.add_parser("list", help="list runs in the store")
@@ -173,8 +182,9 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 #: The built-in ``experiment run --smoke`` grid: 2 engines x 2 frontiers
-#: x 1 suite instance at tiny scale — small enough for CI, wide enough to
-#: exercise the frontier axis, the engine axis and the PVC k resolution.
+#: x 2 bounds x 1 suite instance at tiny scale — small enough for CI,
+#: wide enough to exercise the frontier axis, the bound axis, the engine
+#: axis and the PVC k resolution.
 SMOKE_SPEC = {
     "name": "ci-smoke",
     "scale": "tiny",
@@ -182,6 +192,7 @@ SMOKE_SPEC = {
     "instances": ["p_hat_300_1"],
     "engines": ["sequential", "hybrid"],
     "frontiers": ["lifo", "best-first"],
+    "bounds": ["greedy", "matching"],
     "instance_types": ["mvc", "pvc_k"],
     "repeats": 1,
     "virtual_budget_s": 0.01,
@@ -196,7 +207,9 @@ SMOKE_SPEC = {
 def _cmd_experiment(args: argparse.Namespace, start: float) -> int:
     from .experiment import (
         RunStore,
+        diff_runs,
         load_spec,
+        render_diff,
         run_experiment,
         validate_manifest,
         verify_run_against_live,
@@ -287,6 +300,15 @@ def _cmd_experiment(args: argparse.Namespace, start: float) -> int:
                                                max_cells=args.max_cells)
             print(f"verified: {verified} cells bit-identical to live "
                   f"engine invocation")
+        print(f"[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
+    if cmd == "diff":
+        try:
+            print(render_diff(diff_runs(store, args.run_a, args.run_b)))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
         print(f"[{time.perf_counter() - start:.1f}s wall]")
         return 0
 
@@ -410,6 +432,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "solve":
+        from .core.bounds import BOUNDS
         from .core.frontier import FRONTIERS
         from .core.solver import ENGINES, solve_mvc, solve_pvc
 
@@ -427,9 +450,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: --frontier applies to --engine sequential only "
                   f"(engine {args.engine!r} has a fixed worklist discipline)")
             return 2
+        if args.bound is not None and args.bound not in BOUNDS:
+            print(f"error: unknown bound {args.bound!r}; choose from: "
+                  f"{', '.join(sorted(BOUNDS))}")
+            return 2
         inst = suite_instance(args.graph, args.scale)
         graph = inst.graph()
         extra = {} if args.frontier is None else {"frontier": args.frontier}
+        if args.bound is not None:
+            extra["bound"] = args.bound
         if args.k is None:
             out = solve_mvc(graph, engine=args.engine, node_budget=args.node_budget, **extra)
             print(f"{args.graph}: minimum vertex cover size = {out.optimum}"

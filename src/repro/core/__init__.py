@@ -1,5 +1,16 @@
 """Core branch-and-reduce machinery for MVC and PVC."""
 
+from .bounds import (
+    BOUNDS,
+    DEFAULT_BOUND,
+    BoundPolicy,
+    CombinedBound,
+    DegreeBound,
+    GreedyBound,
+    KonigBound,
+    MatchingBound,
+    make_bound,
+)
 from .formulation import BestBound, FoundFlag, MVCFormulation, PVCFormulation
 from .frontier import (
     FRONTIERS,
@@ -24,6 +35,15 @@ from .stats import ReductionCounters, SearchStats
 from .verify import assert_valid_cover, is_independent_set, is_vertex_cover
 
 __all__ = [
+    "BOUNDS",
+    "DEFAULT_BOUND",
+    "BoundPolicy",
+    "GreedyBound",
+    "DegreeBound",
+    "MatchingBound",
+    "KonigBound",
+    "CombinedBound",
+    "make_bound",
     "BestBound",
     "FoundFlag",
     "MVCFormulation",

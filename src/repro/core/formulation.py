@@ -77,7 +77,15 @@ class Formulation:
         raise NotImplementedError
 
     def prune(self, state: VCState) -> bool:
-        """The stopping condition of Fig. 1 line 5 / Fig. 4 line 12."""
+        """The stopping condition of Fig. 1 line 5 / Fig. 4 line 12.
+
+        This is the *default* (``greedy``) bound's test; the engines now
+        prune through a pluggable :class:`~repro.core.bounds.BoundPolicy`
+        composed with :meth:`budget` inside
+        :class:`~repro.core.nodestep.NodeStep`.  Kept because it is the
+        paper's rule verbatim (and the frozen charge-oracle tests call it
+        directly); ``GreedyBound.prune`` computes exactly this.
+        """
         b = self.budget(state.cover_size)
         return b < 0 or state.edge_count > b * b
 

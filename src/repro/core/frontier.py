@@ -267,7 +267,9 @@ class BestFirstFrontier(Frontier):
     tends to drive the incumbent down early and prune the rest — a
     discipline none of the paper's engines use, enabled here by the
     frontier/step separation.  Ties break by insertion order, keeping the
-    traversal deterministic.
+    traversal deterministic.  When the traversal runs a non-default bound
+    policy, :func:`make_frontier` keys the heap by that policy's
+    ``|S| + lower_bound`` instead (see :mod:`repro.core.bounds`).
     """
 
     __slots__ = ("_heap", "_seq", "key")
@@ -300,12 +302,30 @@ FRONTIERS: Dict[str, Callable[[], Frontier]] = {
 }
 
 
-def make_frontier(name: str) -> Frontier:
-    """Instantiate a registered frontier policy by name."""
+def make_frontier(name: str, bound: Optional[Any] = None) -> Frontier:
+    """Instantiate a registered frontier policy by name.
+
+    ``bound`` is the traversal's active
+    :class:`~repro.core.bounds.BoundPolicy`, if any: ``best-first``
+    orders its heap by that policy's ``|S| + lower_bound`` key instead
+    of the built-in greedy key, so a stronger bound sharpens both the
+    pruning *and* the expansion order.  Ordering evaluations are a
+    heuristic outside the charge meter, like the built-in greedy key
+    (an expensive bound here buys order quality with unmetered work).
+    The default (no bound, or the ``greedy`` policy) keeps
+    :func:`greedy_bound_key` — the two compute the same quantity, so
+    default traversals are unchanged.
+    """
     try:
         factory = FRONTIERS[name]
     except KeyError:
         raise ValueError(
             f"unknown frontier {name!r}; choose from {sorted(FRONTIERS)}"
         ) from None
+    if (
+        name == "best-first"
+        and bound is not None
+        and getattr(bound, "name", "greedy") != "greedy"
+    ):
+        return BestFirstFrontier(key=bound.frontier_key)
     return factory()

@@ -11,8 +11,11 @@ One step is ``reduce → prune-check → find-max → leaf-check → branch``:
 
 1. run the reduction cascade (whichever ``reducer`` the engine meters
    work with) to its fixpoint;
-2. if the formulation's bound prunes the node, recycle its degree-array
-   buffer and report :data:`PRUNED`;
+2. if the active bound policy (:mod:`repro.core.bounds`) prunes the node
+   under the formulation's budget, recycle its degree-array buffer and
+   report :data:`PRUNED`; non-default bounds charge their evaluation to
+   the ``lower_bound`` activity kind first (the default ``greedy`` prune
+   is free by construction, keeping the Table I meters untouched);
 3. charge the ``find_max`` degree scan, exactly where every engine pays
    it;
 4. if no edges remain the node *is* a cover: report :data:`LEAF` — the
@@ -42,6 +45,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace
+from .bounds import BoundPolicy, GreedyBound, make_bound
 from .branching import PivotFn, expand_children, max_degree_pivot
 from .formulation import Formulation
 from .stats import ChargeFn, ReductionCounters, null_charge
@@ -123,14 +127,15 @@ def default_reducer(charge: ChargeFn) -> Reducer:
 class NodeStep:
     """One search-tree node's processing step, bound to one traversal.
 
-    Parameterized by the reduction cascade, the formulation (bound/prune
-    policy), the pivot strategy, and the engine's charge hook.  Construct
-    once per traversal (or per worker — it owns no cross-node state beyond
-    the workspace's scratch) and call :attr:`run` per node.
+    Parameterized by the reduction cascade, the formulation (budget /
+    acceptance), the bound policy (prune strength, from the ``BOUNDS``
+    registry), the pivot strategy, and the engine's charge hook.
+    Construct once per traversal (or per worker — it owns no cross-node
+    state beyond the workspace's scratch) and call :attr:`run` per node.
     """
 
     __slots__ = ("graph", "formulation", "ws", "reducer", "pivot", "rng",
-                 "charge", "counters", "run")
+                 "charge", "counters", "bound", "run")
 
     def __init__(
         self,
@@ -143,9 +148,12 @@ class NodeStep:
         rng: Optional[np.random.Generator] = None,
         charge: ChargeFn = null_charge,
         counters: Optional[ReductionCounters] = None,
+        bound: Union[BoundPolicy, str, None] = None,
     ) -> None:
         if reducer is None:
             reducer = default_reducer(charge)
+        if bound is None or isinstance(bound, str):
+            bound = make_bound(bound or "greedy", graph, ws)
         self.graph = graph
         self.formulation = formulation
         self.ws = ws
@@ -154,13 +162,43 @@ class NodeStep:
         self.rng = rng
         self.charge = charge
         self.counters = counters
+        self.bound = bound
 
         # Bind every dependency into the closure: the per-node cost of the
         # step wrapper is one function call, not a chain of attribute
         # lookups (the sequential acceptance bar is a <=2% solver delta).
         children = Children()
         n_units = float(graph.n)
-        prune = formulation.prune
+        # The default policy's test IS formulation.prune (two comparisons
+        # over carried counters) — bind it directly so the default hot
+        # path pays zero extra calls per node.  Non-default policies go
+        # through the budget composition; *charged* ones meter each
+        # evaluation to the `lower_bound` kind — emitted only when the
+        # policy actually evaluates (the free Buss pre-test and negative
+        # budgets kill the node without paying), priced at the policy's
+        # full `cost_units` (a deterministic worst case; cap truncation
+        # is not modelled).  The default greedy prune never charges,
+        # which keeps its charge stream — and every Table I / makespan
+        # number — bit-identical to the pre-bound-layer engines.
+        if type(bound) is GreedyBound:
+            prune = formulation.prune
+        else:
+            budget = formulation.budget
+            bound_prune = bound.prune
+            if bound.charged:
+                cost_units = bound.cost_units
+
+                def prune(state: VCState) -> bool:
+                    b = budget(state.cover_size)
+                    if b < 0 or state.edge_count > b * b:
+                        return True  # Buss pre-test: nothing evaluated
+                    charge("lower_bound", cost_units(state))
+                    return bound_prune(state, b)
+            else:
+
+                def prune(state: VCState) -> bool:
+                    return bound_prune(state, budget(state.cover_size))
+
         release_deg = ws.release_deg
 
         def run(state: VCState,

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state
+from .bounds import BoundPolicy, make_bound
 from .branching import PivotFn, max_degree_pivot
 from .formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from .frontier import Frontier, LifoFrontier, make_frontier
@@ -62,6 +63,7 @@ def branch_and_reduce(
     should_stop: Optional[Callable[[], bool]] = None,
     reducer: Optional[Reducer] = None,
     frontier: Union[Frontier, str, None] = None,
+    bound: Union[BoundPolicy, str, None] = None,
 ) -> SearchStats:
     """Exhaust the search tree under ``formulation`` starting from ``root``.
 
@@ -83,19 +85,27 @@ def branch_and_reduce(
     depth, because a continued child deepens the tree without a push, so
     the frontier population undercounts depth whenever branching resumes
     under a popped deferred child.
+
+    ``bound`` picks the pruning policy: a
+    :class:`~repro.core.bounds.BoundPolicy` instance, a registered name
+    from ``BOUNDS``, or ``None`` for the paper's default (``greedy``).
+    A non-default bound also re-keys a ``best-first`` frontier by its own
+    lower bound.
     """
     if ws is None:
         ws = Workspace.for_graph(graph)
     if stats is None:
         stats = SearchStats()
+    if bound is None or isinstance(bound, str):
+        bound = make_bound(bound or "greedy", graph, ws)
     if frontier is None:
         frontier = LifoFrontier()
     elif isinstance(frontier, str):
-        frontier = make_frontier(frontier)
+        frontier = make_frontier(frontier, bound=bound)
     step = NodeStep(
         graph, formulation, ws,
         reducer=reducer, pivot=pivot, rng=rng, charge=charge,
-        counters=stats.reductions,
+        counters=stats.reductions, bound=bound,
     ).run
     fpush = frontier.push
     fpop = frontier.pop
@@ -172,6 +182,7 @@ def solve_mvc_sequential(
     pivot: PivotFn = max_degree_pivot,
     rng: Optional[np.random.Generator] = None,
     frontier: Union[Frontier, str, None] = None,
+    bound: Union[BoundPolicy, str, None] = None,
 ) -> SearchOutcome:
     """Solve MINIMUM VERTEX COVER with the Fig. 1 algorithm.
 
@@ -185,7 +196,7 @@ def solve_mvc_sequential(
     if graph.m == 0:
         return SearchOutcome("mvc", 0, np.empty(0, dtype=np.int32), None, False, greedy_size=0)
     stats = branch_and_reduce(graph, formulation, ws=ws, node_budget=node_budget,
-                              pivot=pivot, rng=rng, frontier=frontier)
+                              pivot=pivot, rng=rng, frontier=frontier, bound=bound)
     timed_out = bool(stats.extra.get("timed_out"))
     return SearchOutcome(
         formulation="mvc",
@@ -206,6 +217,7 @@ def solve_pvc_sequential(
     pivot: PivotFn = max_degree_pivot,
     rng: Optional[np.random.Generator] = None,
     frontier: Union[Frontier, str, None] = None,
+    bound: Union[BoundPolicy, str, None] = None,
 ) -> SearchOutcome:
     """Solve PARAMETERIZED VERTEX COVER: find a cover of size at most ``k``."""
     if k < 0:
@@ -223,7 +235,7 @@ def solve_pvc_sequential(
         # search itself always runs and stops at its first accepted cover.
         stats = branch_and_reduce(
             graph, formulation, ws=ws, node_budget=node_budget, pivot=pivot,
-            rng=rng, frontier=frontier
+            rng=rng, frontier=frontier, bound=bound
         )
     timed_out = bool(stats.extra.get("timed_out"))
     return SearchOutcome(

@@ -41,7 +41,8 @@ def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
     ``timed_out``).
     """
     if engine == "sequential":
-        _split_engine_opts(options)  # device/cost-model knobs do not apply
+        opts = _split_engine_opts(options)  # device/cost-model knobs do not apply
+        _forward_bound_opt(opts, options)
         return solve_mvc_sequential(graph, **options)
     _reject_frontier_opt(engine, options)
     if engine in ("stackonly", "hybrid", "globalonly"):
@@ -50,17 +51,17 @@ def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
     if engine == "cpu-threads":
         from ..engines.cpu_threads import solve_mvc_threads
 
-        _split_engine_opts(options)
+        _forward_bound_opt(_split_engine_opts(options), options)
         return solve_mvc_threads(graph, **options)
     if engine == "cpu-process":
         from ..engines.cpu_process import solve_mvc_processes
 
-        _split_engine_opts(options)
+        _forward_bound_opt(_split_engine_opts(options), options)
         return solve_mvc_processes(graph, **options)
     if engine == "cpu-worksteal":
         from ..engines.cpu_worksteal import solve_mvc_worksteal
 
-        _split_engine_opts(options)
+        _forward_bound_opt(_split_engine_opts(options), options)
         return solve_mvc_worksteal(graph, **options)
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
@@ -68,7 +69,8 @@ def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
 def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options: Any):
     """Find a vertex cover of size at most ``k``, or prove none exists."""
     if engine == "sequential":
-        _split_engine_opts(options)  # device/cost-model knobs do not apply
+        opts = _split_engine_opts(options)  # device/cost-model knobs do not apply
+        _forward_bound_opt(opts, options)
         return solve_pvc_sequential(graph, k, **options)
     _reject_frontier_opt(engine, options)
     if engine in ("stackonly", "hybrid", "globalonly"):
@@ -77,23 +79,23 @@ def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options:
     if engine == "cpu-threads":
         from ..engines.cpu_threads import solve_pvc_threads
 
-        _split_engine_opts(options)
+        _forward_bound_opt(_split_engine_opts(options), options)
         return solve_pvc_threads(graph, k, **options)
     if engine == "cpu-process":
         from ..engines.cpu_process import solve_pvc_processes
 
-        _split_engine_opts(options)
+        _forward_bound_opt(_split_engine_opts(options), options)
         return solve_pvc_processes(graph, k, **options)
     if engine == "cpu-worksteal":
         from ..engines.cpu_worksteal import solve_pvc_worksteal
 
-        _split_engine_opts(options)
+        _forward_bound_opt(_split_engine_opts(options), options)
         return solve_pvc_worksteal(graph, k, **options)
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
 
 _ENGINE_CTOR_KEYS = ("device", "cost_model", "start_depth", "worklist_capacity",
-                     "worklist_threshold_fraction", "block_size_override")
+                     "worklist_threshold_fraction", "block_size_override", "bound")
 
 
 def _reject_frontier_opt(engine: str, options: Dict[str, Any]) -> None:
@@ -117,3 +119,14 @@ def _split_engine_opts(options: Dict[str, Any]) -> Dict[str, Any]:
         if key in options:
             ctor[key] = options.pop(key)
     return ctor
+
+
+def _forward_bound_opt(ctor: Dict[str, Any], options: Dict[str, Any]) -> None:
+    """Hand ``bound`` back to a per-solve engine.
+
+    ``bound`` sits in :data:`_ENGINE_CTOR_KEYS` because the simulated
+    engines take it at construction; the sequential and ``cpu-*`` engines
+    take it per solve call, so the split puts it back for them.
+    """
+    if "bound" in ctor:
+        options["bound"] = ctor["bound"]

@@ -93,11 +93,20 @@ class SimEngineBase:
         cost_model: Optional[CostModel] = None,
         worklist_capacity: int = 1024,
         block_size_override: Optional[int] = None,
+        bound: str = "greedy",
     ):
+        from ..core.bounds import BOUNDS
+
         self.device = device
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.worklist_capacity = worklist_capacity
         self.block_size_override = block_size_override
+        if bound not in BOUNDS:
+            raise ValueError(f"unknown bound {bound!r}; choose from {sorted(BOUNDS)}")
+        #: bound-policy name every block's NodeStep prunes with; the
+        #: default keeps makespans bit-identical to the pre-bound engines,
+        #: non-default policies charge `lower_bound` cycles (costmodel.py).
+        self.bound = bound
         #: optional repro.sim.trace.TraceRecorder capturing every charge
         self.tracer = None
 
@@ -181,6 +190,7 @@ class SimEngineBase:
             num_blocks=launch.num_blocks,
             node_budget=node_budget,
             cycle_budget=cycle_budget,
+            bound=self.bound,
         )
         shared.active = launch.num_blocks
         self._seed(shared)
@@ -258,6 +268,7 @@ class SimEngineBase:
             "device": self.device.name,
             "worklist_capacity": self.worklist_capacity,
             "block_size_override": self.block_size_override,
+            "bound": self.bound,
         }
 
     # ------------------------------------------------------------------ #

@@ -99,6 +99,7 @@ def _process_worker(
     found: "mp.Event",
     threshold: int,
     node_budget: Optional[int],
+    bound: str,
 ) -> None:
     formulation: Formulation
     if mode == "mvc":
@@ -106,7 +107,10 @@ def _process_worker(
     else:
         formulation = _SharedPVC(k, found)
     ws = Workspace.for_graph(graph)
-    step = NodeStep(graph, formulation, ws).run  # fast kernels, uncharged
+    # fast kernels, uncharged; the bound-policy *name* crosses the process
+    # boundary with the launch arguments (states themselves travel through
+    # the VCState wire codec) and each worker instantiates its own policy
+    step = NodeStep(graph, formulation, ws, bound=bound).run
     local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
     local_nodes = 0
@@ -204,6 +208,7 @@ def _run_processes(
     threshold: int,
     node_budget: Optional[int],
     initial_best: int,
+    bound: str = "greedy",
 ) -> Tuple[Optional[VCState], bool, int, float, List[int]]:
     ctx = mp.get_context("fork")
     work_q: "mp.Queue" = ctx.Queue()
@@ -225,7 +230,7 @@ def _run_processes(
         ctx.Process(
             target=_process_worker,
             args=(w, graph, mode, k, work_q, result_q, best_size, lock, idle,
-                  inflight, nodes, done, found, threshold, node_budget),
+                  inflight, nodes, done, found, threshold, node_budget, bound),
             daemon=True,
         )
         for w in range(n_workers)
@@ -262,6 +267,7 @@ def solve_mvc_processes(
     n_workers: int = 4,
     threshold: int = 32,
     node_budget: Optional[int] = None,
+    bound: str = "greedy",
     **_: object,
 ) -> CpuParallelResult:
     """Minimum vertex cover with a process team (true CPU parallelism)."""
@@ -273,7 +279,7 @@ def solve_mvc_processes(
                                  None, False, 0, n_workers, 0.0, greedy.size)
     best_state, timed_out, total_nodes, wall, per_worker = _run_processes(
         graph, "mvc", 0, n_workers=n_workers, threshold=threshold,
-        node_budget=node_budget, initial_best=greedy.size,
+        node_budget=node_budget, initial_best=greedy.size, bound=bound,
     )
     if best_state is None:
         optimum, cover = greedy.size, greedy.cover
@@ -301,6 +307,7 @@ def solve_pvc_processes(
     n_workers: int = 4,
     threshold: int = 32,
     node_budget: Optional[int] = None,
+    bound: str = "greedy",
     **_: object,
 ) -> CpuParallelResult:
     """Parameterized vertex cover with a process team."""
@@ -312,7 +319,7 @@ def solve_pvc_processes(
                                  True, False, 0, n_workers, 0.0, greedy.size)
     best_state, timed_out, total_nodes, wall, per_worker = _run_processes(
         graph, "pvc", k, n_workers=n_workers, threshold=threshold,
-        node_budget=node_budget, initial_best=graph.n + 1,
+        node_budget=node_budget, initial_best=graph.n + 1, bound=bound,
     )
     feasible: Optional[bool]
     if best_state is not None:

@@ -120,9 +120,11 @@ def _worker(
     shared: _ThreadShared,
     node_counts: List[int],
     wid: int,
+    bound: str,
 ) -> None:
     ws = Workspace.for_graph(graph)
-    step = NodeStep(graph, formulation, ws).run  # fast kernels, uncharged
+    # fast kernels, uncharged; each worker owns its bound-policy instance
+    step = NodeStep(graph, formulation, ws, bound=bound).run
     local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
     while True:
@@ -162,6 +164,7 @@ def _run_threads(
     n_workers: int,
     threshold: int,
     node_budget: Optional[int],
+    bound: str = "greedy",
 ) -> tuple[_ThreadShared, List[int], float]:
     shared = _ThreadShared(n_workers, threshold, node_budget)
     shared.queue.push(fresh_state(graph))
@@ -171,7 +174,8 @@ def _run_threads(
     node_counts = [0] * n_workers
     threads = [
         threading.Thread(
-            target=_worker, args=(graph, formulation, shared, node_counts, w), daemon=True
+            target=_worker,
+            args=(graph, formulation, shared, node_counts, w, bound), daemon=True
         )
         for w in range(n_workers)
     ]
@@ -189,6 +193,7 @@ def solve_mvc_threads(
     n_workers: int = 4,
     threshold: int = 32,
     node_budget: Optional[int] = None,
+    bound: str = "greedy",
     **_: object,
 ) -> CpuParallelResult:
     """Minimum vertex cover with a thread team running the hybrid protocol."""
@@ -201,7 +206,8 @@ def solve_mvc_threads(
                                  None, False, 0, n_workers, 0.0, greedy.size)
     formulation = MVCFormulation(best)
     shared, node_counts, wall = _run_threads(
-        graph, formulation, n_workers=n_workers, threshold=threshold, node_budget=node_budget
+        graph, formulation, n_workers=n_workers, threshold=threshold,
+        node_budget=node_budget, bound=bound
     )
     return CpuParallelResult(
         engine="cpu-threads",
@@ -225,6 +231,7 @@ def solve_pvc_threads(
     n_workers: int = 4,
     threshold: int = 32,
     node_budget: Optional[int] = None,
+    bound: str = "greedy",
     **_: object,
 ) -> CpuParallelResult:
     """Parameterized vertex cover with a thread team."""
@@ -237,7 +244,8 @@ def solve_pvc_threads(
                                  True, False, 0, n_workers, 0.0, greedy.size)
     formulation = PVCFormulation(k=k, flag=flag)
     shared, node_counts, wall = _run_threads(
-        graph, formulation, n_workers=n_workers, threshold=threshold, node_budget=node_budget
+        graph, formulation, n_workers=n_workers, threshold=threshold,
+        node_budget=node_budget, bound=bound
     )
     timed_out = shared.timed_out
     return CpuParallelResult(

@@ -108,9 +108,11 @@ def _steal_worker(
     shared: _StealShared,
     node_counts: List[int],
     wid: int,
+    bound: str,
 ) -> None:
     ws = Workspace.for_graph(graph)
-    step = NodeStep(graph, formulation, ws).run  # fast kernels, uncharged
+    # fast kernels, uncharged; each worker owns its bound-policy instance
+    step = NodeStep(graph, formulation, ws, bound=bound).run
     current: Optional[VCState] = None
     while True:
         if shared.stop(formulation):
@@ -145,6 +147,7 @@ def _run_worksteal(
     n_workers: int,
     node_budget: Optional[int],
     seed: int,
+    bound: str = "greedy",
 ) -> tuple[_StealShared, List[int], float]:
     shared = _StealShared(n_workers, node_budget, seed)
     shared.frontier.push_lane(0, fresh_state(graph))
@@ -153,7 +156,8 @@ def _run_worksteal(
     node_counts = [0] * n_workers
     threads = [
         threading.Thread(target=_steal_worker,
-                         args=(graph, formulation, shared, node_counts, w), daemon=True)
+                         args=(graph, formulation, shared, node_counts, w, bound),
+                         daemon=True)
         for w in range(n_workers)
     ]
     start = time.perf_counter()
@@ -170,6 +174,7 @@ def solve_mvc_worksteal(
     n_workers: int = 4,
     node_budget: Optional[int] = None,
     seed: int = 0,
+    bound: str = "greedy",
     **_: object,
 ) -> CpuParallelResult:
     """Minimum vertex cover with randomized work stealing."""
@@ -182,7 +187,8 @@ def solve_mvc_worksteal(
                                  None, False, 0, n_workers, 0.0, greedy.size)
     formulation = MVCFormulation(best)
     shared, node_counts, wall = _run_worksteal(
-        graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed
+        graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed,
+        bound=bound
     )
     result = CpuParallelResult(
         engine="cpu-worksteal",
@@ -207,6 +213,7 @@ def solve_pvc_worksteal(
     n_workers: int = 4,
     node_budget: Optional[int] = None,
     seed: int = 0,
+    bound: str = "greedy",
     **_: object,
 ) -> CpuParallelResult:
     """Parameterized vertex cover with randomized work stealing."""
@@ -219,7 +226,8 @@ def solve_pvc_worksteal(
                                  True, False, 0, n_workers, 0.0, greedy.size)
     formulation = PVCFormulation(k=k, flag=flag)
     shared, node_counts, wall = _run_worksteal(
-        graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed
+        graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed,
+        bound=bound
     )
     timed_out = shared.timed_out
     return CpuParallelResult(

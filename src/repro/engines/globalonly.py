@@ -38,8 +38,10 @@ class GlobalOnlyEngine(SimEngineBase):
         cost_model: Optional[CostModel] = None,
         worklist_capacity: int = 8192,
         block_size_override: Optional[int] = None,
+        bound: str = "greedy",
     ):
-        super().__init__(device, cost_model, worklist_capacity, block_size_override)
+        super().__init__(device, cost_model, worklist_capacity, block_size_override,
+                         bound=bound)
 
     def _params(self) -> Dict[str, Any]:
         return super()._params()

@@ -33,8 +33,10 @@ class HybridEngine(SimEngineBase):
         worklist_capacity: int = 1024,
         worklist_threshold_fraction: float = 0.25,
         block_size_override: Optional[int] = None,
+        bound: str = "greedy",
     ):
-        super().__init__(device, cost_model, worklist_capacity, block_size_override)
+        super().__init__(device, cost_model, worklist_capacity, block_size_override,
+                         bound=bound)
         if not 0.0 < worklist_threshold_fraction <= 1.0:
             raise ValueError("threshold fraction must lie in (0, 1]")
         self.worklist_threshold_fraction = worklist_threshold_fraction

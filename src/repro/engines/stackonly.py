@@ -71,10 +71,11 @@ class StackOnlyEngine(SimEngineBase):
         start_depth: int = 6,
         descent_mode: str = "root",
         block_size_override: Optional[int] = None,
+        bound: str = "greedy",
     ):
         # The worklist exists but is never used by this engine.
         super().__init__(device, cost_model, worklist_capacity=1,
-                         block_size_override=block_size_override)
+                         block_size_override=block_size_override, bound=bound)
         if start_depth < 1:
             raise ValueError("start_depth must be >= 1")
         if descent_mode not in ("root", "grid"):
@@ -112,10 +113,12 @@ class StackOnlyEngine(SimEngineBase):
         """
         meter = _GpuCostMeter(shared)
         ws = Workspace.for_graph(shared.graph)
-        # The shared node step, metered like one expansion-phase block lane.
+        # The shared node step, metered like one expansion-phase block lane
+        # (same bound policy as the resident blocks' steps).
         step = NodeStep(
             shared.graph, shared.formulation, ws,
             reducer=apply_reductions_parallel, charge=meter.charge,
+            bound=shared.bound,
         ).run
         frontier: List[VCState] = [fresh_state(shared.graph)]
         total_cycles = 0.0

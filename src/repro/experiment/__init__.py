@@ -17,7 +17,10 @@ CLI: ``repro experiment run|resume|report|index|list``.
 """
 
 from .report import (
+    RunDiff,
     VerificationError,
+    diff_runs,
+    render_diff,
     render_report,
     speedups_from_run,
     table1_from_run,
@@ -27,6 +30,7 @@ from .report import (
 from .runner import RunOutcome, plan_run, run_experiment
 from .spec import (
     EXPERIMENT_ENGINES,
+    WALL_CLOCK_ENGINES,
     CellSpec,
     ExperimentSpec,
     InstanceRef,
@@ -39,13 +43,17 @@ from .store import Run, RunStore, validate_cell_record, validate_manifest
 
 __all__ = [
     "EXPERIMENT_ENGINES",
+    "WALL_CLOCK_ENGINES",
     "CellSpec",
     "ExperimentSpec",
     "InstanceRef",
     "Run",
+    "RunDiff",
     "RunOutcome",
     "RunStore",
     "VerificationError",
+    "diff_runs",
+    "render_diff",
     "cell_fingerprint",
     "graph_fingerprint",
     "load_spec",

@@ -15,6 +15,7 @@ round-trips doubles exactly, so equality here is ``==``, not "approx".
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis import tables
@@ -38,6 +39,9 @@ __all__ = [
     "write_report",
     "VerificationError",
     "verify_run_against_live",
+    "RunDiff",
+    "diff_runs",
+    "render_diff",
 ]
 
 
@@ -79,19 +83,22 @@ def _select_cell(
 ) -> Optional[Dict[str, object]]:
     """The Table I representative among a cell group's records.
 
-    Groups hold one record per (frontier, repeat); Table I shows the
-    default discipline's first repeat — the same cell a plain
-    ``run_table1`` computes — preferring ``lifo``/``None`` frontier and
-    ``repeat == 0``, falling back deterministically.
+    Groups hold one record per (frontier, bound, repeat); Table I shows
+    the default discipline's first repeat — the same cell a plain
+    ``run_table1`` computes — preferring ``lifo``/``None`` frontier, the
+    default ``greedy`` bound and ``repeat == 0``, falling back
+    deterministically.
     """
     if not records:
         return None
 
-    def rank(rec: Dict[str, object]) -> Tuple[int, int, str]:
+    def rank(rec: Dict[str, object]) -> Tuple[int, int, int, str, str]:
         frontier = rec["frontier"]
+        bound = rec.get("bound", "greedy")
         return (0 if frontier in (None, "lifo") else 1,
+                0 if bound == "greedy" else 1,
                 int(rec["repeat"]),  # type: ignore[arg-type]
-                str(frontier))
+                str(frontier), str(bound))
 
     return sorted(records, key=rank)[0]
 
@@ -143,6 +150,7 @@ def tree_shape_rows(run: Run) -> List[Dict[str, object]]:
             "instance": record["instance"],
             "type": record["instance_type"],
             "frontier": record["frontier"] or "lifo",
+            "bound": record.get("bound", "greedy"),
             "repeat": record["repeat"],
             "nodes": result["nodes"],  # type: ignore[index]
             "branches": tree["branches"],
@@ -150,7 +158,8 @@ def tree_shape_rows(run: Run) -> List[Dict[str, object]]:
             "max depth": tree["max_depth"],
             "max stack": tree["max_stack"],
         })
-    rows.sort(key=lambda r: (r["instance"], r["type"], r["frontier"], r["repeat"]))
+    rows.sort(key=lambda r: (r["instance"], r["type"], r["frontier"],
+                             r["bound"], r["repeat"]))
     return rows
 
 
@@ -242,6 +251,29 @@ _EXACT_FIELDS = ("seconds", "cycles", "nodes", "optimum", "feasible",
                  "timed_out", "detail", "tree")
 
 
+def _verifiable_fields(record: Dict[str, object],
+                       live: Dict[str, object]) -> Tuple[str, ...]:
+    """Which result fields a live re-execution must reproduce exactly.
+
+    Virtually priced cells are fully deterministic.  Wall-clock ``cpu-*``
+    cells run under real scheduling: node counts, tie-broken covers and
+    budget races vary run to run, so only the decision-level facts are
+    comparable — the MVC optimum (exhaustive search is schedule-independent
+    when it completes) and PVC feasibility; a best-so-far from a run that
+    tripped its budget — on *either* side, stored or live — is not
+    comparable at all.
+    """
+    from .spec import WALL_CLOCK_ENGINES
+
+    if record["engine"] not in WALL_CLOCK_ENGINES:
+        return _EXACT_FIELDS
+    if record["result"].get("timed_out") or live.get("timed_out"):  # type: ignore[union-attr]
+        return ()
+    if record["instance_type"] == "mvc":
+        return ("optimum", "feasible")
+    return ("feasible",)
+
+
 def verify_run_against_live(
     store: RunStore,
     run_id: str,
@@ -270,12 +302,13 @@ def verify_run_against_live(
         identity = {key: record[key] for key in (
             "fingerprint", "instance", "engine", "frontier",
             "instance_type", "k", "repeat")}
+        identity["bound"] = record.get("bound", "greedy")
         ref = next(
             info["ref"] for info in run.manifest["instances"]  # type: ignore[union-attr]
             if info["label"] == record["instance"])
         live = _execute_cell(spec_dict, identity, ref)["result"]
         stored = record["result"]
-        for field in _EXACT_FIELDS:
+        for field in _verifiable_fields(record, live):
             if stored.get(field) != live.get(field):  # type: ignore[union-attr]
                 mismatches.append(
                     f"{record['instance']}/{record['instance_type']}/"
@@ -288,3 +321,116 @@ def verify_run_against_live(
             "stored cells diverged from live engine invocation:\n  "
             + "\n  ".join(mismatches))
     return len(records)
+
+
+# --------------------------------------------------------------------- #
+# cross-run diff (over the SQLite index)
+# --------------------------------------------------------------------- #
+@dataclass
+class RunDiff:
+    """What changed between two runs' stored cells.
+
+    Cells pair up by *logical identity* — (instance, engine, frontier,
+    bound, instance type, k, repeat) — not by fingerprint, so a config
+    change (new budget, re-tuned device) shows up as *changed* cells with
+    deltas instead of disjoint added/removed sets.
+    """
+
+    run_a: str
+    run_b: str
+    added: List[Dict[str, object]] = field(default_factory=list)
+    removed: List[Dict[str, object]] = field(default_factory=list)
+    changed: List[Dict[str, object]] = field(default_factory=list)
+    unchanged: int = 0
+
+
+#: Logical identity of a cell within a run (fingerprint-independent).
+_DIFF_KEY = ("instance", "engine", "frontier", "bound", "instance_type",
+             "k", "repeat")
+
+#: Result fields compared (and delta'd where numeric) between runs.
+_DIFF_FIELDS = ("optimum", "feasible", "timed_out", "nodes", "cycles", "seconds")
+
+
+def _diff_key(record: Dict[str, object]) -> Tuple[object, ...]:
+    rec = dict(record)
+    rec.setdefault("bound", "greedy")
+    return tuple(rec.get(key) for key in _DIFF_KEY)
+
+
+def diff_runs(store: RunStore, run_a: str, run_b: str) -> RunDiff:
+    """Compare two runs' cells through the cross-run SQLite index.
+
+    Both runs are (re)indexed from their on-disk artifacts first — the
+    index is derived state, so the diff can never be stale — then read
+    back with :meth:`RunStore.query_cells`.  Returns the added / removed
+    / changed cell sets, with per-field deltas (nodes, cycles, seconds)
+    on the changed ones.
+    """
+    store.index_run(store.get_run(run_a))
+    store.index_run(store.get_run(run_b))
+    cells_a = {_diff_key(rec): rec for rec in store.query_cells(run_id=run_a)}
+    cells_b = {_diff_key(rec): rec for rec in store.query_cells(run_id=run_b)}
+
+    diff = RunDiff(run_a=run_a, run_b=run_b)
+    for key in sorted(set(cells_a) | set(cells_b), key=repr):
+        a, b = cells_a.get(key), cells_b.get(key)
+        if a is None:
+            diff.added.append(b)
+            continue
+        if b is None:
+            diff.removed.append(a)
+            continue
+        res_a, res_b = a["result"], b["result"]
+        deltas: Dict[str, object] = {}
+        for fld in _DIFF_FIELDS:
+            va, vb = res_a.get(fld), res_b.get(fld)
+            if va == vb:
+                continue
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                deltas[fld] = {"a": va, "b": vb, "delta": vb - va}
+            else:
+                deltas[fld] = {"a": va, "b": vb}
+        if deltas:
+            diff.changed.append({**{k: v for k, v in zip(_DIFF_KEY, key)},
+                                 "deltas": deltas})
+        else:
+            diff.unchanged += 1
+    return diff
+
+
+def render_diff(diff: RunDiff) -> str:
+    """Human-readable summary of a :func:`diff_runs` result."""
+
+    def label(rec_or_key: Dict[str, object]) -> str:
+        parts = [str(rec_or_key["instance"]), str(rec_or_key["instance_type"]),
+                 str(rec_or_key["engine"])]
+        if rec_or_key.get("frontier"):
+            parts.append(str(rec_or_key["frontier"]))
+        bound = rec_or_key.get("bound") or "greedy"
+        if bound != "greedy":
+            parts.append(f"bound={bound}")
+        if rec_or_key.get("repeat"):
+            parts.append(f"r{rec_or_key['repeat']}")
+        return "/".join(parts)
+
+    lines = [
+        f"diff {diff.run_a} -> {diff.run_b}: "
+        f"{len(diff.added)} added, {len(diff.removed)} removed, "
+        f"{len(diff.changed)} changed, {diff.unchanged} unchanged",
+    ]
+    for rec in diff.added:
+        lines.append(f"  + {label(rec)}")
+    for rec in diff.removed:
+        lines.append(f"  - {label(rec)}")
+    for cell in diff.changed:
+        deltas = cell["deltas"]
+        rendered = []
+        for fld, info in deltas.items():
+            if "delta" in info:
+                rendered.append(f"{fld} {info['a']} -> {info['b']} "
+                                f"({info['delta']:+g})")
+            else:
+                rendered.append(f"{fld} {info['a']} -> {info['b']}")
+        lines.append(f"  ~ {label(cell)}: " + ", ".join(rendered))
+    return "\n".join(lines)

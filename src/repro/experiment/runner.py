@@ -112,6 +112,7 @@ class PlannedCell:
     instance: InstanceInfo
     engine: str
     frontier: Optional[str]
+    bound: str
     instance_type: str
     k: Optional[int]
     repeat: int
@@ -124,6 +125,7 @@ class PlannedCell:
             "instance": self.instance.label,
             "engine": self.engine,
             "frontier": self.frontier,
+            "bound": self.bound,
             "instance_type": self.instance_type,
             "k": self.k,
             "repeat": self.repeat,
@@ -154,6 +156,7 @@ def experiment_config(spec: ExperimentSpec) -> ExperimentConfig:
         stackonly_depths=spec.stackonly_depths,
         hybrid_capacities=spec.hybrid_capacities,
         hybrid_fractions=spec.hybrid_fractions,
+        cpu_workers=spec.cpu_workers,
     )
 
 
@@ -201,9 +204,15 @@ def plan_run(spec: ExperimentSpec) -> Tuple[List[InstanceInfo], List[PlannedCell
             "repeat": cell.repeat,
             "config": config,
         }
+        if cell.bound != "greedy":
+            # non-default only: default-bound cells fingerprint exactly
+            # as they did before the axis existed, preserving resume of
+            # pre-existing stores
+            payload["bound"] = cell.bound
         planned.append(PlannedCell(
             instance=info, engine=cell.engine, frontier=cell.frontier,
-            instance_type=cell.instance_type, k=k, repeat=cell.repeat,
+            bound=cell.bound, instance_type=cell.instance_type, k=k,
+            repeat=cell.repeat,
             fingerprint=cell_fingerprint(info.graph_fp, payload),
         ))
     return list(infos.values()), planned
@@ -253,6 +262,7 @@ def _execute_cell(spec_dict: Dict[str, object], cell_fields: Dict[str, object],
         cell_fields["k"],  # type: ignore[arg-type]
         cfg,
         frontier=cell_fields["frontier"],  # type: ignore[arg-type]
+        bound=cell_fields.get("bound", "greedy"),  # type: ignore[arg-type]
     )
     return {**cell_fields, "result": result.to_record()}
 
@@ -295,7 +305,8 @@ def run_experiment(
             record = _execute_cell(spec_dict, cell.identity(), cell.instance.ref)
             run.append(record)
             say(f"  done {cell.instance.label}/{cell.instance_type}/"
-                f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}")
+                f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}"
+                f"{'/' + cell.bound if cell.bound != 'greedy' else ''}")
     else:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             futures = {
@@ -307,7 +318,8 @@ def run_experiment(
                 cell = futures[future]
                 run.append(future.result())  # single-writer append
                 say(f"  done {cell.instance.label}/{cell.instance_type}/"
-                    f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}")
+                    f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}"
+                    f"{'/' + cell.bound if cell.bound != 'greedy' else ''}")
     run.finish("complete")
     store.index_run(run)
     say(f"{run.run_id}: executed {len(pending)}, skipped {skipped} "

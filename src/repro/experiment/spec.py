@@ -1,13 +1,21 @@
 """Declarative experiment specs: the grid an experiment runs over.
 
 An :class:`ExperimentSpec` is a plain JSON-able description of a
-cartesian experiment — engines × frontier policies × instances ×
-instance types × repeats, plus the shared budgets and engine parameter
-grids — validated against the live registries (``ENGINES`` from
-:mod:`repro.core.solver`, ``FRONTIERS`` from :mod:`repro.core.frontier`,
+cartesian experiment — engines × frontier policies × bound policies ×
+instances × instance types × repeats, plus the shared budgets and
+engine parameter grids — validated against the live registries
+(``ENGINES`` from :mod:`repro.core.solver`, ``FRONTIERS`` from
+:mod:`repro.core.frontier`, ``BOUNDS`` from :mod:`repro.core.bounds`,
 the evaluation suite, the Table I instance types), so a typo fails at
 spec load with a one-line error naming the legal values, not half-way
 through a sweep.
+
+Two engine families are selectable: the virtually priced engines
+(:data:`EXPERIMENT_ENGINES` — sequential + the simulated-GPU programs,
+reporting virtual ``seconds``/``cycles``) and the real ``cpu-*`` teams
+(:data:`WALL_CLOCK_ENGINES`), which run in *wall-clock mode*: their
+cells store ``wall_seconds`` (and null virtual ``seconds``/``cycles``),
+and live verification compares only their deterministic fields.
 
 Identity is content-addressed at two levels:
 
@@ -35,6 +43,7 @@ import numpy as np
 __all__ = [
     "SPEC_SCHEMA_VERSION",
     "EXPERIMENT_ENGINES",
+    "WALL_CLOCK_ENGINES",
     "InstanceRef",
     "CellSpec",
     "ExperimentSpec",
@@ -49,10 +58,13 @@ __all__ = [
 SPEC_SCHEMA_VERSION = 1
 
 #: Engines the experiment layer can price in virtual seconds — the
-#: sequential baseline plus the simulated-GPU engines.  (The real
-#: ``cpu-*`` engines report wall-clock only and are deliberately not
-#: part of the Table I grid.)
+#: sequential baseline plus the simulated-GPU engines.
 EXPERIMENT_ENGINES: Tuple[str, ...] = ("sequential", "stackonly", "hybrid", "globalonly")
+
+#: The real CPU teams, runnable in wall-clock mode: their cells carry
+#: ``wall_seconds`` only (virtual ``seconds``/``cycles`` stay null) and
+#: they never join the Table I virtual-seconds columns.
+WALL_CLOCK_ENGINES: Tuple[str, ...] = ("cpu-threads", "cpu-process", "cpu-worksteal")
 
 #: Simulated devices selectable from a spec.
 SPEC_DEVICES: Tuple[str, ...] = ("SmallSim", "TinySim")
@@ -108,6 +120,7 @@ class CellSpec:
     instance: InstanceRef
     engine: str
     frontier: Optional[str]   # sequential engine only; None otherwise
+    bound: str                # BOUNDS registry name (every engine)
     instance_type: str
     repeat: int
 
@@ -123,6 +136,8 @@ class ExperimentSpec:
     engines: Tuple[str, ...] = ("sequential", "hybrid")
     #: frontier axis; pairs with the sequential engine only.
     frontiers: Tuple[str, ...] = ("lifo",)
+    #: bound-policy axis; pairs with *every* engine (BOUNDS registry).
+    bounds: Tuple[str, ...] = ("greedy",)
     instance_types: Tuple[str, ...] = ("mvc",)
     repeats: int = 1
     seed: int = 0
@@ -132,6 +147,8 @@ class ExperimentSpec:
     stackonly_depths: Tuple[int, ...] = (4,)
     hybrid_capacities: Tuple[int, ...] = (256,)
     hybrid_fractions: Tuple[float, ...] = (0.25,)
+    #: worker-team width for the wall-clock ``cpu-*`` engines.
+    cpu_workers: int = 2
     #: optional CALIBRATION.json applied in every worker before solving —
     #: calibration moves the scalar/vectorized dispatch, never results, so
     #: it is excluded from cell fingerprints.
@@ -142,6 +159,7 @@ class ExperimentSpec:
     # ------------------------------------------------------------------ #
     def validate(self) -> "ExperimentSpec":
         """Check every axis against the live registries; return self."""
+        from ..core.bounds import BOUNDS
         from ..core.frontier import FRONTIERS
         from ..graph.generators.suites import SCALES, paper_suite
 
@@ -164,14 +182,22 @@ class ExperimentSpec:
                 raise ValueError(f"instance file does not exist: {ref.path}")
         if not self.engines:
             raise ValueError("spec declares no engines")
+        legal_engines = EXPERIMENT_ENGINES + WALL_CLOCK_ENGINES
         for engine in self.engines:
-            if engine not in EXPERIMENT_ENGINES:
-                raise _one_line_choice_error("engine", engine, EXPERIMENT_ENGINES)
+            if engine not in legal_engines:
+                raise _one_line_choice_error("engine", engine, legal_engines)
         if not self.frontiers:
             raise ValueError("spec declares no frontiers (use ['lifo'] for the default)")
         for frontier in self.frontiers:
             if frontier not in FRONTIERS:
                 raise _one_line_choice_error("frontier", frontier, sorted(FRONTIERS))
+        if not self.bounds:
+            raise ValueError("spec declares no bounds (use ['greedy'] for the default)")
+        for bound in self.bounds:
+            if bound not in BOUNDS:
+                raise _one_line_choice_error("bound", bound, sorted(BOUNDS))
+        if self.cpu_workers < 1:
+            raise ValueError("cpu_workers must be >= 1")
         from ..analysis.experiments import INSTANCE_TYPES
 
         for itype in self.instance_types:
@@ -189,7 +215,18 @@ class ExperimentSpec:
     # (de)serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
+        # Fields added after schema v1 shipped (``bounds``, ``cpu_workers``)
+        # are omitted at their defaults: a spec that does not use them
+        # serializes — and therefore spec-hashes — exactly as it did
+        # before the axis existed, so pre-existing runs keep their ids
+        # and resume instead of erroring on a changed hash.
+        extras: Dict[str, object] = {}
+        if tuple(self.bounds) != ("greedy",):
+            extras["bounds"] = list(self.bounds)
+        if self.cpu_workers != 2:
+            extras["cpu_workers"] = self.cpu_workers
         return {
+            **extras,
             "schema_version": SPEC_SCHEMA_VERSION,
             "kind": "repro-vc-experiment-spec",
             "name": self.name,
@@ -221,10 +258,10 @@ class ExperimentSpec:
             )
         known = {
             "schema_version", "kind", "name", "scale", "device", "instances",
-            "engines", "frontiers", "instance_types", "repeats", "seed",
-            "virtual_budget_s", "seq_node_guard", "engine_node_guard",
+            "engines", "frontiers", "bounds", "instance_types", "repeats",
+            "seed", "virtual_budget_s", "seq_node_guard", "engine_node_guard",
             "stackonly_depths", "hybrid_capacities", "hybrid_fractions",
-            "calibration",
+            "cpu_workers", "calibration",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -241,6 +278,7 @@ class ExperimentSpec:
             instances=[InstanceRef.from_json(obj) for obj in data["instances"]],  # type: ignore[union-attr]
             engines=tuple(data.get("engines", defaults.engines)),  # type: ignore[arg-type]
             frontiers=tuple(data.get("frontiers", defaults.frontiers)),  # type: ignore[arg-type]
+            bounds=tuple(data.get("bounds", defaults.bounds)),  # type: ignore[arg-type]
             instance_types=tuple(data.get("instance_types", defaults.instance_types)),  # type: ignore[arg-type]
             repeats=int(data.get("repeats", defaults.repeats)),  # type: ignore[arg-type]
             seed=int(data.get("seed", defaults.seed)),  # type: ignore[arg-type]
@@ -250,6 +288,7 @@ class ExperimentSpec:
             stackonly_depths=tuple(data.get("stackonly_depths", defaults.stackonly_depths)),  # type: ignore[arg-type]
             hybrid_capacities=tuple(data.get("hybrid_capacities", defaults.hybrid_capacities)),  # type: ignore[arg-type]
             hybrid_fractions=tuple(data.get("hybrid_fractions", defaults.hybrid_fractions)),  # type: ignore[arg-type]
+            cpu_workers=int(data.get("cpu_workers", defaults.cpu_workers)),  # type: ignore[arg-type]
             calibration=data.get("calibration"),  # type: ignore[arg-type]
         )
         return spec.validate()
@@ -263,7 +302,9 @@ class ExperimentSpec:
         The frontier axis pairs with the sequential engine only: the
         parallel engines' worklist disciplines are fixed by what they
         model, so giving them a frontier would misreport the scenario
-        (same contract as ``repro solve --frontier``).
+        (same contract as ``repro solve --frontier``).  The bound axis
+        pairs with every engine — pruning strength is a property of the
+        shared node step, not of any one traversal discipline.
         """
         cells: List[CellSpec] = []
         for ref in self.instances:
@@ -272,11 +313,12 @@ class ExperimentSpec:
                     frontiers: Sequence[Optional[str]]
                     frontiers = self.frontiers if engine == "sequential" else (None,)
                     for frontier in frontiers:
-                        for repeat in range(self.repeats):
-                            cells.append(CellSpec(
-                                instance=ref, engine=engine, frontier=frontier,
-                                instance_type=itype, repeat=repeat,
-                            ))
+                        for bound in self.bounds:
+                            for repeat in range(self.repeats):
+                                cells.append(CellSpec(
+                                    instance=ref, engine=engine, frontier=frontier,
+                                    bound=bound, instance_type=itype, repeat=repeat,
+                                ))
         return cells
 
     def cell_config(self) -> Dict[str, object]:
@@ -299,6 +341,9 @@ class ExperimentSpec:
             "stackonly_depths": list(self.stackonly_depths),
             "hybrid_capacities": list(self.hybrid_capacities),
             "hybrid_fractions": list(self.hybrid_fractions),
+            # non-default only: a spec not using the wall-clock engines
+            # fingerprints exactly as before the knob existed
+            **({"cpu_workers": self.cpu_workers} if self.cpu_workers != 2 else {}),
             "seed": self.seed,
         }
 
@@ -347,7 +392,7 @@ def cell_fingerprint(graph_fp: str, payload: Dict[str, object]) -> str:
     """SHA-256 identity of one cell: graph hash × configuration hash.
 
     ``payload`` is the cell's identity dict (instance label, engine,
-    frontier, instance type, k, repeat, config).  Matching fingerprints
+    frontier, bound, instance type, k, repeat, config).  Matching fingerprints
     mean "this exact solve already happened" — the resume contract.
     """
     body = canonical_json({"graph": graph_fp, **payload})

@@ -86,6 +86,10 @@ def validate_cell_record(record: Dict[str, object]) -> None:
                 "instance_type", "k", "repeat", "result"):
         if key not in record:
             _fail(f"cell record missing {key!r}")
+    # ``bound`` joined the record in PR 5; absent means the pre-bound-axis
+    # default (``greedy``), so old stores stay readable.
+    if "bound" in record and not isinstance(record["bound"], str):
+        _fail("cell bound is not a string")
     if not isinstance(record["fingerprint"], str) or len(record["fingerprint"]) != 64:
         _fail("cell fingerprint is not a sha256 hex digest")
     if not isinstance(record["repeat"], int):
@@ -294,11 +298,16 @@ class RunStore:
         conn.execute(
             "CREATE TABLE IF NOT EXISTS cells ("
             " run_id TEXT, fingerprint TEXT, instance TEXT, engine TEXT,"
-            " frontier TEXT, instance_type TEXT, repeat INTEGER,"
+            " frontier TEXT, bound TEXT, instance_type TEXT, repeat INTEGER,"
             " seconds REAL, timed_out INTEGER, nodes INTEGER,"
             " optimum INTEGER, cycles REAL, wall_seconds REAL, record TEXT,"
             " PRIMARY KEY (run_id, fingerprint))"
         )
+        # Pre-bound-axis index files lack the column; the index is derived,
+        # so migrate in place (values backfill on the next reindex).
+        columns = {row[1] for row in conn.execute("PRAGMA table_info(cells)")}
+        if "bound" not in columns:  # pragma: no cover - legacy index file
+            conn.execute("ALTER TABLE cells ADD COLUMN bound TEXT")
         return conn
 
     def index_run(self, run: Run) -> int:
@@ -321,7 +330,10 @@ class RunStore:
             )
             conn.execute("DELETE FROM cells WHERE run_id = ?", (run.run_id,))
             conn.executemany(
-                "INSERT INTO cells VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                "INSERT INTO cells (run_id, fingerprint, instance, engine,"
+                " frontier, bound, instance_type, repeat, seconds, timed_out,"
+                " nodes, optimum, cycles, wall_seconds, record)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                 [
                     (
                         run.run_id,
@@ -329,6 +341,7 @@ class RunStore:
                         rec["instance"],
                         rec["engine"],
                         rec["frontier"],
+                        rec.get("bound", "greedy"),
                         rec["instance_type"],
                         rec["repeat"],
                         rec["result"]["seconds"],  # type: ignore[index]
@@ -358,11 +371,13 @@ class RunStore:
         instance: Optional[str] = None,
         engine: Optional[str] = None,
         instance_type: Optional[str] = None,
+        bound: Optional[str] = None,
     ) -> List[Dict[str, object]]:
         """Full cell records matching the filters, across runs."""
         clauses, params = [], []
         for column, value in (("run_id", run_id), ("instance", instance),
-                              ("engine", engine), ("instance_type", instance_type)):
+                              ("engine", engine), ("instance_type", instance_type),
+                              ("bound", bound)):
             if value is not None:
                 clauses.append(f"{column} = ?")
                 params.append(value)

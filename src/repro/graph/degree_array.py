@@ -386,7 +386,10 @@ def remove_vertices_into_cover(
     in_batch[verts] = True
     sum_deg = int(deg[verts].sum())
     # Gather all incident half-edges of the batch in one segment gather.
+    # Widened once: int32 index arrays put every downstream gather on
+    # NumPy's slow buffered path (see remove_neighbors_batch_cheap).
     nbrs_all, _, _ = graph.row_segments(verts)
+    nbrs_all = nbrs_all.astype(np.int64)
     alive_mask = deg[nbrs_all] >= 0
     internal_half_edges = int(np.count_nonzero(alive_mask & in_batch[nbrs_all]))
     external = nbrs_all[alive_mask & ~in_batch[nbrs_all]]
@@ -423,6 +426,39 @@ def remove_neighbors_into_cover(
     decrements into candidate range is pushed into the queues in ``dirty``,
     which is how the branch step records the touched set it hands to the
     child's reduction cascade.
+
+    Routed through :func:`remove_neighbors_batch_cheap` — one adjacency
+    gather and one in-batch mask shared by the alive filter, the internal
+    edge count and the decrement, with the touched set pushed raw into the
+    queues (duplicates allowed by the queue contract).  The pre-fusion
+    two-stage path (``alive_neighbors`` + the general batch removal) is
+    kept as :func:`_remove_neighbors_reference`, the equivalence oracle
+    and the A side of the ``remove_neighbors_fused`` pair in
+    ``BENCH_micro.json``.
+    """
+    if ws is None:
+        ws = Workspace(deg.size)
+    deleted, n_removed, touched = remove_neighbors_batch_cheap(graph, deg, v, ws)
+    if dirty is not None and touched.size:
+        for queue in dirty:
+            queue.push(touched)  # queues tolerate duplicate ids
+    return deleted, n_removed
+
+
+def _remove_neighbors_reference(
+    graph: CSRGraph,
+    deg: np.ndarray,
+    v: int,
+    ws: Optional[Workspace] = None,
+    *,
+    dirty: Optional[Sequence[DirtyQueue]] = None,
+) -> Tuple[int, int]:
+    """Pre-fusion neighbourhood removal: gather ``N_alive(v)``, then batch.
+
+    Semantically :func:`remove_neighbors_into_cover`; pays a second
+    adjacency mask (the ``alive_neighbors`` pre-pass) plus the general
+    batch path's size dispatch and scratch bookkeeping.  Kept as the
+    property-test oracle and interleaved A/B baseline.
     """
     live = alive_neighbors(graph, deg, v)
     if live.size == 0:
@@ -460,26 +496,42 @@ def remove_neighbors_batch_cheap(
     if k == 1:
         u = int(live[0])
         deleted = remove_vertex_into_cover(graph, deg, u)
-        ext = graph.neighbors(u)
-        alive_ext = ext[(deg[ext] >= 0) & (deg[ext] <= 2)]
-        return deleted, 1, alive_ext.astype(np.int64)
-    in_batch = ws.in_batch
-    in_batch[live] = True
+        ext = graph.neighbors(u).astype(np.int64)
+        de = deg[ext]
+        return deleted, 1, ext[(de >= 0) & (de <= 2)]
+    # One upfront widening pays for every gather below: NumPy's fancy
+    # indexing takes a ~3x slower buffered path for non-native (int32)
+    # index arrays, and this kernel is nothing but gathers.
+    live = live.astype(np.int64)
     sum_deg = int(deg[live].sum())
     flat, _, _ = graph.row_segments(live)
-    alive_mask = deg[flat] >= 0
-    inb = in_batch[flat]
-    internal_half_edges = int(np.count_nonzero(alive_mask & inb))
-    external = flat[alive_mask & ~inb]
-    if external.size:
-        if deg.size <= (external.size << 4):
-            counts = np.bincount(external, minlength=deg.size)
+    flat = flat.astype(np.int64)
+    # Decrement *every* alive target — including batch members, whose
+    # entries are overwritten with the sentinel right after, so the
+    # in-batch/external split (two mask ANDs plus a second boolean
+    # gather) never needs to be materialised.  The internal half-edge
+    # count falls out of the same bincount: occurrences of batch members
+    # among the alive targets are exactly the half-edges internal to the
+    # batch.
+    alive_flat = flat[deg[flat] >= 0]
+    if alive_flat.size:
+        if deg.size <= (alive_flat.size << 4):
+            counts = np.bincount(alive_flat, minlength=deg.size)
+            internal_half_edges = int(counts[live].sum())
             np.subtract(deg, counts, out=deg, casting="unsafe")
         else:
-            np.subtract.at(deg, external, 1)
+            in_batch = ws.in_batch
+            in_batch[live] = True
+            internal_half_edges = int(np.count_nonzero(in_batch[alive_flat]))
+            in_batch[live] = False  # restore scratch
+            np.subtract.at(deg, alive_flat, 1)
+    else:  # pragma: no cover - k >= 2 live neighbours imply alive targets
+        internal_half_edges = 0
     deg[live] = REMOVED
-    in_batch[live] = False  # restore scratch
-    touched = (external[deg[external] <= 2] if external.size else _EMPTY_I64)
+    # Batch members sit at the sentinel now, so the alive filter drops
+    # them and the survivors are exactly the external decremented set.
+    da = deg[alive_flat]
+    touched = alive_flat[(da >= 0) & (da <= 2)]
     return sum_deg - internal_half_edges // 2, k, touched
 
 

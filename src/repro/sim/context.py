@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..core.bounds import DEFAULT_BOUND, make_bound
 from ..core.formulation import Formulation
 from ..core.nodestep import NodeStep
 from ..core.parallel_reductions import apply_reductions_parallel
@@ -44,6 +45,8 @@ class SharedState:
     num_blocks: int
     node_budget: Optional[int] = None
     cycle_budget: Optional[float] = None
+    #: bound-policy name every block's NodeStep prunes with (BOUNDS registry).
+    bound: str = DEFAULT_BOUND
     nodes_visited: int = 0
     timed_out: bool = False
     waiting: int = 0
@@ -89,10 +92,12 @@ class BlockContext:
         self.stack = LocalStack(stack_bound)
         self.ws = Workspace.for_graph(shared.graph)
         # The shared node step, metered through this block's charge hook
-        # with the Section IV-D parallel-semantics reduction rules.
+        # with the Section IV-D parallel-semantics reduction rules and the
+        # launch's bound policy (non-default bounds charge `lower_bound`).
         self.step = NodeStep(
             shared.graph, shared.formulation, self.ws,
             reducer=apply_reductions_parallel, charge=self.charge_units,
+            bound=make_bound(shared.bound, shared.graph, self.ws),
         )
         self.metrics = BlockMetrics(block_id=block_id, sm_id=sm_id)
         self.now = 0.0           # written by the scheduler before each resume

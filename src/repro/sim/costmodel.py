@@ -15,6 +15,23 @@ The eleven activity kinds match Fig. 6's breakdown exactly::
 plus the internal ``state_copy`` kind, folded into the stack/worklist
 costs by the engines (copying the degree array is part of moving a tree
 node, exactly as in the CUDA implementation).
+
+One kind extends the paper's set: ``lower_bound`` meters the pluggable
+bound policies of :mod:`repro.core.bounds` when a *non-default* bound is
+active.  Charge rule: one evaluation charges the policy's
+``cost_units`` — the degree entries / alive half-edges it examines (one
+array scan for ``degree``, an adjacency walk ``2|E'| + n`` for
+``matching``, ``2|E'|·sqrt(|V'|) + n`` for ``konig``, the member sum
+for ``combined``) — priced like the reduction scans (memory-bound
+degree-array traffic).  The charge fires only when the policy actually
+evaluates: nodes killed by the free Buss pre-test (or a negative
+budget) charge nothing, and an evaluation is billed at its full
+``cost_units`` even when the budget ``cap`` truncates the walk early —
+a deterministic, slightly conservative model.  The default ``greedy`` bound reads two counters
+the state already carries and is **never** charged, so every engine's
+charge stream under the default is bit-identical to the pre-bound-layer
+code; Fig. 6 therefore shows a ``lower_bound`` column only for runs
+that opted into a stronger bound.
 """
 
 from __future__ import annotations
@@ -23,12 +40,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict
 
-__all__ = ["CostModel", "KINDS", "WORK_DISTRIBUTION_KINDS", "REDUCE_KINDS", "BRANCH_KINDS"]
+__all__ = ["CostModel", "KINDS", "WORK_DISTRIBUTION_KINDS", "REDUCE_KINDS",
+           "BRANCH_KINDS", "BOUND_KINDS"]
 
 WORK_DISTRIBUTION_KINDS = ("wl_add", "wl_remove", "stack_push", "stack_pop", "terminate")
 REDUCE_KINDS = ("degree_one", "degree_two_triangle", "high_degree")
 BRANCH_KINDS = ("find_max", "remove_vmax", "remove_neighbors")
-KINDS = WORK_DISTRIBUTION_KINDS + REDUCE_KINDS + BRANCH_KINDS + ("state_copy",)
+#: Non-default bound-policy evaluations (see the charge rule above).
+BOUND_KINDS = ("lower_bound",)
+KINDS = WORK_DISTRIBUTION_KINDS + REDUCE_KINDS + BRANCH_KINDS + BOUND_KINDS + ("state_copy",)
 
 _DEFAULT_BASE: Dict[str, float] = {
     # fixed overhead per operation (instruction issue, sync, pointer chasing)
@@ -43,6 +63,7 @@ _DEFAULT_BASE: Dict[str, float] = {
     "find_max": 30.0,
     "remove_vmax": 30.0,
     "remove_neighbors": 30.0,
+    "lower_bound": 40.0,
     "state_copy": 20.0,
 }
 
@@ -61,6 +82,9 @@ _DEFAULT_PER_UNIT: Dict[str, float] = {
     "find_max": 4.0,
     "remove_vmax": 24.0,    # atomic degree decrements
     "remove_neighbors": 24.0,
+    # non-default bound evaluations scan degree/adjacency data like the
+    # reduction rules do (memory-bound), hence the same per-entry price
+    "lower_bound": 40.0,
     "state_copy": 4.0,
 }
 

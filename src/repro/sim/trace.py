@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from .context import BlockContext
-from .costmodel import BRANCH_KINDS, REDUCE_KINDS, WORK_DISTRIBUTION_KINDS
+from .costmodel import BOUND_KINDS, BRANCH_KINDS, REDUCE_KINDS, WORK_DISTRIBUTION_KINDS
 
 __all__ = ["Span", "TraceRecorder", "attach_recorder", "render_gantt"]
 
@@ -27,6 +27,7 @@ _GROUP_GLYPHS = (
     (WORK_DISTRIBUTION_KINDS, "w"),
     (REDUCE_KINDS, "r"),
     (BRANCH_KINDS, "b"),
+    (BOUND_KINDS, "l"),
 )
 
 

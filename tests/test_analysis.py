@@ -59,7 +59,10 @@ class TestLoadSummary:
 
 class TestBreakdown:
     def test_labels_cover_eleven_activities(self):
-        assert len(ACTIVITY_LABELS) == 11
+        # the paper's eleven Fig. 6 activities plus the lower_bound
+        # extension (charged only by non-default bound policies)
+        assert len(ACTIVITY_LABELS) == 12
+        assert "lower_bound" in ACTIVITY_LABELS
 
     def test_mean_breakdown(self):
         rows = [

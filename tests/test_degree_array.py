@@ -174,3 +174,48 @@ def test_random_removal_sequences_preserve_invariants(n, p, seed, data):
         alive = [v for v in alive if state.deg[v] >= 0]
         check_state_consistency(g, state)
     assert state.edge_count == recompute_edge_count(g, state.deg)
+
+
+class TestFusedNeighborhoodRemoval:
+    """The fused remove_neighbors kernel ≡ the pre-fusion composition.
+
+    ``remove_neighbors_into_cover`` now runs the single-gather batch
+    kernel; ``_remove_neighbors_reference`` keeps the PR 1-4 two-step
+    composition (``alive_neighbors`` + general batch removal) as the
+    oracle.  Same degree array, same return pair, same drained dirty
+    set — on roots and on partially-removed intermediate states.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(4, 40), p=st.floats(0.05, 0.7),
+           seed=st.integers(0, 500), kill_seed=st.integers(0, 500))
+    def test_fused_matches_reference(self, n, p, seed, kill_seed):
+        from repro.graph.degree_array import (
+            DirtyQueue,
+            _remove_neighbors_reference,
+            remove_neighbors_into_cover,
+            remove_vertex_into_cover,
+        )
+
+        graph = gnp(n, p, seed=seed)
+        ws = Workspace.for_graph(graph)
+        state = fresh_state(graph)
+        rng = np.random.default_rng(kill_seed)
+        for v in rng.choice(n, size=int(rng.integers(0, max(n // 3, 1))),
+                            replace=False):
+            if state.deg[v] >= 0:
+                state.edge_count -= remove_vertex_into_cover(
+                    graph, state.deg, int(v))
+        pivot = int(rng.integers(n))
+        if state.deg[pivot] < 0:
+            return
+        d_ref, d_new = state.deg.copy(), state.deg.copy()
+        q_ref, q_new = (DirtyQueue(n),), (DirtyQueue(n),)
+        out_ref = _remove_neighbors_reference(graph, d_ref, pivot, ws,
+                                              dirty=q_ref)
+        out_new = remove_neighbors_into_cover(graph, d_new, pivot, ws,
+                                              dirty=q_new)
+        assert out_ref == out_new
+        assert np.array_equal(d_ref, d_new)
+        assert np.array_equal(q_ref[0].drain_sorted(),
+                              q_new[0].drain_sorted())

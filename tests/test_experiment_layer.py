@@ -413,3 +413,169 @@ class TestStoreBackedTable1:
                    instances=("p_hat_300_1",), instance_types=("mvc",),
                    store=store)
         assert len(store.runs()) == 2  # distinct run ids, no stale reuse
+
+
+# --------------------------------------------------------------------- #
+# PR 5: bound axis, wall-clock cpu mode, cross-run diff
+# --------------------------------------------------------------------- #
+class TestBoundAxis:
+    def test_bound_axis_expands_for_every_engine(self):
+        spec = tiny_spec(bounds=["greedy", "matching"])
+        cells = spec.expand_cells()
+        # sequential: 2 frontiers x 2 bounds; hybrid: 1 x 2 bounds
+        assert len(cells) == 6
+        assert {cell.bound for cell in cells} == {"greedy", "matching"}
+        hybrid = [cell for cell in cells if cell.engine == "hybrid"]
+        assert {cell.bound for cell in hybrid} == {"greedy", "matching"}
+
+    def test_unknown_bound_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="unknown bound 'buss'"):
+            tiny_spec(bounds=["buss"])
+
+    def test_bound_changes_the_cell_fingerprint(self):
+        fp = graph_fingerprint(gnp(8, 0.4, seed=1))
+        base = {"instance": "x", "engine": "sequential", "frontier": "lifo",
+                "bound": "greedy", "instance_type": "mvc", "k": None,
+                "repeat": 0, "config": {}}
+        changed = dict(base, bound="konig")
+        assert cell_fingerprint(fp, base) != cell_fingerprint(fp, changed)
+
+    def test_bound_sweep_runs_resume_and_verify(self, tmp_path):
+        spec = tiny_spec(frontiers=["lifo"], bounds=["greedy", "degree"])
+        store = RunStore(tmp_path / "store")
+        first = run_experiment(spec, store)
+        assert first.executed == 4  # (sequential + hybrid) x 2 bounds
+        again = run_experiment(spec, store)
+        assert again.executed == 0 and again.skipped == 4
+        assert verify_run_against_live(store, first.run.run_id) == 4
+
+    def test_records_without_bound_field_stay_readable(self, tmp_path):
+        # pre-PR-5 stores lack the key; validation and indexing default it
+        spec = tiny_spec(engines=["sequential"], frontiers=["lifo"])
+        store = RunStore(tmp_path / "store")
+        outcome = run_experiment(spec, store)
+        record = next(iter(outcome.run.completed().values()))
+        legacy = {k: v for k, v in record.items() if k != "bound"}
+        validate_cell_record(legacy)
+        store.index_run(outcome.run)
+        cells = store.query_cells(run_id=outcome.run.run_id, bound="greedy")
+        assert len(cells) == 1
+
+
+class TestWallClockEngines:
+    def test_cpu_engines_accepted_in_specs(self):
+        spec = tiny_spec(engines=["sequential", "cpu-threads"], cpu_workers=2)
+        assert "cpu-threads" in spec.engines
+
+    def test_unknown_engine_error_names_cpu_engines(self):
+        with pytest.raises(ValueError, match="cpu-worksteal"):
+            tiny_spec(engines=["gpu"])
+
+    def test_wall_clock_cells_store_wall_seconds_only(self, tmp_path):
+        spec = tiny_spec(engines=["cpu-threads"], frontiers=["lifo"],
+                         cpu_workers=2)
+        store = RunStore(tmp_path / "store")
+        outcome = run_experiment(spec, store)
+        assert outcome.executed == 1
+        record = next(iter(outcome.run.completed().values()))
+        result = record["result"]
+        assert result["seconds"] is None and result["cycles"] is None
+        assert result["wall_seconds"] > 0.0
+        assert result["optimum"] is not None
+        assert "wall-clock" in result["detail"]
+        # verification compares only the deterministic fields
+        assert verify_run_against_live(store, outcome.run.run_id) == 1
+
+    def test_wall_clock_cells_render_outside_table1(self, tmp_path):
+        spec = tiny_spec(engines=["sequential", "cpu-worksteal"],
+                         frontiers=["lifo"], cpu_workers=2)
+        store = RunStore(tmp_path / "store")
+        outcome = run_experiment(spec, store)
+        text = write_report(store, outcome.run.run_id)
+        assert "cpu-worksteal" in text
+
+
+class TestRunDiff:
+    def _run(self, store, **overrides):
+        overrides.setdefault("engines", ["sequential"])
+        overrides.setdefault("frontiers", ["lifo"])
+        spec = tiny_spec(**overrides)
+        return run_experiment(spec, store).run
+
+    def test_identical_runs_diff_clean(self, tmp_path):
+        from repro.experiment import diff_runs
+
+        store = RunStore(tmp_path / "store")
+        a = self._run(store, name="diff-a")
+        b = self._run(store, name="diff-b")
+        diff = diff_runs(store, a.run_id, b.run_id)
+        assert not diff.added and not diff.removed and not diff.changed
+        assert diff.unchanged == 1
+
+    def test_added_removed_and_changed_cells(self, tmp_path):
+        from repro.experiment import diff_runs, render_diff
+
+        store = RunStore(tmp_path / "store")
+        a = self._run(store, name="diff-a", bounds=["greedy", "konig"])
+        # different budget => sequential cells re-price; dropped bound
+        # => removed cells; an extra engine => added cells
+        b = self._run(store, name="diff-b", bounds=["greedy"],
+                      engines=["sequential", "hybrid"], seq_node_guard=300)
+        diff = diff_runs(store, a.run_id, b.run_id)
+        assert len(diff.removed) == 1            # the konig cell
+        assert len(diff.added) == 1              # the hybrid cell
+        assert diff.changed or diff.unchanged    # greedy cell compared
+        text = render_diff(diff)
+        assert f"diff {a.run_id} -> {b.run_id}" in text
+        assert "+ " in text and "- " in text
+
+    def test_changed_cells_carry_node_and_cycle_deltas(self, tmp_path):
+        from repro.experiment import diff_runs
+
+        store = RunStore(tmp_path / "store")
+        a = self._run(store, name="diff-a")
+        b = self._run(store, name="diff-b", seq_node_guard=5)  # guard trips
+        diff = diff_runs(store, a.run_id, b.run_id)
+        assert len(diff.changed) == 1
+        deltas = diff.changed[0]["deltas"]
+        assert "nodes" in deltas and "delta" in deltas["nodes"]
+
+    def test_unknown_run_id_raises_key_error(self, tmp_path):
+        from repro.experiment import diff_runs
+
+        store = RunStore(tmp_path / "store")
+        a = self._run(store, name="diff-a")
+        with pytest.raises(KeyError):
+            diff_runs(store, a.run_id, "no-such-run")
+
+
+class TestPreBoundAxisCompatibility:
+    """Specs and stores written before the bound axis keep their identity."""
+
+    def test_default_spec_serializes_without_the_new_fields(self):
+        spec = tiny_spec()
+        data = spec.to_dict()
+        assert "bounds" not in data and "cpu_workers" not in data
+        assert "cpu_workers" not in spec.cell_config()
+        # non-default values do serialize (and round-trip)
+        rich = tiny_spec(bounds=["greedy", "konig"], cpu_workers=3)
+        data = rich.to_dict()
+        assert data["bounds"] == ["greedy", "konig"]
+        assert data["cpu_workers"] == 3
+        again = load_spec(data)
+        assert again.bounds == ("greedy", "konig") and again.cpu_workers == 3
+
+    def test_default_bound_cells_keep_their_pre_axis_fingerprints(self, tmp_path):
+        """A run stored with no bound axis resumes with zero recompute."""
+        from repro.experiment.runner import plan_run
+
+        spec = tiny_spec(engines=["sequential"], frontiers=["lifo"])
+        store = RunStore(tmp_path / "store")
+        outcome = run_experiment(spec, store)
+        record = next(iter(outcome.run.completed().values()))
+        # simulate a pre-axis record: no 'bound' key anywhere
+        legacy = {k: v for k, v in record.items() if k != "bound"}
+        # its fingerprint must equal what today's planner computes for
+        # the default-bound cell (the greedy payload omits the key)
+        _, planned = plan_run(spec)
+        assert planned[0].fingerprint == legacy["fingerprint"]

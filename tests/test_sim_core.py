@@ -47,9 +47,13 @@ class TestCostModel:
         )
 
     def test_kind_partition_matches_fig6(self):
+        from repro.sim.costmodel import BOUND_KINDS
+
         assert set(WORK_DISTRIBUTION_KINDS) | set(REDUCE_KINDS) | set(BRANCH_KINDS) \
-            == set(KINDS) - {"state_copy"}
+            | set(BOUND_KINDS) == set(KINDS) - {"state_copy"}
+        # the paper's eleven Fig. 6 activities, plus the bound-policy kind
         assert len(WORK_DISTRIBUTION_KINDS) + len(REDUCE_KINDS) + len(BRANCH_KINDS) == 11
+        assert BOUND_KINDS == ("lower_bound",)
 
 
 class TestScheduler:
