@@ -14,7 +14,9 @@
 # shrink a bipartite search tree — (the bounds-layer guard), or the
 # experiment layer's smoke grid (which sweeps the bound axis) fails its
 # schema / zero-recompute resume / bit-identical verification gate
-# (see docs/EXPERIMENTS.md).
+# (see docs/EXPERIMENTS.md), or the fault-tolerance gate fails (injected
+# cpu-process worker kills must still yield the optimum; a
+# deadline-tripped anytime solve must checkpoint and resume to it).
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -120,3 +122,47 @@ EOF
 exp_store="$(mktemp -d /tmp/bench_smoke_exp.XXXXXX)"
 trap 'rm -f "$out"; rm -rf "$exp_store"' EXIT
 python -m repro experiment run --smoke --store "$exp_store"
+
+# --- fault-tolerance gate (see docs/ARCHITECTURE.md, fault tolerance) ---
+# 1. kill cpu-process workers mid-solve: the supervisor must re-enqueue
+#    the dead workers' leased sub-trees and still return the optimum.
+# 2. trip a wall-clock deadline at t=0: the anytime solve must surface a
+#    checkpoint whose resume reaches the clean-run optimum exactly.
+python - <<'EOF'
+import warnings
+
+from repro import faults
+from repro.core.anytime import resume_from, solve_anytime, solve_to_completion
+from repro.core.sequential import solve_mvc_sequential
+from repro.engines.cpu_process import solve_mvc_processes
+from repro.graph.generators.random_graphs import gnp
+
+graph = gnp(30, 0.15, seed=7)
+expected = solve_mvc_sequential(graph).optimum
+
+with faults.injected("worker_kill:0.5:3", seed=11):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        out = solve_mvc_processes(graph, n_workers=2, threshold=4)
+assert out.optimum == expected, (out.optimum, expected)
+assert out.workers_lost > 0, "fault plan fired no kills; gate is vacuous"
+print(f"ci_smoke: cpu-process survived {out.workers_lost} worker kills, "
+      f"cover still optimal ({out.optimum})")
+
+tripped = solve_anytime(graph, engine="cpu-process", deadline=0.0,
+                        n_workers=2, threshold=4)
+assert tripped.status in ("feasible", "bound_only"), tripped.status
+assert tripped.checkpoint is not None
+blob = tripped.checkpoint.to_bytes()
+resumed = resume_from(type(tripped.checkpoint).from_bytes(blob), graph)
+final = resumed
+while not final.complete:
+    final = resume_from(final.checkpoint, graph)
+assert final.optimum == expected, (final.optimum, expected)
+assert final.lower_bound == expected
+chained = solve_to_completion(graph, engine="sequential", node_budget=5)
+assert chained.optimum == expected
+print(f"ci_smoke: deadline-tripped anytime solve checkpointed "
+      f"{len(tripped.checkpoint.items)} frontier states and resumed to "
+      f"the optimum ({final.optimum})")
+EOF

@@ -13,6 +13,9 @@ suite::
     python -m repro solve --graph p_hat_300_3 --engine hybrid [--k 70]
     python -m repro solve --graph p_hat_300_3 --engine sequential --frontier best-first
     python -m repro solve --graph user_item --engine hybrid --bound konig
+    python -m repro solve --graph p_hat_300_3 --deadline 2 --checkpoint cp.bin
+    python -m repro solve --graph p_hat_300_3 --resume-from cp.bin
+    python -m repro solve --graph p_hat_300_3 --engine cpu-process --inject worker_kill:0.1
     python -m repro suite            # list the evaluation suite
     python -m repro bench            # hot-path micro-bench -> BENCH_micro.json
     python -m repro bench calibrate  # scalar/vectorized crossover -> CALIBRATION.json
@@ -89,8 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("solve", help="solve one suite instance with one engine")
     common(p)
     p.add_argument("--graph", required=True, help="suite instance name")
-    p.add_argument("--engine", default="hybrid",
-                   help="engine name from the ENGINES registry (default: hybrid)")
+    p.add_argument("--engine", default=None,
+                   help="engine name from the ENGINES registry (default: hybrid, "
+                        "or the checkpoint's engine with --resume-from)")
     p.add_argument("--k", type=int, default=None, help="solve PVC with this k instead of MVC")
     p.add_argument("--node-budget", type=int, default=None)
     p.add_argument("--frontier", default=None,
@@ -100,6 +104,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bound", default=None,
                    help="pruning/lower-bound policy from the BOUNDS registry, "
                         "any engine (default: greedy, the paper's rule)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock budget in seconds: solve anytime-style, "
+                        "reporting status, incumbent and admissible lower "
+                        "bound when the deadline trips")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write the serialized frontier checkpoint here when "
+                        "a --deadline / --node-budget solve is interrupted "
+                        "(resume with --resume-from PATH)")
+    p.add_argument("--resume-from", default=None, metavar="PATH",
+                   help="resume a previously checkpointed solve of the same "
+                        "graph instead of starting fresh")
+    p.add_argument("--inject", default=None, metavar="SPEC",
+                   help="arm the fault-injection switchboard for this solve: "
+                        "site:prob[:max_fires],... over "
+                        "worker_kill, reduce_raise, branch_raise, queue_delay")
+    p.add_argument("--inject-seed", type=int, default=0,
+                   help="deterministic seed for the --inject firing streams")
 
     common(sub.add_parser("suite", help="list the evaluation suite"))
 
@@ -204,6 +225,25 @@ SMOKE_SPEC = {
 }
 
 
+def _report_interrupt(run_id: Optional[str], store_arg: Optional[str]) -> int:
+    """Tell an interrupted ``experiment run`` user how to pick it back up.
+
+    Completed cells are already durable in ``results.jsonl`` and the
+    manifest is marked ``interrupted`` by the runner before the
+    ``KeyboardInterrupt`` reaches us; all that is left is to print the
+    exact resume command.  Returns 130 (the conventional SIGINT status).
+    """
+    print()  # move past the echoed ^C
+    if run_id is None:
+        print("interrupted before a run directory was opened; re-run the "
+              "same command to start over")
+        return 130
+    suffix = f" --store {store_arg}" if store_arg else ""
+    print(f"interrupted — completed cells are saved; continue with:\n"
+          f"  python -m repro experiment resume {run_id}{suffix}")
+    return 130
+
+
 def _cmd_experiment(args: argparse.Namespace, start: float) -> int:
     from .experiment import (
         RunStore,
@@ -256,8 +296,11 @@ def _cmd_experiment(args: argparse.Namespace, start: float) -> int:
         except (ValueError, OSError) as exc:
             print(f"error: {exc}")
             return 2
-        outcome = run_experiment(spec, store, n_workers=args.workers,
-                                 resume=not args.no_resume, echo=echo)
+        try:
+            outcome = run_experiment(spec, store, n_workers=args.workers,
+                                     resume=not args.no_resume, echo=echo)
+        except KeyboardInterrupt as exc:
+            return _report_interrupt(getattr(exc, "run_id", None), args.store)
         write_report(store, outcome.run.run_id)
         print(f"{outcome.run.run_id}: {outcome.planned} cells planned, "
               f"{outcome.executed} executed, {outcome.skipped} skipped "
@@ -277,8 +320,11 @@ def _cmd_experiment(args: argparse.Namespace, start: float) -> int:
                   f"experiment run'; re-run the command that created it "
                   f"(e.g. 'repro table1 --store' runs resume there)")
             return 2
-        outcome = run_experiment(spec, store, n_workers=args.workers,
-                                 run_id=args.run_id, echo=echo)
+        try:
+            outcome = run_experiment(spec, store, n_workers=args.workers,
+                                     run_id=args.run_id, echo=echo)
+        except KeyboardInterrupt:
+            return _report_interrupt(args.run_id, args.store)
         write_report(store, args.run_id)
         print(f"{args.run_id}: resumed — {outcome.executed} executed, "
               f"{outcome.skipped} skipped (already complete)")
@@ -432,23 +478,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "solve":
+        from contextlib import ExitStack
+
+        from . import faults
         from .core.bounds import BOUNDS
         from .core.frontier import FRONTIERS
         from .core.solver import ENGINES, solve_mvc, solve_pvc
 
+        engine = args.engine or ("hybrid" if args.resume_from is None else None)
         # Validate names against the live registries so a typo dies with
         # one line naming the legal values, not a traceback.
-        if args.engine not in ENGINES:
-            print(f"error: unknown engine {args.engine!r}; choose from: "
+        if engine is not None and engine not in ENGINES:
+            print(f"error: unknown engine {engine!r}; choose from: "
                   f"{', '.join(ENGINES)}")
             return 2
         if args.frontier is not None and args.frontier not in FRONTIERS:
             print(f"error: unknown frontier {args.frontier!r}; choose from: "
                   f"{', '.join(sorted(FRONTIERS))}")
             return 2
-        if args.frontier is not None and args.engine != "sequential":
+        if args.frontier is not None and engine != "sequential":
             print(f"error: --frontier applies to --engine sequential only "
-                  f"(engine {args.engine!r} has a fixed worklist discipline)")
+                  f"(engine {engine!r} has a fixed worklist discipline)")
             return 2
         if args.bound is not None and args.bound not in BOUNDS:
             print(f"error: unknown bound {args.bound!r}; choose from: "
@@ -456,18 +506,68 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         inst = suite_instance(args.graph, args.scale)
         graph = inst.graph()
-        extra = {} if args.frontier is None else {"frontier": args.frontier}
-        if args.bound is not None:
-            extra["bound"] = args.bound
-        if args.k is None:
-            out = solve_mvc(graph, engine=args.engine, node_budget=args.node_budget, **extra)
-            print(f"{args.graph}: minimum vertex cover size = {out.optimum}"
-                  f"{' (budget exceeded, best found)' if out.timed_out else ''}")
-        else:
-            out = solve_pvc(graph, args.k, engine=args.engine,
-                            node_budget=args.node_budget, **extra)
-            print(f"{args.graph}: cover of size <= {args.k} "
-                  f"{'EXISTS (found ' + str(out.optimum) + ')' if out.feasible else 'does not exist' if out.feasible is False else 'undetermined (budget)'}")
+
+        with ExitStack() as stack:
+            if args.inject is not None:
+                try:
+                    stack.enter_context(
+                        faults.injected(args.inject, seed=args.inject_seed))
+                except ValueError as exc:
+                    print(f"error: {exc}")
+                    return 2
+
+            anytime = (args.deadline is not None or args.checkpoint is not None
+                       or args.resume_from is not None)
+            if anytime:
+                from .core.anytime import resume_from, solve_anytime
+                from .core.outcome import Checkpoint
+
+                if args.resume_from is not None:
+                    try:
+                        checkpoint = Checkpoint.load(args.resume_from)
+                        out = resume_from(checkpoint, graph, engine=engine,
+                                          node_budget=args.node_budget,
+                                          deadline=args.deadline)
+                    except (ValueError, OSError) as exc:
+                        print(f"error: {exc}")
+                        return 2
+                else:
+                    out = solve_anytime(
+                        graph, args.k, engine=engine,
+                        frontier=args.frontier, bound=args.bound or "greedy",
+                        node_budget=args.node_budget, deadline=args.deadline)
+                best = ("none" if out.optimum is None
+                        else f"{out.optimum} cover" if out.formulation == "mvc"
+                        else f"{out.optimum} cover (k={out.k})")
+                print(f"{args.graph}: status={out.status} engine={out.engine} "
+                      f"best={best} lower_bound={out.lower_bound} "
+                      f"nodes={out.nodes}")
+                if out.checkpoint is not None and args.checkpoint is not None:
+                    out.checkpoint.save(args.checkpoint)
+                    print(f"checkpoint: {len(out.checkpoint.items)} frontier "
+                          f"states -> {args.checkpoint}\n"
+                          f"resume: python -m repro solve --graph {args.graph}"
+                          f" --scale {args.scale} --resume-from {args.checkpoint}")
+                recovered = out.extra.get("faults_recovered", 0)
+                lost = out.extra.get("workers_lost", 0)
+                if recovered or lost:
+                    print(f"faults: recovered {recovered} injected step "
+                          f"failures, lost {lost} workers")
+                print(f"[{time.perf_counter() - start:.1f}s wall]")
+                return 0 if out.complete else 3
+
+            extra = {} if args.frontier is None else {"frontier": args.frontier}
+            if args.bound is not None:
+                extra["bound"] = args.bound
+            if args.k is None:
+                out = solve_mvc(graph, engine=engine, node_budget=args.node_budget, **extra)
+                print(f"{args.graph}: minimum vertex cover size = {out.optimum}"
+                      f"{' (budget exceeded, best found)' if out.timed_out else ''}")
+            else:
+                out = solve_pvc(graph, args.k, engine=engine,
+                                node_budget=args.node_budget, **extra)
+                print(f"{args.graph}: cover of size <= {args.k} "
+                      f"{'EXISTS (found ' + str(out.optimum) + ')' if out.feasible else 'does not exist' if out.feasible is False else 'undetermined (budget)'}")
         print(f"[{time.perf_counter() - start:.1f}s wall]")
         return 0
 

@@ -1,5 +1,6 @@
 """Core branch-and-reduce machinery for MVC and PVC."""
 
+from .anytime import resume_from, solve_anytime, solve_to_completion
 from .bounds import (
     BOUNDS,
     DEFAULT_BOUND,
@@ -24,6 +25,7 @@ from .frontier import (
 )
 from .greedy import GreedyResult, greedy_cover
 from .nodestep import LEAF, PRUNED, Children, NodeStep, StepOutcome
+from .outcome import Checkpoint, SolveOutcome, classify_status, frontier_lower_bound
 from .sequential import (
     SearchOutcome,
     branch_and_reduce,
@@ -35,6 +37,13 @@ from .stats import ReductionCounters, SearchStats
 from .verify import assert_valid_cover, is_independent_set, is_vertex_cover
 
 __all__ = [
+    "solve_anytime",
+    "resume_from",
+    "solve_to_completion",
+    "SolveOutcome",
+    "Checkpoint",
+    "classify_status",
+    "frontier_lower_bound",
     "BOUNDS",
     "DEFAULT_BOUND",
     "BoundPolicy",

@@ -91,6 +91,21 @@ class Frontier:
     def __bool__(self) -> bool:
         return len(self) > 0
 
+    def drain(self) -> List[Any]:
+        """Pop everything, in the policy's own order (for checkpointing).
+
+        The anytime layer (:mod:`repro.core.outcome`) serializes an
+        interrupted traversal's frontier with this; afterwards the
+        frontier is empty.
+        """
+        items: List[Any] = []
+        pop = self.pop
+        while True:
+            item = pop()
+            if item is None:
+                return items
+            items.append(item)
+
 
 class LifoFrontier(Frontier):
     """Depth-first stack: always expand the most recently deferred child."""

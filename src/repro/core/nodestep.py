@@ -43,6 +43,7 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from .. import faults
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace
 from .bounds import BoundPolicy, GreedyBound, make_bound
@@ -149,6 +150,7 @@ class NodeStep:
         charge: ChargeFn = null_charge,
         counters: Optional[ReductionCounters] = None,
         bound: Union[BoundPolicy, str, None] = None,
+        faultable: bool = True,
     ) -> None:
         if reducer is None:
             reducer = default_reducer(charge)
@@ -228,6 +230,22 @@ class NodeStep:
             _children.deferred = deferred
             _children.continued = continued
             return _children
+
+        # Fault-injection wrapping is decided once, at construction: the
+        # clean path binds the bare closure (zero overhead), and the sim
+        # engines opt out entirely (``faultable=False``) because a raise
+        # inside a cycle-charged generator program would desynchronize the
+        # simulator's charge stream rather than model a recoverable crash.
+        if faultable and faults.step_guard_active():
+            bare_run = run
+            fire = faults.fire
+
+            def run(state: VCState) -> StepOutcome:  # type: ignore[misc]
+                fire("reduce_raise")
+                outcome = bare_run(state)
+                if outcome is not PRUNED and outcome is not LEAF:
+                    fire("branch_raise")
+                return outcome
 
         self.run = run
 

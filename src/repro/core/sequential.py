@@ -18,11 +18,13 @@ enforce this).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 import numpy as np
 
+from .. import faults
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state
 from .bounds import BoundPolicy, make_bound
@@ -64,6 +66,8 @@ def branch_and_reduce(
     reducer: Optional[Reducer] = None,
     frontier: Union[Frontier, str, None] = None,
     bound: Union[BoundPolicy, str, None] = None,
+    deadline: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> SearchStats:
     """Exhaust the search tree under ``formulation`` starting from ``root``.
 
@@ -91,6 +95,23 @@ def branch_and_reduce(
     from ``BOUNDS``, or ``None`` for the paper's default (``greedy``).
     A non-default bound also re-keys a ``best-first`` frontier by its own
     lower bound.
+
+    ``deadline`` is a wall-clock budget in seconds (measured on ``clock``
+    from entry; injectable for deterministic tests — ``deadline=0`` trips
+    before the first node).  When the deadline or the node budget trips,
+    the in-flight node is pushed *back* onto the frontier before the
+    loop exits, so the frontier afterwards holds exactly the unexplored
+    remainder of the tree — the anytime layer serializes it as a
+    checkpoint (:mod:`repro.core.outcome`).  ``stats.extra`` records
+    ``timed_out`` for either trip and ``deadline_tripped`` for the
+    wall-clock one.
+
+    If a fault-injection plan arms the step sites
+    (:func:`repro.faults.step_guard_active`), each node is backed up
+    before its step and re-enqueued pristine when the injected
+    :class:`~repro.faults.FaultInjected` fires — the traversal recovers
+    to the same optimum; ``stats.extra['faults_recovered']`` counts the
+    hits.
     """
     if ws is None:
         ws = Workspace.for_graph(graph)
@@ -112,6 +133,9 @@ def branch_and_reduce(
     stop_requested = formulation.stop_requested
     accept = formulation.accept
     release_deg = ws.release_deg
+    deadline_at = None if deadline is None else clock() + deadline
+    fault_guard = faults.step_guard_active()
+    recovered = 0
     current: Optional[VCState] = root if root is not None else fresh_state(graph)
     depth = 0
     # Traversal counters live in locals for the duration of the loop (the
@@ -124,6 +148,7 @@ def branch_and_reduce(
     max_stack = stats.max_stack_depth
     max_depth = stats.max_depth_reached
     timed_out = False
+    deadline_tripped = False
 
     try:
         while True:
@@ -136,12 +161,29 @@ def branch_and_reduce(
                 current, depth = item
             if node_budget is not None and nodes >= node_budget:
                 timed_out = True
+                fpush((current, depth))  # keep the frontier checkpoint-complete
+                break
+            if deadline_at is not None and clock() >= deadline_at:
+                timed_out = True
+                deadline_tripped = True
+                fpush((current, depth))
                 break
             if should_stop is not None and should_stop():
                 timed_out = True
+                fpush((current, depth))
                 break
             nodes += 1
-            outcome = step(current)
+            if fault_guard:
+                backup = current.copy()
+                try:
+                    outcome = step(current)
+                except faults.FaultInjected:
+                    recovered += 1
+                    fpush((backup, depth))
+                    current = None
+                    continue
+            else:
+                outcome = step(current)
             if outcome is PRUNED:
                 prunes += 1
                 current = None
@@ -172,6 +214,10 @@ def branch_and_reduce(
         stats.max_depth_reached = max_depth
         if timed_out:
             stats.extra["timed_out"] = 1.0
+        if deadline_tripped:
+            stats.extra["deadline_tripped"] = 1.0
+        if recovered:
+            stats.extra["faults_recovered"] = float(recovered)
     return stats
 
 

@@ -27,8 +27,9 @@ cascades from it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -76,6 +77,12 @@ class EngineResult:
     metrics: LaunchMetrics
     worklist_stats: Optional[Any] = None
     params: Dict[str, Any] = field(default_factory=dict)
+    #: tree nodes still pending when an interrupted launch wound down —
+    #: block stacks + in-flight states + the worklist + unstarted sub-trees.
+    #: Empty unless ``timed_out``; the anytime layer checkpoints these.
+    pending_states: List[VCState] = field(default_factory=list)
+    #: the wall-clock ``deadline`` (not the node/cycle budget) tripped.
+    deadline_tripped: bool = False
 
     @property
     def stats(self):  # parity with SearchOutcome for harness code
@@ -119,17 +126,29 @@ class SimEngineBase:
         *,
         node_budget: Optional[int] = None,
         cycle_budget: Optional[float] = None,
+        deadline: Optional[float] = None,
+        roots: Optional[Sequence[VCState]] = None,
+        initial_best: Optional[Tuple[int, np.ndarray]] = None,
         **_: Any,
     ) -> EngineResult:
-        """Minimum vertex cover on the simulated device."""
+        """Minimum vertex cover on the simulated device.
+
+        ``deadline`` is a wall-clock budget in seconds; ``roots`` seeds the
+        launch from a checkpoint's pending states instead of the fresh
+        root; ``initial_best`` ``(size, cover)`` pre-loads an incumbent
+        stronger than the greedy one (both used by the anytime layer).
+        """
         greedy = greedy_cover(graph)
         best = BestBound(size=greedy.size, cover=greedy.cover)
+        if initial_best is not None and initial_best[0] < best.size:
+            best = BestBound(size=int(initial_best[0]),
+                             cover=np.asarray(initial_best[1], dtype=np.int32))
         formulation = MVCFormulation(best)
         depth_bound = max(greedy.size + 1, 2)
         if graph.m == 0:
             return self._empty_result("mvc", graph, greedy.size)
         result = self._run(graph, formulation, depth_bound, node_budget, greedy.size,
-                           cycle_budget=cycle_budget)
+                           cycle_budget=cycle_budget, deadline=deadline, roots=roots)
         result.optimum = best.size
         result.cover = best.cover
         return result
@@ -141,6 +160,8 @@ class SimEngineBase:
         *,
         node_budget: Optional[int] = None,
         cycle_budget: Optional[float] = None,
+        deadline: Optional[float] = None,
+        roots: Optional[Sequence[VCState]] = None,
         **_: Any,
     ) -> EngineResult:
         """Parameterized vertex cover on the simulated device."""
@@ -155,7 +176,7 @@ class SimEngineBase:
             res.optimum, res.feasible, res.cover = 0, True, np.empty(0, dtype=np.int32)
             return res
         result = self._run(graph, formulation, depth_bound, node_budget, greedy.size,
-                           cycle_budget=cycle_budget)
+                           cycle_budget=cycle_budget, deadline=deadline, roots=roots)
         result.optimum = flag.size
         result.cover = flag.cover
         result.feasible = None if (result.timed_out and not flag.found) else flag.found
@@ -172,6 +193,8 @@ class SimEngineBase:
         node_budget: Optional[int],
         greedy_size: int,
         cycle_budget: Optional[float] = None,
+        deadline: Optional[float] = None,
+        roots: Optional[Sequence[VCState]] = None,
     ) -> EngineResult:
         launch = select_launch_config(
             self.device, graph.n, depth_bound, block_size_override=self.block_size_override
@@ -192,8 +215,10 @@ class SimEngineBase:
             cycle_budget=cycle_budget,
             bound=self.bound,
         )
+        if deadline is not None:
+            shared.deadline_at = time.monotonic() + deadline
         shared.active = launch.num_blocks
-        self._seed(shared)
+        self._seed(shared, roots)
         contexts = [
             BlockContext(b, b % self.device.num_sms, shared, depth_bound)
             for b in range(launch.num_blocks)
@@ -213,6 +238,19 @@ class SimEngineBase:
         for ctx in contexts:
             ctx.metrics.peak_stack_depth = ctx.stack.peak_depth
             ctx.metrics.finish_time = ctx.now
+        # Interrupted launches leave their unexplored remainder spread over
+        # block stacks, in-flight deposits, the worklist, and (StackOnly)
+        # the undispensed sub-trees — gather all of it so the anytime layer
+        # can checkpoint a frontier that dominates the untraversed tree.
+        pending: List[VCState] = []
+        if shared.timed_out:
+            for ctx in contexts:
+                pending.extend(ctx.stack.entries)
+                pending.extend(ctx.leftover)
+            if worklist.entries:
+                pending.extend(worklist.entries)
+                worklist.entries.clear()
+            pending.extend(self._unstarted_roots(shared))
         return EngineResult(
             engine=self.name,
             formulation=formulation.name,
@@ -228,6 +266,8 @@ class SimEngineBase:
             metrics=metrics,
             worklist_stats=worklist.stats,
             params=self._params(),
+            pending_states=pending,
+            deadline_tripped=shared.deadline_tripped,
         )
 
     def _empty_result(self, formulation_name: str, graph: CSRGraph, greedy_size: int) -> EngineResult:
@@ -251,14 +291,24 @@ class SimEngineBase:
     # ------------------------------------------------------------------ #
     # hooks
     # ------------------------------------------------------------------ #
-    def _seed(self, shared: SharedState) -> None:
-        """Prepare shared state before blocks start (e.g. enqueue the root)."""
-        root = fresh_state(shared.graph)
-        shared.worklist.entries.append(root)
-        shared.worklist.stats.adds += 1
+    def _seed(self, shared: SharedState, roots: Optional[Sequence[VCState]] = None) -> None:
+        """Prepare shared state before blocks start (e.g. enqueue the root).
+
+        ``roots`` replaces the fresh root with a checkpoint's pending
+        states (anytime resume); the default engine feeds them all through
+        the global worklist.
+        """
+        states = [fresh_state(shared.graph)] if roots is None else list(roots)
+        for state in states:
+            shared.worklist.entries.append(state)
+            shared.worklist.stats.adds += 1
         shared.worklist.stats.peak_population = max(
             shared.worklist.stats.peak_population, shared.worklist.population
         )
+
+    def _unstarted_roots(self, shared: SharedState) -> List[VCState]:
+        """Sub-tree roots an interrupted launch never dispensed (StackOnly)."""
+        return []
 
     def _program(self, ctx: BlockContext) -> Iterator[float]:
         raise NotImplementedError

@@ -1,21 +1,44 @@
 """Real multi-process parallel engine: the hybrid protocol without a GIL.
 
-Workers are OS processes; the global worklist is a ``multiprocessing``
-queue, the incumbent bound a shared ``Value`` updated under a lock, and
-termination uses an (idle-workers, in-flight-items) pair of shared
-counters: the traversal is finished exactly when every worker is idle *and*
-no item is in the queue or in transit.  ``inflight`` is incremented before
-every put and decremented after every successful get, so feeder-thread
-latency cannot produce a lost-work or premature-exit race.
+Workers are OS processes supervised by the parent.  The parent owns the
+work queue outright: workers *lease* sub-trees from it and route every
+donation back through a synchronous event channel, so all accounting —
+what is queued, what is leased to whom, when the search is globally done
+— lives in exactly one place, the supervisor loop.  That is what makes
+worker death recoverable:
+
+* every worker message (``lease``/``lease_done``/``donate``/``best``/
+  ``result``) travels over a :class:`multiprocessing.SimpleQueue`, which
+  has **no feeder thread** — once ``put`` returns, the message is in the
+  pipe and survives the sender's death (a buffered ``mp.Queue`` put can
+  vanish with the process, which is exactly how the old teardown lost
+  work and hung for up to 600 s);
+* a leased sub-tree stays charged to its worker until the worker reports
+  ``lease_done`` (sub-tree fully drained or shipped back as leftovers).
+  When the supervisor sees a worker die mid-lease (``Process.is_alive``
+  goes false with no ``result`` message), it re-enqueues the lease
+  payload — the sub-tree *root*, which dominates everything the dead
+  worker had expanded locally — and respawns the slot with bounded retry
+  and exponential backoff, degrading to fewer workers (loud warning)
+  when a slot keeps dying;
+* if every slot dies, the parent drains the remaining sub-trees itself
+  through the sequential solver, so the call still returns the correct
+  answer instead of hanging.
+
+Termination is the supervisor's ledger test: nothing pending in the
+queue and no lease outstanding means no node anywhere can spawn more
+work, so the parent sets the ``done`` event and workers wind down,
+shipping their in-flight states back (the anytime layer checkpoints
+them when a node budget or wall-clock deadline tripped the run).
 
 States cross process boundaries through the :class:`VCState`-owned wire
 codec (:meth:`~repro.graph.degree_array.VCState.to_wire` /
 :meth:`~repro.graph.degree_array.VCState.from_wire`) — the same
 self-contained property (Section IV-B) that lets the GPU implementation
-move tree nodes between thread blocks, extended with the cross-node hints
-so the receiving worker's reduction cascade seeds its worklist instead of
-rescanning the degree array.  The codec lives with the state, so this
-engine never needs to know which fields a tree node carries.
+move tree nodes between thread blocks.  Improved incumbent *covers* are
+shipped to the parent the moment they are accepted (the shared
+``best_size`` value alone would let a dying worker strand the cover its
+siblings are already pruning against).
 """
 
 from __future__ import annotations
@@ -23,19 +46,30 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import time
-from typing import List, Optional, Tuple
+import warnings
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..core.formulation import Formulation
+from .. import faults
+from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.frontier import LifoFrontier, hybrid_should_donate
 from ..core.greedy import greedy_cover
 from ..core.nodestep import LEAF, PRUNED, NodeStep
+from ..core.sequential import branch_and_reduce
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state
 from .cpu_threads import CpuParallelResult
 
 __all__ = ["solve_mvc_processes", "solve_pvc_processes"]
+
+#: Respawn policy: how often one worker slot may die before the engine
+#: degrades to fewer workers, and the base of the exponential backoff.
+MAX_RESPAWNS = 2
+RESPAWN_BACKOFF_S = 0.05
+
+#: ``stop_reason`` codes (shared value; first tripper wins).
+_STOP_NONE, _STOP_BUDGET, _STOP_DEADLINE = 0, 1, 2
 
 
 class _SharedMVC(Formulation):
@@ -47,6 +81,7 @@ class _SharedMVC(Formulation):
         self.best_size = best_size
         self.lock = lock
         self.local_best: Optional[VCState] = None
+        self.improved = False  # set by accept(); the worker ships the cover
 
     def budget(self, cover_size: int) -> int:
         return self.best_size.value - cover_size - 1
@@ -56,6 +91,7 @@ class _SharedMVC(Formulation):
             if state.cover_size < self.best_size.value:
                 self.best_size.value = state.cover_size
                 self.local_best = state.copy()
+                self.improved = True
         return False
 
 
@@ -68,6 +104,7 @@ class _SharedPVC(Formulation):
         self.k = k
         self.found = found
         self.local_best: Optional[VCState] = None
+        self.improved = False
 
     def budget(self, cover_size: int) -> int:
         return self.k - cover_size
@@ -75,6 +112,7 @@ class _SharedPVC(Formulation):
     def accept(self, state: VCState) -> bool:
         if state.cover_size <= self.k:
             self.local_best = state.copy()
+            self.improved = True
             self.found.set()
             return True
         return False
@@ -85,20 +123,21 @@ class _SharedPVC(Formulation):
 
 def _process_worker(
     wid: int,
+    salt: int,
     graph: CSRGraph,
     mode: str,
     k: int,
     work_q: "mp.Queue",
-    result_q: "mp.Queue",
+    event_q: "mp.SimpleQueue",
     best_size: "mp.Value",
     lock: "mp.Lock",
-    idle: "mp.Value",
-    inflight: "mp.Value",
     nodes: "mp.Value",
     done: "mp.Event",
     found: "mp.Event",
+    stop_reason: "mp.Value",
     threshold: int,
     node_budget: Optional[int],
+    deadline_at: Optional[float],
     bound: str,
 ) -> None:
     formulation: Formulation
@@ -106,6 +145,13 @@ def _process_worker(
         formulation = _SharedMVC(best_size, lock)
     else:
         formulation = _SharedPVC(k, found)
+    # Each (slot, respawn) gets its own deterministic fault stream, so a
+    # respawned worker does not deterministically die at the same node.
+    faults.reseed(salt)
+    plan = faults.current_plan()
+    kill_active = plan is not None and "worker_kill" in plan.sites()
+    delay_active = plan is not None and "queue_delay" in plan.sites()
+    fault_guard = faults.step_guard_active()
     ws = Workspace.for_graph(graph)
     # fast kernels, uncharged; the bound-policy *name* crosses the process
     # boundary with the launch arguments (states themselves travel through
@@ -114,6 +160,9 @@ def _process_worker(
     local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
     local_nodes = 0
+    total_nodes = 0
+    recovered = 0
+    has_lease = False
 
     def flush_nodes() -> None:
         nonlocal local_nodes
@@ -121,39 +170,45 @@ def _process_worker(
             with nodes.get_lock():
                 nodes.value += local_nodes
                 if node_budget is not None and nodes.value >= node_budget:
+                    with stop_reason.get_lock():
+                        if stop_reason.value == _STOP_NONE:
+                            stop_reason.value = _STOP_BUDGET
                     done.set()
             local_nodes = 0
 
+    def finish_lease() -> None:
+        nonlocal has_lease
+        if has_lease:
+            event_q.put(("lease_done", wid))
+            has_lease = False
+
     def get_work() -> Optional[VCState]:
-        """Blocking get with idle/inflight termination detection."""
-        registered_idle = False
-        try:
-            while True:
-                if done.is_set() or formulation.stop_requested():
-                    return None
-                try:
-                    payload = work_q.get(timeout=0.02)
-                except queue_mod.Empty:
-                    if not registered_idle:
-                        with idle.get_lock():
-                            idle.value += 1
-                        registered_idle = True
-                    with idle.get_lock():
-                        all_idle = idle.value >= _process_worker.n_workers
-                    if all_idle and inflight.value == 0:
-                        done.set()
-                        return None
-                    continue
-                with inflight.get_lock():
-                    inflight.value -= 1
-                return VCState.from_wire(payload)
-        finally:
-            if registered_idle:
-                with idle.get_lock():
-                    idle.value -= 1
+        """Blocking get: lease the next sub-tree from the supervisor."""
+        nonlocal has_lease
+        finish_lease()  # the previous sub-tree is fully drained
+        while True:
+            if done.is_set() or formulation.stop_requested():
+                return None
+            try:
+                if delay_active:
+                    faults.fire("queue_delay")
+                payload = work_q.get(timeout=0.02)
+            except queue_mod.Empty:
+                continue
+            # Synchronous put: once this returns, the supervisor will know
+            # about the lease even if this process dies at the next node.
+            event_q.put(("lease", wid, payload))
+            has_lease = True
+            return VCState.from_wire(payload)
 
     while True:
         if done.is_set() or formulation.stop_requested():
+            break
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            with stop_reason.get_lock():
+                if stop_reason.value == _STOP_NONE:
+                    stop_reason.value = _STOP_DEADLINE
+            done.set()
             break
         if current is None:
             current = local.pop()
@@ -162,15 +217,35 @@ def _process_worker(
                 current = get_work()
                 if current is None:
                     break
+        if kill_active:
+            faults.fire("worker_kill")  # may os._exit right here
         local_nodes += 1
+        total_nodes += 1
         if local_nodes >= 32:
             flush_nodes()
-        outcome = step(current)
+        if fault_guard:
+            backup = current.copy()
+            try:
+                outcome = step(current)
+            except faults.FaultInjected:
+                recovered += 1
+                local.push(backup)  # pristine pre-step copy goes back to work
+                current = None
+                continue
+        else:
+            outcome = step(current)
         if outcome is PRUNED:
             current = None
             continue
         if outcome is LEAF:
             formulation.accept(current)  # accept() deep-copies the state
+            if formulation.improved:
+                # Ship the cover now: the shared best_size is already
+                # pruning siblings against it, so it must not be lost
+                # with this process.
+                formulation.improved = False
+                best = formulation.local_best
+                event_q.put(("best", wid, best.cover_size, best.to_wire()))
             ws.release_deg(current.deg)
             current = None
             continue
@@ -182,21 +257,74 @@ def _process_worker(
         except NotImplementedError:  # pragma: no cover - macOS
             hungry = True
         if hungry:
-            with inflight.get_lock():
-                inflight.value += 1
-            work_q.put(deferred.to_wire())
+            if delay_active:
+                faults.fire("queue_delay")
+            event_q.put(("donate", wid, deferred.to_wire()))
         else:
             local.push(deferred)
 
+    # Clean wind-down: ship everything still in hand so an interrupted run
+    # (budget/deadline) leaves a complete frontier with the supervisor.
     flush_nodes()
-    best = formulation.local_best
-    result_q.put(
-        (wid, local_nodes, None if best is None else best.to_wire())
-    )
+    leftovers: List = []
+    if current is not None:
+        leftovers.append(current.to_wire())
+    leftovers.extend(state.to_wire() for state in local.drain())
+    finish_lease()
+    event_q.put(("result", wid, total_nodes, leftovers, recovered))
 
 
-# Worker count published for the idle test (set by the driver before spawn).
-_process_worker.n_workers = 0
+class _ProcRun:
+    """Everything the supervisor learned from one process-team run."""
+
+    __slots__ = ("best_size", "best_cover", "timed_out", "deadline_tripped",
+                 "nodes", "wall", "per_worker", "pending", "recovered", "lost")
+
+    def __init__(self) -> None:
+        self.best_size: Optional[int] = None
+        self.best_cover: Optional[np.ndarray] = None
+        self.timed_out = False
+        self.deadline_tripped = False
+        self.nodes = 0
+        self.wall = 0.0
+        self.per_worker: List[int] = []
+        self.pending: List[VCState] = []
+        self.recovered = 0
+        self.lost = 0
+
+
+def _drain_inline(
+    graph: CSRGraph,
+    mode: str,
+    k: int,
+    states: List[VCState],
+    initial_best: int,
+    initial_cover: Optional[np.ndarray],
+    bound: str,
+) -> Tuple[Optional[int], Optional[np.ndarray]]:
+    """Last-resort fallback: every worker slot died — the parent finishes.
+
+    Solves the remaining sub-trees sequentially against the best incumbent
+    the supervisor holds; returns the (possibly improved) incumbent.
+    """
+    ws = Workspace.for_graph(graph)
+    formulation: Formulation
+    if mode == "mvc":
+        best = BestBound(size=initial_best, cover=initial_cover)
+        formulation = MVCFormulation(best)
+    else:
+        flag = FoundFlag()
+        formulation = PVCFormulation(k=k, flag=flag)
+    frontier = LifoFrontier()
+    for state in states[1:]:
+        frontier.push((state, 0))
+    branch_and_reduce(graph, formulation, ws=ws, root=states[0],
+                      frontier=frontier, bound=bound)
+    if mode == "mvc":
+        return best.size, best.cover
+    if flag.found:
+        return flag.size, flag.cover
+    return None, None
 
 
 def _run_processes(
@@ -208,57 +336,206 @@ def _run_processes(
     threshold: int,
     node_budget: Optional[int],
     initial_best: int,
+    initial_cover: Optional[np.ndarray] = None,
     bound: str = "greedy",
-) -> Tuple[Optional[VCState], bool, int, float, List[int]]:
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
+    max_respawns: int = MAX_RESPAWNS,
+) -> _ProcRun:
     ctx = mp.get_context("fork")
     work_q: "mp.Queue" = ctx.Queue()
-    result_q: "mp.Queue" = ctx.Queue()
+    event_q = ctx.SimpleQueue()
     best_size = ctx.Value("i", initial_best, lock=False)
     lock = ctx.Lock()
-    idle = ctx.Value("i", 0)
-    inflight = ctx.Value("i", 0)
     nodes = ctx.Value("i", 0)
     done = ctx.Event()
     found = ctx.Event()
+    stop_reason = ctx.Value("i", _STOP_NONE)
+    deadline_at = None if deadline is None else time.monotonic() + deadline
 
-    _process_worker.n_workers = n_workers
-    with inflight.get_lock():
-        inflight.value += 1
-    work_q.put(fresh_state(graph).to_wire())
+    run = _ProcRun()
+    run.best_size = initial_best if mode == "mvc" else None
+    run.best_cover = initial_cover
 
-    procs = [
-        ctx.Process(
+    pending_in_queue = 0
+    for state in ([fresh_state(graph)] if roots is None else roots):
+        work_q.put(state.to_wire())
+        pending_in_queue += 1
+
+    salt_seq = [0]
+
+    def spawn(slot: int) -> "mp.Process":
+        salt_seq[0] += 1
+        p = ctx.Process(
             target=_process_worker,
-            args=(w, graph, mode, k, work_q, result_q, best_size, lock, idle,
-                  inflight, nodes, done, found, threshold, node_budget, bound),
+            args=(slot, salt_seq[0], graph, mode, k, work_q, event_q, best_size,
+                  lock, nodes, done, found, stop_reason, threshold, node_budget,
+                  deadline_at, bound),
             daemon=True,
         )
-        for w in range(n_workers)
-    ]
-    start = time.perf_counter()
-    for p in procs:
         p.start()
+        return p
 
-    results = []
-    for _ in range(n_workers):
-        results.append(result_q.get(timeout=600))
-    for p in procs:
-        p.join(timeout=30)
-        if p.is_alive():  # pragma: no cover - defensive
-            p.terminate()
-    wall = time.perf_counter() - start
+    start = time.perf_counter()
+    procs: Dict[int, "mp.Process"] = {slot: spawn(slot) for slot in range(n_workers)}
+    leases: Dict[int, object] = {}
+    results: Dict[int, Tuple[int, List, int]] = {}
+    attempts: Dict[int, int] = {slot: 0 for slot in range(n_workers)}
+    failed: Set[int] = set()
+    last_event = time.monotonic()
 
-    best_state: Optional[VCState] = None
-    for _, _, payload in results:
-        if payload is None:
-            continue
-        state = VCState.from_wire(payload)
-        if best_state is None or state.cover_size < best_state.cover_size:
-            best_state = state
-    timed_out = done.is_set() and not found.is_set() and node_budget is not None \
-        and nodes.value >= node_budget
-    per_worker = [0] * n_workers
-    return best_state, timed_out, nodes.value, wall, per_worker
+    def offer_best(size: int, wire) -> None:
+        if run.best_size is None or size < run.best_size:
+            run.best_size = size
+            run.best_cover = VCState.from_wire(wire).cover()
+
+    def drain_events() -> bool:
+        nonlocal pending_in_queue, last_event
+        got = False
+        while not event_q.empty():
+            msg = event_q.get()
+            got = True
+            last_event = time.monotonic()
+            kind = msg[0]
+            if kind == "lease":
+                leases[msg[1]] = msg[2]
+                pending_in_queue = max(0, pending_in_queue - 1)
+            elif kind == "lease_done":
+                leases.pop(msg[1], None)
+            elif kind == "donate":
+                work_q.put(msg[2])
+                pending_in_queue += 1
+            elif kind == "best":
+                offer_best(msg[2], msg[3])
+            elif kind == "result":
+                results[msg[1]] = (msg[2], msg[3], msg[4])
+        return got
+
+    try:
+        # ------------------------- supervisor loop ------------------------ #
+        while True:
+            progressed = drain_events()
+
+            # Ledger termination test: nothing queued, nothing leased — no
+            # node anywhere can create more work, so the search is done.
+            if not done.is_set() and pending_in_queue == 0 and not leases:
+                done.set()
+
+            # Health check: a slot with no result whose process is gone died.
+            for slot, p in list(procs.items()):
+                if slot in results or slot in failed or p.is_alive():
+                    continue
+                p.join()
+                drain_events()  # its final messages may have raced our check
+                if slot in results:
+                    continue
+                run.lost += 1
+                progressed = True
+                payload = leases.pop(slot, None)
+                if payload is not None:
+                    # The lease root dominates everything the dead worker
+                    # had expanded locally: re-enqueueing it loses nothing.
+                    work_q.put(payload)
+                    pending_in_queue += 1
+                if done.is_set():
+                    failed.add(slot)  # winding down anyway; don't respawn
+                    continue
+                attempts[slot] += 1
+                if attempts[slot] <= max_respawns:
+                    time.sleep(RESPAWN_BACKOFF_S * (2 ** (attempts[slot] - 1)))
+                    procs[slot] = spawn(slot)
+                else:
+                    failed.add(slot)
+                    warnings.warn(
+                        f"cpu-process worker slot {slot} died {attempts[slot]} "
+                        f"times; degrading to {n_workers - len(failed)} workers",
+                        RuntimeWarning,
+                    )
+
+            open_slots = [s for s in procs if s not in results and s not in failed]
+            if not open_slots:
+                break
+
+            if not progressed:
+                # Stall repair: with no leases outstanding, the queue *is*
+                # the ledger — recount it (a worker that died between a pop
+                # and its lease message would otherwise strand the count).
+                if (not leases and pending_in_queue > 0
+                        and time.monotonic() - last_event > 1.0):
+                    recount: List = []
+                    while True:
+                        try:
+                            recount.append(work_q.get_nowait())
+                        except queue_mod.Empty:
+                            break
+                    pending_in_queue = len(recount)
+                    for payload in recount:
+                        work_q.put(payload)
+                    last_event = time.monotonic()
+                time.sleep(0.005)
+
+        # ------------------------- wind-down ----------------------------- #
+        # Keep draining while joining: a worker blocked on a full event
+        # pipe can only exit if the parent keeps reading.
+        done.set()
+        join_until = time.monotonic() + 10.0
+        while any(p.is_alive() for p in procs.values()):
+            drain_events()
+            if time.monotonic() >= join_until:  # pragma: no cover - defensive
+                break
+            time.sleep(0.005)
+        for p in procs.values():
+            p.join(timeout=1.0)
+        drain_events()
+        run.wall = time.perf_counter() - start
+
+        queue_rest: List = []
+        while True:
+            try:
+                queue_rest.append(work_q.get(timeout=0.05))
+            except queue_mod.Empty:
+                break
+
+        run.timed_out = stop_reason.value != _STOP_NONE and not found.is_set()
+        run.deadline_tripped = stop_reason.value == _STOP_DEADLINE
+        run.nodes = nodes.value
+        run.per_worker = [results.get(s, (0, [], 0))[0] for s in range(n_workers)]
+        run.recovered = sum(r[2] for r in results.values())
+
+        remaining_wires = list(queue_rest) + list(leases.values())
+        if run.timed_out:
+            for _, leftovers, _ in results.values():
+                remaining_wires.extend(leftovers)
+            run.pending = [VCState.from_wire(w) for w in remaining_wires]
+        elif remaining_wires and not found.is_set():
+            # Every slot died with work outstanding and no budget tripped:
+            # finish the job in-process rather than return a wrong answer.
+            warnings.warn(
+                "cpu-process: all workers lost; draining "
+                f"{len(remaining_wires)} sub-trees inline", RuntimeWarning,
+            )
+            size, cover = _drain_inline(
+                graph, mode, k, [VCState.from_wire(w) for w in remaining_wires],
+                best_size.value if mode == "mvc" else k,
+                run.best_cover, bound,
+            )
+            if size is not None and (run.best_size is None or size <= run.best_size):
+                run.best_size, run.best_cover = size, cover
+    finally:
+        # Zombie-proof teardown: every child is reaped and both queues are
+        # closed whatever path — including exceptions — got us here.
+        done.set()
+        for p in procs.values():
+            if p.is_alive():
+                p.join(timeout=1.0)
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+                p.join(timeout=1.0)
+        work_q.close()
+        work_q.cancel_join_thread()
+        if hasattr(event_q, "close"):
+            event_q.close()
+    return run
 
 
 def solve_mvc_processes(
@@ -268,35 +545,43 @@ def solve_mvc_processes(
     threshold: int = 32,
     node_budget: Optional[int] = None,
     bound: str = "greedy",
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
+    initial_best: Optional[Tuple[int, np.ndarray]] = None,
     **_: object,
 ) -> CpuParallelResult:
-    """Minimum vertex cover with a process team (true CPU parallelism)."""
+    """Minimum vertex cover with a supervised process team."""
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     greedy = greedy_cover(graph)
+    best0, cover0 = greedy.size, greedy.cover
+    if initial_best is not None and initial_best[0] < best0:
+        best0 = int(initial_best[0])
+        cover0 = np.asarray(initial_best[1], dtype=np.int32)
     if graph.m == 0:
         return CpuParallelResult("cpu-process", "mvc", 0, np.empty(0, dtype=np.int32),
                                  None, False, 0, n_workers, 0.0, greedy.size)
-    best_state, timed_out, total_nodes, wall, per_worker = _run_processes(
+    run = _run_processes(
         graph, "mvc", 0, n_workers=n_workers, threshold=threshold,
-        node_budget=node_budget, initial_best=greedy.size, bound=bound,
+        node_budget=node_budget, initial_best=best0, initial_cover=cover0,
+        bound=bound, deadline=deadline, roots=roots,
     )
-    if best_state is None:
-        optimum, cover = greedy.size, greedy.cover
-    else:
-        optimum, cover = best_state.cover_size, best_state.cover()
     return CpuParallelResult(
         engine="cpu-process",
         formulation="mvc",
-        optimum=optimum,
-        cover=cover,
+        optimum=run.best_size,
+        cover=run.best_cover,
         feasible=None,
-        timed_out=timed_out,
-        nodes_visited=total_nodes,
+        timed_out=run.timed_out,
+        nodes_visited=run.nodes,
         n_workers=n_workers,
-        wall_seconds=wall,
+        wall_seconds=run.wall,
         greedy_size=greedy.size,
-        per_worker_nodes=per_worker,
+        per_worker_nodes=run.per_worker,
+        pending_states=run.pending,
+        deadline_tripped=run.deadline_tripped,
+        faults_recovered=run.recovered,
+        workers_lost=run.lost,
     )
 
 
@@ -308,36 +593,43 @@ def solve_pvc_processes(
     threshold: int = 32,
     node_budget: Optional[int] = None,
     bound: str = "greedy",
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
     **_: object,
 ) -> CpuParallelResult:
-    """Parameterized vertex cover with a process team."""
+    """Parameterized vertex cover with a supervised process team."""
     if k < 0:
         raise ValueError("k must be non-negative")
     greedy = greedy_cover(graph)
     if graph.m == 0:
         return CpuParallelResult("cpu-process", "pvc", 0, np.empty(0, dtype=np.int32),
                                  True, False, 0, n_workers, 0.0, greedy.size)
-    best_state, timed_out, total_nodes, wall, per_worker = _run_processes(
+    run = _run_processes(
         graph, "pvc", k, n_workers=n_workers, threshold=threshold,
-        node_budget=node_budget, initial_best=graph.n + 1, bound=bound,
+        node_budget=node_budget, initial_best=graph.n + 1, initial_cover=None,
+        bound=bound, deadline=deadline, roots=roots,
     )
     feasible: Optional[bool]
-    if best_state is not None:
+    if run.best_cover is not None:
         feasible = True
-    elif timed_out:
+    elif run.timed_out:
         feasible = None
     else:
         feasible = False
     return CpuParallelResult(
         engine="cpu-process",
         formulation="pvc",
-        optimum=None if best_state is None else best_state.cover_size,
-        cover=None if best_state is None else best_state.cover(),
+        optimum=None if run.best_cover is None else run.best_size,
+        cover=run.best_cover,
         feasible=feasible,
-        timed_out=timed_out,
-        nodes_visited=total_nodes,
+        timed_out=run.timed_out,
+        nodes_visited=run.nodes,
         n_workers=n_workers,
-        wall_seconds=wall,
+        wall_seconds=run.wall,
         greedy_size=greedy.size,
-        per_worker_nodes=per_worker,
+        per_worker_nodes=run.per_worker,
+        pending_states=run.pending,
+        deadline_tripped=run.deadline_tripped,
+        faults_recovered=run.recovered,
+        workers_lost=run.lost,
     )

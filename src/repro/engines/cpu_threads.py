@@ -19,10 +19,11 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.frontier import GlobalWorklistFrontier, LifoFrontier, hybrid_should_donate
 from ..core.greedy import greedy_cover
@@ -49,6 +50,15 @@ class CpuParallelResult:
     wall_seconds: float
     greedy_size: int
     per_worker_nodes: List[int] = field(default_factory=list)
+    #: tree nodes still pending when an interrupted run wound down —
+    #: worker leftovers plus the drained shared pool (anytime checkpoints).
+    pending_states: List[VCState] = field(default_factory=list)
+    #: the wall-clock ``deadline`` (not the node budget) tripped.
+    deadline_tripped: bool = False
+    #: injected step faults recovered by re-enqueueing the pre-step state.
+    faults_recovered: int = 0
+    #: workers that died mid-run (their in-flight work was preserved).
+    workers_lost: int = 0
 
     @property
     def stats(self):  # harness parity
@@ -64,16 +74,23 @@ class _ThreadShared:
     Ordering policy lives in the frontier layer, synchronisation here.
     """
 
-    def __init__(self, n_workers: int, threshold: int, node_budget: Optional[int]):
+    def __init__(self, n_workers: int, threshold: int, node_budget: Optional[int],
+                 deadline: Optional[float] = None):
         self.cond = threading.Condition()
         self.queue: GlobalWorklistFrontier = GlobalWorklistFrontier()
         self.threshold = threshold
         self.n_workers = n_workers
+        self.n_alive = n_workers  # dead workers leave the termination quorum
         self.waiting = 0
         self.done = False
         self.nodes = 0
         self.node_budget = node_budget
+        self.deadline_at = None if deadline is None else time.monotonic() + deadline
         self.timed_out = False
+        self.deadline_tripped = False
+        self.leftovers: List[VCState] = []   # in-flight states of exiting workers
+        self.recovered = 0                   # injected step faults survived
+        self.lost = 0                        # workers that died mid-run
 
     def stop(self, formulation: Formulation) -> bool:
         return self.done or self.timed_out or formulation.stop_requested()
@@ -83,6 +100,10 @@ class _ThreadShared:
         self.nodes += 1
         if self.node_budget is not None and self.nodes >= self.node_budget:
             self.timed_out = True
+            self.cond.notify_all()
+        if self.deadline_at is not None and time.monotonic() >= self.deadline_at:
+            self.timed_out = True
+            self.deadline_tripped = True
             self.cond.notify_all()
 
     def wait_remove(self, formulation: Formulation) -> Optional[VCState]:
@@ -97,7 +118,7 @@ class _ThreadShared:
                 if state is not None:
                     self.waiting -= 1
                     return state
-                if self.waiting == self.n_workers:
+                if self.waiting >= self.n_alive:
                     self.done = True
                     self.cond.notify_all()
                     self.waiting -= 1
@@ -125,36 +146,63 @@ def _worker(
     ws = Workspace.for_graph(graph)
     # fast kernels, uncharged; each worker owns its bound-policy instance
     step = NodeStep(graph, formulation, ws, bound=bound).run
+    fault_guard = faults.step_guard_active()
     local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
-    while True:
-        with shared.cond:
-            if shared.stop(formulation):
-                break
-        if current is None:
-            current = local.pop()
-            if current is None:
-                current = shared.wait_remove(formulation)
-                if current is None:
-                    break
-        with shared.cond:
-            shared.note_node()
-        node_counts[wid] += 1
-        outcome = step(current)
-        if outcome is PRUNED:
-            current = None
-            continue
-        if outcome is LEAF:
+    try:
+        while True:
             with shared.cond:
-                stop_all = formulation.accept(current)
-                if stop_all:
-                    shared.cond.notify_all()
-            ws.release_deg(current.deg)  # accept() extracted the cover under the lock
-            current = None
-            continue
-        deferred = outcome.deferred
-        current = outcome.continued
-        shared.donate_or_keep(deferred, local)
+                if shared.stop(formulation):
+                    break
+            if current is None:
+                current = local.pop()
+                if current is None:
+                    current = shared.wait_remove(formulation)
+                    if current is None:
+                        break
+            with shared.cond:
+                shared.note_node()
+            node_counts[wid] += 1
+            if fault_guard:
+                backup = current.copy()
+                try:
+                    outcome = step(current)
+                except faults.FaultInjected:
+                    # recover: the pristine pre-step copy goes back to work
+                    with shared.cond:
+                        shared.recovered += 1
+                    shared.donate_or_keep(backup, local)
+                    current = None
+                    continue
+            else:
+                outcome = step(current)
+            if outcome is PRUNED:
+                current = None
+                continue
+            if outcome is LEAF:
+                with shared.cond:
+                    stop_all = formulation.accept(current)
+                    if stop_all:
+                        shared.cond.notify_all()
+                ws.release_deg(current.deg)  # accept() extracted the cover under the lock
+                current = None
+                continue
+            deferred = outcome.deferred
+            current = outcome.continued
+            shared.donate_or_keep(deferred, local)
+    except BaseException:  # unexpected death: preserve work, leave the quorum
+        with shared.cond:
+            shared.lost += 1
+    finally:
+        # Deposit everything still in hand (in-flight node + local stack)
+        # and shrink the termination quorum so siblings can still reach
+        # the all-waiting consensus.  On a clean finish both are empty.
+        with shared.cond:
+            if current is not None:
+                shared.leftovers.append(current)
+            shared.leftovers.extend(local.drain())
+            shared.n_alive -= 1
+            shared.cond.notify_all()
 
 
 def _run_threads(
@@ -165,9 +213,12 @@ def _run_threads(
     threshold: int,
     node_budget: Optional[int],
     bound: str = "greedy",
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
 ) -> tuple[_ThreadShared, List[int], float]:
-    shared = _ThreadShared(n_workers, threshold, node_budget)
-    shared.queue.push(fresh_state(graph))
+    shared = _ThreadShared(n_workers, threshold, node_budget, deadline)
+    for state in ([fresh_state(graph)] if roots is None else roots):
+        shared.queue.push(state)
     # Build the graph's lazy query caches here, before workers exist, so
     # the worker threads only ever read them.
     graph.prewarm(adjacency=scalar_path_ok(graph.n, graph.m))
@@ -184,6 +235,10 @@ def _run_threads(
         t.start()
     for t in threads:
         t.join()
+    if shared.timed_out:
+        # interrupted: the worker leftovers plus the shared pool are the
+        # unexplored remainder (workers deposited before exiting)
+        shared.leftovers.extend(shared.queue.drain())
     return shared, node_counts, time.perf_counter() - start
 
 
@@ -194,6 +249,9 @@ def solve_mvc_threads(
     threshold: int = 32,
     node_budget: Optional[int] = None,
     bound: str = "greedy",
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
+    initial_best: Optional[Tuple[int, np.ndarray]] = None,
     **_: object,
 ) -> CpuParallelResult:
     """Minimum vertex cover with a thread team running the hybrid protocol."""
@@ -201,13 +259,16 @@ def solve_mvc_threads(
         raise ValueError("n_workers must be >= 1")
     greedy = greedy_cover(graph)
     best = BestBound(size=greedy.size, cover=greedy.cover)
+    if initial_best is not None and initial_best[0] < best.size:
+        best = BestBound(size=int(initial_best[0]),
+                         cover=np.asarray(initial_best[1], dtype=np.int32))
     if graph.m == 0:
         return CpuParallelResult("cpu-threads", "mvc", 0, np.empty(0, dtype=np.int32),
                                  None, False, 0, n_workers, 0.0, greedy.size)
     formulation = MVCFormulation(best)
     shared, node_counts, wall = _run_threads(
         graph, formulation, n_workers=n_workers, threshold=threshold,
-        node_budget=node_budget, bound=bound
+        node_budget=node_budget, bound=bound, deadline=deadline, roots=roots
     )
     return CpuParallelResult(
         engine="cpu-threads",
@@ -221,6 +282,10 @@ def solve_mvc_threads(
         wall_seconds=wall,
         greedy_size=greedy.size,
         per_worker_nodes=node_counts,
+        pending_states=shared.leftovers if shared.timed_out else [],
+        deadline_tripped=shared.deadline_tripped,
+        faults_recovered=shared.recovered,
+        workers_lost=shared.lost,
     )
 
 
@@ -232,6 +297,8 @@ def solve_pvc_threads(
     threshold: int = 32,
     node_budget: Optional[int] = None,
     bound: str = "greedy",
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
     **_: object,
 ) -> CpuParallelResult:
     """Parameterized vertex cover with a thread team."""
@@ -245,7 +312,7 @@ def solve_pvc_threads(
     formulation = PVCFormulation(k=k, flag=flag)
     shared, node_counts, wall = _run_threads(
         graph, formulation, n_workers=n_workers, threshold=threshold,
-        node_budget=node_budget, bound=bound
+        node_budget=node_budget, bound=bound, deadline=deadline, roots=roots
     )
     timed_out = shared.timed_out
     return CpuParallelResult(
@@ -260,4 +327,8 @@ def solve_pvc_threads(
         wall_seconds=wall,
         greedy_size=greedy.size,
         per_worker_nodes=node_counts,
+        pending_states=shared.leftovers if timed_out else [],
+        deadline_tripped=shared.deadline_tripped,
+        faults_recovered=shared.recovered,
+        workers_lost=shared.lost,
     )

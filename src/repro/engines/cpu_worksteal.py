@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.frontier import StealingDequeFrontier
 from ..core.greedy import greedy_cover
@@ -43,15 +44,22 @@ class _StealShared:
     node budget.
     """
 
-    def __init__(self, n_workers: int, node_budget: Optional[int], seed: int):
+    def __init__(self, n_workers: int, node_budget: Optional[int], seed: int,
+                 deadline: Optional[float] = None):
         self.n_workers = n_workers
+        self.n_alive = n_workers  # dead workers leave the idle quorum
         self.lock = threading.Lock()
         self.frontier = StealingDequeFrontier(n_lanes=n_workers, seed=seed)
         self.idle = 0
         self.done = False
         self.nodes = 0
         self.node_budget = node_budget
+        self.deadline_at = None if deadline is None else time.monotonic() + deadline
         self.timed_out = False
+        self.deadline_tripped = False
+        self.leftovers: List[VCState] = []   # in-flight states of exiting workers
+        self.recovered = 0                   # injected step faults survived
+        self.lost = 0                        # workers that died mid-run
 
     @property
     def steals(self) -> int:
@@ -65,6 +73,9 @@ class _StealShared:
             self.nodes += 1
             if self.node_budget is not None and self.nodes >= self.node_budget:
                 self.timed_out = True
+            if self.deadline_at is not None and time.monotonic() >= self.deadline_at:
+                self.timed_out = True
+                self.deadline_tripped = True
 
     def push(self, wid: int, state: VCState) -> None:
         with self.lock:
@@ -92,7 +103,7 @@ class _StealShared:
                     if not registered:
                         self.idle += 1
                         registered = True
-                    if self.idle >= self.n_workers and not self.frontier:
+                    if self.idle >= self.n_alive and not self.frontier:
                         self.done = True
                         return None
                 time.sleep(0.0005)
@@ -113,31 +124,57 @@ def _steal_worker(
     ws = Workspace.for_graph(graph)
     # fast kernels, uncharged; each worker owns its bound-policy instance
     step = NodeStep(graph, formulation, ws, bound=bound).run
+    fault_guard = faults.step_guard_active()
     current: Optional[VCState] = None
-    while True:
-        if shared.stop(formulation):
-            break
-        if current is None:
-            current = shared.pop_own(wid)
+    try:
+        while True:
+            if shared.stop(formulation):
+                break
             if current is None:
-                current = shared.steal_blocking(wid, formulation)
+                current = shared.pop_own(wid)
                 if current is None:
-                    break
-        shared.note_node()
-        node_counts[wid] += 1
-        outcome = step(current)
-        if outcome is PRUNED:
-            current = None
-            continue
-        if outcome is LEAF:
-            with shared.lock:
-                formulation.accept(current)
-            ws.release_deg(current.deg)  # accept() extracted what it needs
-            current = None
-            continue
-        deferred = outcome.deferred
-        current = outcome.continued
-        shared.push(wid, deferred)
+                    current = shared.steal_blocking(wid, formulation)
+                    if current is None:
+                        break
+            shared.note_node()
+            node_counts[wid] += 1
+            if fault_guard:
+                backup = current.copy()
+                try:
+                    outcome = step(current)
+                except faults.FaultInjected:
+                    # recover: the pristine pre-step copy goes back to work
+                    with shared.lock:
+                        shared.recovered += 1
+                    shared.push(wid, backup)
+                    current = None
+                    continue
+            else:
+                outcome = step(current)
+            if outcome is PRUNED:
+                current = None
+                continue
+            if outcome is LEAF:
+                with shared.lock:
+                    formulation.accept(current)
+                ws.release_deg(current.deg)  # accept() extracted what it needs
+                current = None
+                continue
+            deferred = outcome.deferred
+            current = outcome.continued
+            shared.push(wid, deferred)
+    except BaseException:  # unexpected death: preserve work, leave the quorum
+        with shared.lock:
+            shared.lost += 1
+    finally:
+        # The worker's lane stays in the shared frontier (victims steal
+        # from it even after this worker is gone); only the in-flight node
+        # needs depositing.  Shrinking n_alive keeps the idle consensus
+        # reachable for the survivors.
+        with shared.lock:
+            if current is not None:
+                shared.leftovers.append(current)
+            shared.n_alive -= 1
 
 
 def _run_worksteal(
@@ -148,9 +185,12 @@ def _run_worksteal(
     node_budget: Optional[int],
     seed: int,
     bound: str = "greedy",
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
 ) -> tuple[_StealShared, List[int], float]:
-    shared = _StealShared(n_workers, node_budget, seed)
-    shared.frontier.push_lane(0, fresh_state(graph))
+    shared = _StealShared(n_workers, node_budget, seed, deadline)
+    for i, state in enumerate([fresh_state(graph)] if roots is None else roots):
+        shared.frontier.push_lane(i % n_workers, state)
     # Build the graph's lazy query caches before any worker can race them.
     graph.prewarm(adjacency=scalar_path_ok(graph.n, graph.m))
     node_counts = [0] * n_workers
@@ -165,6 +205,9 @@ def _run_worksteal(
         t.start()
     for t in threads:
         t.join()
+    if shared.timed_out:
+        # interrupted: worker deposits plus whatever the lanes still hold
+        shared.leftovers.extend(shared.frontier.drain())
     return shared, node_counts, time.perf_counter() - start
 
 
@@ -175,6 +218,9 @@ def solve_mvc_worksteal(
     node_budget: Optional[int] = None,
     seed: int = 0,
     bound: str = "greedy",
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
+    initial_best: Optional[Tuple[int, np.ndarray]] = None,
     **_: object,
 ) -> CpuParallelResult:
     """Minimum vertex cover with randomized work stealing."""
@@ -182,13 +228,16 @@ def solve_mvc_worksteal(
         raise ValueError("n_workers must be >= 1")
     greedy = greedy_cover(graph)
     best = BestBound(size=greedy.size, cover=greedy.cover)
+    if initial_best is not None and initial_best[0] < best.size:
+        best = BestBound(size=int(initial_best[0]),
+                         cover=np.asarray(initial_best[1], dtype=np.int32))
     if graph.m == 0:
         return CpuParallelResult("cpu-worksteal", "mvc", 0, np.empty(0, dtype=np.int32),
                                  None, False, 0, n_workers, 0.0, greedy.size)
     formulation = MVCFormulation(best)
     shared, node_counts, wall = _run_worksteal(
         graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed,
-        bound=bound
+        bound=bound, deadline=deadline, roots=roots
     )
     result = CpuParallelResult(
         engine="cpu-worksteal",
@@ -202,6 +251,10 @@ def solve_mvc_worksteal(
         wall_seconds=wall,
         greedy_size=greedy.size,
         per_worker_nodes=node_counts,
+        pending_states=shared.leftovers if shared.timed_out else [],
+        deadline_tripped=shared.deadline_tripped,
+        faults_recovered=shared.recovered,
+        workers_lost=shared.lost,
     )
     return result
 
@@ -214,6 +267,8 @@ def solve_pvc_worksteal(
     node_budget: Optional[int] = None,
     seed: int = 0,
     bound: str = "greedy",
+    deadline: Optional[float] = None,
+    roots: Optional[Sequence[VCState]] = None,
     **_: object,
 ) -> CpuParallelResult:
     """Parameterized vertex cover with randomized work stealing."""
@@ -227,7 +282,7 @@ def solve_pvc_worksteal(
     formulation = PVCFormulation(k=k, flag=flag)
     shared, node_counts, wall = _run_worksteal(
         graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed,
-        bound=bound
+        bound=bound, deadline=deadline, roots=roots
     )
     timed_out = shared.timed_out
     return CpuParallelResult(
@@ -242,4 +297,8 @@ def solve_pvc_worksteal(
         wall_seconds=wall,
         greedy_size=greedy.size,
         per_worker_nodes=node_counts,
+        pending_states=shared.leftovers if timed_out else [],
+        deadline_tripped=shared.deadline_tripped,
+        faults_recovered=shared.recovered,
+        workers_lost=shared.lost,
     )

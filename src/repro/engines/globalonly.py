@@ -82,6 +82,9 @@ class GlobalOnlyEngine(SimEngineBase):
                 # Saturated: keep processing this child ourselves.
                 current = continued
             yield ctx.take_pending()
+        if current is not None:
+            ctx.leftover.append(current)  # interrupted in-flight node
+        ctx.leftover.extend(spill.drain())
         shared.active -= 1
         ctx.charge_cycles(
             "terminate",

@@ -93,6 +93,8 @@ class HybridEngine(SimEngineBase):
                     ctx.stack.push(deferred)
                     ctx.charge_cycles("stack_push", ctx.state_move_cycles())
             yield ctx.take_pending()
+        if current is not None:
+            ctx.leftover.append(current)  # interrupted in-flight node
         shared.active -= 1
         ctx.charge_cycles("terminate",
                           shared.cost.op_cycles("terminate", 0.0, shared.launch.block_size,

@@ -84,6 +84,9 @@ class StackOnlyEngine(SimEngineBase):
         self.descent_mode = descent_mode
         self._grid_states: List[VCState] = []
         self._grid_stats: Dict[str, float] = {}
+        #: checkpoint states dispatched as sub-trees on an anytime resume
+        #: (replaces both descent modes' root derivation for that launch).
+        self._resume_states: Optional[List[VCState]] = None
 
     def _params(self) -> Dict[str, Any]:
         params = super()._params()
@@ -96,7 +99,14 @@ class StackOnlyEngine(SimEngineBase):
     # ------------------------------------------------------------------ #
     # seeding
     # ------------------------------------------------------------------ #
-    def _seed(self, shared: SharedState) -> None:
+    def _seed(self, shared: SharedState, roots: Optional[List[VCState]] = None) -> None:
+        if roots is not None:
+            # Anytime resume: the checkpoint's pending states *are* the
+            # sub-trees — dispatch them like pre-materialised grid roots.
+            self._resume_states = list(roots)
+            shared.subtree_total = len(self._resume_states)
+            return
+        self._resume_states = None
         if self.descent_mode == "root":
             shared.subtree_total = 1 << self.start_depth
             return
@@ -118,7 +128,7 @@ class StackOnlyEngine(SimEngineBase):
         step = NodeStep(
             shared.graph, shared.formulation, ws,
             reducer=apply_reductions_parallel, charge=meter.charge,
-            bound=shared.bound,
+            bound=shared.bound, faultable=False,
         ).run
         frontier: List[VCState] = [fresh_state(shared.graph)]
         total_cycles = 0.0
@@ -169,6 +179,52 @@ class StackOnlyEngine(SimEngineBase):
             "frontier_bytes": float(peak_frontier * entry),
         }
 
+    def _unstarted_roots(self, shared: SharedState) -> List[VCState]:
+        """Materialise the sub-tree roots an interrupted launch never took.
+
+        Resume/grid launches hold them in memory already; root-descent
+        launches re-derive each by the same bit-path descent the blocks
+        run, uncharged (checkpoint materialisation is not search — no
+        cycles, no node counts).  The descent prunes against the current
+        incumbent, which is admissible: a pruned sub-tree cannot improve
+        on a cover the checkpoint already carries.
+        """
+        start, total = shared.subtree_cursor, shared.subtree_total
+        if start >= total:
+            return []
+        if self._resume_states is not None:
+            return self._resume_states[start:total]
+        if self.descent_mode == "grid":
+            return self._grid_states[start:total]
+        ws = Workspace.for_graph(shared.graph)
+        step = NodeStep(
+            shared.graph, shared.formulation, ws,
+            reducer=apply_reductions_parallel, bound=shared.bound,
+            faultable=False,
+        ).run
+        depth = self.start_depth
+        roots: List[VCState] = []
+        for idx in range(start, total):
+            state = fresh_state(shared.graph)
+            dead = False
+            for level in range(depth):
+                outcome = step(state)
+                if outcome is nodestep.PRUNED:
+                    dead = True
+                    break
+                if outcome is nodestep.LEAF:
+                    shared.formulation.accept(state)
+                    ws.release_deg(state.deg)
+                    dead = True
+                    break
+                take_deferred = (idx >> (depth - 1 - level)) & 1
+                state = outcome.deferred if take_deferred else outcome.continued
+                dropped = outcome.continued if take_deferred else outcome.deferred
+                ws.release_deg(dropped.deg)
+            if not dead:
+                roots.append(state)
+        return roots
+
     # ------------------------------------------------------------------ #
     # block program
     # ------------------------------------------------------------------ #
@@ -199,7 +255,13 @@ class StackOnlyEngine(SimEngineBase):
                 break
             ctx.metrics.subtrees_taken += 1
 
-            if self.descent_mode == "grid":
+            if self._resume_states is not None:
+                # anytime resume: checkpoint state dispatched directly
+                state = self._resume_states[idx]
+                ctx.charge_cycles("stack_pop", stack_pop_cycles)
+                yield ctx.take_pending()
+                dead = False
+            elif self.descent_mode == "grid":
                 # sub-tree root already materialised in global memory
                 state = self._grid_states[idx]
                 ctx.charge_cycles("stack_pop", stack_pop_cycles)
@@ -224,6 +286,8 @@ class StackOnlyEngine(SimEngineBase):
                     dropped = continued if take_deferred else deferred
                     ctx.ws.release_deg(dropped.deg)
                     if shared.stop_search():
+                        # interrupted mid-descent: keep the partial state
+                        ctx.leftover.append(state)
                         dead = True
                         stopped = True
                         break
@@ -234,6 +298,7 @@ class StackOnlyEngine(SimEngineBase):
             current = state
             while True:
                 if shared.stop_search():
+                    ctx.leftover.append(current)  # interrupted in-flight node
                     stopped = True
                     break
                 outcome = self.process_node(ctx, current)

@@ -16,6 +16,7 @@ against live re-execution.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -141,6 +142,9 @@ class RunOutcome:
     executed: int
     skipped: int
     instances: List[InstanceInfo] = field(default_factory=list)
+    #: cells whose every attempt failed this invocation; their ``error``
+    #: records are in the store and a ``resume`` retries them.
+    quarantined: int = 0
 
 
 def experiment_config(spec: ExperimentSpec) -> ExperimentConfig:
@@ -267,6 +271,90 @@ def _execute_cell(spec_dict: Dict[str, object], cell_fields: Dict[str, object],
     return {**cell_fields, "result": result.to_record()}
 
 
+class _CellTimeout(RuntimeError):
+    """A cell outlived ``cell_timeout_s`` and its process was terminated."""
+
+
+def _cell_proc_entry(out_q, spec_dict, cell_fields, ref_json) -> None:
+    """Child entry for timeout-guarded cells (SimpleQueue: durable put)."""
+    try:
+        out_q.put(("ok", _execute_cell(spec_dict, cell_fields, ref_json)))
+    except Exception as exc:  # noqa: BLE001 - shipped back, not swallowed
+        out_q.put(("err", f"{type(exc).__name__}: {exc}"))
+
+
+def _execute_with_timeout(spec_dict, cell_fields, ref_json,
+                          timeout_s: float) -> Dict[str, object]:
+    """Run one cell in its own process, terminating it at the timeout."""
+    ctx = mp.get_context("fork")
+    out_q = ctx.SimpleQueue()
+    proc = ctx.Process(target=_cell_proc_entry,
+                       args=(out_q, spec_dict, cell_fields, ref_json),
+                       daemon=True)
+    proc.start()
+    msg = None
+    end = time.monotonic() + timeout_s
+    try:
+        while msg is None:
+            if not out_q.empty():
+                msg = out_q.get()
+                break
+            if not proc.is_alive():
+                # died without reporting (or the result raced the check)
+                msg = out_q.get() if not out_q.empty() else None
+                if msg is None:
+                    raise RuntimeError(
+                        f"cell worker died with exit code {proc.exitcode}")
+                break
+            if time.monotonic() >= end:
+                raise _CellTimeout(f"cell exceeded cell_timeout_s={timeout_s}")
+            time.sleep(0.01)
+    finally:
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+    status, payload = msg
+    if status == "ok":
+        return payload
+    raise RuntimeError(payload)
+
+
+def _execute_cell_guarded(
+    spec_dict: Dict[str, object],
+    cell_fields: Dict[str, object],
+    ref_json: object,
+    timeout_s: Optional[float],
+    retries: int,
+) -> Dict[str, object]:
+    """Execute a cell under the spec's timeout/retry policy.
+
+    Never raises for a cell-level failure: after ``retries + 1`` failed
+    attempts the cell is *quarantined* — an ``error`` record with the
+    full cell identity, which the store treats as "not completed", so a
+    ``resume`` retries exactly these cells.
+    """
+    last_error: Optional[str] = None
+    timed_out = False
+    attempts = 0
+    for attempts in range(1, retries + 2):
+        try:
+            if timeout_s is None:
+                return _execute_cell(spec_dict, cell_fields, ref_json)
+            return _execute_with_timeout(spec_dict, cell_fields, ref_json, timeout_s)
+        except _CellTimeout as exc:
+            last_error, timed_out = str(exc), True
+        except Exception as exc:  # noqa: BLE001 - quarantine, don't kill the run
+            last_error = f"{type(exc).__name__}: {exc}"
+    return {
+        **cell_fields,
+        "error": {
+            "type": "timeout" if timed_out else "exception",
+            "message": (last_error or "unknown")[:500],
+            "attempts": attempts,
+        },
+    }
+
+
 def run_experiment(
     spec: ExperimentSpec,
     store: RunStore,
@@ -283,6 +371,13 @@ def run_experiment(
     ``resume=False`` every planned cell re-executes and shadows its old
     record.  Returns the executed/skipped counts the resume tests (and
     the ``--smoke`` CI gate) assert on.
+
+    A failing or ``cell_timeout_s``-exceeding cell never kills the run:
+    after ``cell_retries`` extra attempts it is quarantined — an
+    ``error`` record in the store — and the sweep continues; a later
+    ``resume`` retries the quarantined cells.  ``KeyboardInterrupt``
+    marks the run ``interrupted`` (completed records are already durable)
+    and re-raises for the CLI to report the resume command.
     """
     spec.validate()
     say = echo if echo is not None else (lambda _msg: None)
@@ -300,31 +395,51 @@ def run_experiment(
         f"complete, {len(pending)} to run")
 
     spec_dict = spec.to_dict()
-    if n_workers <= 1 or len(pending) <= 1:
-        for cell in pending:
-            record = _execute_cell(spec_dict, cell.identity(), cell.instance.ref)
-            run.append(record)
-            say(f"  done {cell.instance.label}/{cell.instance_type}/"
-                f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}"
-                f"{'/' + cell.bound if cell.bound != 'greedy' else ''}")
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {
-                pool.submit(_execute_cell, spec_dict, cell.identity(),
-                            cell.instance.ref): cell
-                for cell in pending
-            }
-            for future in as_completed(futures):
-                cell = futures[future]
-                run.append(future.result())  # single-writer append
-                say(f"  done {cell.instance.label}/{cell.instance_type}/"
-                    f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}"
-                    f"{'/' + cell.bound if cell.bound != 'greedy' else ''}")
+    quarantined = 0
+
+    def note(cell: PlannedCell, record: Dict[str, object]) -> None:
+        nonlocal quarantined
+        label = (f"{cell.instance.label}/{cell.instance_type}/"
+                 f"{cell.engine}{'/' + cell.frontier if cell.frontier else ''}"
+                 f"{'/' + cell.bound if cell.bound != 'greedy' else ''}")
+        if "error" in record:
+            quarantined += 1
+            say(f"  QUARANTINED {label}: {record['error']['message']}")  # type: ignore[index]
+        else:
+            say(f"  done {label}")
+
+    try:
+        if n_workers <= 1 or len(pending) <= 1:
+            for cell in pending:
+                record = _execute_cell_guarded(
+                    spec_dict, cell.identity(), cell.instance.ref,
+                    spec.cell_timeout_s, spec.cell_retries)
+                run.append(record)
+                note(cell, record)
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {
+                    pool.submit(_execute_cell_guarded, spec_dict, cell.identity(),
+                                cell.instance.ref, spec.cell_timeout_s,
+                                spec.cell_retries): cell
+                    for cell in pending
+                }
+                for future in as_completed(futures):
+                    cell = futures[future]
+                    record = future.result()
+                    run.append(record)  # single-writer append
+                    note(cell, record)
+    except KeyboardInterrupt as exc:
+        run.finish("interrupted")
+        store.index_run(run)
+        exc.run_id = run.run_id  # type: ignore[attr-defined]  # for the CLI
+        raise
     run.finish("complete")
     store.index_run(run)
-    say(f"{run.run_id}: executed {len(pending)}, skipped {skipped} "
+    say(f"{run.run_id}: executed {len(pending) - quarantined}, skipped "
+        f"{skipped}, quarantined {quarantined} "
         f"[{time.perf_counter() - t0:.1f}s wall]")
     return RunOutcome(
-        run=run, planned=len(planned), executed=len(pending),
-        skipped=skipped, instances=infos,
+        run=run, planned=len(planned), executed=len(pending) - quarantined,
+        skipped=skipped, instances=infos, quarantined=quarantined,
     )

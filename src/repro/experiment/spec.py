@@ -153,6 +153,13 @@ class ExperimentSpec:
     #: calibration moves the scalar/vectorized dispatch, never results, so
     #: it is excluded from cell fingerprints.
     calibration: Optional[str] = None
+    #: wall-clock guard per cell: a cell that exceeds it is terminated and
+    #: (after ``cell_retries``) quarantined with an ``error`` record.
+    #: ``None`` disables the guard.  Execution policy, not result content —
+    #: excluded from fingerprints, so tightening it never invalidates cells.
+    cell_timeout_s: Optional[float] = None
+    #: extra attempts before a failing/timing-out cell is quarantined.
+    cell_retries: int = 0
 
     # ------------------------------------------------------------------ #
     # validation
@@ -209,6 +216,10 @@ class ExperimentSpec:
             raise ValueError("virtual_budget_s must be positive")
         if self.seq_node_guard < 1 or self.engine_node_guard < 1:
             raise ValueError("node guards must be positive")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ValueError("cell_timeout_s must be positive when given")
+        if self.cell_retries < 0:
+            raise ValueError("cell_retries must be >= 0")
         return self
 
     # ------------------------------------------------------------------ #
@@ -225,6 +236,10 @@ class ExperimentSpec:
             extras["bounds"] = list(self.bounds)
         if self.cpu_workers != 2:
             extras["cpu_workers"] = self.cpu_workers
+        if self.cell_timeout_s is not None:
+            extras["cell_timeout_s"] = self.cell_timeout_s
+        if self.cell_retries != 0:
+            extras["cell_retries"] = self.cell_retries
         return {
             **extras,
             "schema_version": SPEC_SCHEMA_VERSION,
@@ -261,7 +276,7 @@ class ExperimentSpec:
             "engines", "frontiers", "bounds", "instance_types", "repeats",
             "seed", "virtual_budget_s", "seq_node_guard", "engine_node_guard",
             "stackonly_depths", "hybrid_capacities", "hybrid_fractions",
-            "cpu_workers", "calibration",
+            "cpu_workers", "calibration", "cell_timeout_s", "cell_retries",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -290,6 +305,9 @@ class ExperimentSpec:
             hybrid_fractions=tuple(data.get("hybrid_fractions", defaults.hybrid_fractions)),  # type: ignore[arg-type]
             cpu_workers=int(data.get("cpu_workers", defaults.cpu_workers)),  # type: ignore[arg-type]
             calibration=data.get("calibration"),  # type: ignore[arg-type]
+            cell_timeout_s=(None if data.get("cell_timeout_s") is None
+                            else float(data["cell_timeout_s"])),  # type: ignore[arg-type]
+            cell_retries=int(data.get("cell_retries", defaults.cell_retries)),  # type: ignore[arg-type]
         )
         return spec.validate()
 

@@ -79,11 +79,17 @@ def validate_manifest(manifest: Dict[str, object]) -> None:
 
 
 def validate_cell_record(record: Dict[str, object]) -> None:
-    """Assert one results.jsonl record matches the documented schema."""
+    """Assert one results.jsonl record matches the documented schema.
+
+    A record carries exactly one of ``result`` (a completed cell) or
+    ``error`` (a quarantined cell: the runner gave up on it after its
+    timeout/retry budget).  Quarantined records keep the full identity,
+    so a resume re-plans exactly those cells.
+    """
     if not isinstance(record, dict):
         _fail("cell record is not an object")
     for key in ("fingerprint", "instance", "engine", "frontier",
-                "instance_type", "k", "repeat", "result"):
+                "instance_type", "k", "repeat"):
         if key not in record:
             _fail(f"cell record missing {key!r}")
     # ``bound`` joined the record in PR 5; absent means the pre-bound-axis
@@ -94,6 +100,18 @@ def validate_cell_record(record: Dict[str, object]) -> None:
         _fail("cell fingerprint is not a sha256 hex digest")
     if not isinstance(record["repeat"], int):
         _fail("cell repeat is not an integer")
+    if ("result" in record) == ("error" in record):
+        _fail("cell record must carry exactly one of 'result' or 'error'")
+    if "error" in record:
+        error = record["error"]
+        if not isinstance(error, dict):
+            _fail("cell error is not an object")
+        for key in ("type", "message", "attempts"):
+            if key not in error:
+                _fail(f"cell error missing {key!r}")
+        if not isinstance(error["attempts"], int) or error["attempts"] < 1:
+            _fail("cell error attempts is not a positive integer")
+        return
     result = record["result"]
     if not isinstance(result, dict):
         _fail("cell result is not an object")
@@ -163,16 +181,16 @@ class Run:
     # ------------------------------------------------------------------ #
     # results
     # ------------------------------------------------------------------ #
-    def completed(self) -> Dict[str, Dict[str, object]]:
-        """``fingerprint -> record`` for every intact results line.
+    def _records(self) -> Dict[str, Dict[str, object]]:
+        """``fingerprint -> latest intact record`` (completed or error).
 
         A line that fails to parse (the torn tail of a killed run) is
         skipped; later records for the same fingerprint win, so a
         forced re-run simply shadows the stale record.
         """
-        done: Dict[str, Dict[str, object]] = {}
+        latest: Dict[str, Dict[str, object]] = {}
         if not self.results_path.exists():
-            return done
+            return latest
         with self.results_path.open() as fh:
             for line in fh:
                 line = line.strip()
@@ -183,8 +201,20 @@ class Run:
                     validate_cell_record(record)
                 except ValueError:
                     continue  # torn write: the record was never completed
-                done[record["fingerprint"]] = record
-        return done
+                latest[record["fingerprint"]] = record
+        return latest
+
+    def completed(self) -> Dict[str, Dict[str, object]]:
+        """``fingerprint -> record`` for every *successfully* completed cell.
+
+        Quarantined (``error``) records are excluded on purpose: resume
+        treats them as never run, so the quarantined cells retry.
+        """
+        return {fp: rec for fp, rec in self._records().items() if "result" in rec}
+
+    def quarantined(self) -> Dict[str, Dict[str, object]]:
+        """``fingerprint -> record`` for cells whose latest attempt failed."""
+        return {fp: rec for fp, rec in self._records().items() if "error" in rec}
 
     def append(self, record: Dict[str, object]) -> None:
         """Validate and durably append one completed cell.
@@ -301,19 +331,28 @@ class RunStore:
             " frontier TEXT, bound TEXT, instance_type TEXT, repeat INTEGER,"
             " seconds REAL, timed_out INTEGER, nodes INTEGER,"
             " optimum INTEGER, cycles REAL, wall_seconds REAL, record TEXT,"
+            " status TEXT,"
             " PRIMARY KEY (run_id, fingerprint))"
         )
-        # Pre-bound-axis index files lack the column; the index is derived,
-        # so migrate in place (values backfill on the next reindex).
+        # Older index files lack later columns; the index is derived, so
+        # migrate in place (values backfill on the next reindex).
         columns = {row[1] for row in conn.execute("PRAGMA table_info(cells)")}
         if "bound" not in columns:  # pragma: no cover - legacy index file
             conn.execute("ALTER TABLE cells ADD COLUMN bound TEXT")
+        if "status" not in columns:  # pragma: no cover - legacy index file
+            conn.execute("ALTER TABLE cells ADD COLUMN status TEXT")
         return conn
 
     def index_run(self, run: Run) -> int:
-        """(Re)index one run from its on-disk artifacts; return cell count."""
+        """(Re)index one run from its on-disk artifacts; return ok-cell count.
+
+        Quarantined cells are indexed too (``status='error'``, null result
+        columns) so "what failed across runs" is a one-liner; only the
+        completed cells count toward ``n_done``.
+        """
         manifest = run.manifest
-        records = list(run.completed().values())
+        all_records = list(run._records().values())
+        n_ok = sum(1 for rec in all_records if "result" in rec)
         with self.connect() as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO runs VALUES (?,?,?,?,?,?,?,?)",
@@ -325,37 +364,39 @@ class RunStore:
                     manifest["created_unix"],
                     manifest["provenance"]["git_sha"],  # type: ignore[index]
                     manifest.get("n_cells"),
-                    len(records),
+                    n_ok,
                 ),
             )
             conn.execute("DELETE FROM cells WHERE run_id = ?", (run.run_id,))
+            def _row(rec: Dict[str, object]):
+                result = rec.get("result")
+                ok = isinstance(result, dict)
+                return (
+                    run.run_id,
+                    rec["fingerprint"],
+                    rec["instance"],
+                    rec["engine"],
+                    rec["frontier"],
+                    rec.get("bound", "greedy"),
+                    rec["instance_type"],
+                    rec["repeat"],
+                    result["seconds"] if ok else None,  # type: ignore[index]
+                    int(bool(result["timed_out"])) if ok else None,  # type: ignore[index]
+                    result["nodes"] if ok else None,  # type: ignore[index]
+                    result["optimum"] if ok else None,  # type: ignore[index]
+                    result["cycles"] if ok else None,  # type: ignore[index]
+                    result["wall_seconds"] if ok else None,  # type: ignore[index]
+                    json.dumps(rec, sort_keys=True),
+                    "ok" if ok else "error",
+                )
             conn.executemany(
                 "INSERT INTO cells (run_id, fingerprint, instance, engine,"
                 " frontier, bound, instance_type, repeat, seconds, timed_out,"
-                " nodes, optimum, cycles, wall_seconds, record)"
-                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
-                [
-                    (
-                        run.run_id,
-                        rec["fingerprint"],
-                        rec["instance"],
-                        rec["engine"],
-                        rec["frontier"],
-                        rec.get("bound", "greedy"),
-                        rec["instance_type"],
-                        rec["repeat"],
-                        rec["result"]["seconds"],  # type: ignore[index]
-                        int(bool(rec["result"]["timed_out"])),  # type: ignore[index]
-                        rec["result"]["nodes"],  # type: ignore[index]
-                        rec["result"]["optimum"],  # type: ignore[index]
-                        rec["result"]["cycles"],  # type: ignore[index]
-                        rec["result"]["wall_seconds"],  # type: ignore[index]
-                        json.dumps(rec, sort_keys=True),
-                    )
-                    for rec in records
-                ],
+                " nodes, optimum, cycles, wall_seconds, record, status)"
+                " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                [_row(rec) for rec in all_records],
             )
-        return len(records)
+        return n_ok
 
     def reindex(self) -> Dict[str, int]:
         """Rebuild the whole index offline from the run directories."""
@@ -372,12 +413,13 @@ class RunStore:
         engine: Optional[str] = None,
         instance_type: Optional[str] = None,
         bound: Optional[str] = None,
+        status: Optional[str] = None,
     ) -> List[Dict[str, object]]:
         """Full cell records matching the filters, across runs."""
         clauses, params = [], []
         for column, value in (("run_id", run_id), ("instance", instance),
                               ("engine", engine), ("instance_type", instance_type),
-                              ("bound", bound)):
+                              ("bound", bound), ("status", status)):
             if value is not None:
                 clauses.append(f"{column} = ?")
                 params.append(value)

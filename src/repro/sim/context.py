@@ -13,8 +13,9 @@ the scheduler before each resume), its local stack, its metrics, and the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 from ..core.bounds import DEFAULT_BOUND, make_bound
 from ..core.formulation import Formulation
@@ -47,8 +48,12 @@ class SharedState:
     cycle_budget: Optional[float] = None
     #: bound-policy name every block's NodeStep prunes with (BOUNDS registry).
     bound: str = DEFAULT_BOUND
+    #: wall-clock deadline (absolute ``time.monotonic`` value) — the anytime
+    #: layer's real-time breaker, distinct from the *virtual* cycle budget.
+    deadline_at: Optional[float] = None
     nodes_visited: int = 0
     timed_out: bool = False
+    deadline_tripped: bool = False
     waiting: int = 0
     active: int = 0
     done: bool = False
@@ -60,6 +65,9 @@ class SharedState:
         self.nodes_visited += 1
         if self.node_budget is not None and self.nodes_visited >= self.node_budget:
             self.timed_out = True
+        if self.deadline_at is not None and time.monotonic() >= self.deadline_at:
+            self.timed_out = True
+            self.deadline_tripped = True
 
     def check_time(self, now: float) -> None:
         """Trip the (virtual) wall-clock breaker — the paper's two-hour cap."""
@@ -83,7 +91,7 @@ class BlockContext:
     """One simulated thread block's execution context."""
 
     __slots__ = ("block_id", "sm_id", "shared", "stack", "ws", "step", "metrics",
-                 "now", "_pending", "tracer")
+                 "now", "_pending", "tracer", "leftover")
 
     def __init__(self, block_id: int, sm_id: int, shared: SharedState, stack_bound: int):
         self.block_id = block_id
@@ -94,15 +102,23 @@ class BlockContext:
         # The shared node step, metered through this block's charge hook
         # with the Section IV-D parallel-semantics reduction rules and the
         # launch's bound policy (non-default bounds charge `lower_bound`).
+        # faultable=False: a FaultInjected raise inside a cycle-charged
+        # generator program would desynchronize the DES charge stream, not
+        # model a recoverable crash — fault sites target the real engines.
         self.step = NodeStep(
             shared.graph, shared.formulation, self.ws,
             reducer=apply_reductions_parallel, charge=self.charge_units,
             bound=make_bound(shared.bound, shared.graph, self.ws),
+            faultable=False,
         )
         self.metrics = BlockMetrics(block_id=block_id, sm_id=sm_id)
         self.now = 0.0           # written by the scheduler before each resume
         self._pending = 0.0      # cycles charged since the last yield
         self.tracer = None       # optional repro.sim.trace.TraceRecorder
+        #: states this block still held when the launch was interrupted —
+        #: the engine programs deposit their in-flight node here on exit,
+        #: and the base engine folds it into ``EngineResult.pending_states``.
+        self.leftover: List = []
 
     # ------------------------------------------------------------------ #
     # charging

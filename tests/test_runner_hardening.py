@@ -1,0 +1,285 @@
+"""Runner hardening: per-cell timeout/retry/quarantine, torn writes, SIGINT.
+
+A sweep must never be killed by one bad cell and never lose durable
+work: failed cells quarantine as ``error`` records that a ``resume``
+retries, a torn trailing write is re-planned exactly, and Ctrl-C leaves
+a resumable ``interrupted`` run behind.
+"""
+
+import io
+import json
+import time
+from contextlib import redirect_stdout
+from unittest import mock
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiment import runner as runner_mod
+from repro.experiment.runner import run_experiment
+from repro.experiment.spec import load_spec
+from repro.experiment.store import RunStore, validate_cell_record
+
+
+def tiny_spec(**overrides):
+    base = {
+        "name": "hardening",
+        "scale": "tiny",
+        "device": "TinySim",
+        "instances": ["p_hat_300_1"],
+        "engines": ["sequential"],
+        "frontiers": ["lifo"],
+        "bounds": ["greedy"],
+        "instance_types": ["mvc"],
+        "repeats": 2,
+        "virtual_budget_s": 0.01,
+        "seq_node_guard": 4000,
+        "engine_node_guard": 2500,
+    }
+    base.update(overrides)
+    return load_spec(base)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+def failing_run_cell(fail_calls):
+    """A run_cell wrapper that raises on the given 1-based call numbers."""
+    real = runner_mod.run_cell
+    counter = {"n": 0}
+
+    def wrapped(*args, **kwargs):
+        counter["n"] += 1
+        if counter["n"] in fail_calls:
+            raise ValueError(f"boom on call {counter['n']}")
+        return real(*args, **kwargs)
+
+    return wrapped
+
+
+class TestSpecKnobs:
+    def test_defaults_leave_spec_hash_untouched(self):
+        plain = tiny_spec()
+        with_defaults = tiny_spec(cell_timeout_s=None, cell_retries=0)
+        assert plain.to_dict() == with_defaults.to_dict()
+        assert "cell_timeout_s" not in plain.to_dict()
+
+    def test_knobs_round_trip(self):
+        spec = tiny_spec(cell_timeout_s=1.5, cell_retries=2)
+        loaded = load_spec(spec.to_dict())
+        assert loaded.cell_timeout_s == 1.5 and loaded.cell_retries == 2
+
+    def test_knobs_do_not_change_fingerprints(self):
+        assert (tiny_spec().cell_config()
+                == tiny_spec(cell_timeout_s=9.0, cell_retries=3).cell_config())
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_spec(cell_timeout_s=0.0).validate()
+        with pytest.raises(ValueError):
+            tiny_spec(cell_retries=-1).validate()
+
+
+class TestQuarantine:
+    def test_failing_cell_quarantines_not_kills(self, store):
+        spec = tiny_spec()
+        with mock.patch.object(runner_mod, "run_cell", failing_run_cell({1})):
+            out = run_experiment(spec, store)
+        assert out.planned == 2 and out.quarantined == 1 and out.executed == 1
+        run = out.run
+        assert len(run.completed()) == 1
+        (err_rec,) = run.quarantined().values()
+        assert err_rec["error"]["type"] == "exception"
+        assert "boom" in err_rec["error"]["message"]
+        assert err_rec["error"]["attempts"] == 1
+        assert run.manifest["status"] == "complete"
+
+    def test_retry_rescues_a_flaky_cell(self, store):
+        spec = tiny_spec(cell_retries=1)
+        with mock.patch.object(runner_mod, "run_cell", failing_run_cell({1})):
+            out = run_experiment(spec, store)
+        assert out.quarantined == 0 and out.executed == 2
+
+    def test_attempts_counted_in_error_record(self, store):
+        spec = tiny_spec(repeats=1, cell_retries=2)
+        with mock.patch.object(runner_mod, "run_cell",
+                               failing_run_cell({1, 2, 3})):
+            out = run_experiment(spec, store)
+        (err_rec,) = out.run.quarantined().values()
+        assert err_rec["error"]["attempts"] == 3
+
+    def test_resume_retries_exactly_the_quarantined_cells(self, store):
+        spec = tiny_spec()
+        with mock.patch.object(runner_mod, "run_cell", failing_run_cell({1})):
+            first = run_experiment(spec, store)
+        second = run_experiment(spec, store, run_id=first.run.run_id)
+        assert second.skipped == 1 and second.executed == 1
+        assert second.quarantined == 0
+        run = store.get_run(first.run.run_id)
+        assert len(run.completed()) == 2 and not run.quarantined()
+
+    def test_sqlite_index_carries_status(self, store):
+        spec = tiny_spec()
+        with mock.patch.object(runner_mod, "run_cell", failing_run_cell({1})):
+            out = run_experiment(spec, store)
+        run_id = out.run.run_id
+        assert len(store.query_cells(run_id=run_id, status="error")) == 1
+        ok = store.query_cells(run_id=run_id, status="ok")
+        assert len(ok) == 1 and ok[0]["result"]["optimum"] is not None
+        (err,) = store.query_cells(run_id=run_id, status="error")
+        assert err["error"]["type"] == "exception"
+
+    def test_timeout_terminates_and_quarantines(self, store):
+        spec = tiny_spec(repeats=1, cell_timeout_s=0.3)
+
+        def sleepy(*args, **kwargs):
+            time.sleep(30)
+
+        t0 = time.monotonic()
+        with mock.patch.object(runner_mod, "run_cell", sleepy):
+            out = run_experiment(spec, store)
+        assert time.monotonic() - t0 < 10, "timeout did not kill the cell"
+        (err_rec,) = out.run.quarantined().values()
+        assert err_rec["error"]["type"] == "timeout"
+
+    def test_timeout_passes_healthy_cells(self, store):
+        out = run_experiment(tiny_spec(repeats=1, cell_timeout_s=30.0), store)
+        assert out.executed == 1 and out.quarantined == 0
+
+
+class TestRecordSchema:
+    def test_record_needs_exactly_one_of_result_or_error(self, store):
+        out = run_experiment(tiny_spec(repeats=1), store)
+        (record,) = out.run.completed().values()
+        validate_cell_record(record)
+        both = dict(record, error={"type": "exception", "message": "x",
+                                   "attempts": 1})
+        with pytest.raises(ValueError):
+            validate_cell_record(both)
+        neither = {key: value for key, value in record.items()
+                   if key != "result"}
+        with pytest.raises(ValueError):
+            validate_cell_record(neither)
+
+    def test_error_payload_validated(self, store):
+        out = run_experiment(tiny_spec(repeats=1), store)
+        (record,) = out.run.completed().values()
+        bad = {key: value for key, value in record.items() if key != "result"}
+        bad["error"] = {"type": "exception", "message": "x"}  # no attempts
+        with pytest.raises(ValueError):
+            validate_cell_record(bad)
+
+
+class TestTornWrite:
+    def test_truncated_tail_record_is_replanned_exactly(self, store):
+        spec = tiny_spec()
+        first = run_experiment(spec, store)
+        assert first.executed == 2
+        results = first.run.directory / "results.jsonl"
+        lines = results.read_bytes().splitlines(keepends=True)
+        assert len(lines) == 2
+        torn = lines[0] + lines[1][: len(lines[1]) // 2]
+        results.write_bytes(torn)
+
+        run = store.get_run(first.run.run_id)
+        assert len(run.completed()) == 1  # torn record ignored, intact kept
+
+        second = run_experiment(spec, store, run_id=first.run.run_id)
+        assert second.executed == 1 and second.skipped == 1
+        repaired = store.get_run(first.run.run_id)
+        assert len(repaired.completed()) == 2
+        # The corpse line stays (ignored forever); the re-executed record
+        # was appended on its own line, not concatenated onto the corpse.
+        lines = (repaired.directory / "results.jsonl").read_bytes().splitlines()
+        parsed = []
+        for line in lines:
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass
+        assert len(parsed) == 2 and len(lines) == 3
+        assert {rec["fingerprint"] for rec in parsed} == set(repaired.completed())
+
+    def test_torn_error_record_is_retried(self, store):
+        spec = tiny_spec(repeats=1)
+        with mock.patch.object(runner_mod, "run_cell", failing_run_cell({1})):
+            first = run_experiment(spec, store)
+        assert first.quarantined == 1
+        results = first.run.directory / "results.jsonl"
+        blob = results.read_bytes()
+        results.write_bytes(blob[: len(blob) // 2])
+        second = run_experiment(spec, store, run_id=first.run.run_id)
+        assert second.executed == 1 and second.quarantined == 0
+
+
+class TestSigint:
+    def _interrupting(self, on_call):
+        real = runner_mod.run_cell
+        counter = {"n": 0}
+
+        def wrapped(*args, **kwargs):
+            counter["n"] += 1
+            if counter["n"] == on_call:
+                raise KeyboardInterrupt
+            return real(*args, **kwargs)
+
+        return wrapped
+
+    def test_run_marks_interrupted_and_prints_resume(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec().to_dict()))
+        store_dir = str(tmp_path / "store")
+        buf = io.StringIO()
+        with mock.patch.object(runner_mod, "run_cell", self._interrupting(2)):
+            with redirect_stdout(buf):
+                rc = cli_main(["experiment", "run", "--spec", str(spec_path),
+                               "--store", store_dir])
+        assert rc == 130
+        printed = buf.getvalue()
+        store = RunStore(store_dir)
+        (run,) = store.runs()
+        assert f"experiment resume {run.run_id}" in printed
+        assert f"--store {store_dir}" in printed
+        assert run.manifest["status"] == "interrupted"
+        assert len(run.completed()) == 1  # the cell before the interrupt
+
+        # the printed command resumes to completion
+        buf2 = io.StringIO()
+        with redirect_stdout(buf2):
+            rc2 = cli_main(["experiment", "resume", run.run_id,
+                            "--store", store_dir])
+        assert rc2 == 0
+        done = store.get_run(run.run_id)
+        assert done.manifest["status"] == "complete"
+        assert len(done.completed()) == 2
+
+    def test_resume_interrupt_also_reports(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec().to_dict()))
+        store_dir = str(tmp_path / "store")
+        with mock.patch.object(runner_mod, "run_cell", self._interrupting(2)):
+            with redirect_stdout(io.StringIO()):
+                cli_main(["experiment", "run", "--spec", str(spec_path),
+                          "--store", store_dir])
+        (run,) = RunStore(store_dir).runs()
+        buf = io.StringIO()
+        with mock.patch.object(runner_mod, "run_cell", self._interrupting(1)):
+            with redirect_stdout(buf):
+                rc = cli_main(["experiment", "resume", run.run_id,
+                               "--store", store_dir])
+        assert rc == 130
+        assert f"experiment resume {run.run_id}" in buf.getvalue()
+
+    def test_interrupt_during_planning_still_exits_130(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec().to_dict()))
+        buf = io.StringIO()
+        with mock.patch.object(runner_mod, "plan_run",
+                               side_effect=KeyboardInterrupt):
+            with redirect_stdout(buf):
+                rc = cli_main(["experiment", "run", "--spec", str(spec_path),
+                               "--store", str(tmp_path / "store")])
+        assert rc == 130
+        assert "interrupted" in buf.getvalue()
