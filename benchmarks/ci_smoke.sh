@@ -16,7 +16,10 @@
 # schema / zero-recompute resume / bit-identical verification gate
 # (see docs/EXPERIMENTS.md), or the fault-tolerance gate fails (injected
 # cpu-process worker kills must still yield the optimum; a
-# deadline-tripped anytime solve must checkpoint and resume to it).
+# deadline-tripped anytime solve must checkpoint and resume to it), or
+# the kernel-backend gate fails (every KERNELS backend must agree bit
+# for bit on the smoke suite, and a freshly calibrated CALIBRATION
+# artifact must satisfy the documented v2 schema).
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -165,4 +168,92 @@ assert chained.optimum == expected
 print(f"ci_smoke: deadline-tripped anytime solve checkpointed "
       f"{len(tripped.checkpoint.items)} frontier states and resumed to "
       f"the optimum ({final.optimum})")
+EOF
+
+# --- kernel-backend gate (see docs/ARCHITECTURE.md, KERNELS registry) ---
+# 1. backend agreement: every registered KERNELS backend (numba included
+#    — degraded to scalar when the compiled extra is absent) must reach
+#    the reference cascade's bit-identical fixpoint on the smoke suite
+#    and agree on whole-search optima and node counts.
+# 2. calibration artifact: a fresh quick calibration must satisfy the
+#    documented CALIBRATION v2 schema (validate_calibration), and the
+#    loader must refuse schema-v1 artifacts loudly.
+python - <<'EOF'
+import json
+import tempfile
+import warnings
+
+from repro.analysis.microbench import (
+    calibrate_kernels,
+    load_kernel_calibration,
+    validate_calibration,
+)
+from repro.core.formulation import BestBound, MVCFormulation
+from repro.core.kernel_backends import KERNELS, make_kernels, numba_available
+from repro.core.reductions import apply_reductions_reference
+from repro.core.sequential import branch_and_reduce
+from repro.core.stats import ReductionCounters
+from repro.graph.degree_array import Workspace, fresh_state
+from repro.graph.generators.phat import phat_complement
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import grid_graph
+
+instances = [
+    ("gnp20", gnp(20, 0.2, seed=12)),
+    ("phat16", phat_complement(16, 2, seed=4)),
+    ("grid4x4", grid_graph(4, 4)),
+    ("gnp48", gnp(48, 0.12, seed=7)),
+]
+
+
+def fixpoint(graph, run):
+    state = fresh_state(graph)
+    counters = ReductionCounters()
+    form = MVCFormulation(BestBound(size=graph.n + 1))
+    run(graph, state, form, Workspace.for_graph(graph), counters)
+    return (state.deg.tobytes(), state.cover_size, state.edge_count,
+            counters.degree_one, counters.degree_two_triangle,
+            counters.high_degree, counters.sweeps)
+
+
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", RuntimeWarning)  # degraded-numba notice
+    backends = {name: make_kernels(name) for name in KERNELS}
+checked = 0
+for name, graph in instances:
+    ref = fixpoint(graph, lambda g, s, f, w, c:
+                   apply_reductions_reference(g, s, f, w, counters=c))
+    expected_best = BestBound(size=graph.n + 1)
+    expected = branch_and_reduce(graph, MVCFormulation(expected_best),
+                                 kernels="numpy")
+    for bname, backend in backends.items():
+        got = fixpoint(graph, lambda g, s, f, w, c:
+                       backend.cascade(g, s, f, w, counters=c))
+        assert got == ref, (name, bname, "cascade fixpoint diverged")
+        best = BestBound(size=graph.n + 1)
+        stats = branch_and_reduce(graph, MVCFormulation(best), kernels=backend)
+        assert best.size == expected_best.size, (name, bname, best.size)
+        assert stats.nodes_visited == expected.nodes_visited, (name, bname)
+        checked += 1
+numba_note = "compiled" if numba_available() else "degraded->scalar"
+print(f"ci_smoke: kernel-backend agreement OK ({checked} backend runs, "
+      f"{len(instances)} instances, {len(KERNELS)} backends, "
+      f"numba {numba_note})")
+
+payload = calibrate_kernels(repeats=1, n_ladder=(24, 48), m_ladder=(96,),
+                            apply=False, quick=True)
+validate_calibration(payload)
+v1 = {"kind": "repro-vc-scalar-calibration", "schema_version": 1,
+      "quick": False, "scalar_kernel_max_n": 2048,
+      "scalar_kernel_max_m": 65536}
+with tempfile.NamedTemporaryFile("w", suffix=".json") as fh:
+    json.dump(v1, fh)
+    fh.flush()
+    try:
+        load_kernel_calibration(fh.name)
+    except ValueError:
+        pass
+    else:
+        raise SystemExit("schema-v1 calibration artifact was not refused")
+print("ci_smoke: CALIBRATION v2 schema OK, v1 artifact refused loudly")
 EOF

@@ -1,4 +1,13 @@
-"""Legacy shim so `pip install -e .` works without the `wheel` package."""
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The one piece of real metadata here is the ``compiled`` extra: the
+KERNELS registry's ``numba`` backend JIT-compiles the reduction cascade
+when numba is importable and degrades (with a RuntimeWarning) to the
+pure-python scalar cascade when it is not.  ``pip install 'repro[compiled]'``
+opts in; the base install stays numpy-only.
+"""
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={"compiled": ["numba"]},
+)

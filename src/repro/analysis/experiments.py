@@ -121,6 +121,10 @@ class ExperimentConfig:
     hybrid_fractions: Tuple[float, ...] = (0.25,)
     #: worker-team width for the wall-clock ``cpu-*`` engines.
     cpu_workers: int = 2
+    #: KERNELS backend forced on the wall-clock ``cpu-*`` engines
+    #: (``None``: the process default dispatcher; bit-identical results
+    #: either way, so this knob is fingerprint-neutral).
+    kernels: Optional[str] = None
 
     def quick(self) -> "ExperimentConfig":
         """A cheaper copy for pytest benchmarks."""
@@ -136,6 +140,7 @@ class ExperimentConfig:
             hybrid_capacities=(1024,),
             hybrid_fractions=(0.25,),
             cpu_workers=self.cpu_workers,
+            kernels=self.kernels,
         )
 
     @property
@@ -410,7 +415,8 @@ def _run_cpu_cell(engine_name: str, graph, itype: str, k: Optional[int],
 
     start = time.perf_counter()
     kwargs = dict(engine=engine_name, n_workers=cfg.cpu_workers,
-                  node_budget=cfg.engine_node_guard, bound=bound)
+                  node_budget=cfg.engine_node_guard, bound=bound,
+                  **({"kernels": cfg.kernels} if cfg.kernels else {}))
     if itype == "mvc":
         out = solve_mvc(graph, **kwargs)
         feasible = None

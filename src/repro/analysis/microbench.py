@@ -32,8 +32,11 @@ __all__ = [
     "run_microbench",
     "write_artifact",
     "validate_artifact",
+    "validate_calibration",
+    "calibrate_kernels",
     "calibrate_scalar_cutoffs",
     "calibrate_branch_batch_cutoff",
+    "load_kernel_calibration",
     "load_scalar_calibration",
     "maybe_autoload_calibration",
 ]
@@ -41,8 +44,15 @@ __all__ = [
 #: Bump when the JSON layout changes (documented in benchmarks/README.md).
 BENCH_SCHEMA_VERSION = 1
 
-#: Schema of the ``repro bench calibrate`` artifact.
-CALIBRATION_SCHEMA_VERSION = 1
+#: Schema of the ``repro bench calibrate`` artifact.  v2 replaced the
+#: two scalar cutoffs with a per-size-band backend winner table for the
+#: ``KERNELS`` registry's ``auto`` dispatcher; v1 artifacts are refused
+#: loudly by :func:`load_kernel_calibration`.
+CALIBRATION_SCHEMA_VERSION = 2
+
+#: ``kind`` tag of a v2 artifact (v1 used :data:`CALIBRATION_V1_KIND`).
+CALIBRATION_KIND = "repro-vc-kernel-calibration"
+CALIBRATION_V1_KIND = "repro-vc-scalar-calibration"
 
 #: Seeds used by the benchmark graphs; recorded in the artifact.
 BENCH_SEEDS = {"sparse_gnp": 78, "phat_solver": 5, "phat_graph": 77,
@@ -54,17 +64,31 @@ CALIBRATION_SEED = 1234
 
 @dataclass
 class BenchCase:
-    """One timed hot-path case: a zero-arg callable, pre-warmed inputs."""
+    """One timed hot-path case: a zero-arg callable, pre-warmed inputs.
+
+    ``backend`` records which ``KERNELS`` backend the case's dispatch
+    resolves to (``auto:scalar`` style for the auto dispatcher), or
+    ``None`` for cases that never touch the kernel-backend layer; it is
+    copied into the artifact's provenance block.
+    """
 
     name: str
     fn: Callable[[], object]
     description: str
+    backend: Optional[str] = None
 
 
-def bench_cases() -> List[BenchCase]:
-    """Build the standard case list (imports deferred: keep CLI start fast)."""
+def bench_cases(kernels: Optional[str] = None) -> List[BenchCase]:
+    """Build the standard case list (imports deferred: keep CLI start fast).
+
+    ``kernels`` (a ``KERNELS`` registry name, default the process default)
+    forces the backend for every case that dispatches through the
+    kernel-backend layer; the forced/resolved per-case backend is
+    recorded on each :class:`BenchCase`.
+    """
     from ..core.formulation import BestBound, MVCFormulation
     from ..core.greedy import greedy_cover
+    from ..core.kernel_backends import resolve_kernels
     from ..core.kernels import apply_reductions_fast
     from ..core.parallel_reductions import apply_reductions_parallel
     from ..core.reductions import apply_reductions_reference
@@ -79,6 +103,7 @@ def bench_cases() -> List[BenchCase]:
     from ..graph.generators.phat import phat_complement
     from ..graph.generators.random_graphs import gnp
 
+    backend = resolve_kernels(kernels)
     sparse = gnp(400, 0.01, seed=BENCH_SEEDS["sparse_gnp"])
     dense = phat_complement(100, 2, seed=BENCH_SEEDS["phat_graph"])
     solver_graph = phat_complement(50, 2, seed=BENCH_SEEDS["phat_solver"])
@@ -97,7 +122,8 @@ def bench_cases() -> List[BenchCase]:
 
     def reduce_fast():
         state = fresh_state(sparse)
-        apply_reductions_fast(sparse, state, form_sparse, ws_sparse)
+        apply_reductions_fast(sparse, state, form_sparse, ws_sparse,
+                              kernels=backend)
 
     def reduce_reference():
         state = fresh_state(sparse)
@@ -108,7 +134,7 @@ def bench_cases() -> List[BenchCase]:
         apply_reductions_parallel(sparse, state, form_sparse, ws_sparse)
 
     def solver_small():
-        return solve_mvc_sequential(solver_graph)
+        return solve_mvc_sequential(solver_graph, kernels=backend)
 
     def csr_from_edges():
         return CSRGraph.from_edges(dense.n, edges, validate=False)
@@ -127,17 +153,19 @@ def bench_cases() -> List[BenchCase]:
         ws_dense.release_deg(clone.deg)
 
     def greedy_large():
-        return greedy_cover(greedy_graph, ws_greedy)
+        return greedy_cover(greedy_graph, ws_greedy, kernels=backend)
 
     return [
         BenchCase("reduce_serial", reduce_fast,
-                  "apply_reductions (fast kernels) to fixpoint on gnp(400, 0.01)"),
+                  "apply_reductions (fast kernels) to fixpoint on gnp(400, 0.01)",
+                  backend=backend.resolved_name(sparse.n, sparse.m)),
         BenchCase("reduce_reference", reduce_reference,
                   "reference serial rules on the same graph (the pre-kernel path)"),
         BenchCase("reduce_parallel_semantics", reduce_parallel,
                   "Section IV-D batch rules on the same graph"),
         BenchCase("sequential_solver_small", solver_small,
-                  "full MVC solve of phat_complement(50, 2)"),
+                  "full MVC solve of phat_complement(50, 2)",
+                  backend=backend.resolved_name(solver_graph.n, solver_graph.m)),
         BenchCase("csr_from_edges", csr_from_edges,
                   "vectorized CSR construction of phat_complement(100, 2)"),
         BenchCase("batch_removal", batch_removal,
@@ -149,7 +177,8 @@ def bench_cases() -> List[BenchCase]:
                   "pooled VCState.copy via the workspace buffer pool"),
         BenchCase("greedy_bound_large", greedy_large,
                   "greedy upper bound on gnp(4096, ~deg 8): the vectorized "
-                  "worklist-driven pick loop"),
+                  "worklist-driven pick loop",
+                  backend=backend.resolved_name(greedy_graph.n, greedy_graph.m)),
     ]
 
 
@@ -196,10 +225,16 @@ def run_microbench(
     repeats: int = 5,
     target_s: float = 0.05,
     cases: Optional[List[BenchCase]] = None,
+    kernels: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Time every case and return the artifact dict (see the schema doc)."""
+    """Time every case and return the artifact dict (see the schema doc).
+
+    ``kernels`` forces a ``KERNELS`` backend for the dispatcher-driven
+    cases; the backend each such case actually resolved to is recorded in
+    ``provenance["kernel_backends"]``.
+    """
     if cases is None:
-        cases = bench_cases()
+        cases = bench_cases(kernels)
     results: Dict[str, Dict[str, object]] = {}
     for case in cases:
         timing = _time_case(case.fn, repeats, target_s)
@@ -211,6 +246,8 @@ def run_microbench(
         "provenance": {
             "git_sha": _git_sha(),
             "seeds": dict(BENCH_SEEDS),
+            "kernel_backends": {case.name: case.backend for case in cases
+                                if case.backend is not None},
             "python": sys.version.split()[0],
             "numpy": np.__version__,
             "platform": platform.platform(),
@@ -396,7 +433,29 @@ def calibrate_branch_batch_cutoff(
     return {"branch_batch_min_live": min_live, "samples": samples}
 
 
-def calibrate_scalar_cutoffs(
+#: Timing-sample keys in calibration samples, by backend registry name
+#: (``vectorized_s`` predates the registry; kept for render/diff
+#: stability).
+_BACKEND_SAMPLE_KEYS = {"scalar": "scalar_s", "numpy": "vectorized_s",
+                        "numba": "numba_s"}
+
+
+def _measurable_backends() -> List[str]:
+    """Registry backends worth timing on this host.
+
+    ``numba`` joins only when the compiled extra actually imports — a
+    degraded (fallback) NumbaBackend would just re-measure ``scalar``
+    and could win its band, silently double-booking the scalar cascade.
+    """
+    from ..core.kernel_backends import numba_available
+
+    names = ["scalar", "numpy"]
+    if numba_available():
+        names.append("numba")
+    return names
+
+
+def calibrate_kernels(
     repeats: int = 5,
     n_ladder: Optional[tuple] = None,
     m_ladder: Optional[tuple] = None,
@@ -404,24 +463,28 @@ def calibrate_scalar_cutoffs(
     apply: bool = True,
     quick: bool = False,
 ) -> Dict[str, object]:
-    """Measure both reduction-cascade paths and locate their crossover.
+    """Measure every installed ``KERNELS`` backend and band the winners.
 
-    For each ladder point the scalar cascade and the vectorized
-    dirty-worklist cascade run to fixpoint on the same graph (both are
-    proven bit-identical, so only time differs).  The calibrated cutoffs
-    are the largest ladder values where the scalar path still wins; with
-    ``apply=True`` they are installed immediately via
-    :func:`repro.core.kernels.set_scalar_cutoffs`.  The deferred-child
-    branch-batch crossover (:func:`calibrate_branch_batch_cutoff`) is
-    measured and installed alongside.
+    For each n-ladder point every measurable backend's cascade runs to
+    fixpoint on the same graph (all backends are proven bit-identical, so
+    only time differs); the per-point winners collapse into the v2 band
+    table ``[(max_n, backend), ...]`` that drives the ``auto``
+    dispatcher.  The legacy scalar cutoffs (largest ladder values where
+    the scalar path still wins — the uncalibrated dispatch rule and the
+    knob ~20 existing tests monkeypatch) and the deferred-child
+    branch-batch crossover (:func:`calibrate_branch_batch_cutoff`) are
+    measured and recorded alongside.  With ``apply=True`` everything is
+    installed immediately: band table into ``make_kernels("auto")``,
+    cutoffs via :func:`repro.core.kernels.set_scalar_cutoffs` /
+    ``set_branch_batch_cutoff``.
 
-    Cross-node dirty seeding shifts this crossover (seeded cascades do
+    Cross-node dirty seeding shifts these crossovers (seeded cascades do
     less per-call work, amplifying fixed NumPy call overhead), which is
-    why the cutoff is measured rather than hand-tuned.
+    why they are measured rather than hand-tuned.
     """
     from ..core import kernels
     from ..core.formulation import BestBound, MVCFormulation
-    from ..core.kernels import _apply_reductions_scalar, _apply_reductions_vectorized
+    from ..core.kernel_backends import make_kernels
     from ..graph.degree_array import Workspace, fresh_state
     from ..graph.generators.random_graphs import gnp
 
@@ -429,22 +492,25 @@ def calibrate_scalar_cutoffs(
         n_ladder = CALIBRATION_N_LADDER
     if m_ladder is None:
         m_ladder = CALIBRATION_M_LADDER
+    backends = _measurable_backends()
 
-    def probe(graph) -> Dict[str, float]:
+    def probe(graph) -> Dict[str, object]:
         ws = Workspace.for_graph(graph)
         form = MVCFormulation(BestBound(size=graph.n + 1))
-        scalar_s = _time_cascade(
-            lambda: fresh_state(graph),
-            lambda st: _apply_reductions_scalar(graph, st, form),
-            repeats,
-        )
-        vector_s = _time_cascade(
-            lambda: fresh_state(graph),
-            lambda st: _apply_reductions_vectorized(graph, st, form, ws),
-            repeats,
-        )
-        return {"n": graph.n, "m": graph.m,
-                "scalar_s": scalar_s, "vectorized_s": vector_s}
+        sample: Dict[str, object] = {"n": graph.n, "m": graph.m}
+        best_name, best_s = "numpy", float("inf")
+        for name in backends:
+            backend = make_kernels(name)
+            seconds = _time_cascade(
+                lambda: fresh_state(graph),
+                lambda st, b=backend: b.reduce(graph, st, form, ws, None, None),
+                repeats,
+            )
+            sample[_BACKEND_SAMPLE_KEYS[name]] = seconds
+            if seconds < best_s:
+                best_name, best_s = name, seconds
+        sample["winner"] = best_name
+        return sample
 
     n_samples = []
     for n in sorted(n_ladder):
@@ -456,6 +522,18 @@ def calibrate_scalar_cutoffs(
             max_n = max(max_n, int(sample["n"]))
     if max_n == 0:  # vectorized won everywhere: keep scalar for trivial graphs
         max_n = int(min(n_ladder))
+
+    # Collapse per-point winners into bands: one entry per run of equal
+    # winners, keyed by the run's largest ladder n.  Sizes beyond the
+    # ladder fall through to the default backend (the top point's winner).
+    bands: List[Dict[str, object]] = []
+    for sample in n_samples:
+        winner = str(sample["winner"])
+        if bands and bands[-1]["backend"] == winner:
+            bands[-1]["max_n"] = int(sample["n"])
+        else:
+            bands.append({"max_n": int(sample["n"]), "backend": winner})
+    default_backend = str(n_samples[-1]["winner"]) if n_samples else "numpy"
 
     # The m-crossover is probed at a fixed mid-size n (clamping it to a
     # small measured max_n would make every ladder point past C(n,2)
@@ -475,15 +553,27 @@ def calibrate_scalar_cutoffs(
             max_m = max(max_m, int(sample["m"]))
     if max_m == 0:
         max_m = int(min(m_ladder))
+    # Edge cap for the band table: densest probed point where any
+    # non-numpy backend still won (numpy handles everything denser).
+    band_max_m = 0
+    for sample in m_samples:
+        if sample["winner"] != "numpy":
+            band_max_m = max(band_max_m, int(sample["m"]))
+    if band_max_m == 0:
+        band_max_m = max_m
 
     branch = calibrate_branch_batch_cutoff(repeats=repeats, live_ladder=branch_ladder)
 
     payload: Dict[str, object] = {
         "schema_version": CALIBRATION_SCHEMA_VERSION,
-        "kind": "repro-vc-scalar-calibration",
+        "kind": CALIBRATION_KIND,
         # quick runs probe a toy ladder; the tag makes them unloadable so a
         # CI artifact can never silently misroute the kernel dispatch
         "quick": bool(quick),
+        "bands": bands,
+        "max_m": band_max_m,
+        "default_backend": default_backend,
+        "backends_measured": list(backends),
         "scalar_kernel_max_n": max_n,
         "scalar_kernel_max_m": max_m,
         "branch_batch_min_live": branch["branch_batch_min_live"],
@@ -504,33 +594,70 @@ def calibrate_scalar_cutoffs(
         },
     }
     if apply:
-        kernels.set_scalar_cutoffs(max_n, max_m)
-        kernels.set_branch_batch_cutoff(max(2, int(branch["branch_batch_min_live"])))
+        _install_calibration(payload)
     return payload
 
 
-def load_scalar_calibration(path: str, apply: bool = True) -> Dict[str, object]:
-    """Read a persisted calibration artifact; optionally install its cutoffs."""
-    from ..core import kernels
+#: Legacy name, kept so pre-v2 callers keep working; same v2 artifact.
+calibrate_scalar_cutoffs = calibrate_kernels
 
+
+def _install_calibration(payload: Dict[str, object]) -> None:
+    """Install a v2 artifact's cutoffs and band table process-wide."""
+    from ..core import kernels
+    from ..core.kernel_backends import make_kernels
+
+    kernels.set_scalar_cutoffs(int(payload["scalar_kernel_max_n"]),
+                               int(payload["scalar_kernel_max_m"]))
+    kernels.set_branch_batch_cutoff(max(2, int(payload["branch_batch_min_live"])))
+    make_kernels("auto").install_calibration(
+        [(int(b["max_n"]), str(b["backend"])) for b in payload["bands"]],
+        int(payload["max_m"]),
+        str(payload.get("default_backend", "numpy")),
+    )
+
+
+def load_kernel_calibration(path: str, apply: bool = True) -> Dict[str, object]:
+    """Read a persisted calibration artifact; optionally install it.
+
+    Only schema-v2 (:data:`CALIBRATION_KIND`) artifacts load.  A v1
+    scalar-calibration artifact — or any artifact claiming
+    ``schema_version`` 1 — is refused loudly: it has no band table, and
+    silently installing only its cutoffs would leave the ``auto``
+    dispatcher uncalibrated while claiming otherwise.  ``--quick``
+    (toy-ladder) artifacts are refused for the same loudness reason.
+    """
     with open(path) as fh:
         payload = json.load(fh)
-    if payload.get("kind") != "repro-vc-scalar-calibration":
-        raise ValueError(f"{path} is not a scalar-calibration artifact")
+    kind = payload.get("kind")
+    if kind == CALIBRATION_V1_KIND or payload.get("schema_version") == 1:
+        raise ValueError(
+            f"{path} is a schema-v1 scalar-calibration artifact; the KERNELS "
+            "band dispatch needs the v2 band table — regenerate it with a "
+            "full 'repro bench calibrate'"
+        )
+    if kind != CALIBRATION_KIND:
+        raise ValueError(f"{path} is not a kernel-calibration artifact")
     if payload.get("quick"):
         raise ValueError(
             f"{path} was produced by a --quick (toy-ladder) run; its cutoffs are "
             "not representative — regenerate with a full 'repro bench calibrate'"
         )
-    max_n = int(payload["scalar_kernel_max_n"])
-    max_m = int(payload["scalar_kernel_max_m"])
+    if payload.get("schema_version") != CALIBRATION_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has calibration schema_version "
+            f"{payload.get('schema_version')!r}; this build reads "
+            f"{CALIBRATION_SCHEMA_VERSION} — regenerate with "
+            "'repro bench calibrate'"
+        )
     if apply:
-        kernels.set_scalar_cutoffs(max_n, max_m)
-        if "branch_batch_min_live" in payload:  # added after schema v1 shipped
-            kernels.set_branch_batch_cutoff(
-                max(2, int(payload["branch_batch_min_live"]))
-            )
+        _install_calibration(payload)
     return payload
+
+
+#: Legacy name, kept for pre-v2 callers; refuses v1 artifacts like the new
+#: name does (that loudness is the point of the rename).
+load_scalar_calibration = load_kernel_calibration
 
 
 #: Environment flag controlling import-time calibration auto-load (see
@@ -586,6 +713,54 @@ def maybe_autoload_calibration(environ: Optional[Dict[str, str]] = None) -> Opti
     return load_scalar_calibration(value)
 
 
+def validate_calibration(payload: Dict[str, object]) -> None:
+    """Assert a v2 calibration artifact matches the documented schema.
+
+    Raises ``ValueError`` on any violation; the CI smoke gate runs this on
+    a freshly calibrated artifact so schema drift (dropped band table,
+    renamed keys, unknown backend names) is caught before an artifact is
+    committed.
+    """
+    from ..core.kernel_backends import KERNELS
+
+    def fail(msg: str) -> None:
+        raise ValueError(f"CALIBRATION artifact schema violation: {msg}")
+
+    if not isinstance(payload, dict):
+        fail("payload is not an object")
+    if payload.get("schema_version") != CALIBRATION_SCHEMA_VERSION:
+        fail(f"schema_version != {CALIBRATION_SCHEMA_VERSION}")
+    if payload.get("kind") != CALIBRATION_KIND:
+        fail(f"kind != {CALIBRATION_KIND!r}")
+    bands = payload.get("bands")
+    if not isinstance(bands, list) or not bands:
+        fail("bands missing or empty")
+    prev = 0
+    for band in bands:
+        if not isinstance(band, dict) or "max_n" not in band or "backend" not in band:
+            fail("band entries need max_n and backend")
+        if band["backend"] not in KERNELS or band["backend"] == "auto":
+            fail(f"band backend {band['backend']!r} is not a concrete "
+                 f"KERNELS name")
+        if not isinstance(band["max_n"], int) or band["max_n"] <= prev:
+            fail("band max_n values must be increasing positive integers")
+        prev = band["max_n"]
+    if payload.get("default_backend") not in KERNELS:
+        fail("default_backend is not a KERNELS name")
+    measured = payload.get("backends_measured")
+    if not isinstance(measured, list) or not set(measured) <= set(KERNELS):
+        fail("backends_measured missing or contains unknown names")
+    for key in ("max_m", "scalar_kernel_max_n", "scalar_kernel_max_m",
+                "branch_batch_min_live"):
+        if not isinstance(payload.get(key), int) or payload[key] <= 0:
+            fail(f"{key} is not a positive integer")
+    samples = payload.get("samples")
+    if not isinstance(samples, dict) or not samples.get("n_ladder"):
+        fail("samples.n_ladder missing or empty")
+    if not isinstance(payload.get("provenance"), dict):
+        fail("provenance missing")
+
+
 def render_calibration(payload: Dict[str, object]) -> str:
     """Human-readable summary of one calibration artifact."""
     lines = [f"{'ladder point':>18s} {'scalar':>12s} {'vectorized':>12s}  winner"]
@@ -594,8 +769,12 @@ def render_calibration(payload: Dict[str, object]) -> str:
         for s in samples[group]:  # type: ignore[index]
             sc, ve = float(s["scalar_s"]) * 1e6, float(s["vectorized_s"]) * 1e6
             tag = f"n={s['n']} m={s['m']}"
+            winner = s.get("winner") or ("scalar" if sc <= ve else "vectorized")
+            extra = ""
+            if "numba_s" in s:
+                extra = f" (numba {float(s['numba_s']) * 1e6:.1f}us)"
             lines.append(f"{tag:>18s} {sc:10.1f}us {ve:10.1f}us  "
-                         f"{'scalar' if sc <= ve else 'vectorized'}")
+                         f"{winner}{extra}")
     for s in samples.get("branch_live_ladder", ()):  # type: ignore[union-attr]
         sc, ba = float(s["scalar_s"]) * 1e6, float(s["batch_s"]) * 1e6
         tag = f"live={s['live']}"
@@ -607,6 +786,12 @@ def render_calibration(payload: Dict[str, object]) -> str:
         if min_live is not None and int(min_live) >= BRANCH_BATCH_DISABLED
         else min_live
     )
+    if payload.get("bands"):
+        table = ", ".join(f"n<={b['max_n']}: {b['backend']}"
+                          for b in payload["bands"])  # type: ignore[index]
+        lines.append(f"auto dispatch bands: {table}; m>{payload['max_m']}: "
+                     f"numpy; n beyond ladder: {payload['default_backend']} "
+                     f"(measured: {', '.join(payload['backends_measured'])})")
     lines.append(
         f"calibrated cutoffs: SCALAR_KERNEL_MAX_N={payload['scalar_kernel_max_n']} "
         f"SCALAR_KERNEL_MAX_M={payload['scalar_kernel_max_m']} "

@@ -104,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bound", default=None,
                    help="pruning/lower-bound policy from the BOUNDS registry, "
                         "any engine (default: greedy, the paper's rule)")
+    p.add_argument("--kernels", default=None,
+                   help="reduction/branch/greedy kernel backend from the "
+                        "KERNELS registry, any engine (default: auto, the "
+                        "per-size-band dispatcher; all backends are "
+                        "bit-identical, only wall-clock differs)")
     p.add_argument("--deadline", type=float, default=None,
                    help="wall-clock budget in seconds: solve anytime-style, "
                         "reporting status, incumbent and admissible lower "
@@ -172,10 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="micro-benchmark the substrate hot paths")
     p.add_argument("action", nargs="?", default="run", choices=("run", "calibrate"),
-                   help="'run' times the hot-path cases; 'calibrate' measures the "
-                        "scalar/vectorized cascade and branch-batch crossovers and "
-                        "persists the cutoffs (set REPRO_CALIBRATION=1 to auto-load "
-                        "them at import in later runs; --quick artifacts are refused)")
+                   help="'run' times the hot-path cases; 'calibrate' measures every "
+                        "installed KERNELS backend per size band plus the branch-batch "
+                        "crossover and persists the winners (set REPRO_CALIBRATION=1 "
+                        "to auto-load them at import in later runs; --quick artifacts "
+                        "are refused)")
     p.add_argument("--out", default=None,
                    help="artifact path (default: BENCH_micro.json, or "
                         "benchmarks/CALIBRATION.json for calibrate; schemas in "
@@ -190,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="calibrate only: probe a tiny ladder (smoke/CI use; the "
                         "resulting cutoffs are not representative)")
+    p.add_argument("--kernels", default=None,
+                   help="run only: force a KERNELS backend for the "
+                        "dispatcher-driven cases (default: auto); the "
+                        "resolved backend is recorded per case in the "
+                        "artifact's provenance")
     return parser
 
 
@@ -391,14 +402,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         import os
 
         from .analysis.microbench import (
-            calibrate_scalar_cutoffs,
+            calibrate_kernels,
             render_calibration,
             render_microbench,
             run_microbench,
             validate_artifact,
+            validate_calibration,
             write_artifact,
         )
+        from .core.kernel_backends import KERNELS
 
+        if args.kernels is not None and args.kernels not in KERNELS:
+            print(f"error: unknown kernels {args.kernels!r}; choose from: "
+                  f"{', '.join(sorted(KERNELS))}")
+            return 2
         out = args.out
         if out is None:
             out = "benchmarks/CALIBRATION.json" if args.action == "calibrate" else "BENCH_micro.json"
@@ -412,8 +429,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.quick:
                 ladders = {"n_ladder": (64, 128), "m_ladder": (256, 512),
                            "branch_ladder": (8, 16)}
-            payload = calibrate_scalar_cutoffs(repeats=args.repeats, apply=not args.quick,
-                                               quick=args.quick, **ladders)
+            payload = calibrate_kernels(repeats=args.repeats, apply=not args.quick,
+                                        quick=args.quick, **ladders)
+            if args.smoke:
+                validate_calibration(payload)
+                print("calibration artifact schema OK")
             write_artifact(payload, out)
             print(render_calibration(payload))
             print(f"\nwrote {out}")
@@ -439,7 +459,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             if smoke.returncode != 0:
                 print("benchmark smoke check FAILED; artifact not written")
                 return smoke.returncode
-        payload = run_microbench(repeats=repeats, target_s=target_s)
+        payload = run_microbench(repeats=repeats, target_s=target_s,
+                                 kernels=args.kernels)
         if args.smoke:
             validate_artifact(payload)
             print("artifact schema OK")
@@ -483,6 +504,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from . import faults
         from .core.bounds import BOUNDS
         from .core.frontier import FRONTIERS
+        from .core.kernel_backends import KERNELS
         from .core.solver import ENGINES, solve_mvc, solve_pvc
 
         engine = args.engine or ("hybrid" if args.resume_from is None else None)
@@ -504,6 +526,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: unknown bound {args.bound!r}; choose from: "
                   f"{', '.join(sorted(BOUNDS))}")
             return 2
+        if args.kernels is not None and args.kernels not in KERNELS:
+            print(f"error: unknown kernels {args.kernels!r}; choose from: "
+                  f"{', '.join(sorted(KERNELS))}")
+            return 2
         inst = suite_instance(args.graph, args.scale)
         graph = inst.graph()
 
@@ -522,12 +548,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from .core.anytime import resume_from, solve_anytime
                 from .core.outcome import Checkpoint
 
+                kernels_opt = ({} if args.kernels is None
+                               else {"kernels": args.kernels})
                 if args.resume_from is not None:
                     try:
                         checkpoint = Checkpoint.load(args.resume_from)
                         out = resume_from(checkpoint, graph, engine=engine,
                                           node_budget=args.node_budget,
-                                          deadline=args.deadline)
+                                          deadline=args.deadline, **kernels_opt)
                     except (ValueError, OSError) as exc:
                         print(f"error: {exc}")
                         return 2
@@ -535,7 +563,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     out = solve_anytime(
                         graph, args.k, engine=engine,
                         frontier=args.frontier, bound=args.bound or "greedy",
-                        node_budget=args.node_budget, deadline=args.deadline)
+                        node_budget=args.node_budget, deadline=args.deadline,
+                        **kernels_opt)
                 best = ("none" if out.optimum is None
                         else f"{out.optimum} cover" if out.formulation == "mvc"
                         else f"{out.optimum} cover (k={out.k})")
@@ -559,6 +588,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             extra = {} if args.frontier is None else {"frontier": args.frontier}
             if args.bound is not None:
                 extra["bound"] = args.bound
+            if args.kernels is not None:
+                extra["kernels"] = args.kernels
             if args.k is None:
                 out = solve_mvc(graph, engine=engine, node_budget=args.node_budget, **extra)
                 print(f"{args.graph}: minimum vertex cover size = {out.optimum}"

@@ -62,7 +62,10 @@ def solve_anytime(
     ``frontier`` (a policy name) applies to the sequential engine only,
     matching :func:`repro.core.solver.solve_mvc`.  ``bound`` must be a
     registered bound-policy *name* — the checkpoint records it so a
-    resume prunes with the same admissible bound.
+    resume prunes with the same admissible bound.  A ``kernels=`` opt (a
+    ``KERNELS`` registry name) selects the reduction backend; it is *not*
+    recorded in checkpoints because every backend reaches bit-identical
+    fixpoints — resume with any backend and the optimum is unchanged.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
@@ -252,7 +255,9 @@ def _run_sequential(
     frontier_obj = (LifoFrontier() if frontier is None
                     else make_frontier(frontier, bound=bound_obj))
     if k is None:
-        greedy = greedy_cover(graph, ws)
+        # `kernels` rides in opts (forwarded verbatim to branch_and_reduce);
+        # use the same backend for the greedy incumbent pass.
+        greedy = greedy_cover(graph, ws, kernels=opts.get("kernels"))
         best = BestBound(size=greedy.size, cover=greedy.cover)
         if initial_best is not None and initial_best[0] < best.size:
             best = BestBound(size=int(initial_best[0]),

@@ -23,7 +23,7 @@ from ..graph.degree_array import (
     remove_vertex_into_cover,
 )
 from . import kernels
-from .kernels import scalar_path_ok
+from . import kernel_backends
 from .stats import ChargeFn, null_charge
 
 __all__ = [
@@ -162,6 +162,7 @@ def expand_children(
     vmax: int,
     ws: Optional[Workspace] = None,
     charge: ChargeFn = null_charge,
+    kernels=None,
 ) -> Tuple[VCState, VCState]:
     """Produce the two children of a branching node.
 
@@ -187,16 +188,27 @@ def expand_children(
     Without a workspace the vectorized path leaves the hints ``None``
     (full rescan), which is always a safe fallback.
 
-    Uncharged small-graph calls take the scalar fast path; charged calls
-    keep the vectorized removals, whose work units are the cost meters.
+    Uncharged pooled-workspace calls dispatch through the ``KERNELS``
+    backend (``kernels``: name, instance, or ``None`` for the process
+    default) — the path choice is the dispatcher's, read at call time, so
+    ``set_scalar_cutoffs`` or a backend switch applied after import
+    steers this step too.  Charged calls keep the vectorized removals,
+    whose work units are the cost meters.
     """
-    if (
-        charge is null_charge
-        and ws is not None
-        and ws.n == state.deg.size
-        and scalar_path_ok(graph.n, graph.m)
-    ):
-        return _expand_children_scalar(graph, state, vmax, ws)
+    if charge is null_charge and ws is not None and ws.n == state.deg.size:
+        backend = kernel_backends.resolve_kernels(kernels)
+        return backend.expand_children(graph, state, vmax, ws)
+    return _expand_children_general(graph, state, vmax, ws, charge)
+
+
+def _expand_children_general(
+    graph: CSRGraph,
+    state: VCState,
+    vmax: int,
+    ws: Optional[Workspace],
+    charge: ChargeFn,
+) -> Tuple[VCState, VCState]:
+    """The vectorized expansion body (any graph size; charged-run meter)."""
     deferred = state.copy(ws)
     charge("state_copy", float(state.deg.size))
     # Charged reducers discard hints by contract (the work meter must not

@@ -30,6 +30,7 @@ from ..graph.degree_array import (
     remove_vertex_into_cover,
 )
 from .formulation import Formulation
+from . import kernel_backends
 from .kernels import (
     degree_one_kernel,
     degree_two_triangle_kernel,
@@ -37,7 +38,6 @@ from .kernels import (
     scalar_degree_one_exhaust,
     scalar_degree_two_exhaust,
     scalar_high_degree_exhaust,
-    scalar_path_ok,
     scalar_remove,
     scalar_seed,
 )
@@ -202,16 +202,15 @@ def _greedy_cover_vectorized(graph: CSRGraph, ws: Workspace) -> GreedyResult:
     )
 
 
-def greedy_cover(graph: CSRGraph, ws: Optional[Workspace] = None) -> GreedyResult:
+def greedy_cover(graph: CSRGraph, ws: Optional[Workspace] = None,
+                 kernels=None) -> GreedyResult:
     """Run the paper's greedy upper-bound heuristic.
 
     Returns a valid vertex cover; its size initialises ``best`` and bounds
-    the stack depth for the GPU launch configuration.  Small graphs take
-    the scalar fast path; larger ones the dirty-worklist kernels — all
-    three paths produce identical covers (property-tested).
+    the stack depth for the GPU launch configuration.  The pass is
+    dispatched through the ``KERNELS`` backend registry (``kernels``:
+    name, instance, or ``None`` for the process default, whose
+    uncalibrated behaviour is the legacy size cutoff) — all backends
+    produce identical covers (property-tested).
     """
-    if scalar_path_ok(graph.n, graph.m):
-        return _greedy_cover_scalar(graph)
-    if ws is None:
-        ws = Workspace.for_graph(graph)
-    return _greedy_cover_vectorized(graph, ws)
+    return kernel_backends.resolve_kernels(kernels).greedy_cover(graph, ws)

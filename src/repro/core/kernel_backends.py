@@ -1,0 +1,658 @@
+"""Pluggable kernel backends: the ``KERNELS`` dispatch registry.
+
+The reduction cascade, the branch-step expansion, and the greedy bound —
+the three call families ``BENCH_micro.json`` tracks — historically chose
+between a pure-Python scalar path and the vectorized dirty-worklist
+kernels through mutable module-level cutoff globals in
+:mod:`repro.core.kernels` (``scalar_path_ok`` consulted ad hoc by
+``branching.py``, ``greedy.py`` and ``reductions.py``).  This module
+lifts that choice behind one dispatch object, mirroring the other three
+orthogonal registries (ENGINES × FRONTIERS × BOUNDS):
+
+* ``numpy``  — the vectorized dirty-worklist kernels, unconditionally;
+* ``scalar`` — the pure-Python cascade, promoted from a cutoff-gated
+  special case to a first-class backend (always scalar, any size);
+* ``numba``  — a compiled scalar cascade (optional dependency: the
+  ``compiled`` extra).  Without numba it degrades *loudly* — one
+  structured :class:`RuntimeWarning` — to the ``scalar`` cascade;
+* ``auto``   — per-size-band dispatch.  Uncalibrated it reproduces the
+  legacy cutoff behaviour exactly (reading the live
+  ``kernels.SCALAR_KERNEL_MAX_N/M`` globals, so ``set_scalar_cutoffs``
+  and tests monkeypatching the globals keep working); calibrated
+  (CALIBRATION.json v2, ``repro bench calibrate``) it consults a
+  measured per-band winner table.
+
+Equivalence contract: every registered backend reaches the **bit-identical
+fixpoint** of :func:`repro.core.reductions.apply_reductions_reference` —
+same ``deg`` array, ``cover_size``, ``edge_count``, reduction counters and
+dirty-hint consumption — so sim charge streams and the Table I numbers
+are frozen whatever backend a run selects (property-tested in
+``tests/test_kernel_backends.py``).
+
+Charged (cost-model) runs are backend-independent by construction: the
+shared :meth:`KernelBackend.cascade` entry routes any charged call to the
+vectorized kernels with a full rescan, exactly as before — the charge
+stream is the paper's work meter and must not depend on state provenance
+or backend choice.
+
+Adding a backend (mirroring the frontier/bound how-tos):
+
+1. subclass :class:`KernelBackend`, implement ``reduce`` /
+   ``expand_children`` / ``greedy_cover`` (and ``uses_adjacency`` if the
+   implementation walks cached adjacency tuples);
+2. register a zero-argument factory in :data:`KERNELS`;
+3. add the backend to the equivalence matrix in
+   ``tests/test_kernel_backends.py`` — the property tests are the
+   admission gate, not a convention.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.degree_array import VCState, Workspace
+from .formulation import Formulation
+from .stats import ChargeFn, ReductionCounters, null_charge
+from . import kernels as _kernels
+from .kernels import _apply_reductions_scalar, _apply_reductions_vectorized
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "ScalarBackend",
+    "NumbaBackend",
+    "AutoBackend",
+    "KERNELS",
+    "DEFAULT_KERNELS",
+    "make_kernels",
+    "resolve_kernels",
+    "get_default_kernels",
+    "set_default_kernels",
+    "numba_available",
+]
+
+
+class KernelBackend:
+    """One implementation of the solver's three kernel call families.
+
+    The shared :meth:`cascade` entry owns the cross-backend contract —
+    dirty-hint consumption and the charged-run escape hatch — so a
+    backend only implements the uncharged hot paths: :meth:`reduce`,
+    :meth:`expand_children` and :meth:`greedy_cover`.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "?"
+
+    # ------------------------------------------------------------------ #
+    # shared entry: hint consumption + charged-run routing
+    # ------------------------------------------------------------------ #
+    def cascade(
+        self,
+        graph: CSRGraph,
+        state: VCState,
+        formulation: Formulation,
+        ws: Optional[Workspace] = None,
+        charge: ChargeFn = null_charge,
+        counters: Optional[ReductionCounters] = None,
+    ) -> None:
+        """Run the reduction cascade to its fixpoint (Fig. 1's ``reduce``).
+
+        The state's ``dirty`` hint (populated by ``expand_children`` with
+        the branch step's touched vertices) seeds the cascade's worklists;
+        it is consumed here — cleared before the cascade runs — so it can
+        never go stale on a reduced state.  Charged runs always take the
+        vectorized path with a full rescan: the work stream must not
+        depend on state provenance or on the backend a run selected.
+        """
+        hint = state.dirty
+        if hint is not None:
+            state.dirty = None
+        if charge is not null_charge:
+            if ws is None or ws.n != state.deg.size:
+                ws = Workspace(state.deg.size)
+            _apply_reductions_vectorized(
+                graph, state, formulation, ws, charge, counters, None
+            )
+            return
+        self.reduce(graph, state, formulation, ws, counters, hint)
+
+    # ------------------------------------------------------------------ #
+    # backend-specific hot paths
+    # ------------------------------------------------------------------ #
+    def reduce(
+        self,
+        graph: CSRGraph,
+        state: VCState,
+        formulation: Formulation,
+        ws: Optional[Workspace],
+        counters: Optional[ReductionCounters],
+        hint,
+    ) -> None:
+        """Uncharged cascade body; ``hint`` is the consumed dirty set."""
+        raise NotImplementedError
+
+    def expand_children(
+        self, graph: CSRGraph, state: VCState, vmax: int, ws: Workspace
+    ) -> Tuple[VCState, VCState]:
+        """Uncharged branch step (deferred, continued) — Fig. 4 order."""
+        raise NotImplementedError
+
+    def greedy_cover(self, graph: CSRGraph, ws: Optional[Workspace] = None):
+        """The greedy upper-bound pass (paper Section II-B)."""
+        raise NotImplementedError
+
+    def uses_adjacency(self, graph: CSRGraph) -> bool:
+        """Whether this backend walks cached adjacency tuples on ``graph``.
+
+        The CPU engines' prewarm consults this to decide which graph
+        caches to build before forking workers.
+        """
+        raise NotImplementedError
+
+    def resolved_name(self, n: int, m: int) -> str:
+        """The backend that would actually run a size-(n, m) cascade.
+
+        Identity for concrete backends; ``auto`` reports its band pick
+        (``auto:scalar``).  Recorded as per-case provenance by
+        ``repro bench``.
+        """
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelBackend {self.name}>"
+
+
+class NumpyBackend(KernelBackend):
+    """Today's vectorized dirty-worklist kernels, unconditionally."""
+
+    name = "numpy"
+
+    def reduce(self, graph, state, formulation, ws, counters, hint):
+        if ws is None or ws.n != state.deg.size:
+            ws = Workspace(state.deg.size)
+        _apply_reductions_vectorized(
+            graph, state, formulation, ws, null_charge, counters, hint
+        )
+
+    def expand_children(self, graph, state, vmax, ws):
+        from .branching import _expand_children_general
+
+        return _expand_children_general(graph, state, vmax, ws, null_charge)
+
+    def greedy_cover(self, graph, ws=None):
+        from .greedy import _greedy_cover_vectorized
+
+        if ws is None or ws.n != graph.n:
+            ws = Workspace.for_graph(graph)
+        return _greedy_cover_vectorized(graph, ws)
+
+    def uses_adjacency(self, graph):
+        return False
+
+
+class ScalarBackend(KernelBackend):
+    """Today's pure-Python cascade, first-class (any graph size)."""
+
+    name = "scalar"
+
+    def reduce(self, graph, state, formulation, ws, counters, hint):
+        _apply_reductions_scalar(graph, state, formulation, counters, hint)
+
+    def expand_children(self, graph, state, vmax, ws):
+        from .branching import _expand_children_scalar
+
+        return _expand_children_scalar(graph, state, vmax, ws)
+
+    def greedy_cover(self, graph, ws=None):
+        from .greedy import _greedy_cover_scalar
+
+        return _greedy_cover_scalar(graph)
+
+    def uses_adjacency(self, graph):
+        return True
+
+
+# --------------------------------------------------------------------- #
+# numba: compiled scalar cascade (optional dependency)
+# --------------------------------------------------------------------- #
+
+def _import_numba():
+    """Import probe, split out so tests can simulate a missing install."""
+    try:
+        import numba  # type: ignore
+    except Exception:
+        return None
+    return numba
+
+
+def numba_available() -> bool:
+    """True when the ``compiled`` extra's numba import succeeds."""
+    return _import_numba() is not None
+
+
+#: Compiled kernel namespace, built once per process on first use.
+_NUMBA_IMPL: Optional[dict] = None
+
+
+def _build_numba_impl(numba) -> dict:  # pragma: no cover - needs numba
+    """Compile the scalar cascade's three exhausts over raw CSR arrays.
+
+    Mirrors the pure-Python exhausts in :mod:`repro.core.kernels` loop
+    for loop — ascending-sorted per-sweep drains with per-candidate
+    revalidation, binary-search triangle test, snapshot-first high-degree
+    sweeps — so the fixpoint, counters and sweep counts stay
+    bit-identical.  The budget callback cannot cross into nopython code
+    (formulation budgets may read shared ``mp.Value`` state), so the
+    high-degree rule compiles one *sweep* and the Python driver
+    re-evaluates the budget between sweeps, exactly like
+    ``scalar_high_degree_exhaust``.
+    """
+    njit = numba.njit
+    REMOVED = np.int64(_kernels.REMOVED)
+
+    @njit(cache=True)
+    def nb_remove(indptr, indices, deg, u, p1, p2, counts):
+        deg[u] = REMOVED
+        deleted = 0
+        for i in range(indptr[u], indptr[u + 1]):
+            x = indices[i]
+            dx = deg[x]
+            if dx >= 0:
+                deleted += 1
+                dx -= 1
+                deg[x] = dx
+                if dx == 1:
+                    p1[counts[0]] = x
+                    counts[0] += 1
+                elif dx == 2:
+                    p2[counts[1]] = x
+                    counts[1] += 1
+        return deleted
+
+    @njit(cache=True)
+    def nb_degree_one_exhaust(indptr, indices, deg, p1, p2, counts):
+        fires = 0
+        deleted = 0
+        while counts[0] > 0:
+            m = counts[0]
+            cand = np.sort(p1[:m].copy())
+            counts[0] = 0
+            for j in range(m):
+                v = cand[j]
+                if deg[v] != 1:
+                    continue
+                u = np.int64(-1)
+                for i in range(indptr[v], indptr[v + 1]):
+                    x = indices[i]
+                    if deg[x] >= 0:
+                        u = x
+                        break
+                deleted += nb_remove(indptr, indices, deg, u, p1, p2, counts)
+                fires += 1
+        return fires, deleted
+
+    @njit(cache=True)
+    def nb_degree_two_exhaust(indptr, indices, deg, p1, p2, counts):
+        fires = 0
+        deleted = 0
+        while counts[1] > 0:
+            m = counts[1]
+            cand = np.sort(p2[:m].copy())
+            counts[1] = 0
+            for j in range(m):
+                v = cand[j]
+                if deg[v] != 2:
+                    continue
+                u = np.int64(-1)
+                w = np.int64(-1)
+                for i in range(indptr[v], indptr[v + 1]):
+                    x = indices[i]
+                    if deg[x] >= 0:
+                        if u < 0:
+                            u = x
+                        else:
+                            w = x
+                            break
+                # triangle test: binary search w in u's (sorted) CSR row
+                lo = indptr[u]
+                hi = indptr[u + 1]
+                found = False
+                while lo < hi:
+                    mid = (lo + hi) >> 1
+                    xv = indices[mid]
+                    if xv < w:
+                        lo = mid + 1
+                    elif xv > w:
+                        hi = mid
+                    else:
+                        found = True
+                        break
+                if not found:
+                    continue
+                deleted += nb_remove(indptr, indices, deg, u, p1, p2, counts)
+                deleted += nb_remove(indptr, indices, deg, w, p1, p2, counts)
+                fires += 1
+        return fires, deleted
+
+    @njit(cache=True)
+    def nb_high_degree_sweep(indptr, indices, deg, p1, p2, counts, budget, scratch):
+        # Snapshot-first: collect every over-budget vertex before any
+        # removal (a removal may decrement a later target below budget;
+        # the serial rule still removes it).
+        tcount = 0
+        for v in range(deg.size):
+            if deg[v] > budget:
+                scratch[tcount] = v
+                tcount += 1
+        if tcount == 0:
+            mx = deg[0]
+            for v in range(1, deg.size):
+                if deg[v] > mx:
+                    mx = deg[v]
+            return 0, 0, mx
+        deleted = 0
+        for j in range(tcount):
+            deleted += nb_remove(indptr, indices, deg, scratch[j], p1, p2, counts)
+        return tcount, deleted, np.int64(-1)
+
+    return {
+        "degree_one": nb_degree_one_exhaust,
+        "degree_two": nb_degree_two_exhaust,
+        "high_degree_sweep": nb_high_degree_sweep,
+    }
+
+
+class NumbaBackend(KernelBackend):
+    """Compiled scalar cascade; degrades loudly to ``scalar`` sans numba.
+
+    The branch step and the greedy pass delegate to the scalar backend
+    either way — only the cascade (the dominant cost) is compiled.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._numba = _import_numba()
+        #: True when numba is missing and every call runs the scalar path.
+        self.degraded = self._numba is None
+        if self.degraded:
+            warnings.warn(
+                "kernels backend 'numba' requested but numba is not "
+                "importable; degrading to the pure-python 'scalar' cascade. "
+                "Install the compiled extra (pip install 'repro[compiled]') "
+                "to enable the compiled backend.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _impl(self):  # pragma: no cover - needs numba
+        global _NUMBA_IMPL
+        if _NUMBA_IMPL is None:
+            _NUMBA_IMPL = _build_numba_impl(self._numba)
+        return _NUMBA_IMPL
+
+    def reduce(self, graph, state, formulation, ws, counters, hint):
+        if self.degraded:
+            _apply_reductions_scalar(graph, state, formulation, counters, hint)
+            return
+        self._reduce_compiled(graph, state, formulation, counters, hint)
+
+    def _reduce_compiled(self, graph, state, formulation, counters, hint):  # pragma: no cover - needs numba
+        """Python driver around the compiled exhausts.
+
+        Mirrors ``_apply_reductions_scalar`` — same seeding, same
+        early-exit shortcut, same per-sweep budget re-evaluation — on an
+        int64 working copy of the degree array.
+        """
+        impl = self._impl()
+        deg = state.deg
+        n = deg.size
+        deg64 = deg.astype(np.int64)
+        p1 = np.empty(n, dtype=np.int64)
+        p2 = np.empty(n, dtype=np.int64)
+        scratch = np.empty(max(n, 1), dtype=np.int64)
+        counts = np.zeros(2, dtype=np.int64)
+        if hint is None:
+            ones = np.flatnonzero(deg64 == 1)
+            twos = np.flatnonzero(deg64 == 2)
+            p1[: ones.size] = ones
+            counts[0] = ones.size
+            p2[: twos.size] = twos
+            counts[1] = twos.size
+            max_deg = int(deg64.max()) if n else 0
+        else:
+            hint_arr = np.asarray(hint, dtype=np.int64)
+            if hint_arr.size:
+                hd = deg64[hint_arr]
+                ones = hint_arr[hd == 1]
+                twos = hint_arr[hd == 2]
+                p1[: ones.size] = ones
+                counts[0] = ones.size
+                p2[: twos.size] = twos
+                counts[1] = twos.size
+            max_deg = state.max_deg_hint
+            if max_deg < 0:
+                max_deg = int(deg64.max()) if n else 0
+        cover = state.cover_size
+        edges = state.edge_count
+        budget_of = formulation.budget
+        if counts[0] == 0 and counts[1] == 0:
+            budget = budget_of(cover)
+            if budget < 0 or max_deg <= budget:
+                state.max_deg_hint = max_deg
+                if counters is not None:
+                    counters.sweeps += 1
+                return
+        indptr = graph.indptr
+        indices = graph.indices
+        c1 = c2 = ch = sweeps = 0
+        while True:
+            f1, e1 = impl["degree_one"](indptr, indices, deg64, p1, p2, counts)
+            f2, e2 = impl["degree_two"](indptr, indices, deg64, p1, p2, counts)
+            cover += f1 + 2 * f2
+            fh = eh = 0
+            while n:
+                budget = budget_of(cover + fh)
+                if budget < 0 or max_deg <= budget:
+                    break
+                tf, td, mx = impl["high_degree_sweep"](
+                    indptr, indices, deg64, p1, p2, counts, budget, scratch
+                )
+                if tf == 0:
+                    max_deg = int(mx)  # exact again; scan came up empty
+                    break
+                fh += int(tf)
+                eh += int(td)
+            cover += fh
+            edges -= int(e1) + int(e2) + eh
+            c1 += int(f1)
+            c2 += 2 * int(f2)
+            ch += fh
+            sweeps += 1
+            if not (f1 or f2 or fh):
+                break
+        if c1 or c2 or ch:
+            deg[:] = deg64
+            state.cover_size = cover
+            state.edge_count = edges
+        state.max_deg_hint = max_deg
+        if counters is not None:
+            counters.degree_one += c1
+            counters.degree_two_triangle += c2
+            counters.high_degree += ch
+            counters.sweeps += sweeps
+
+    def expand_children(self, graph, state, vmax, ws):
+        from .branching import _expand_children_scalar
+
+        return _expand_children_scalar(graph, state, vmax, ws)
+
+    def greedy_cover(self, graph, ws=None):
+        from .greedy import _greedy_cover_scalar
+
+        return _greedy_cover_scalar(graph)
+
+    def uses_adjacency(self, graph):
+        # The branch step and greedy pass are the scalar ones either way.
+        return True
+
+
+class AutoBackend(KernelBackend):
+    """Per-size-band dispatch between the concrete backends.
+
+    Uncalibrated, :meth:`pick` reproduces the legacy cutoff rule by
+    reading the live ``kernels.SCALAR_KERNEL_MAX_N/M`` globals at call
+    time — ``set_scalar_cutoffs`` (and tests monkeypatching the globals)
+    therefore still steer every consumer, now through one dispatcher.
+    A CALIBRATION.json v2 artifact installs a measured band table via
+    :meth:`install_calibration`: ascending ``(max_n, backend)`` pairs, an
+    edge cap above which the interpreter-family backends are never picked
+    (their loops walk full adjacency rows), and a default for graphs
+    beyond the last band.
+    """
+
+    name = "auto"
+
+    def __init__(self) -> None:
+        self._bands: Optional[Tuple[Tuple[int, str], ...]] = None
+        self._max_m: int = 0
+        self._default: str = "numpy"
+
+    # -- calibration ---------------------------------------------------- #
+    def install_calibration(
+        self,
+        bands: Sequence[Tuple[int, str]],
+        max_m: int,
+        default: str = "numpy",
+    ) -> None:
+        """Install a measured per-band winner table (CALIBRATION v2)."""
+        for _, name in tuple(bands) + ((0, default),):
+            if name not in KERNELS:
+                raise ValueError(
+                    f"unknown kernels {name!r} in calibration bands; "
+                    f"choose from: {', '.join(sorted(KERNELS))}"
+                )
+            if name == "auto":
+                raise ValueError("calibration bands cannot nest the 'auto' backend")
+        self._bands = tuple(sorted((int(mn), str(b)) for mn, b in bands))
+        self._max_m = int(max_m)
+        self._default = str(default)
+
+    def clear_calibration(self) -> None:
+        """Back to the uncalibrated legacy cutoff rule."""
+        self._bands = None
+        self._max_m = 0
+        self._default = "numpy"
+
+    @property
+    def calibrated(self) -> bool:
+        return self._bands is not None
+
+    # -- dispatch -------------------------------------------------------- #
+    def pick(self, n: int, m: int) -> str:
+        """The concrete backend name for a size-(n, m) graph."""
+        if self._bands is None:
+            if (
+                n <= _kernels.SCALAR_KERNEL_MAX_N
+                and m <= _kernels.SCALAR_KERNEL_MAX_M
+            ):
+                return "scalar"
+            return "numpy"
+        if m > self._max_m:
+            return "numpy"
+        for max_n, backend in self._bands:
+            if n <= max_n:
+                return backend
+        return self._default
+
+    def _picked(self, n: int, m: int) -> KernelBackend:
+        return make_kernels(self.pick(n, m))
+
+    def resolved_name(self, n: int, m: int) -> str:
+        return f"auto:{self.pick(n, m)}"
+
+    def reduce(self, graph, state, formulation, ws, counters, hint):
+        self._picked(state.deg.size, graph.m).reduce(
+            graph, state, formulation, ws, counters, hint
+        )
+
+    def expand_children(self, graph, state, vmax, ws):
+        return self._picked(graph.n, graph.m).expand_children(graph, state, vmax, ws)
+
+    def greedy_cover(self, graph, ws=None):
+        return self._picked(graph.n, graph.m).greedy_cover(graph, ws)
+
+    def uses_adjacency(self, graph):
+        return self._picked(graph.n, graph.m).uses_adjacency(graph)
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+#: Backend name -> zero-argument factory, mirroring BOUNDS / FRONTIERS.
+KERNELS: Dict[str, Callable[[], KernelBackend]] = {
+    "numpy": NumpyBackend,
+    "scalar": ScalarBackend,
+    "numba": NumbaBackend,
+    "auto": AutoBackend,
+}
+
+#: The registry's default selection when a caller passes ``None``.
+DEFAULT_KERNELS = "auto"
+
+_INSTANCES: Dict[str, KernelBackend] = {}
+_default_name: str = DEFAULT_KERNELS
+
+
+def make_kernels(name: str) -> KernelBackend:
+    """The (cached, process-wide) backend instance for ``name``.
+
+    Backends are stateless apart from ``auto``'s installed calibration,
+    so one instance per name is shared by every consumer — which is what
+    makes a calibration install or a ``set_scalar_cutoffs`` call visible
+    everywhere at once.
+    """
+    if name not in KERNELS:
+        raise ValueError(
+            f"unknown kernels {name!r}; choose from: {', '.join(sorted(KERNELS))}"
+        )
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        inst = _INSTANCES[name] = KERNELS[name]()
+    return inst
+
+
+def resolve_kernels(
+    kernels: Union[KernelBackend, str, None] = None,
+) -> KernelBackend:
+    """Normalize a backend selection: instance, registry name, or None."""
+    if kernels is None:
+        return make_kernels(_default_name)
+    if isinstance(kernels, KernelBackend):
+        return kernels
+    return make_kernels(kernels)
+
+
+def get_default_kernels() -> str:
+    """The registry name resolved when a caller passes ``None``."""
+    return _default_name
+
+
+def set_default_kernels(name: Optional[str]) -> str:
+    """Install the process-wide default backend name; return it.
+
+    ``None`` resets to the shipped default (``auto``).  Validated against
+    the registry with the same one-line error as every other axis.
+    """
+    global _default_name
+    if name is None:
+        name = DEFAULT_KERNELS
+    make_kernels(name)  # validates + warms the instance cache
+    _default_name = name
+    return _default_name

@@ -681,6 +681,12 @@ def _apply_reductions_vectorized(
         )
 
 
+#: Lazily-bound resolver from :mod:`repro.core.kernel_backends`.  That
+#: module imports this one at module level, so the reverse import must
+#: happen at first call, never at import time.
+_resolve_kernels = None
+
+
 def apply_reductions_fast(
     graph: CSRGraph,
     state: VCState,
@@ -688,33 +694,27 @@ def apply_reductions_fast(
     ws: Optional[Workspace] = None,
     charge: ChargeFn = null_charge,
     counters: Optional[ReductionCounters] = None,
+    kernels=None,
 ) -> None:
-    """Fig. 1's ``reduce`` on the fast kernels; the default hot path.
+    """Fig. 1's ``reduce``, dispatched through the ``KERNELS`` registry.
 
     Reaches the exact fixpoint (``deg``, ``cover_size``, ``edge_count``,
-    counters included) of :func:`repro.core.reductions.apply_reductions_reference`.
-    Small graphs run the scalar cascade; large ones the vectorized
-    dirty-worklist kernels.  Charged runs always take the vectorized path
-    so work accounting stays array-shaped.
+    counters included) of :func:`repro.core.reductions.apply_reductions_reference`
+    for **every** registered backend.  ``kernels`` selects one — a
+    registry name, a :class:`~repro.core.kernel_backends.KernelBackend`
+    instance, or ``None`` for the process default (``auto``, which
+    reproduces the legacy scalar-cutoff behaviour).  Charged runs always
+    take the vectorized path so work accounting stays array-shaped,
+    whatever backend was selected.
 
     The state's ``dirty`` hint (populated by ``expand_children`` with the
     branch step's touched vertices) seeds the cascade's worklists, making
     a child node's reduce start from O(touched) work instead of an O(n)
-    rescan.  The hint is consumed here — cleared before the cascade runs —
-    so it can never go stale on a reduced state.
+    rescan.  The hint is consumed by the backend's shared ``cascade``
+    entry — cleared before the cascade runs — so it can never go stale on
+    a reduced state.
     """
-    deg = state.deg
-    hint = state.dirty
-    if hint is not None:
-        state.dirty = None
-    if charge is null_charge:
-        if deg.size <= SCALAR_KERNEL_MAX_N and graph.m <= SCALAR_KERNEL_MAX_M:
-            _apply_reductions_scalar(graph, state, formulation, counters, hint)
-            return
-    else:
-        # Charged (cost-model) runs must emit the same work stream whether
-        # or not the state arrived with a hint: seed from a full rescan.
-        hint = None
-    if ws is None or ws.n != deg.size:
-        ws = Workspace(deg.size)
-    _apply_reductions_vectorized(graph, state, formulation, ws, charge, counters, hint)
+    global _resolve_kernels
+    if _resolve_kernels is None:
+        from .kernel_backends import resolve_kernels as _resolve_kernels  # noqa: F811
+    _resolve_kernels(kernels).cascade(graph, state, formulation, ws, charge, counters)

@@ -49,6 +49,7 @@ from ..graph.degree_array import VCState, Workspace
 from .bounds import BoundPolicy, GreedyBound, make_bound
 from .branching import PivotFn, expand_children, max_degree_pivot
 from .formulation import Formulation
+from .kernel_backends import KernelBackend, resolve_kernels
 from .stats import ChargeFn, ReductionCounters, null_charge
 
 __all__ = [
@@ -111,18 +112,21 @@ class Children:
 StepOutcome = Union[_Sentinel, Children]
 
 
-def default_reducer(charge: ChargeFn) -> Reducer:
+def default_reducer(charge: ChargeFn,
+                    kernels: Optional[KernelBackend] = None) -> Reducer:
     """The sequential baseline's reducer choice (see ``branch_and_reduce``).
 
-    Uncharged runs take the vectorized dirty-worklist kernels (the
-    wall-clock hot path); charged runs keep the reference rules, whose
-    per-sweep charge stream *is* the Table I work meter.  Both reach the
-    same fixpoint, so results never depend on the choice.
+    Uncharged runs take the selected kernel backend's cascade (the
+    wall-clock hot path, ``KERNELS`` registry); charged runs keep the
+    reference rules, whose per-sweep charge stream *is* the Table I work
+    meter.  Every backend reaches the same fixpoint, so results never
+    depend on the choice.
     """
-    from .kernels import apply_reductions_fast
     from .reductions import apply_reductions_reference
 
-    return apply_reductions_fast if charge is null_charge else apply_reductions_reference
+    if charge is null_charge:
+        return resolve_kernels(kernels).cascade
+    return apply_reductions_reference
 
 
 class NodeStep:
@@ -136,7 +140,7 @@ class NodeStep:
     """
 
     __slots__ = ("graph", "formulation", "ws", "reducer", "pivot", "rng",
-                 "charge", "counters", "bound", "run")
+                 "charge", "counters", "bound", "kernels", "run")
 
     def __init__(
         self,
@@ -150,10 +154,16 @@ class NodeStep:
         charge: ChargeFn = null_charge,
         counters: Optional[ReductionCounters] = None,
         bound: Union[BoundPolicy, str, None] = None,
+        kernels: Union[KernelBackend, str, None] = None,
         faultable: bool = True,
     ) -> None:
+        # The kernel backend (KERNELS registry: name, instance, or None
+        # for the process default) is resolved once per traversal and
+        # bound into both hot-path calls below — reduce and branch share
+        # one dispatch decision per node, not scattered cutoff reads.
+        kernels = resolve_kernels(kernels)
         if reducer is None:
-            reducer = default_reducer(charge)
+            reducer = default_reducer(charge, kernels)
         if bound is None or isinstance(bound, str):
             bound = make_bound(bound or "greedy", graph, ws)
         self.graph = graph
@@ -165,6 +175,7 @@ class NodeStep:
         self.charge = charge
         self.counters = counters
         self.bound = bound
+        self.kernels = kernels
 
         # Bind every dependency into the closure: the per-node cost of the
         # step wrapper is one function call, not a chain of attribute
@@ -215,6 +226,7 @@ class NodeStep:
                 _pivot: PivotFn = pivot,
                 _rng: Optional[np.random.Generator] = rng,
                 _children: Children = children,
+                _kernels: KernelBackend = kernels,
                 _n: float = n_units) -> StepOutcome:
             _reducer(_graph, state, _formulation, _ws, charge=_charge,
                      counters=_counters)
@@ -226,7 +238,8 @@ class NodeStep:
                 return LEAF
             vmax = _pivot(state, _rng)
             deferred, continued = expand_children(_graph, state, vmax, _ws,
-                                                  charge=_charge)
+                                                  charge=_charge,
+                                                  kernels=_kernels)
             _children.deferred = deferred
             _children.continued = continued
             return _children

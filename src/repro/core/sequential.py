@@ -66,6 +66,7 @@ def branch_and_reduce(
     reducer: Optional[Reducer] = None,
     frontier: Union[Frontier, str, None] = None,
     bound: Union[BoundPolicy, str, None] = None,
+    kernels=None,
     deadline: Optional[float] = None,
     clock: Callable[[], float] = time.monotonic,
 ) -> SearchStats:
@@ -79,8 +80,15 @@ def branch_and_reduce(
     CPU cost model for Table I.
 
     ``reducer`` picks the reduction cascade (see
-    :func:`repro.core.nodestep.default_reducer`: vectorized kernels for
-    uncharged runs, the charge-exact reference rules otherwise).
+    :func:`repro.core.nodestep.default_reducer`: the selected kernel
+    backend's cascade for uncharged runs, the charge-exact reference
+    rules otherwise).
+
+    ``kernels`` picks the kernel backend for the uncharged hot paths: a
+    :class:`~repro.core.kernel_backends.KernelBackend` instance, a
+    registered ``KERNELS`` name, or ``None`` for the process default
+    (``auto``).  Backends are bit-identical, so the optimum — and every
+    charge stream — never depends on the choice.
 
     ``frontier`` picks the worklist discipline: a
     :class:`~repro.core.frontier.Frontier` instance, a registered policy
@@ -126,7 +134,7 @@ def branch_and_reduce(
     step = NodeStep(
         graph, formulation, ws,
         reducer=reducer, pivot=pivot, rng=rng, charge=charge,
-        counters=stats.reductions, bound=bound,
+        counters=stats.reductions, bound=bound, kernels=kernels,
     ).run
     fpush = frontier.push
     fpop = frontier.pop
@@ -229,6 +237,7 @@ def solve_mvc_sequential(
     rng: Optional[np.random.Generator] = None,
     frontier: Union[Frontier, str, None] = None,
     bound: Union[BoundPolicy, str, None] = None,
+    kernels=None,
 ) -> SearchOutcome:
     """Solve MINIMUM VERTEX COVER with the Fig. 1 algorithm.
 
@@ -236,13 +245,14 @@ def solve_mvc_sequential(
     does before launching the traversal.
     """
     ws = Workspace.for_graph(graph)
-    greedy = greedy_cover(graph, ws)
+    greedy = greedy_cover(graph, ws, kernels=kernels)
     best = BestBound(size=greedy.size, cover=greedy.cover)
     formulation = MVCFormulation(best)
     if graph.m == 0:
         return SearchOutcome("mvc", 0, np.empty(0, dtype=np.int32), None, False, greedy_size=0)
     stats = branch_and_reduce(graph, formulation, ws=ws, node_budget=node_budget,
-                              pivot=pivot, rng=rng, frontier=frontier, bound=bound)
+                              pivot=pivot, rng=rng, frontier=frontier, bound=bound,
+                              kernels=kernels)
     timed_out = bool(stats.extra.get("timed_out"))
     return SearchOutcome(
         formulation="mvc",
@@ -264,6 +274,7 @@ def solve_pvc_sequential(
     rng: Optional[np.random.Generator] = None,
     frontier: Union[Frontier, str, None] = None,
     bound: Union[BoundPolicy, str, None] = None,
+    kernels=None,
 ) -> SearchOutcome:
     """Solve PARAMETERIZED VERTEX COVER: find a cover of size at most ``k``."""
     if k < 0:
@@ -271,7 +282,7 @@ def solve_pvc_sequential(
     ws = Workspace.for_graph(graph)
     flag = FoundFlag()
     formulation = PVCFormulation(k=k, flag=flag)
-    greedy = greedy_cover(graph, ws)
+    greedy = greedy_cover(graph, ws, kernels=kernels)
     stats = SearchStats()
     if graph.m == 0:
         flag.set(fresh_state(graph))
@@ -281,7 +292,7 @@ def solve_pvc_sequential(
         # search itself always runs and stops at its first accepted cover.
         stats = branch_and_reduce(
             graph, formulation, ws=ws, node_budget=node_budget, pivot=pivot,
-            rng=rng, frontier=frontier, bound=bound
+            rng=rng, frontier=frontier, bound=bound, kernels=kernels
         )
     timed_out = bool(stats.extra.get("timed_out"))
     return SearchOutcome(

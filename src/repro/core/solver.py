@@ -95,7 +95,8 @@ def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options:
 
 
 _ENGINE_CTOR_KEYS = ("device", "cost_model", "start_depth", "worklist_capacity",
-                     "worklist_threshold_fraction", "block_size_override", "bound")
+                     "worklist_threshold_fraction", "block_size_override", "bound",
+                     "kernels")
 
 
 def _reject_frontier_opt(engine: str, options: Dict[str, Any]) -> None:
@@ -122,11 +123,13 @@ def _split_engine_opts(options: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _forward_bound_opt(ctor: Dict[str, Any], options: Dict[str, Any]) -> None:
-    """Hand ``bound`` back to a per-solve engine.
+    """Hand ``bound`` and ``kernels`` back to a per-solve engine.
 
-    ``bound`` sits in :data:`_ENGINE_CTOR_KEYS` because the simulated
-    engines take it at construction; the sequential and ``cpu-*`` engines
-    take it per solve call, so the split puts it back for them.
+    Both sit in :data:`_ENGINE_CTOR_KEYS` because the simulated engines
+    take them at construction; the sequential and ``cpu-*`` engines take
+    them per solve call, so the split puts them back for them.
     """
     if "bound" in ctor:
         options["bound"] = ctor["bound"]
+    if "kernels" in ctor:
+        options["kernels"] = ctor["kernels"]

@@ -101,8 +101,10 @@ class SimEngineBase:
         worklist_capacity: int = 1024,
         block_size_override: Optional[int] = None,
         bound: str = "greedy",
+        kernels: Optional[str] = None,
     ):
         from ..core.bounds import BOUNDS
+        from ..core.kernel_backends import KERNELS
 
         self.device = device
         self.cost_model = cost_model if cost_model is not None else CostModel()
@@ -114,6 +116,15 @@ class SimEngineBase:
         #: default keeps makespans bit-identical to the pre-bound engines,
         #: non-default policies charge `lower_bound` cycles (costmodel.py).
         self.bound = bound
+        if kernels is not None and kernels not in KERNELS:
+            raise ValueError(
+                f"unknown kernels {kernels!r}; choose from: {', '.join(sorted(KERNELS))}"
+            )
+        #: kernel-backend name for the launch's *uncharged* host-side work
+        #: (the greedy bound pass).  The blocks' charged cascades are the
+        #: Section IV-D parallel-semantics rules regardless — backends are
+        #: bit-identical, so makespans and Table I never depend on this.
+        self.kernels = kernels
         #: optional repro.sim.trace.TraceRecorder capturing every charge
         self.tracer = None
 
@@ -138,7 +149,7 @@ class SimEngineBase:
         root; ``initial_best`` ``(size, cover)`` pre-loads an incumbent
         stronger than the greedy one (both used by the anytime layer).
         """
-        greedy = greedy_cover(graph)
+        greedy = greedy_cover(graph, kernels=self.kernels)
         best = BestBound(size=greedy.size, cover=greedy.cover)
         if initial_best is not None and initial_best[0] < best.size:
             best = BestBound(size=int(initial_best[0]),
@@ -167,7 +178,7 @@ class SimEngineBase:
         """Parameterized vertex cover on the simulated device."""
         if k < 0:
             raise ValueError("k must be non-negative")
-        greedy = greedy_cover(graph)
+        greedy = greedy_cover(graph, kernels=self.kernels)
         flag = FoundFlag()
         formulation = PVCFormulation(k=k, flag=flag)
         depth_bound = max(k + 1, 2)
@@ -314,12 +325,15 @@ class SimEngineBase:
         raise NotImplementedError
 
     def _params(self) -> Dict[str, Any]:
-        return {
+        params = {
             "device": self.device.name,
             "worklist_capacity": self.worklist_capacity,
             "block_size_override": self.block_size_override,
             "bound": self.bound,
         }
+        if self.kernels is not None:
+            params["kernels"] = self.kernels
+        return params
 
     # ------------------------------------------------------------------ #
     # shared traversal steps

@@ -55,6 +55,7 @@ from .. import faults
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.frontier import LifoFrontier, hybrid_should_donate
 from ..core.greedy import greedy_cover
+from ..core.kernel_backends import resolve_kernels
 from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..core.sequential import branch_and_reduce
 from ..graph.csr import CSRGraph
@@ -139,6 +140,7 @@ def _process_worker(
     node_budget: Optional[int],
     deadline_at: Optional[float],
     bound: str,
+    kernels: str,
 ) -> None:
     formulation: Formulation
     if mode == "mvc":
@@ -153,10 +155,11 @@ def _process_worker(
     delay_active = plan is not None and "queue_delay" in plan.sites()
     fault_guard = faults.step_guard_active()
     ws = Workspace.for_graph(graph)
-    # fast kernels, uncharged; the bound-policy *name* crosses the process
-    # boundary with the launch arguments (states themselves travel through
-    # the VCState wire codec) and each worker instantiates its own policy
-    step = NodeStep(graph, formulation, ws, bound=bound).run
+    # fast kernels, uncharged; the bound-policy and kernel-backend *names*
+    # cross the process boundary with the launch arguments (states
+    # themselves travel through the VCState wire codec) and each worker
+    # instantiates its own policy/backend from its registry
+    step = NodeStep(graph, formulation, ws, bound=bound, kernels=kernels).run
     local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
     local_nodes = 0
@@ -301,6 +304,7 @@ def _drain_inline(
     initial_best: int,
     initial_cover: Optional[np.ndarray],
     bound: str,
+    kernels: Optional[str] = None,
 ) -> Tuple[Optional[int], Optional[np.ndarray]]:
     """Last-resort fallback: every worker slot died — the parent finishes.
 
@@ -319,7 +323,7 @@ def _drain_inline(
     for state in states[1:]:
         frontier.push((state, 0))
     branch_and_reduce(graph, formulation, ws=ws, root=states[0],
-                      frontier=frontier, bound=bound)
+                      frontier=frontier, bound=bound, kernels=kernels)
     if mode == "mvc":
         return best.size, best.cover
     if flag.found:
@@ -338,10 +342,18 @@ def _run_processes(
     initial_best: int,
     initial_cover: Optional[np.ndarray] = None,
     bound: str = "greedy",
+    kernels: Optional[str] = None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     max_respawns: int = MAX_RESPAWNS,
 ) -> _ProcRun:
+    # Validate/normalize the backend selection up front (one-line registry
+    # error rather than a traceback inside a child) and prewarm whatever
+    # graph caches it needs *before* forking, so every worker inherits the
+    # warmed pages instead of rebuilding them n_workers times.
+    backend = resolve_kernels(kernels)
+    kernels_name = backend.name
+    graph.prewarm(adjacency=backend.uses_adjacency(graph))
     ctx = mp.get_context("fork")
     work_q: "mp.Queue" = ctx.Queue()
     event_q = ctx.SimpleQueue()
@@ -370,7 +382,7 @@ def _run_processes(
             target=_process_worker,
             args=(slot, salt_seq[0], graph, mode, k, work_q, event_q, best_size,
                   lock, nodes, done, found, stop_reason, threshold, node_budget,
-                  deadline_at, bound),
+                  deadline_at, bound, kernels_name),
             daemon=True,
         )
         p.start()
@@ -517,7 +529,7 @@ def _run_processes(
             size, cover = _drain_inline(
                 graph, mode, k, [VCState.from_wire(w) for w in remaining_wires],
                 best_size.value if mode == "mvc" else k,
-                run.best_cover, bound,
+                run.best_cover, bound, kernels_name,
             )
             if size is not None and (run.best_size is None or size <= run.best_size):
                 run.best_size, run.best_cover = size, cover
@@ -545,6 +557,7 @@ def solve_mvc_processes(
     threshold: int = 32,
     node_budget: Optional[int] = None,
     bound: str = "greedy",
+    kernels: Optional[str] = None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     initial_best: Optional[Tuple[int, np.ndarray]] = None,
@@ -553,7 +566,7 @@ def solve_mvc_processes(
     """Minimum vertex cover with a supervised process team."""
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    greedy = greedy_cover(graph)
+    greedy = greedy_cover(graph, kernels=kernels)
     best0, cover0 = greedy.size, greedy.cover
     if initial_best is not None and initial_best[0] < best0:
         best0 = int(initial_best[0])
@@ -564,7 +577,7 @@ def solve_mvc_processes(
     run = _run_processes(
         graph, "mvc", 0, n_workers=n_workers, threshold=threshold,
         node_budget=node_budget, initial_best=best0, initial_cover=cover0,
-        bound=bound, deadline=deadline, roots=roots,
+        bound=bound, kernels=kernels, deadline=deadline, roots=roots,
     )
     return CpuParallelResult(
         engine="cpu-process",
@@ -593,6 +606,7 @@ def solve_pvc_processes(
     threshold: int = 32,
     node_budget: Optional[int] = None,
     bound: str = "greedy",
+    kernels: Optional[str] = None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     **_: object,
@@ -600,14 +614,14 @@ def solve_pvc_processes(
     """Parameterized vertex cover with a supervised process team."""
     if k < 0:
         raise ValueError("k must be non-negative")
-    greedy = greedy_cover(graph)
+    greedy = greedy_cover(graph, kernels=kernels)
     if graph.m == 0:
         return CpuParallelResult("cpu-process", "pvc", 0, np.empty(0, dtype=np.int32),
                                  True, False, 0, n_workers, 0.0, greedy.size)
     run = _run_processes(
         graph, "pvc", k, n_workers=n_workers, threshold=threshold,
         node_budget=node_budget, initial_best=graph.n + 1, initial_cover=None,
-        bound=bound, deadline=deadline, roots=roots,
+        bound=bound, kernels=kernels, deadline=deadline, roots=roots,
     )
     feasible: Optional[bool]
     if run.best_cover is not None:

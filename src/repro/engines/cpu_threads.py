@@ -27,7 +27,7 @@ from .. import faults
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.frontier import GlobalWorklistFrontier, LifoFrontier, hybrid_should_donate
 from ..core.greedy import greedy_cover
-from ..core.kernels import scalar_path_ok
+from ..core.kernel_backends import resolve_kernels
 from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state
@@ -142,10 +142,11 @@ def _worker(
     node_counts: List[int],
     wid: int,
     bound: str,
+    kernels,
 ) -> None:
     ws = Workspace.for_graph(graph)
     # fast kernels, uncharged; each worker owns its bound-policy instance
-    step = NodeStep(graph, formulation, ws, bound=bound).run
+    step = NodeStep(graph, formulation, ws, bound=bound, kernels=kernels).run
     fault_guard = faults.step_guard_active()
     local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
@@ -213,6 +214,7 @@ def _run_threads(
     threshold: int,
     node_budget: Optional[int],
     bound: str = "greedy",
+    kernels=None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
 ) -> tuple[_ThreadShared, List[int], float]:
@@ -220,13 +222,16 @@ def _run_threads(
     for state in ([fresh_state(graph)] if roots is None else roots):
         shared.queue.push(state)
     # Build the graph's lazy query caches here, before workers exist, so
-    # the worker threads only ever read them.
-    graph.prewarm(adjacency=scalar_path_ok(graph.n, graph.m))
+    # the worker threads only ever read them.  The selected kernel backend
+    # says which caches its hot paths will touch.
+    backend = resolve_kernels(kernels)
+    graph.prewarm(adjacency=backend.uses_adjacency(graph))
     node_counts = [0] * n_workers
     threads = [
         threading.Thread(
             target=_worker,
-            args=(graph, formulation, shared, node_counts, w, bound), daemon=True
+            args=(graph, formulation, shared, node_counts, w, bound, backend),
+            daemon=True
         )
         for w in range(n_workers)
     ]
@@ -249,6 +254,7 @@ def solve_mvc_threads(
     threshold: int = 32,
     node_budget: Optional[int] = None,
     bound: str = "greedy",
+    kernels=None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     initial_best: Optional[Tuple[int, np.ndarray]] = None,
@@ -257,7 +263,7 @@ def solve_mvc_threads(
     """Minimum vertex cover with a thread team running the hybrid protocol."""
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    greedy = greedy_cover(graph)
+    greedy = greedy_cover(graph, kernels=kernels)
     best = BestBound(size=greedy.size, cover=greedy.cover)
     if initial_best is not None and initial_best[0] < best.size:
         best = BestBound(size=int(initial_best[0]),
@@ -268,7 +274,8 @@ def solve_mvc_threads(
     formulation = MVCFormulation(best)
     shared, node_counts, wall = _run_threads(
         graph, formulation, n_workers=n_workers, threshold=threshold,
-        node_budget=node_budget, bound=bound, deadline=deadline, roots=roots
+        node_budget=node_budget, bound=bound, kernels=kernels,
+        deadline=deadline, roots=roots
     )
     return CpuParallelResult(
         engine="cpu-threads",
@@ -297,6 +304,7 @@ def solve_pvc_threads(
     threshold: int = 32,
     node_budget: Optional[int] = None,
     bound: str = "greedy",
+    kernels=None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     **_: object,
@@ -304,7 +312,7 @@ def solve_pvc_threads(
     """Parameterized vertex cover with a thread team."""
     if k < 0:
         raise ValueError("k must be non-negative")
-    greedy = greedy_cover(graph)
+    greedy = greedy_cover(graph, kernels=kernels)
     flag = FoundFlag()
     if graph.m == 0:
         return CpuParallelResult("cpu-threads", "pvc", 0, np.empty(0, dtype=np.int32),
@@ -312,7 +320,8 @@ def solve_pvc_threads(
     formulation = PVCFormulation(k=k, flag=flag)
     shared, node_counts, wall = _run_threads(
         graph, formulation, n_workers=n_workers, threshold=threshold,
-        node_budget=node_budget, bound=bound, deadline=deadline, roots=roots
+        node_budget=node_budget, bound=bound, kernels=kernels,
+        deadline=deadline, roots=roots
     )
     timed_out = shared.timed_out
     return CpuParallelResult(

@@ -25,7 +25,7 @@ from .. import faults
 from ..core.formulation import BestBound, Formulation, FoundFlag, MVCFormulation, PVCFormulation
 from ..core.frontier import StealingDequeFrontier
 from ..core.greedy import greedy_cover
-from ..core.kernels import scalar_path_ok
+from ..core.kernel_backends import resolve_kernels
 from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state
@@ -120,10 +120,11 @@ def _steal_worker(
     node_counts: List[int],
     wid: int,
     bound: str,
+    kernels,
 ) -> None:
     ws = Workspace.for_graph(graph)
     # fast kernels, uncharged; each worker owns its bound-policy instance
-    step = NodeStep(graph, formulation, ws, bound=bound).run
+    step = NodeStep(graph, formulation, ws, bound=bound, kernels=kernels).run
     fault_guard = faults.step_guard_active()
     current: Optional[VCState] = None
     try:
@@ -185,6 +186,7 @@ def _run_worksteal(
     node_budget: Optional[int],
     seed: int,
     bound: str = "greedy",
+    kernels=None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
 ) -> tuple[_StealShared, List[int], float]:
@@ -192,11 +194,13 @@ def _run_worksteal(
     for i, state in enumerate([fresh_state(graph)] if roots is None else roots):
         shared.frontier.push_lane(i % n_workers, state)
     # Build the graph's lazy query caches before any worker can race them.
-    graph.prewarm(adjacency=scalar_path_ok(graph.n, graph.m))
+    backend = resolve_kernels(kernels)
+    graph.prewarm(adjacency=backend.uses_adjacency(graph))
     node_counts = [0] * n_workers
     threads = [
         threading.Thread(target=_steal_worker,
-                         args=(graph, formulation, shared, node_counts, w, bound),
+                         args=(graph, formulation, shared, node_counts, w, bound,
+                               backend),
                          daemon=True)
         for w in range(n_workers)
     ]
@@ -218,6 +222,7 @@ def solve_mvc_worksteal(
     node_budget: Optional[int] = None,
     seed: int = 0,
     bound: str = "greedy",
+    kernels=None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     initial_best: Optional[Tuple[int, np.ndarray]] = None,
@@ -226,7 +231,7 @@ def solve_mvc_worksteal(
     """Minimum vertex cover with randomized work stealing."""
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    greedy = greedy_cover(graph)
+    greedy = greedy_cover(graph, kernels=kernels)
     best = BestBound(size=greedy.size, cover=greedy.cover)
     if initial_best is not None and initial_best[0] < best.size:
         best = BestBound(size=int(initial_best[0]),
@@ -237,7 +242,7 @@ def solve_mvc_worksteal(
     formulation = MVCFormulation(best)
     shared, node_counts, wall = _run_worksteal(
         graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed,
-        bound=bound, deadline=deadline, roots=roots
+        bound=bound, kernels=kernels, deadline=deadline, roots=roots
     )
     result = CpuParallelResult(
         engine="cpu-worksteal",
@@ -267,6 +272,7 @@ def solve_pvc_worksteal(
     node_budget: Optional[int] = None,
     seed: int = 0,
     bound: str = "greedy",
+    kernels=None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     **_: object,
@@ -274,7 +280,7 @@ def solve_pvc_worksteal(
     """Parameterized vertex cover with randomized work stealing."""
     if k < 0:
         raise ValueError("k must be non-negative")
-    greedy = greedy_cover(graph)
+    greedy = greedy_cover(graph, kernels=kernels)
     flag = FoundFlag()
     if graph.m == 0:
         return CpuParallelResult("cpu-worksteal", "pvc", 0, np.empty(0, dtype=np.int32),
@@ -282,7 +288,7 @@ def solve_pvc_worksteal(
     formulation = PVCFormulation(k=k, flag=flag)
     shared, node_counts, wall = _run_worksteal(
         graph, formulation, n_workers=n_workers, node_budget=node_budget, seed=seed,
-        bound=bound, deadline=deadline, roots=roots
+        bound=bound, kernels=kernels, deadline=deadline, roots=roots
     )
     timed_out = shared.timed_out
     return CpuParallelResult(

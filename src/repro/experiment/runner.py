@@ -161,6 +161,7 @@ def experiment_config(spec: ExperimentSpec) -> ExperimentConfig:
         hybrid_capacities=spec.hybrid_capacities,
         hybrid_fractions=spec.hybrid_fractions,
         cpu_workers=spec.cpu_workers,
+        kernels=spec.kernels,
     )
 
 
@@ -242,9 +243,9 @@ def _cached_graph(ref_json: object, scale: str) -> CSRGraph:
 def _maybe_apply_calibration(path: Optional[str]) -> None:
     if path is None or path in _CALIBRATION_APPLIED:
         return
-    from ..analysis.microbench import load_scalar_calibration
+    from ..analysis.microbench import load_kernel_calibration
 
-    load_scalar_calibration(path)
+    load_kernel_calibration(path)
     _CALIBRATION_APPLIED.add(path)
 
 

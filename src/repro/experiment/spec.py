@@ -153,6 +153,11 @@ class ExperimentSpec:
     #: calibration moves the scalar/vectorized dispatch, never results, so
     #: it is excluded from cell fingerprints.
     calibration: Optional[str] = None
+    #: optional KERNELS registry name forced on the wall-clock ``cpu-*``
+    #: engines (``None``: the process default dispatcher).  Backends are
+    #: bit-identical by contract, so — like ``calibration`` — this is
+    #: excluded from cell fingerprints.
+    kernels: Optional[str] = None
     #: wall-clock guard per cell: a cell that exceeds it is terminated and
     #: (after ``cell_retries``) quarantined with an ``error`` record.
     #: ``None`` disables the guard.  Execution policy, not result content —
@@ -205,6 +210,12 @@ class ExperimentSpec:
                 raise _one_line_choice_error("bound", bound, sorted(BOUNDS))
         if self.cpu_workers < 1:
             raise ValueError("cpu_workers must be >= 1")
+        if self.kernels is not None:
+            from ..core.kernel_backends import KERNELS
+
+            if self.kernels not in KERNELS:
+                raise _one_line_choice_error("kernels", self.kernels,
+                                             sorted(KERNELS))
         from ..analysis.experiments import INSTANCE_TYPES
 
         for itype in self.instance_types:
@@ -240,6 +251,8 @@ class ExperimentSpec:
             extras["cell_timeout_s"] = self.cell_timeout_s
         if self.cell_retries != 0:
             extras["cell_retries"] = self.cell_retries
+        if self.kernels is not None:
+            extras["kernels"] = self.kernels
         return {
             **extras,
             "schema_version": SPEC_SCHEMA_VERSION,
@@ -276,7 +289,8 @@ class ExperimentSpec:
             "engines", "frontiers", "bounds", "instance_types", "repeats",
             "seed", "virtual_budget_s", "seq_node_guard", "engine_node_guard",
             "stackonly_depths", "hybrid_capacities", "hybrid_fractions",
-            "cpu_workers", "calibration", "cell_timeout_s", "cell_retries",
+            "cpu_workers", "calibration", "kernels", "cell_timeout_s",
+            "cell_retries",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -305,6 +319,7 @@ class ExperimentSpec:
             hybrid_fractions=tuple(data.get("hybrid_fractions", defaults.hybrid_fractions)),  # type: ignore[arg-type]
             cpu_workers=int(data.get("cpu_workers", defaults.cpu_workers)),  # type: ignore[arg-type]
             calibration=data.get("calibration"),  # type: ignore[arg-type]
+            kernels=data.get("kernels"),  # type: ignore[arg-type]
             cell_timeout_s=(None if data.get("cell_timeout_s") is None
                             else float(data["cell_timeout_s"])),  # type: ignore[arg-type]
             cell_retries=int(data.get("cell_retries", defaults.cell_retries)),  # type: ignore[arg-type]
@@ -344,7 +359,8 @@ class ExperimentSpec:
 
         Everything that can change a cell's *result* — budgets, device,
         parameter grids, seed — and nothing that cannot (``name``,
-        ``calibration``: proven speed-only).  The device is hashed by its
+        ``calibration``, ``kernels``: proven speed-only, backends are
+        bit-identical).  The device is hashed by its
         full parameters, not its preset name, so re-tuning a preset in
         code invalidates the cells it priced.
         """

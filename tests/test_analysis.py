@@ -182,11 +182,19 @@ class TestMicrobenchArtifacts:
         payload = calibrate_scalar_cutoffs(
             repeats=2, n_ladder=(32, 64), m_ladder=(128, 256), apply=False)
         assert (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M) == before
-        assert payload["kind"] == "repro-vc-scalar-calibration"
+        assert payload["kind"] == "repro-vc-kernel-calibration"
+        assert payload["schema_version"] == 2
         assert payload["scalar_kernel_max_n"] in (32, 64)
         assert payload["scalar_kernel_max_m"] > 0
+        # v2: per-band backend winners for the auto dispatcher
+        assert payload["bands"] and payload["bands"][-1]["max_n"] == 64
+        for band in payload["bands"]:
+            assert band["backend"] in ("scalar", "numpy", "numba")
+        assert payload["default_backend"] in ("scalar", "numpy", "numba")
+        assert set(payload["backends_measured"]) >= {"scalar", "numpy"}
         for sample in payload["samples"]["n_ladder"]:
             assert sample["scalar_s"] > 0 and sample["vectorized_s"] > 0
+            assert sample["winner"] in payload["backends_measured"]
         assert payload["shipped_defaults"]["scalar_kernel_max_n"] == \
             kernels.DEFAULT_SCALAR_KERNEL_MAX_N
 
@@ -202,7 +210,11 @@ class TestMicrobenchArtifacts:
             write_artifact,
         )
 
+        from repro.core.kernel_backends import make_kernels
+
+        auto = make_kernels("auto")
         before = (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M)
+        before_batch = kernels.BRANCH_BATCH_MIN_LIVE
         try:
             payload = calibrate_scalar_cutoffs(
                 repeats=2, n_ladder=(32,), m_ladder=(128,), apply=False)
@@ -211,8 +223,12 @@ class TestMicrobenchArtifacts:
             loaded = load_scalar_calibration(str(path))
             assert kernels.SCALAR_KERNEL_MAX_N == int(loaded["scalar_kernel_max_n"])
             assert kernels.SCALAR_KERNEL_MAX_M == int(loaded["scalar_kernel_max_m"])
+            # v2 loads install the band table into the auto dispatcher too
+            assert auto.calibrated
         finally:
             kernels.set_scalar_cutoffs(*before)
+            kernels.set_branch_batch_cutoff(before_batch)
+            auto.clear_calibration()
         bogus = tmp_path / "bogus.json"
         bogus.write_text(json.dumps({"kind": "other"}))
         with pytest.raises(ValueError):

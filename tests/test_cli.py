@@ -82,8 +82,10 @@ class TestMain:
         finally:
             kernels.set_scalar_cutoffs(*before)
         payload = json.loads(out.read_text())
-        assert payload["kind"] == "repro-vc-scalar-calibration"
+        assert payload["kind"] == "repro-vc-kernel-calibration"
+        assert payload["schema_version"] == 2
         assert payload["quick"] is True  # toy ladder: tagged unloadable
+        assert payload["bands"] and payload["default_backend"]
         assert payload["scalar_kernel_max_n"] > 0
         assert payload["scalar_kernel_max_m"] > 0
         assert payload["branch_batch_min_live"] >= 2
@@ -255,6 +257,7 @@ class TestCalibrationAutoload:
 
         import repro.core.kernels as kernels
         from repro.analysis.microbench import maybe_autoload_calibration
+        from repro.core.kernel_backends import make_kernels
 
         path, payload = self._quick_artifact(tmp_path)
         full = dict(payload)
@@ -263,6 +266,7 @@ class TestCalibrationAutoload:
         full["scalar_kernel_max_m"] = 2222
         full["branch_batch_min_live"] = 33
         path.write_text(json_mod.dumps(full))
+        auto = make_kernels("auto")
         saved = (kernels.SCALAR_KERNEL_MAX_N, kernels.SCALAR_KERNEL_MAX_M,
                  kernels.BRANCH_BATCH_MIN_LIVE)
         try:
@@ -271,9 +275,11 @@ class TestCalibrationAutoload:
             assert kernels.SCALAR_KERNEL_MAX_N == 1111
             assert kernels.SCALAR_KERNEL_MAX_M == 2222
             assert kernels.BRANCH_BATCH_MIN_LIVE == 33
+            assert auto.calibrated  # v2: the band table installs too
         finally:
             kernels.set_scalar_cutoffs(saved[0], saved[1])
             kernels.set_branch_batch_cutoff(saved[2])
+            auto.clear_calibration()
 
     def test_missing_explicit_path_raises(self):
         from repro.analysis.microbench import maybe_autoload_calibration
