@@ -14,8 +14,12 @@
 # shrink a bipartite search tree — (the bounds-layer guard), or the
 # experiment layer's smoke grid (which sweeps the bound axis) fails its
 # schema / zero-recompute resume / bit-identical verification gate
-# (see docs/EXPERIMENTS.md), or the fault-tolerance gate fails (injected
-# cpu-process worker kills must still yield the optimum; a
+# (see docs/EXPERIMENTS.md), or the distributed-engine gate fails
+# (2-worker localhost-socket runs and a serve-worker second-process run
+# must match the sequential covers, and a workers x hosts spec must
+# resume with zero recomputed cells), or the fault-tolerance gate fails
+# (injected cpu-process worker kills — and remote serve-worker kills
+# over the socket — must still yield the optimum; a
 # deadline-tripped anytime solve must checkpoint and resume to it), or
 # the kernel-backend gate fails (every KERNELS backend must agree bit
 # for bit on the smoke suite, and a freshly calibrated CALIBRATION
@@ -68,7 +72,8 @@ for name, graph in instances:
         assert got == expected, (name, frontier, got, expected)
         checked += 1
     for engine in ENGINES:
-        kwargs = {"n_workers": 2} if engine.startswith("cpu-") else {}
+        parallel = engine.startswith("cpu-") or engine == "distributed"
+        kwargs = {"n_workers": 2} if parallel else {}
         got = solve_mvc(graph, engine=engine, **kwargs).optimum
         assert got == expected, (name, engine, got, expected)
         checked += 1
@@ -98,7 +103,8 @@ for name, graph in instances:
         assert got == expected, (name, bound, got, expected)
         checked += 1
     for engine in ENGINES:
-        kwargs = {"n_workers": 2} if engine.startswith("cpu-") else {}
+        parallel = engine.startswith("cpu-") or engine == "distributed"
+        kwargs = {"n_workers": 2} if parallel else {}
         got = solve_mvc(graph, engine=engine, bound="matching", **kwargs).optimum
         assert got == expected, (name, engine, got, expected)
         checked += 1
@@ -126,6 +132,68 @@ exp_store="$(mktemp -d /tmp/bench_smoke_exp.XXXXXX)"
 trap 'rm -f "$out"; rm -rf "$exp_store"' EXIT
 python -m repro experiment run --smoke --store "$exp_store"
 
+# --- distributed-engine gate (see docs/ARCHITECTURE.md, net/) ---
+# 1. two-worker localhost-socket runs must match the sequential engine's
+#    covers on the smoke suite (valid cover, identical size), with both
+#    socket workers actually contributing sub-trees on the larger one.
+# 2. the second-host path: one worker joins via a cold
+#    `repro serve-worker` subprocess — the exact code path a second
+#    machine uses — and the answer is unchanged.
+# 3. a distributed workers x hosts experiment spec runs through the
+#    store and resumes with zero recomputed cells.
+python - <<'EOF'
+import tempfile
+
+from repro.core.sequential import solve_mvc_sequential
+from repro.core.verify import assert_valid_cover
+from repro.experiment.runner import run_experiment
+from repro.experiment.spec import load_spec
+from repro.experiment.store import RunStore
+from repro.net.distributed import solve_mvc_distributed
+from repro.graph.generators.phat import phat_complement
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import grid_graph
+
+instances = [
+    ("gnp20", gnp(20, 0.2, seed=12)),
+    ("phat16", phat_complement(16, 2, seed=4)),
+    ("grid4x4", grid_graph(4, 4)),
+    ("gnp60", gnp(60, 0.12, seed=3)),
+]
+for name, graph in instances:
+    expected = solve_mvc_sequential(graph).optimum
+    got = solve_mvc_distributed(graph, n_workers=2)
+    assert got.optimum == expected, (name, got.optimum, expected)
+    assert_valid_cover(graph, got.cover, got.optimum)
+per_worker = got.comms["per_worker"]
+assert len(per_worker) == 2 and all(
+    c["subtrees"] > 0 for c in per_worker.values()), \
+    "work did not distribute across both socket workers"
+print(f"ci_smoke: distributed engine matches sequential covers on "
+      f"{len(instances)} instances (both workers contributed on gnp60)")
+
+graph = gnp(60, 0.12, seed=3)
+expected = solve_mvc_sequential(graph).optimum
+two_proc = solve_mvc_distributed(graph, n_workers=1, hosts=1)
+assert two_proc.optimum == expected, (two_proc.optimum, expected)
+print("ci_smoke: serve-worker second-process run matches the optimum")
+
+spec = load_spec({"name": "ci-dist", "scale": "tiny",
+                  "instances": ["p_hat_300_1"], "engines": ["distributed"],
+                  "workers": [1, 2], "hosts": [0, 1],
+                  "engine_node_guard": 4000})
+seq_opt = None
+with tempfile.TemporaryDirectory() as td:
+    store = RunStore(td)
+    first = run_experiment(spec, store)
+    assert first.executed == 4 and first.quarantined == 0
+    again = run_experiment(spec, store, run_id=first.run.run_id)
+    assert again.executed == 0 and again.skipped == 4, \
+        "workers x hosts cells did not resume from the store"
+print("ci_smoke: distributed workers x hosts experiment ran and "
+      "resumed with zero recomputed cells")
+EOF
+
 # --- fault-tolerance gate (see docs/ARCHITECTURE.md, fault tolerance) ---
 # 1. kill cpu-process workers mid-solve: the supervisor must re-enqueue
 #    the dead workers' leased sub-trees and still return the optimum.
@@ -151,6 +219,20 @@ assert out.optimum == expected, (out.optimum, expected)
 assert out.workers_lost > 0, "fault plan fired no kills; gate is vacuous"
 print(f"ci_smoke: cpu-process survived {out.workers_lost} worker kills, "
       f"cover still optimal ({out.optimum})")
+
+# same chaos over the socket transport: kill a *remote* serve-worker
+# mid-lease — the coordinator must re-enqueue its lease exactly like a
+# dead local worker's and still reach the optimum.
+from repro.net.distributed import solve_mvc_distributed
+
+with faults.injected("worker_kill:0.9:4", seed=2):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        dist = solve_mvc_distributed(graph, n_workers=0, hosts=2)
+assert dist.optimum == expected, (dist.optimum, expected)
+assert dist.workers_lost > 0, "no remote worker died; gate is vacuous"
+print(f"ci_smoke: distributed survived {dist.workers_lost} remote "
+      f"worker kills, cover still optimal ({dist.optimum})")
 
 tripped = solve_anytime(graph, engine="cpu-process", deadline=0.0,
                         n_workers=2, threshold=4)

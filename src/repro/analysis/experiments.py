@@ -402,8 +402,9 @@ def _run_engine_cell(engine_name: str, graph, itype: str, k: Optional[int],
 
 
 def _run_cpu_cell(engine_name: str, graph, itype: str, k: Optional[int],
-                  cfg: ExperimentConfig, bound: str = "greedy") -> CellResult:
-    """Run one real ``cpu-*`` engine in wall-clock mode.
+                  cfg: ExperimentConfig, bound: str = "greedy",
+                  workers: Optional[int] = None, hosts: int = 0) -> CellResult:
+    """Run one real ``cpu-*`` / ``distributed`` engine in wall-clock mode.
 
     These cells have no virtual pricing: ``seconds``/``cycles`` stay
     ``None`` and ``wall_seconds`` is the measurement — the store schema
@@ -413,10 +414,12 @@ def _run_cpu_cell(engine_name: str, graph, itype: str, k: Optional[int],
     """
     from ..core.solver import solve_mvc, solve_pvc
 
+    n_workers = cfg.cpu_workers if workers is None else workers
     start = time.perf_counter()
-    kwargs = dict(engine=engine_name, n_workers=cfg.cpu_workers,
+    kwargs = dict(engine=engine_name, n_workers=n_workers,
                   node_budget=cfg.engine_node_guard, bound=bound,
-                  **({"kernels": cfg.kernels} if cfg.kernels else {}))
+                  **({"kernels": cfg.kernels} if cfg.kernels else {}),
+                  **({"hosts": hosts} if engine_name == "distributed" else {}))
     if itype == "mvc":
         out = solve_mvc(graph, **kwargs)
         feasible = None
@@ -425,7 +428,9 @@ def _run_cpu_cell(engine_name: str, graph, itype: str, k: Optional[int],
         out = solve_pvc(graph, k, **kwargs)
         feasible = out.feasible
     detail = ",".join(p for p in (
-        f"wall-clock,workers={cfg.cpu_workers}", _cell_detail(None, bound)) if p)
+        f"wall-clock,workers={n_workers}",
+        f"hosts={hosts}" if hosts else "",
+        _cell_detail(None, bound)) if p)
     return CellResult(
         engine=engine_name,
         instance_type=itype,
@@ -448,6 +453,8 @@ def run_cell(
     cfg: ExperimentConfig,
     frontier: Optional[str] = None,
     bound: str = "greedy",
+    workers: Optional[int] = None,
+    hosts: int = 0,
 ) -> CellResult:
     """Run one experiment cell: one engine on one instance formulation.
 
@@ -456,8 +463,11 @@ def run_cell(
     cells and live cells are produced by the very same code path.
     ``frontier`` applies to the sequential engine only (the parallel
     engines' disciplines are fixed by what they model); ``bound``
-    applies to every engine.  The real ``cpu-*`` engines run in
-    wall-clock mode (no virtual pricing).
+    applies to every engine.  The real ``cpu-*`` and ``distributed``
+    engines run in wall-clock mode (no virtual pricing); ``workers``
+    overrides their team width per cell (``None``: ``cfg.cpu_workers``)
+    and ``hosts`` joins that many extra localhost ``serve-worker``
+    processes — the distributed engine only.
     """
     if engine == "sequential":
         return _run_sequential_cell(graph, itype, k, cfg, frontier, bound)
@@ -466,8 +476,19 @@ def run_cell(
             f"the 'frontier' axis applies to engine='sequential' only; "
             f"engine {engine!r} has a fixed worklist discipline"
         )
-    if engine.startswith("cpu-"):
-        return _run_cpu_cell(engine, graph, itype, k, cfg, bound)
+    if hosts and engine != "distributed":
+        raise ValueError(
+            f"the 'hosts' axis applies to engine='distributed' only; "
+            f"engine {engine!r} has no socket transport"
+        )
+    if engine.startswith("cpu-") or engine == "distributed":
+        return _run_cpu_cell(engine, graph, itype, k, cfg, bound,
+                             workers=workers, hosts=hosts)
+    if workers is not None:
+        raise ValueError(
+            f"the 'workers' axis applies to the wall-clock engines only; "
+            f"engine {engine!r} has no worker pool"
+        )
     return _run_engine_cell(engine, graph, itype, k, cfg, bound)
 
 

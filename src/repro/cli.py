@@ -126,8 +126,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "worker_kill, reduce_raise, branch_raise, queue_delay")
     p.add_argument("--inject-seed", type=int, default=0,
                    help="deterministic seed for the --inject firing streams")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for the parallel engines (cpu-threads, "
+                        "cpu-process, cpu-worksteal, distributed)")
+    p.add_argument("--hosts", type=int, default=None,
+                   help="distributed engine only: spawn this many extra "
+                        "localhost worker processes that join over the socket "
+                        "transport, exactly like `repro serve-worker` on a "
+                        "second machine")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-worker comms counters (messages, bytes, "
+                        "leases, donations, idle time) after a parallel solve")
 
     common(sub.add_parser("suite", help="list the evaluation suite"))
+
+    p = sub.add_parser(
+        "serve-worker",
+        help="join a distributed coordinator's worker pool over TCP",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the coordinator's listen address (printed by the "
+                        "distributed engine / passed to the remote host)")
+    p.add_argument("--salt", type=int, default=0,
+                   help="decorrelates RNG-dependent tie-breaking across "
+                        "workers (the coordinator assigns worker ids)")
 
     p = sub.add_parser(
         "experiment",
@@ -202,6 +224,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "resolved backend is recorded per case in the "
                         "artifact's provenance")
     return parser
+
+
+def _print_comms(comms) -> None:
+    """Render a parallel engine's ``comms`` counter dict for --stats."""
+    if not comms:
+        print("comms: not reported by this engine")
+        return
+    totals = comms.get("totals", {})
+    print("comms totals: " + "  ".join(
+        f"{key}={value:g}" for key, value in sorted(totals.items())))
+    for wid, counters in sorted(comms.get("per_worker", {}).items()):
+        print(f"  worker {wid}: " + "  ".join(
+            f"{key}={value:g}" for key, value in sorted(counters.items())))
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -398,6 +433,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiment":
         return _cmd_experiment(args, start)
 
+    if args.command == "serve-worker":
+        from .net.distributed import run_worker_client
+        from .net.transport import TransportClosed
+
+        host, sep, port_s = args.connect.rpartition(":")
+        if not sep or not host or not port_s.isdigit():
+            print(f"error: --connect wants HOST:PORT, got {args.connect!r}")
+            return 2
+        try:
+            run_worker_client(host, int(port_s), salt=args.salt)
+        except (TransportClosed, ConnectionError, TimeoutError, OSError) as exc:
+            print(f"error: coordinator unreachable or gone: {exc}")
+            return 2
+        print(f"[{time.perf_counter() - start:.1f}s wall]")
+        return 0
+
     if args.command == "bench":
         import os
 
@@ -530,6 +581,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: unknown kernels {args.kernels!r}; choose from: "
                   f"{', '.join(sorted(KERNELS))}")
             return 2
+        parallel_engines = ("cpu-threads", "cpu-process", "cpu-worksteal",
+                            "distributed")
+        if args.workers is not None and engine not in parallel_engines:
+            print(f"error: --workers applies to the parallel engines "
+                  f"({', '.join(parallel_engines)}); engine {engine!r} is "
+                  f"single-worker")
+            return 2
+        if args.hosts is not None and engine != "distributed":
+            print(f"error: --hosts applies to --engine distributed only "
+                  f"(engine {engine!r} has no socket transport)")
+            return 2
+        par_opt = {}
+        if args.workers is not None:
+            par_opt["n_workers"] = args.workers
+        if args.hosts is not None:
+            par_opt["hosts"] = args.hosts
         inst = suite_instance(args.graph, args.scale)
         graph = inst.graph()
 
@@ -550,6 +617,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
                 kernels_opt = ({} if args.kernels is None
                                else {"kernels": args.kernels})
+                kernels_opt.update(par_opt)
                 if args.resume_from is not None:
                     try:
                         checkpoint = Checkpoint.load(args.resume_from)
@@ -582,6 +650,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if recovered or lost:
                     print(f"faults: recovered {recovered} injected step "
                           f"failures, lost {lost} workers")
+                if args.stats:
+                    comms_keys = sorted(key for key in out.extra
+                                        if key.startswith("comms_"))
+                    if comms_keys:
+                        print("comms totals: " + "  ".join(
+                            f"{key[len('comms_'):]}={out.extra[key]:g}"
+                            for key in comms_keys))
+                    else:
+                        print("comms: not reported by this engine")
                 print(f"[{time.perf_counter() - start:.1f}s wall]")
                 return 0 if out.complete else 3
 
@@ -590,6 +667,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 extra["bound"] = args.bound
             if args.kernels is not None:
                 extra["kernels"] = args.kernels
+            extra.update(par_opt)
             if args.k is None:
                 out = solve_mvc(graph, engine=engine, node_budget=args.node_budget, **extra)
                 print(f"{args.graph}: minimum vertex cover size = {out.optimum}"
@@ -599,6 +677,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 node_budget=args.node_budget, **extra)
                 print(f"{args.graph}: cover of size <= {args.k} "
                       f"{'EXISTS (found ' + str(out.optimum) + ')' if out.feasible else 'does not exist' if out.feasible is False else 'undetermined (budget)'}")
+            if args.stats:
+                _print_comms(getattr(out, "comms", None))
         print(f"[{time.perf_counter() - start:.1f}s wall]")
         return 0
 

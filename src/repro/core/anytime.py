@@ -328,6 +328,12 @@ def _run_engine(
         value = getattr(result, key, 0)
         if value:
             extra[key] = int(value)
+    comms = getattr(result, "comms", None)
+    if comms:
+        # Flatten the totals so the outcome stays a scalar dict; the full
+        # per-worker breakdown lives on the engine result's ``comms``.
+        for key, value in comms.get("totals", {}).items():
+            extra[f"comms_{key}"] = float(value)
     if k is None:
         return (result.optimum, result.cover, result.cover is not None,
                 interrupted, deadline_tripped, result.nodes_visited,

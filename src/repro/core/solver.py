@@ -8,7 +8,10 @@
 * ``"hybrid"`` — the paper's contribution, on the simulated device;
 * ``"globalonly"`` — the Section IV-A pure-worklist ablation;
 * ``"cpu-threads"`` / ``"cpu-process"`` — real shared-memory parallel
-  engines mirroring the hybrid protocol.
+  engines mirroring the hybrid protocol;
+* ``"distributed"`` — the supervised lease protocol over a socket
+  transport: a coordinator plus local and remote worker processes
+  (``repro serve-worker`` joins extra hosts into the pool).
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from .sequential import SearchOutcome, solve_mvc_sequential, solve_pvc_sequentia
 __all__ = ["ENGINES", "solve_mvc", "solve_pvc"]
 
 ENGINES = ("sequential", "stackonly", "hybrid", "globalonly",
-           "cpu-threads", "cpu-process", "cpu-worksteal")
+           "cpu-threads", "cpu-process", "cpu-worksteal", "distributed")
 
 
 def _sim_engine(name: str):
@@ -63,6 +66,11 @@ def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
 
         _forward_bound_opt(_split_engine_opts(options), options)
         return solve_mvc_worksteal(graph, **options)
+    if engine == "distributed":
+        from ..net.distributed import solve_mvc_distributed
+
+        _forward_bound_opt(_split_engine_opts(options), options)
+        return solve_mvc_distributed(graph, **options)
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
 
@@ -91,6 +99,11 @@ def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options:
 
         _forward_bound_opt(_split_engine_opts(options), options)
         return solve_pvc_worksteal(graph, k, **options)
+    if engine == "distributed":
+        from ..net.distributed import solve_pvc_distributed
+
+        _forward_bound_opt(_split_engine_opts(options), options)
+        return solve_pvc_distributed(graph, k, **options)
     raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
 
 

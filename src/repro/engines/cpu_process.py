@@ -13,14 +13,14 @@ worker death recoverable:
   pipe and survives the sender's death (a buffered ``mp.Queue`` put can
   vanish with the process, which is exactly how the old teardown lost
   work and hung for up to 600 s);
-* a leased sub-tree stays charged to its worker until the worker reports
-  ``lease_done`` (sub-tree fully drained or shipped back as leftovers).
-  When the supervisor sees a worker die mid-lease (``Process.is_alive``
-  goes false with no ``result`` message), it re-enqueues the lease
-  payload — the sub-tree *root*, which dominates everything the dead
-  worker had expanded locally — and respawns the slot with bounded retry
-  and exponential backoff, degrading to fewer workers (loud warning)
-  when a slot keeps dying;
+* a leased batch of sub-trees stays charged to its worker until the
+  worker reports ``lease_done`` (batch fully drained or shipped back as
+  leftovers).  When the supervisor sees a worker die mid-lease
+  (``Process.is_alive`` goes false with no ``result`` message), it
+  re-enqueues the lease payload — the sub-tree *roots*, which dominate
+  everything the dead worker had expanded locally — and respawns the
+  slot with bounded retry and exponential backoff, degrading to fewer
+  workers (loud warning) when a slot keeps dying;
 * if every slot dies, the parent drains the remaining sub-trees itself
   through the sequential solver, so the call still returns the correct
   answer instead of hanging.
@@ -31,9 +31,24 @@ work, so the parent sets the ``done`` event and workers wind down,
 shipping their in-flight states back (the anytime layer checkpoints
 them when a node budget or wall-clock deadline tripped the run).
 
+Three communications optimizations sit on top of the PR 6 protocol, all
+ledger-neutral:
+
+* **batched leases** — the queue carries *lists* of up to ``lease_batch``
+  sub-tree payloads; one ``lease``/``lease_done`` pair charges the whole
+  batch, and workers buffer donations and flush them as one ``donate``
+  message, amortizing the per-message pipe cost;
+* **wire codec v2** — states are delta-encoded against the shared root
+  degree plane (:mod:`repro.graph.plane`), published once into
+  ``multiprocessing.shared_memory`` and attached by every worker; the
+  frozen tuple codec stays available as ``codec="v1"``;
+* **idle backoff** — an idle worker blocks on the queue with exponential
+  backoff capped at the supervision heartbeat instead of spinning at a
+  fixed 20 ms poll.
+
 States cross process boundaries through the :class:`VCState`-owned wire
 codec (:meth:`~repro.graph.degree_array.VCState.to_wire` /
-:meth:`~repro.graph.degree_array.VCState.from_wire`) — the same
+:meth:`~repro.graph.degree_array.VCState.to_wire_v2`) — the same
 self-contained property (Section IV-B) that lets the GPU implementation
 move tree nodes between thread blocks.  Improved incumbent *covers* are
 shipped to the parent the moment they are accepted (the shared
@@ -47,7 +62,7 @@ import multiprocessing as mp
 import queue as queue_mod
 import time
 import warnings
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -59,15 +74,26 @@ from ..core.kernel_backends import resolve_kernels
 from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..core.sequential import branch_and_reduce
 from ..graph.csr import CSRGraph
-from ..graph.degree_array import VCState, Workspace, fresh_state
+from ..graph.degree_array import VCState, Workspace, decode_wire, fresh_state, wire_nbytes
+from ..graph.plane import GraphPlane, publish_plane
 from .cpu_threads import CpuParallelResult
 
-__all__ = ["solve_mvc_processes", "solve_pvc_processes"]
+__all__ = ["solve_mvc_processes", "solve_pvc_processes", "LEASE_BATCH"]
 
 #: Respawn policy: how often one worker slot may die before the engine
 #: degrades to fewer workers, and the base of the exponential backoff.
 MAX_RESPAWNS = 2
 RESPAWN_BACKOFF_S = 0.05
+
+#: Sub-trees handed out per ``lease`` message (and buffered per
+#: ``donate`` flush).  1 recovers the PR 6 per-node protocol exactly.
+LEASE_BATCH = 8
+
+#: Idle-poll backoff: first wait and the cap.  The cap doubles as the
+#: supervision heartbeat — the longest an idle worker can take to notice
+#: the ``done`` event or fresh work.
+_BACKOFF_MIN_S = 0.001
+_HEARTBEAT_S = 0.05
 
 #: ``stop_reason`` codes (shared value; first tripper wins).
 _STOP_NONE, _STOP_BUDGET, _STOP_DEADLINE = 0, 1, 2
@@ -122,6 +148,95 @@ class _SharedPVC(Formulation):
         return self.found.is_set()
 
 
+class CommStats:
+    """Per-worker communication counters (messages, bytes, lease traffic).
+
+    Accumulated inside each worker, shipped home with its ``result``
+    event, and aggregated onto :attr:`CpuParallelResult.comms` — so the
+    GlobalOnly-vs-Hybrid question is answerable in traffic terms, not
+    just node counts.
+    """
+
+    __slots__ = ("messages", "bytes_sent", "bytes_received", "leases",
+                 "subtrees", "donations", "idle_s")
+
+    FIELDS = ("messages", "bytes_sent", "bytes_received", "leases",
+              "subtrees", "donations", "idle_s")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.leases = 0
+        self.subtrees = 0
+        self.donations = 0
+        self.idle_s = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @staticmethod
+    def totals(per_worker: Dict[int, Dict[str, float]]) -> Dict[str, float]:
+        # Sum every reported key, not just FIELDS: transports with exact
+        # byte accounting (the socket engine's wire_sent/wire_received)
+        # extend the dict, and those extras must survive aggregation.
+        out: Dict[str, float] = {name: 0 for name in CommStats.FIELDS}
+        for counters in per_worker.values():
+            for name, value in counters.items():
+                out[name] = out.get(name, 0) + value
+        return out
+
+
+def _attach_root_plane(
+    plane_name: Optional[str], graph: CSRGraph,
+) -> Tuple[Optional[GraphPlane], np.ndarray]:
+    """The shared root degree plane, or the fork-inherited fallback."""
+    if plane_name:
+        try:
+            plane = GraphPlane.attach(plane_name)
+            return plane, plane.root_deg
+        except Exception:  # pragma: no cover - segment gone / no shm
+            pass
+    return None, np.asarray(graph.degrees, dtype=np.int32)
+
+
+def _codec_fns(
+    codec: str, root_deg: np.ndarray,
+) -> Tuple[Callable[[VCState], object], Callable[[object], VCState]]:
+    """(encode, decode) pair for the selected wire codec."""
+    if codec == "v1":
+        return (lambda s: s.to_wire()), VCState.from_wire
+    if codec == "v2":
+        return (lambda s: s.to_wire_v2(root_deg)), \
+               (lambda p: VCState.from_wire_v2(p, root_deg))
+    raise ValueError(f"unknown wire codec {codec!r}; pick one of: v1, v2")
+
+
+def _next_batch(
+    work_q: "mp.Queue",
+    stop: Callable[[], bool],
+    delay_hook: Optional[Callable[[], None]] = None,
+) -> Optional[object]:
+    """Block for the next work batch with exponential idle backoff.
+
+    Polls ``work_q.get`` starting at ``_BACKOFF_MIN_S`` and doubling up
+    to the supervision heartbeat ``_HEARTBEAT_S`` — an idle worker makes
+    O(log(heartbeat/min) + elapsed/heartbeat) syscalls instead of the
+    old fixed 20 ms spin.  Returns ``None`` as soon as ``stop()`` says
+    the search is over.
+    """
+    timeout = _BACKOFF_MIN_S
+    while True:
+        if stop():
+            return None
+        try:
+            if delay_hook is not None:
+                delay_hook()
+            return work_q.get(timeout=timeout)
+        except queue_mod.Empty:
+            timeout = min(timeout * 2.0, _HEARTBEAT_S)
+
+
 def _process_worker(
     wid: int,
     salt: int,
@@ -141,6 +256,9 @@ def _process_worker(
     deadline_at: Optional[float],
     bound: str,
     kernels: str,
+    plane_name: Optional[str],
+    codec: str,
+    lease_batch: int,
 ) -> None:
     formulation: Formulation
     if mode == "mvc":
@@ -154,6 +272,8 @@ def _process_worker(
     kill_active = plan is not None and "worker_kill" in plan.sites()
     delay_active = plan is not None and "queue_delay" in plan.sites()
     fault_guard = faults.step_guard_active()
+    plane, root_deg = _attach_root_plane(plane_name, graph)
+    enc, dec = _codec_fns(codec, root_deg)
     ws = Workspace.for_graph(graph)
     # fast kernels, uncharged; the bound-policy and kernel-backend *names*
     # cross the process boundary with the launch arguments (states
@@ -161,6 +281,8 @@ def _process_worker(
     # instantiates its own policy/backend from its registry
     step = NodeStep(graph, formulation, ws, bound=bound, kernels=kernels).run
     local = LifoFrontier()  # this worker's depth-first half of the hybrid
+    comms = CommStats()
+    donation_buf: List[object] = []
     current: Optional[VCState] = None
     local_nodes = 0
     total_nodes = 0
@@ -179,30 +301,52 @@ def _process_worker(
                     done.set()
             local_nodes = 0
 
+    def flush_donations() -> None:
+        if donation_buf:
+            payloads = list(donation_buf)
+            donation_buf.clear()
+            if delay_active:
+                faults.fire("queue_delay")
+            event_q.put(("donate", wid, payloads))
+            comms.messages += 1
+            comms.donations += len(payloads)
+            comms.bytes_sent += sum(wire_nbytes(p) for p in payloads)
+
     def finish_lease() -> None:
         nonlocal has_lease
         if has_lease:
+            # Donations must be charged before the lease is released, so
+            # the supervisor's ledger never dips to zero with work alive.
+            flush_donations()
             event_q.put(("lease_done", wid))
+            comms.messages += 1
             has_lease = False
 
     def get_work() -> Optional[VCState]:
-        """Blocking get: lease the next sub-tree from the supervisor."""
+        """Blocking get: lease the next sub-tree batch from the supervisor."""
         nonlocal has_lease
-        finish_lease()  # the previous sub-tree is fully drained
-        while True:
-            if done.is_set() or formulation.stop_requested():
-                return None
-            try:
-                if delay_active:
-                    faults.fire("queue_delay")
-                payload = work_q.get(timeout=0.02)
-            except queue_mod.Empty:
-                continue
-            # Synchronous put: once this returns, the supervisor will know
-            # about the lease even if this process dies at the next node.
-            event_q.put(("lease", wid, payload))
-            has_lease = True
-            return VCState.from_wire(payload)
+        finish_lease()  # the previous batch is fully drained
+        idle_from = time.monotonic()
+        batch = _next_batch(
+            work_q,
+            stop=lambda: done.is_set() or formulation.stop_requested(),
+            delay_hook=(lambda: faults.fire("queue_delay")) if delay_active else None,
+        )
+        comms.idle_s += time.monotonic() - idle_from
+        if batch is None:
+            return None
+        # Synchronous put: once this returns, the supervisor will know
+        # about the lease even if this process dies at the next node.
+        event_q.put(("lease", wid, batch))
+        has_lease = True
+        comms.messages += 1
+        comms.leases += 1
+        comms.subtrees += len(batch)
+        comms.bytes_received += sum(wire_nbytes(p) for p in batch)
+        states = [dec(p) for p in batch]
+        for extra in states[1:]:
+            local.push(extra)
+        return states[0]
 
     while True:
         if done.is_set() or formulation.stop_requested():
@@ -248,21 +392,26 @@ def _process_worker(
                 # with this process.
                 formulation.improved = False
                 best = formulation.local_best
-                event_q.put(("best", wid, best.cover_size, best.to_wire()))
+                payload = enc(best)
+                event_q.put(("best", wid, best.cover_size, payload))
+                comms.messages += 1
+                comms.bytes_sent += wire_nbytes(payload)
             ws.release_deg(current.deg)
             current = None
             continue
         deferred = outcome.deferred
         current = outcome.continued
-        # Hybrid donation policy; qsize() is advisory but only steers policy.
+        # Hybrid donation policy; qsize() is advisory (in batch units)
+        # and only steers policy.
         try:
-            hungry = hybrid_should_donate(work_q.qsize(), threshold)
+            hungry = hybrid_should_donate(
+                work_q.qsize() * lease_batch + len(donation_buf), threshold)
         except NotImplementedError:  # pragma: no cover - macOS
             hungry = True
         if hungry:
-            if delay_active:
-                faults.fire("queue_delay")
-            event_q.put(("donate", wid, deferred.to_wire()))
+            donation_buf.append(enc(deferred))
+            if len(donation_buf) >= lease_batch:
+                flush_donations()
         else:
             local.push(deferred)
 
@@ -271,17 +420,21 @@ def _process_worker(
     flush_nodes()
     leftovers: List = []
     if current is not None:
-        leftovers.append(current.to_wire())
-    leftovers.extend(state.to_wire() for state in local.drain())
+        leftovers.append(enc(current))
+    leftovers.extend(enc(state) for state in local.drain())
     finish_lease()
-    event_q.put(("result", wid, total_nodes, leftovers, recovered))
+    comms.messages += 1
+    comms.bytes_sent += sum(wire_nbytes(p) for p in leftovers)
+    event_q.put(("result", wid, total_nodes, leftovers, recovered,
+                 comms.as_dict()))
 
 
 class _ProcRun:
     """Everything the supervisor learned from one process-team run."""
 
     __slots__ = ("best_size", "best_cover", "timed_out", "deadline_tripped",
-                 "nodes", "wall", "per_worker", "pending", "recovered", "lost")
+                 "nodes", "wall", "per_worker", "pending", "recovered", "lost",
+                 "comms")
 
     def __init__(self) -> None:
         self.best_size: Optional[int] = None
@@ -294,6 +447,7 @@ class _ProcRun:
         self.pending: List[VCState] = []
         self.recovered = 0
         self.lost = 0
+        self.comms: Optional[Dict[str, object]] = None
 
 
 def _drain_inline(
@@ -346,14 +500,22 @@ def _run_processes(
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     max_respawns: int = MAX_RESPAWNS,
+    lease_batch: int = LEASE_BATCH,
+    codec: str = "v2",
 ) -> _ProcRun:
     # Validate/normalize the backend selection up front (one-line registry
     # error rather than a traceback inside a child) and prewarm whatever
     # graph caches it needs *before* forking, so every worker inherits the
     # warmed pages instead of rebuilding them n_workers times.
+    if lease_batch < 1:
+        raise ValueError("lease_batch must be >= 1")
     backend = resolve_kernels(kernels)
     kernels_name = backend.name
     graph.prewarm(adjacency=backend.uses_adjacency(graph))
+    root_deg = np.asarray(graph.degrees, dtype=np.int32)
+    enc, _ = _codec_fns(codec, root_deg)  # validates the codec name too
+    plane = publish_plane(graph) if codec == "v2" else None
+    plane_name = None if plane is None else plane.name
     ctx = mp.get_context("fork")
     work_q: "mp.Queue" = ctx.Queue()
     event_q = ctx.SimpleQueue()
@@ -369,9 +531,11 @@ def _run_processes(
     run.best_size = initial_best if mode == "mvc" else None
     run.best_cover = initial_cover
 
-    pending_in_queue = 0
-    for state in ([fresh_state(graph)] if roots is None else roots):
-        work_q.put(state.to_wire())
+    pending_in_queue = 0  # ledger unit: one queued *batch*
+    root_payloads = [enc(state)
+                     for state in ([fresh_state(graph)] if roots is None else roots)]
+    for i in range(0, len(root_payloads), lease_batch):
+        work_q.put(root_payloads[i:i + lease_batch])
         pending_in_queue += 1
 
     salt_seq = [0]
@@ -382,7 +546,8 @@ def _run_processes(
             target=_process_worker,
             args=(slot, salt_seq[0], graph, mode, k, work_q, event_q, best_size,
                   lock, nodes, done, found, stop_reason, threshold, node_budget,
-                  deadline_at, bound, kernels_name),
+                  deadline_at, bound, kernels_name, plane_name, codec,
+                  lease_batch),
             daemon=True,
         )
         p.start()
@@ -390,8 +555,8 @@ def _run_processes(
 
     start = time.perf_counter()
     procs: Dict[int, "mp.Process"] = {slot: spawn(slot) for slot in range(n_workers)}
-    leases: Dict[int, object] = {}
-    results: Dict[int, Tuple[int, List, int]] = {}
+    leases: Dict[int, List[object]] = {}
+    results: Dict[int, Tuple[int, List, int, Dict[str, float]]] = {}
     attempts: Dict[int, int] = {slot: 0 for slot in range(n_workers)}
     failed: Set[int] = set()
     last_event = time.monotonic()
@@ -399,7 +564,7 @@ def _run_processes(
     def offer_best(size: int, wire) -> None:
         if run.best_size is None or size < run.best_size:
             run.best_size = size
-            run.best_cover = VCState.from_wire(wire).cover()
+            run.best_cover = decode_wire(wire, root_deg).cover()
 
     def drain_events() -> bool:
         nonlocal pending_in_queue, last_event
@@ -415,12 +580,12 @@ def _run_processes(
             elif kind == "lease_done":
                 leases.pop(msg[1], None)
             elif kind == "donate":
-                work_q.put(msg[2])
+                work_q.put(msg[2])  # one donated batch -> one queued batch
                 pending_in_queue += 1
             elif kind == "best":
                 offer_best(msg[2], msg[3])
             elif kind == "result":
-                results[msg[1]] = (msg[2], msg[3], msg[4])
+                results[msg[1]] = (msg[2], msg[3], msg[4], msg[5])
         return got
 
     try:
@@ -443,11 +608,11 @@ def _run_processes(
                     continue
                 run.lost += 1
                 progressed = True
-                payload = leases.pop(slot, None)
-                if payload is not None:
-                    # The lease root dominates everything the dead worker
-                    # had expanded locally: re-enqueueing it loses nothing.
-                    work_q.put(payload)
+                batch = leases.pop(slot, None)
+                if batch is not None:
+                    # The lease roots dominate everything the dead worker
+                    # had expanded locally: re-enqueueing them loses nothing.
+                    work_q.put(batch)
                     pending_in_queue += 1
                 if done.is_set():
                     failed.add(slot)  # winding down anyway; don't respawn
@@ -481,8 +646,8 @@ def _run_processes(
                         except queue_mod.Empty:
                             break
                     pending_in_queue = len(recount)
-                    for payload in recount:
-                        work_q.put(payload)
+                    for batch in recount:
+                        work_q.put(batch)
                     last_event = time.monotonic()
                 time.sleep(0.005)
 
@@ -511,14 +676,21 @@ def _run_processes(
         run.timed_out = stop_reason.value != _STOP_NONE and not found.is_set()
         run.deadline_tripped = stop_reason.value == _STOP_DEADLINE
         run.nodes = nodes.value
-        run.per_worker = [results.get(s, (0, [], 0))[0] for s in range(n_workers)]
+        run.per_worker = [results.get(s, (0, [], 0, {}))[0] for s in range(n_workers)]
         run.recovered = sum(r[2] for r in results.values())
+        per_worker_comms = {slot: r[3] for slot, r in results.items()}
+        run.comms = {
+            "per_worker": per_worker_comms,
+            "totals": CommStats.totals(per_worker_comms),
+        }
 
-        remaining_wires = list(queue_rest) + list(leases.values())
+        remaining_wires: List[object] = []
+        for batch in list(queue_rest) + list(leases.values()):
+            remaining_wires.extend(batch)
         if run.timed_out:
-            for _, leftovers, _ in results.values():
+            for _, leftovers, _, _ in results.values():
                 remaining_wires.extend(leftovers)
-            run.pending = [VCState.from_wire(w) for w in remaining_wires]
+            run.pending = [decode_wire(w, root_deg) for w in remaining_wires]
         elif remaining_wires and not found.is_set():
             # Every slot died with work outstanding and no budget tripped:
             # finish the job in-process rather than return a wrong answer.
@@ -527,15 +699,17 @@ def _run_processes(
                 f"{len(remaining_wires)} sub-trees inline", RuntimeWarning,
             )
             size, cover = _drain_inline(
-                graph, mode, k, [VCState.from_wire(w) for w in remaining_wires],
+                graph, mode, k,
+                [decode_wire(w, root_deg) for w in remaining_wires],
                 best_size.value if mode == "mvc" else k,
                 run.best_cover, bound, kernels_name,
             )
             if size is not None and (run.best_size is None or size <= run.best_size):
                 run.best_size, run.best_cover = size, cover
     finally:
-        # Zombie-proof teardown: every child is reaped and both queues are
-        # closed whatever path — including exceptions — got us here.
+        # Zombie-proof teardown: every child is reaped, both queues are
+        # closed, and the shared graph plane is unlinked whatever path —
+        # including exceptions — got us here.
         done.set()
         for p in procs.values():
             if p.is_alive():
@@ -547,6 +721,8 @@ def _run_processes(
         work_q.cancel_join_thread()
         if hasattr(event_q, "close"):
             event_q.close()
+        if plane is not None:
+            plane.close()
     return run
 
 
@@ -561,6 +737,8 @@ def solve_mvc_processes(
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
     initial_best: Optional[Tuple[int, np.ndarray]] = None,
+    lease_batch: int = LEASE_BATCH,
+    codec: str = "v2",
     **_: object,
 ) -> CpuParallelResult:
     """Minimum vertex cover with a supervised process team."""
@@ -578,6 +756,7 @@ def solve_mvc_processes(
         graph, "mvc", 0, n_workers=n_workers, threshold=threshold,
         node_budget=node_budget, initial_best=best0, initial_cover=cover0,
         bound=bound, kernels=kernels, deadline=deadline, roots=roots,
+        lease_batch=lease_batch, codec=codec,
     )
     return CpuParallelResult(
         engine="cpu-process",
@@ -595,6 +774,7 @@ def solve_mvc_processes(
         deadline_tripped=run.deadline_tripped,
         faults_recovered=run.recovered,
         workers_lost=run.lost,
+        comms=run.comms,
     )
 
 
@@ -609,6 +789,8 @@ def solve_pvc_processes(
     kernels: Optional[str] = None,
     deadline: Optional[float] = None,
     roots: Optional[Sequence[VCState]] = None,
+    lease_batch: int = LEASE_BATCH,
+    codec: str = "v2",
     **_: object,
 ) -> CpuParallelResult:
     """Parameterized vertex cover with a supervised process team."""
@@ -622,6 +804,7 @@ def solve_pvc_processes(
         graph, "pvc", k, n_workers=n_workers, threshold=threshold,
         node_budget=node_budget, initial_best=graph.n + 1, initial_cover=None,
         bound=bound, kernels=kernels, deadline=deadline, roots=roots,
+        lease_batch=lease_batch, codec=codec,
     )
     feasible: Optional[bool]
     if run.best_cover is not None:
@@ -646,4 +829,5 @@ def solve_pvc_processes(
         deadline_tripped=run.deadline_tripped,
         faults_recovered=run.recovered,
         workers_lost=run.lost,
+        comms=run.comms,
     )

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +59,10 @@ class CpuParallelResult:
     faults_recovered: int = 0
     #: workers that died mid-run (their in-flight work was preserved).
     workers_lost: int = 0
+    #: communication counters for the process/socket engines —
+    #: ``{"per_worker": {wid: {...}}, "totals": {...}}`` (messages, bytes,
+    #: leases, donations, idle time); ``None`` for shared-memory engines.
+    comms: Optional[Dict[str, object]] = None
 
     @property
     def stats(self):  # harness parity

@@ -211,12 +211,29 @@ def render_report(store: RunStore, run_id: str) -> str:
                          rec["engine"], rec["repeat"]),
     )
     if extra:
+        def timing_cell(rec: Dict[str, object]) -> str:
+            # Wall-clock engines carry null virtual seconds; render their
+            # measured wall instead of a misleading ">budget".
+            result = rec["result"]  # type: ignore[index]
+            seconds = result["seconds"]  # type: ignore[index]
+            if seconds is None and result.get("wall_seconds") is not None:  # type: ignore[union-attr]
+                wall = tables.format_seconds(result["wall_seconds"],  # type: ignore[index]
+                                             bool(result["timed_out"]))  # type: ignore[index]
+                return f"{wall} (wall)"
+            return tables.format_seconds(seconds, bool(result["timed_out"]))  # type: ignore[arg-type,index]
+
+        def team_cell(rec: Dict[str, object]) -> str:
+            workers = rec.get("workers")
+            hosts = rec.get("hosts")
+            if workers is None and not hosts:
+                return ""
+            return f"{workers or ''}" + (f"+{hosts}h" if hosts else "")
+
         parts += ["", "## Engines outside the Table I columns", ""]
         parts.append(tables.render_markdown_table(
-            ["instance", "type", "engine", "seconds", "nodes", "optimum"],
+            ["instance", "type", "engine", "team", "seconds", "nodes", "optimum"],
             [[rec["instance"], rec["instance_type"], rec["engine"],
-              tables.format_seconds(rec["result"]["seconds"],  # type: ignore[index]
-                                    bool(rec["result"]["timed_out"])),  # type: ignore[index]
+              team_cell(rec), timing_cell(rec),
               rec["result"]["nodes"], rec["result"]["optimum"]]  # type: ignore[index]
              for rec in extra]))
     prov = manifest["provenance"]

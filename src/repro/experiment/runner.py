@@ -118,6 +118,8 @@ class PlannedCell:
     k: Optional[int]
     repeat: int
     fingerprint: str
+    workers: Optional[int] = None
+    hosts: int = 0
 
     def identity(self) -> Dict[str, object]:
         """The record fields shared by results.jsonl and the index."""
@@ -130,6 +132,9 @@ class PlannedCell:
             "instance_type": self.instance_type,
             "k": self.k,
             "repeat": self.repeat,
+            # non-default only: records from pre-axis stores stay valid
+            **({"workers": self.workers} if self.workers is not None else {}),
+            **({"hosts": self.hosts} if self.hosts else {}),
         }
 
 
@@ -214,10 +219,16 @@ def plan_run(spec: ExperimentSpec) -> Tuple[List[InstanceInfo], List[PlannedCell
             # as they did before the axis existed, preserving resume of
             # pre-existing stores
             payload["bound"] = cell.bound
+        if cell.workers is not None:
+            # same contract as ``bound``: the axis unset (None — use the
+            # ``cpu_workers`` scalar) fingerprints as before it existed
+            payload["workers"] = cell.workers
+        if cell.hosts:
+            payload["hosts"] = cell.hosts
         planned.append(PlannedCell(
             instance=info, engine=cell.engine, frontier=cell.frontier,
             bound=cell.bound, instance_type=cell.instance_type, k=k,
-            repeat=cell.repeat,
+            repeat=cell.repeat, workers=cell.workers, hosts=cell.hosts,
             fingerprint=cell_fingerprint(info.graph_fp, payload),
         ))
     return list(infos.values()), planned
@@ -268,6 +279,8 @@ def _execute_cell(spec_dict: Dict[str, object], cell_fields: Dict[str, object],
         cfg,
         frontier=cell_fields["frontier"],  # type: ignore[arg-type]
         bound=cell_fields.get("bound", "greedy"),  # type: ignore[arg-type]
+        workers=cell_fields.get("workers"),  # type: ignore[arg-type]
+        hosts=cell_fields.get("hosts", 0),  # type: ignore[arg-type]
     )
     return {**cell_fields, "result": result.to_record()}
 

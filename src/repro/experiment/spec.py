@@ -64,7 +64,8 @@ EXPERIMENT_ENGINES: Tuple[str, ...] = ("sequential", "stackonly", "hybrid", "glo
 #: The real CPU teams, runnable in wall-clock mode: their cells carry
 #: ``wall_seconds`` only (virtual ``seconds``/``cycles`` stay null) and
 #: they never join the Table I virtual-seconds columns.
-WALL_CLOCK_ENGINES: Tuple[str, ...] = ("cpu-threads", "cpu-process", "cpu-worksteal")
+WALL_CLOCK_ENGINES: Tuple[str, ...] = ("cpu-threads", "cpu-process",
+                                       "cpu-worksteal", "distributed")
 
 #: Simulated devices selectable from a spec.
 SPEC_DEVICES: Tuple[str, ...] = ("SmallSim", "TinySim")
@@ -123,6 +124,11 @@ class CellSpec:
     bound: str                # BOUNDS registry name (every engine)
     instance_type: str
     repeat: int
+    #: wall-clock engines only; ``None`` means the spec's ``cpu_workers``
+    #: scalar (the pre-axis behaviour, kept for fingerprint stability).
+    workers: Optional[int] = None
+    #: distributed engine only: extra localhost ``serve-worker`` processes.
+    hosts: int = 0
 
 
 @dataclass
@@ -149,6 +155,13 @@ class ExperimentSpec:
     hybrid_fractions: Tuple[float, ...] = (0.25,)
     #: worker-team width for the wall-clock ``cpu-*`` engines.
     cpu_workers: int = 2
+    #: worker-count *axis* for the wall-clock engines: one cell per value.
+    #: Empty means "just ``cpu_workers``" — the pre-axis behaviour, and
+    #: the one that keeps old stores' fingerprints resumable.
+    workers: Tuple[int, ...] = ()
+    #: distributed engine only: axis of extra localhost ``serve-worker``
+    #: processes joined over the socket transport (0 = none).
+    hosts: Tuple[int, ...] = (0,)
     #: optional CALIBRATION.json applied in every worker before solving —
     #: calibration moves the scalar/vectorized dispatch, never results, so
     #: it is excluded from cell fingerprints.
@@ -210,6 +223,22 @@ class ExperimentSpec:
                 raise _one_line_choice_error("bound", bound, sorted(BOUNDS))
         if self.cpu_workers < 1:
             raise ValueError("cpu_workers must be >= 1")
+        for w in self.workers:
+            if w < 1:
+                raise ValueError("workers axis values must be >= 1")
+        if self.workers and not any(e in WALL_CLOCK_ENGINES for e in self.engines):
+            raise ValueError(
+                "the workers axis applies to the wall-clock engines "
+                f"({', '.join(WALL_CLOCK_ENGINES)}) and none is in the spec")
+        for h in self.hosts:
+            if h < 0:
+                raise ValueError("hosts axis values must be >= 0")
+        if not self.hosts:
+            raise ValueError("hosts axis must not be empty (use [0] for none)")
+        if tuple(self.hosts) != (0,) and "distributed" not in self.engines:
+            raise ValueError(
+                "the hosts axis applies to engine 'distributed' only, "
+                "which is not in the spec")
         if self.kernels is not None:
             from ..core.kernel_backends import KERNELS
 
@@ -247,6 +276,10 @@ class ExperimentSpec:
             extras["bounds"] = list(self.bounds)
         if self.cpu_workers != 2:
             extras["cpu_workers"] = self.cpu_workers
+        if self.workers:
+            extras["workers"] = list(self.workers)
+        if tuple(self.hosts) != (0,):
+            extras["hosts"] = list(self.hosts)
         if self.cell_timeout_s is not None:
             extras["cell_timeout_s"] = self.cell_timeout_s
         if self.cell_retries != 0:
@@ -289,8 +322,8 @@ class ExperimentSpec:
             "engines", "frontiers", "bounds", "instance_types", "repeats",
             "seed", "virtual_budget_s", "seq_node_guard", "engine_node_guard",
             "stackonly_depths", "hybrid_capacities", "hybrid_fractions",
-            "cpu_workers", "calibration", "kernels", "cell_timeout_s",
-            "cell_retries",
+            "cpu_workers", "workers", "hosts", "calibration", "kernels",
+            "cell_timeout_s", "cell_retries",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -318,6 +351,8 @@ class ExperimentSpec:
             hybrid_capacities=tuple(data.get("hybrid_capacities", defaults.hybrid_capacities)),  # type: ignore[arg-type]
             hybrid_fractions=tuple(data.get("hybrid_fractions", defaults.hybrid_fractions)),  # type: ignore[arg-type]
             cpu_workers=int(data.get("cpu_workers", defaults.cpu_workers)),  # type: ignore[arg-type]
+            workers=tuple(int(w) for w in data.get("workers", ())),  # type: ignore[union-attr]
+            hosts=tuple(int(h) for h in data.get("hosts", defaults.hosts)),  # type: ignore[union-attr]
             calibration=data.get("calibration"),  # type: ignore[arg-type]
             kernels=data.get("kernels"),  # type: ignore[arg-type]
             cell_timeout_s=(None if data.get("cell_timeout_s") is None
@@ -345,13 +380,25 @@ class ExperimentSpec:
                 for engine in self.engines:
                     frontiers: Sequence[Optional[str]]
                     frontiers = self.frontiers if engine == "sequential" else (None,)
+                    # The workers axis pairs with the wall-clock engines
+                    # only, and the hosts axis with ``distributed`` only
+                    # — other engines have no worker pool / no socket.
+                    workers_axis: Sequence[Optional[int]]
+                    workers_axis = (tuple(self.workers) or (None,)
+                                    if engine in WALL_CLOCK_ENGINES else (None,))
+                    hosts_axis = (tuple(self.hosts)
+                                  if engine == "distributed" else (0,))
                     for frontier in frontiers:
                         for bound in self.bounds:
-                            for repeat in range(self.repeats):
-                                cells.append(CellSpec(
-                                    instance=ref, engine=engine, frontier=frontier,
-                                    bound=bound, instance_type=itype, repeat=repeat,
-                                ))
+                            for workers in workers_axis:
+                                for hosts in hosts_axis:
+                                    for repeat in range(self.repeats):
+                                        cells.append(CellSpec(
+                                            instance=ref, engine=engine,
+                                            frontier=frontier, bound=bound,
+                                            instance_type=itype, repeat=repeat,
+                                            workers=workers, hosts=hosts,
+                                        ))
         return cells
 
     def cell_config(self) -> Dict[str, object]:

@@ -30,8 +30,9 @@ the hot path; pass ``debug=True`` to re-enable it, as the tests do.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +44,9 @@ __all__ = [
     "Workspace",
     "VCState",
     "WirePayload",
+    "WIRE_VERSION_V2",
+    "decode_wire",
+    "wire_nbytes",
     "fresh_state",
     "alive_vertices",
     "cover_vertices",
@@ -60,8 +64,19 @@ REMOVED: int = -1
 
 #: The self-contained serialized form of one :class:`VCState` (see
 #: :meth:`VCState.to_wire`): ``(deg bytes, |S|, |E|, dirty bytes | None,
-#: max_deg_hint)``.
-WirePayload = Tuple[bytes, int, int, Optional[bytes], int]
+#: max_deg_hint)``.  Codec v2 (:meth:`VCState.to_wire_v2`) replaces the
+#: tuple with a single version-tagged ``bytes`` frame; either form is a
+#: valid wire payload and :func:`decode_wire` dispatches on the type.
+WirePayload = Union[Tuple[bytes, int, int, Optional[bytes], int], bytes]
+
+#: Leading version byte of a codec-v2 frame.  v1 payloads are tuples and
+#: carry no version byte — the *type* of the payload is the discriminant.
+WIRE_VERSION_V2 = 2
+
+#: v2 frame header: version (B), mode (B: 0 dense / 1 sparse), pad (6x),
+#: |S| (q), |E| (q), max_deg_hint (q), dirty count (q; -1 = no hint).
+_WIRE_V2_HEADER = struct.Struct("<BB6xqqqq")
+_WIRE_V2_COUNT = struct.Struct("<q")
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
 _EMPTY_I64.setflags(write=False)
@@ -266,11 +281,74 @@ class VCState:
             self.max_deg_hint
 
     @classmethod
-    def from_wire(cls, payload: "WirePayload") -> "VCState":
+    def from_wire(cls, payload) -> "VCState":
         """Rebuild a state from :meth:`to_wire`'s tuple (fresh buffers)."""
         deg = np.frombuffer(payload[0], dtype=np.int32).copy()
         dirty = None if payload[3] is None else np.frombuffer(payload[3], dtype=np.int64)
         return cls(deg, payload[1], payload[2], dirty, payload[4])
+
+    def to_wire_v2(self, root_deg: np.ndarray) -> bytes:
+        """Serialize as one delta-encoded, version-tagged frame (codec v2).
+
+        ``root_deg`` is the root degree plane — the degree vector of the
+        *fresh* state, which every attached worker shares (see
+        :mod:`repro.graph.plane`).  Near the top of the search tree almost
+        every entry still matches it, so the frame ships sparse
+        ``(idx, val)`` pairs instead of the full ``deg`` array; when the
+        delta stops paying (``8·nnz >= 4·n``) the frame degrades to the
+        dense array, never worse than v1 plus the fixed header.  Byte 0 is
+        the codec version, so a receiver can refuse frames it does not
+        speak instead of misdecoding them.
+        """
+        deg = self.deg
+        n = deg.shape[0]
+        changed = np.flatnonzero(deg != root_deg)
+        sparse = changed.size * 8 < n * 4
+        dirty = self.dirty
+        if dirty is None:
+            dirty_arr = None
+            dirty_count = -1
+        else:
+            dirty_arr = np.asarray(dirty, dtype=np.int64)
+            dirty_count = dirty_arr.size
+        parts = [_WIRE_V2_HEADER.pack(WIRE_VERSION_V2, 1 if sparse else 0,
+                                      self.cover_size, self.edge_count,
+                                      self.max_deg_hint, dirty_count)]
+        if dirty_arr is not None:
+            parts.append(dirty_arr.tobytes())
+        if sparse:
+            parts.append(_WIRE_V2_COUNT.pack(changed.size))
+            parts.append(changed.astype(np.int32).tobytes())
+            parts.append(deg[changed].tobytes())
+        else:
+            parts.append(deg.tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_wire_v2(cls, frame: bytes, root_deg: np.ndarray) -> "VCState":
+        """Rebuild a state from a codec-v2 frame against the root plane."""
+        version, mode, cover_size, edge_count, max_deg_hint, dirty_count = \
+            _WIRE_V2_HEADER.unpack_from(frame, 0)
+        if version != WIRE_VERSION_V2:
+            raise ValueError(f"unknown wire codec version {version}")
+        off = _WIRE_V2_HEADER.size
+        dirty: Optional[np.ndarray] = None
+        if dirty_count >= 0:
+            dirty = np.frombuffer(frame, dtype=np.int64, count=dirty_count,
+                                  offset=off)
+            off += dirty_count * 8
+        if mode == 1:
+            (nnz,) = _WIRE_V2_COUNT.unpack_from(frame, off)
+            off += _WIRE_V2_COUNT.size
+            idx = np.frombuffer(frame, dtype=np.int32, count=nnz, offset=off)
+            off += nnz * 4
+            val = np.frombuffer(frame, dtype=np.int32, count=nnz, offset=off)
+            deg = np.array(root_deg, dtype=np.int32, copy=True)
+            deg[idx] = val
+        else:
+            deg = np.frombuffer(frame, dtype=np.int32,
+                                count=root_deg.shape[0], offset=off).copy()
+        return cls(deg, cover_size, edge_count, dirty, max_deg_hint)
 
     def n_alive(self) -> int:
         return int(np.count_nonzero(self.deg >= 0))
@@ -292,6 +370,33 @@ class VCState:
 def fresh_state(graph: CSRGraph) -> VCState:
     """The root tree node: nothing removed, all static degrees intact."""
     return VCState(graph.degrees.astype(np.int32).copy(), 0, graph.m)
+
+
+def decode_wire(payload: "WirePayload",
+                root_deg: Optional[np.ndarray] = None) -> VCState:
+    """Decode either wire codec: v1 tuples or v2 version-tagged frames.
+
+    The payload *type* discriminates: a tuple is the frozen v1 codec, a
+    ``bytes``/``memoryview`` frame carries its codec version in byte 0
+    and needs the ``root_deg`` plane to expand sparse deltas.
+    """
+    if isinstance(payload, tuple):
+        return VCState.from_wire(payload)
+    if root_deg is None:
+        raise ValueError("codec-v2 frame needs the root degree plane")
+    return VCState.from_wire_v2(payload, root_deg)
+
+
+def wire_nbytes(payload: "WirePayload") -> int:
+    """Approximate on-the-wire size of one payload, for comms accounting.
+
+    v2 frames are exact; v1 tuples are the sum of their buffer parts
+    plus the fixed header the three scalars cost when pickled.
+    """
+    if isinstance(payload, tuple):
+        dirty = payload[3]
+        return len(payload[0]) + (0 if dirty is None else len(dirty)) + 24
+    return len(payload)
 
 
 def alive_vertices(deg: np.ndarray) -> np.ndarray:

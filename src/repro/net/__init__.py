@@ -1,0 +1,1 @@
+"""Socket transport and the distributed coordinator/worker engine."""

@@ -172,7 +172,7 @@ class TestFacade:
     def test_engine_names_stable(self):
         assert set(ENGINES) == {
             "sequential", "stackonly", "hybrid", "globalonly",
-            "cpu-threads", "cpu-process", "cpu-worksteal",
+            "cpu-threads", "cpu-process", "cpu-worksteal", "distributed",
         }
 
     def test_unknown_engine_rejected(self):

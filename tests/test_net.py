@@ -1,0 +1,509 @@
+"""Distributed engine, socket transport, and wire-codec-v2 tests."""
+
+import socket
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.core.sequential import solve_mvc_sequential
+from repro.engines.cpu_process import (
+    CommStats,
+    _next_batch,
+    solve_mvc_processes,
+)
+from repro.graph.degree_array import (
+    VCState,
+    decode_wire,
+    fresh_state,
+    wire_nbytes,
+)
+from repro.graph.generators.random_graphs import gnp
+from repro.graph.generators.structured import petersen
+from repro.graph.plane import GraphPlane
+from repro.net.distributed import solve_mvc_distributed, solve_pvc_distributed
+from repro.net.transport import (
+    FrameDecoder,
+    MessageStream,
+    ProtocolError,
+    TransportClosed,
+    encode_frame,
+)
+
+
+# --------------------------------------------------------------------- #
+# wire codec v2
+# --------------------------------------------------------------------- #
+class TestWireCodecV2:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(2, 40), p=st.floats(0.05, 0.8), seed=st.integers(0, 300),
+           ntouch=st.integers(0, 40), cover=st.integers(0, 1000),
+           hint=st.sampled_from([None, "list", "array"]),
+           data=st.data())
+    def test_v2_roundtrip_equals_v1(self, n, p, seed, ntouch, cover, hint, data):
+        """Delta frames decode to exactly what the v1 tuple decodes to."""
+        g = gnp(n, p, seed=seed)
+        root_deg = np.asarray(g.degrees, dtype=np.int32)
+        state = fresh_state(g)
+        state.cover_size = cover
+        # mutate a random subset of degrees (including removals: -1 marks)
+        idx = data.draw(st.lists(st.integers(0, g.n - 1), min_size=0,
+                                 max_size=min(ntouch, g.n), unique=True))
+        for i in idx:
+            state.deg[i] = data.draw(st.integers(-1, g.n))
+        state.edge_count = int(max(0, state.deg[state.deg > 0].sum() // 2))
+        if hint == "list":
+            state.dirty = data.draw(st.lists(st.integers(0, g.n - 1),
+                                             min_size=0, max_size=5))
+        elif hint == "array":
+            state.dirty = np.asarray(
+                data.draw(st.lists(st.integers(0, g.n - 1), max_size=5)),
+                dtype=np.int64)
+        state.max_deg_hint = data.draw(st.integers(-1, g.n))
+
+        via_v1 = VCState.from_wire(state.to_wire())
+        via_v2 = VCState.from_wire_v2(state.to_wire_v2(root_deg), root_deg)
+        assert np.array_equal(via_v1.deg, via_v2.deg)
+        assert via_v1.cover_size == via_v2.cover_size
+        assert via_v1.edge_count == via_v2.edge_count
+        assert via_v1.max_deg_hint == via_v2.max_deg_hint
+        d1 = None if via_v1.dirty is None else np.asarray(via_v1.dirty).tolist()
+        d2 = None if via_v2.dirty is None else np.asarray(via_v2.dirty).tolist()
+        assert (d1 is None) == (d2 is None)
+        if d1 is not None:
+            assert sorted(d1) == sorted(d2)
+
+    def test_sparse_beats_v1_near_root(self):
+        g = gnp(200, 0.05, seed=1)
+        root_deg = np.asarray(g.degrees, dtype=np.int32)
+        state = fresh_state(g)
+        state.deg[3] = 0  # one touched vertex: near-root frame
+        frame = state.to_wire_v2(root_deg)
+        assert wire_nbytes(frame) < wire_nbytes(state.to_wire())
+
+    def test_dense_fallback_still_roundtrips(self):
+        g = gnp(50, 0.4, seed=2)
+        root_deg = np.asarray(g.degrees, dtype=np.int32)
+        state = fresh_state(g)
+        state.deg[:] = np.arange(g.n) % 5 - 1  # every entry differs
+        out = VCState.from_wire_v2(state.to_wire_v2(root_deg), root_deg)
+        assert np.array_equal(out.deg, state.deg)
+
+    def test_decode_wire_dispatches_on_payload_type(self):
+        g = petersen()
+        root_deg = np.asarray(g.degrees, dtype=np.int32)
+        state = fresh_state(g)
+        assert np.array_equal(decode_wire(state.to_wire()).deg, state.deg)
+        assert np.array_equal(
+            decode_wire(state.to_wire_v2(root_deg), root_deg).deg, state.deg)
+        with pytest.raises(ValueError):
+            decode_wire(state.to_wire_v2(root_deg))  # v2 needs the base
+
+    def test_version_byte_is_validated(self):
+        g = petersen()
+        root_deg = np.asarray(g.degrees, dtype=np.int32)
+        frame = bytearray(fresh_state(g).to_wire_v2(root_deg))
+        frame[0] = 99
+        with pytest.raises(ValueError):
+            VCState.from_wire_v2(bytes(frame), root_deg)
+
+
+# --------------------------------------------------------------------- #
+# shared-memory graph plane
+# --------------------------------------------------------------------- #
+class TestGraphPlane:
+    def test_publish_attach_roundtrip(self):
+        g = gnp(60, 0.2, seed=3)
+        plane = GraphPlane.publish(g)
+        try:
+            other = GraphPlane.attach(plane.name)
+            g2 = other.graph()
+            assert np.array_equal(g2.indptr, g.indptr)
+            assert np.array_equal(g2.indices, g.indices)
+            assert np.array_equal(other.root_deg, g.degrees)
+            other.close()
+        finally:
+            plane.close()
+
+    def test_owner_close_unlinks(self):
+        g = petersen()
+        plane = GraphPlane.publish(g)
+        name = plane.name
+        plane.close()
+        with pytest.raises(Exception):
+            GraphPlane.attach(name)
+
+    def test_attach_views_are_read_only(self):
+        g = petersen()
+        plane = GraphPlane.publish(g)
+        try:
+            other = GraphPlane.attach(plane.name)
+            with pytest.raises(ValueError):
+                other.indices[0] = 7
+            other.close()
+        finally:
+            plane.close()
+
+
+# --------------------------------------------------------------------- #
+# socket framing
+# --------------------------------------------------------------------- #
+class TestFraming:
+    def test_torn_frames_byte_by_byte(self):
+        msgs = [("lease", 1, [b"x" * 33]), ("best", 7, 2), ("done",)]
+        wire = b"".join(encode_frame(m) for m in msgs)
+        dec = FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            dec.feed(wire[i:i + 1])
+            out.extend(dec.drain())
+        assert out == msgs
+        assert dec.pending == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_arbitrary_chunking(self, data):
+        msgs = data.draw(st.lists(
+            st.tuples(st.sampled_from(["lease", "donate", "best"]),
+                      st.integers(0, 999), st.binary(max_size=64)),
+            min_size=1, max_size=6))
+        wire = b"".join(encode_frame(m) for m in msgs)
+        dec = FrameDecoder()
+        out, pos = [], 0
+        while pos < len(wire):
+            step = data.draw(st.integers(1, max(1, len(wire) - pos)))
+            dec.feed(wire[pos:pos + step])
+            out.extend(dec.drain())
+            pos += step
+        assert out == msgs
+
+    def test_oversize_length_prefix_raises(self):
+        dec = FrameDecoder()
+        dec.feed(b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError):
+            dec.next()
+
+    def test_dead_peer_mid_frame(self):
+        a, b = socket.socketpair()
+        left, right = MessageStream(a), MessageStream(b)
+        frame = encode_frame(("donate", 1, [b"payload" * 10]))
+        a.sendall(frame[: len(frame) // 2])  # half a frame, then hang up
+        left.close()
+        with pytest.raises(TransportClosed, match="mid-frame"):
+            while True:
+                right.recv(timeout=1.0)
+        right.close()
+
+    def test_stream_roundtrip_and_counters(self):
+        a, b = socket.socketpair()
+        left, right = MessageStream(a), MessageStream(b)
+        left.send(("hello", 42))
+        left.send(("ready",))
+        assert right.recv(timeout=1.0) == ("hello", 42)
+        assert right.recv(timeout=1.0) == ("ready",)
+        assert left.messages_sent == 2
+        assert left.bytes_sent > 0
+        # pushback re-decodes a batched second message, so >= not ==
+        assert right.decoder.frames_out >= 2
+        left.close(), right.close()
+
+    def test_send_to_closed_peer_raises(self):
+        a, b = socket.socketpair()
+        left = MessageStream(a)
+        b.close()
+        with pytest.raises(TransportClosed):
+            for _ in range(10_000):  # outrun the socket buffer
+                left.send(("best", 1, b"x" * 4096))
+        left.close()
+
+
+# --------------------------------------------------------------------- #
+# busy-poll regression (satellite: blocking get, not a 20 ms spin)
+# --------------------------------------------------------------------- #
+class _IdleQueue:
+    """A work queue that is empty forever; counts the polls it sees."""
+
+    def __init__(self):
+        self.gets = []
+
+    def get(self, timeout=None):
+        import queue as queue_mod
+
+        self.gets.append(timeout)
+        raise queue_mod.Empty
+
+
+class TestIdleBackoff:
+    def test_backoff_doubles_to_heartbeat_cap(self):
+        from repro.engines.cpu_process import _BACKOFF_MIN_S, _HEARTBEAT_S
+
+        q = _IdleQueue()
+        calls = [0]
+
+        def stop():
+            calls[0] += 1
+            return calls[0] > 12
+
+        assert _next_batch(q, stop) is None
+        assert q.gets[0] == pytest.approx(_BACKOFF_MIN_S)
+        for earlier, later in zip(q.gets, q.gets[1:]):
+            assert later == pytest.approx(min(earlier * 2.0, _HEARTBEAT_S))
+        assert q.gets[-1] == pytest.approx(_HEARTBEAT_S)
+
+    def test_idle_worker_does_not_spin(self):
+        """One simulated idle second costs ~25 polls, not the old 50."""
+        q = _IdleQueue()
+        # the recorded timeouts are exactly how long the real queue.get
+        # would have slept, so their sum is the simulated idle time
+        assert _next_batch(q, lambda: sum(q.gets) >= 1.0) is None
+        assert sum(q.gets) >= 1.0
+        # doubling 1ms -> 50ms cap: ~6 ramp polls + ~19 heartbeat polls;
+        # the old fixed 20ms spin needed 50 and a 1ms spin 1000
+        assert len(q.gets) <= 40
+
+
+# --------------------------------------------------------------------- #
+# batched leases + codec selection on the process engine
+# --------------------------------------------------------------------- #
+class TestBatchedLeases:
+    def test_batch_and_codec_equivalence(self):
+        g = gnp(30, 0.25, seed=4)
+        want = solve_mvc_sequential(g).optimum
+        for lease_batch in (1, 8):
+            for codec in ("v1", "v2"):
+                res = solve_mvc_processes(g, n_workers=2,
+                                          lease_batch=lease_batch, codec=codec)
+                assert res.optimum == want, (lease_batch, codec)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            solve_mvc_processes(petersen(), n_workers=1, codec="v9")
+
+    def test_comms_counters_present(self):
+        g = gnp(25, 0.3, seed=5)
+        res = solve_mvc_processes(g, n_workers=2)
+        assert res.comms is not None
+        totals = res.comms["totals"]
+        assert set(CommStats.FIELDS) <= set(totals)
+        assert totals["messages"] > 0
+        assert totals["leases"] > 0
+        assert totals["subtrees"] >= totals["leases"]
+        per_worker = res.comms["per_worker"]
+        assert sum(c["messages"] for c in per_worker.values()) == totals["messages"]
+
+
+# --------------------------------------------------------------------- #
+# the distributed engine
+# --------------------------------------------------------------------- #
+class TestDistributed:
+    def test_mvc_matches_sequential(self):
+        g = gnp(40, 0.2, seed=6)
+        res = solve_mvc_distributed(g, n_workers=2)
+        assert res.optimum == solve_mvc_sequential(g).optimum
+        from repro.core.verify import assert_valid_cover
+
+        assert_valid_cover(g, res.cover, res.optimum)
+
+    def test_pvc_boundary(self):
+        g = petersen()
+        assert solve_pvc_distributed(g, 6, n_workers=2).feasible is True
+        assert solve_pvc_distributed(g, 5, n_workers=2).feasible is False
+
+    def test_work_actually_distributes(self):
+        g = gnp(60, 0.12, seed=3)
+        res = solve_mvc_distributed(g, n_workers=2)
+        per_worker = res.comms["per_worker"]
+        assert len(per_worker) == 2
+        assert all(c["subtrees"] > 0 for c in per_worker.values())
+
+    def test_exact_wire_counters_reported(self):
+        """Socket workers report exact transport bytes next to the
+        wire_nbytes() estimates, and the graph-inline v1 path shows the
+        shipment the shared plane avoids.  A reduction-dominated instance
+        keeps the comparison structural (graph frame vs plane attach)
+        rather than at the mercy of lease-count scheduling noise."""
+        from repro.graph.generators.suites import paper_suite
+
+        g = next(i for i in paper_suite("small")
+                 if i.name == "lastfm_asia").graph()
+        v2 = solve_mvc_distributed(g, n_workers=2, codec="v2").comms["totals"]
+        v1 = solve_mvc_distributed(g, n_workers=2, codec="v1").comms["totals"]
+        for totals in (v1, v2):
+            assert totals["wire_sent"] > 0
+            assert totals["wire_received"] > 0
+        # v1 workers each receive the n=300 CSR arrays inline; v2 workers
+        # attach the shm plane instead — a multi-KB structural gap.
+        assert v1["wire_received"] > 4 * v2["wire_received"]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            solve_mvc_distributed(petersen(), n_workers=0, hosts=0)
+
+    def test_hosts_joins_over_serve_worker(self):
+        """hosts=1 spawns a cold `repro serve-worker` interpreter that
+        attaches the plane over the socket and contributes sub-trees."""
+        g = gnp(100, 0.1, seed=5)
+        res = solve_mvc_distributed(g, n_workers=1, hosts=1)
+        assert res.optimum == solve_mvc_sequential(g).optimum
+        assert res.n_workers == 2
+
+    def test_dead_local_worker_recovers(self):
+        g = gnp(40, 0.2, seed=7)
+        want = solve_mvc_sequential(g).optimum
+        with faults.injected("worker_kill:0.5:3", seed=11):
+            res = solve_mvc_distributed(g, n_workers=2)
+        assert res.optimum == want
+        assert res.workers_lost > 0
+
+    def test_dead_remote_worker_recovers(self):
+        """Killing a serve-worker host mid-lease re-enqueues exactly like
+        a dead local worker: the optimum is still reached."""
+        g = gnp(40, 0.2, seed=8)
+        want = solve_mvc_sequential(g).optimum
+        with faults.injected("worker_kill:0.9:4", seed=2):
+            res = solve_mvc_distributed(g, n_workers=0, hosts=2)
+        assert res.optimum == want
+        assert res.workers_lost > 0
+
+    def test_node_budget_interrupts_with_pending(self):
+        g = gnp(60, 0.2, seed=9)
+        res = solve_mvc_distributed(g, n_workers=2, node_budget=40)
+        assert res.timed_out
+        assert res.pending_states  # resumable frontier survives
+
+    def test_anytime_resume_reaches_optimum(self):
+        from repro.core.anytime import resume_from, solve_anytime
+
+        g = gnp(50, 0.2, seed=10)
+        want = solve_mvc_sequential(g).optimum
+        out = solve_anytime(g, engine="distributed", node_budget=60, n_workers=2)
+        legs = 1
+        while not out.complete and out.resumable:
+            out = resume_from(out.checkpoint, g, engine="distributed", n_workers=2)
+            legs += 1
+            assert legs < 60
+        assert out.complete and out.optimum == want
+
+    def test_comms_surface_on_outcome_extra(self):
+        from repro.core.anytime import solve_anytime
+
+        g = gnp(30, 0.25, seed=11)
+        out = solve_anytime(g, engine="distributed", n_workers=2)
+        assert out.extra.get("comms_messages", 0) > 0
+        assert out.extra.get("comms_bytes_sent", 0) > 0
+
+
+# --------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------- #
+class TestCli:
+    def test_serve_worker_rejects_bad_address(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve-worker", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().out
+
+    def test_serve_worker_reports_unreachable_coordinator(self, capsys):
+        from repro.cli import main
+
+        # a port nothing listens on: connect fails, one-line error, rc 2
+        assert main(["serve-worker", "--connect", "127.0.0.1:1"]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_solve_stats_prints_comms(self, capsys):
+        from repro.cli import main
+
+        rc = main(["solve", "--graph", "p_hat_300_1", "--scale", "tiny",
+                   "--engine", "distributed", "--workers", "2", "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "comms totals:" in out
+        assert "messages=" in out
+
+    def test_workers_rejected_for_sequential(self, capsys):
+        from repro.cli import main
+
+        rc = main(["solve", "--graph", "p_hat_300_1", "--scale", "tiny",
+                   "--engine", "sequential", "--workers", "2"])
+        assert rc == 2
+        assert "--workers" in capsys.readouterr().out
+
+    def test_hosts_rejected_for_cpu_process(self, capsys):
+        from repro.cli import main
+
+        rc = main(["solve", "--graph", "p_hat_300_1", "--scale", "tiny",
+                   "--engine", "cpu-process", "--hosts", "1"])
+        assert rc == 2
+        assert "--hosts" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# experiment-layer workers x hosts axes
+# --------------------------------------------------------------------- #
+class TestExperimentAxes:
+    def test_axes_expand_for_wall_clock_engines_only(self):
+        from repro.experiment.spec import load_spec
+
+        spec = load_spec({"name": "ax", "scale": "tiny",
+                          "instances": ["p_hat_300_1"],
+                          "engines": ["sequential", "distributed"],
+                          "workers": [1, 2], "hosts": [0, 1]})
+        cells = spec.expand_cells()
+        seq = [c for c in cells if c.engine == "sequential"]
+        dist = [c for c in cells if c.engine == "distributed"]
+        assert all(c.workers is None and c.hosts == 0 for c in seq)
+        assert {(c.workers, c.hosts) for c in dist} == \
+            {(1, 0), (1, 1), (2, 0), (2, 1)}
+
+    def test_fingerprints_neutral_without_the_axes(self):
+        from repro.experiment.runner import plan_run
+        from repro.experiment.spec import load_spec
+
+        spec = load_spec({"name": "neutral", "scale": "tiny",
+                          "instances": ["p_hat_300_1"],
+                          "engines": ["cpu-process"]})
+        _, planned = plan_run(spec)
+        for cell in planned:
+            identity = cell.identity()
+            assert "workers" not in identity and "hosts" not in identity
+
+    def test_hosts_axis_requires_distributed(self):
+        from repro.experiment.spec import load_spec
+
+        with pytest.raises(ValueError, match="distributed"):
+            load_spec({"name": "bad", "scale": "tiny",
+                       "instances": ["p_hat_300_1"],
+                       "engines": ["cpu-process"], "hosts": [1]})
+
+    def test_spec_roundtrips_the_axes(self):
+        from repro.experiment.spec import ExperimentSpec, load_spec
+
+        spec = load_spec({"name": "rt", "scale": "tiny",
+                          "instances": ["p_hat_300_1"],
+                          "engines": ["distributed"],
+                          "workers": [2, 4], "hosts": [0, 1]})
+        again = ExperimentSpec.from_dict(spec.to_dict())
+        assert again.workers == (2, 4)
+        assert again.hosts == (0, 1)
+
+    def test_report_renders_wall_and_team_for_distributed_cells(self, tmp_path):
+        from repro.experiment.report import write_report
+        from repro.experiment.runner import run_experiment
+        from repro.experiment.spec import load_spec
+        from repro.experiment.store import RunStore
+
+        spec = load_spec({"name": "rep", "scale": "tiny",
+                          "instances": ["p_hat_300_1"],
+                          "engines": ["distributed"],
+                          "workers": [2], "hosts": [0, 1],
+                          "engine_node_guard": 4000})
+        store = RunStore(tmp_path)
+        outcome = run_experiment(spec, store)
+        text = write_report(store, outcome.run.run_id)
+        # Wall-clock cells render their measured wall, not ">budget",
+        # and the team column shows workers (+h for remote hosts).
+        assert "(wall)" in text
+        assert "2+1h" in text
+        assert ">budget" not in text
