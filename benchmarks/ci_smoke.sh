@@ -23,7 +23,12 @@
 # deadline-tripped anytime solve must checkpoint and resume to it), or
 # the kernel-backend gate fails (every KERNELS backend must agree bit
 # for bit on the smoke suite, and a freshly calibrated CALIBRATION
-# artifact must satisfy the documented v2 schema).
+# artifact must satisfy the documented v2 schema), or the observability
+# gate fails (a traced two-process distributed solve must produce
+# schema-valid Chrome trace JSON with spans from >= 2 pids and a
+# metrics snapshot whose Prometheus exposition parses, and a disarmed
+# solve must never touch a telemetry mutator — spied with raising
+# monkeypatches on the span/counter entry points).
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -338,4 +343,77 @@ with tempfile.NamedTemporaryFile("w", suffix=".json") as fh:
     else:
         raise SystemExit("schema-v1 calibration artifact was not refused")
 print("ci_smoke: CALIBRATION v2 schema OK, v1 artifact refused loudly")
+EOF
+
+# --- observability gate (see docs/OBSERVABILITY.md) ---
+# 1. a traced two-worker distributed solve through the CLI must write a
+#    Chrome trace whose events are well-formed and span >= 2 processes,
+#    plus a metrics snapshot whose Prometheus exposition parses line by
+#    line; `repro obs view` must render the same trace.
+# 2. the disarmed hot path must stay telemetry-free: with every span /
+#    counter mutator replaced by a raising spy, a plain solve must still
+#    succeed — proof the per-node code binds bare closures when nothing
+#    is armed.
+obs_trace="$(mktemp /tmp/bench_smoke_trace.XXXXXX.json)"
+obs_metrics="$(mktemp /tmp/bench_smoke_metrics.XXXXXX.json)"
+trap 'rm -f "$out" "$obs_trace" "$obs_metrics"; rm -rf "$exp_store"' EXIT
+python -m repro solve --graph p_hat_300_1 --scale tiny \
+    --engine distributed --workers 2 --stats \
+    --trace "$obs_trace" --metrics-out "$obs_metrics" > /dev/null
+python -m repro obs view "$obs_trace" > /dev/null
+python - "$obs_trace" "$obs_metrics" <<'EOF'
+import json
+import re
+import sys
+
+trace_doc = json.load(open(sys.argv[1]))
+events = trace_doc["traceEvents"]
+assert events, "traced solve produced no spans"
+for ev in events:
+    assert ev["ph"] == "X" and ev["dur"] >= 0 and ev["ts"] >= 0, ev
+    assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int), ev
+    assert ev["args"]["span_id"], ev
+pids = {ev["pid"] for ev in events}
+assert len(pids) >= 2, f"spans from only {len(pids)} process(es)"
+assert trace_doc["otherData"]["trace_id"], "trace id missing"
+
+from repro.obs.metrics import prometheus_from_snapshot
+
+snap = json.load(open(sys.argv[2]))
+text = prometheus_from_snapshot(snap)
+sample = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9eE.inf]+$')
+samples = 0
+for line in text.strip().splitlines():
+    if line.startswith("#"):
+        assert re.match(r"^# (HELP|TYPE) ", line), line
+    else:
+        assert sample.match(line), line
+        samples += 1
+assert samples > 0, "empty Prometheus exposition"
+names = {m["name"] for m in snap["metrics"]}
+assert "repro_nodes_visited_total" in names, sorted(names)
+assert "repro_comms_obs_reduce_s_total" in names, sorted(names)
+print(f"ci_smoke: traced distributed solve OK ({len(events)} spans from "
+      f"{len(pids)} pids, {samples} Prometheus samples)")
+
+from repro.core.sequential import solve_mvc_sequential
+from repro.core.solver import solve_mvc
+from repro.graph.generators.random_graphs import gnp
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+def boom(*a, **k):
+    raise AssertionError("telemetry mutator reached on the disarmed path")
+
+
+obs_trace.WallTracer.begin = boom
+obs_metrics.Counter.inc = boom
+obs_metrics.Gauge.set = boom
+obs_metrics.Histogram.observe = boom
+graph = gnp(30, 0.15, seed=7)
+expected = solve_mvc_sequential(graph).optimum
+assert solve_mvc(graph).optimum == expected
+print("ci_smoke: disarmed solve never touched a telemetry mutator")
 EOF

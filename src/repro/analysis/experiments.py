@@ -125,6 +125,11 @@ class ExperimentConfig:
     #: (``None``: the process default dispatcher; bit-identical results
     #: either way, so this knob is fingerprint-neutral).
     kernels: Optional[str] = None
+    #: capture per-cell telemetry (predicted cycles-by-kind on the sim
+    #: engines, measured wall-by-kind on the real ones) into
+    #: :attr:`CellResult.obs`.  Observation only — never changes what a
+    #: cell computes — so it is fingerprint-neutral like ``kernels``.
+    telemetry: bool = False
 
     def quick(self) -> "ExperimentConfig":
         """A cheaper copy for pytest benchmarks."""
@@ -141,6 +146,7 @@ class ExperimentConfig:
             hybrid_fractions=(0.25,),
             cpu_workers=self.cpu_workers,
             kernels=self.kernels,
+            telemetry=self.telemetry,
         )
 
     @property
@@ -172,6 +178,11 @@ class CellResult:
     cycles: Optional[float] = None
     #: search-tree shape counters (sequential cells only).
     tree: Optional[Dict[str, int]] = None
+    #: per-kind activity attribution, captured only under
+    #: ``ExperimentConfig.telemetry``: ``{"cycles_by_kind": ...}`` on the
+    #: simulated engines (predicted side), ``{"wall_by_kind": ...}`` on
+    #: the wall-clock ones (measured side).
+    obs: Optional[Dict[str, object]] = None
 
     def to_record(self) -> Dict[str, object]:
         """The JSON-serializable form persisted by the experiment store.
@@ -182,7 +193,7 @@ class CellResult:
         floats exactly (shortest-repr), so ``seconds``/``cycles`` survive
         the store bit-identical.
         """
-        return {
+        record: Dict[str, object] = {
             "engine": self.engine,
             "instance_type": self.instance_type,
             "seconds": self.seconds,
@@ -195,6 +206,9 @@ class CellResult:
             "cycles": self.cycles,
             "tree": self.tree,
         }
+        if self.obs is not None:
+            record["obs"] = self.obs
+        return record
 
     @classmethod
     def from_record(cls, record: Dict[str, object]) -> "CellResult":
@@ -211,6 +225,7 @@ class CellResult:
             detail=str(record.get("detail", "")),
             cycles=record.get("cycles"),  # type: ignore[arg-type]
             tree=record.get("tree"),  # type: ignore[arg-type]
+            obs=record.get("obs"),  # type: ignore[arg-type]
         )
 
 
@@ -292,6 +307,39 @@ def resolve_minimum(inst: SuiteInstance, scale: str, node_guard: int = 150_000) 
 # --------------------------------------------------------------------- #
 # cell runners
 # --------------------------------------------------------------------- #
+def _sim_obs(cycles_by_kind: Optional[Dict[str, float]]) -> Optional[Dict[str, object]]:
+    """A sim cell's predicted-side obs payload (``None`` when empty)."""
+    if not cycles_by_kind:
+        return None
+    return {"cycles_by_kind": {k: float(v) for k, v in sorted(cycles_by_kind.items()) if v > 0}}
+
+
+def _wall_obs(out, wall_before: Dict[str, float]) -> Optional[Dict[str, object]]:
+    """A wall cell's measured-side obs payload.
+
+    Two sources merge: the parent-process registry delta (in-process
+    engines attribute reduce/bound/branch/idle there directly) and the
+    ``obs_<kind>_s`` keys the process/distributed workers ship home in
+    their comms totals.  The two never overlap — forked workers cannot
+    reach the parent registry, and in-process comm rows carry plain
+    ``idle_s`` keys that :func:`wall_from_obs_keys` ignores.
+    """
+    from ..obs import breakdown as obs_breakdown
+
+    by_kind: Dict[str, float] = {}
+    for kind, secs in obs_breakdown.wall_by_kind().items():
+        delta = secs - wall_before.get(kind, 0.0)
+        if delta > 0:
+            by_kind[kind] = delta
+    comms = getattr(out, "comms", None)
+    if isinstance(comms, dict) and isinstance(comms.get("totals"), dict):
+        for kind, secs in obs_breakdown.wall_from_obs_keys(comms["totals"]).items():
+            by_kind[kind] = by_kind.get(kind, 0.0) + secs
+    if not by_kind:
+        return None
+    return {"wall_by_kind": {k: float(v) for k, v in sorted(by_kind.items())}}
+
+
 def _cell_detail(frontier: Optional[str], bound: Optional[str]) -> str:
     """The non-default axis values a cell ran under, for the detail column."""
     parts = []
@@ -335,6 +383,7 @@ def _run_sequential_cell(
         wall_seconds=time.perf_counter() - start,
         detail=_cell_detail(frontier, bound),
         cycles=out.cycles,
+        obs=_sim_obs(out.cycles_by_kind) if cfg.telemetry else None,
         tree={
             "branches": stats.branches,
             "prunes": stats.prunes,
@@ -398,6 +447,8 @@ def _run_engine_cell(engine_name: str, graph, itype: str, k: Optional[int],
         detail=best_detail,
         metrics=best.metrics,
         cycles=best.makespan_cycles,
+        obs=(_sim_obs(best.metrics.cycles_by_kind())
+             if cfg.telemetry and best.metrics is not None else None),
     )
 
 
@@ -415,18 +466,37 @@ def _run_cpu_cell(engine_name: str, graph, itype: str, k: Optional[int],
     from ..core.solver import solve_mvc, solve_pvc
 
     n_workers = cfg.cpu_workers if workers is None else workers
+    wall_before: Dict[str, float] = {}
+    armed_here = False
+    if cfg.telemetry:
+        from ..obs import breakdown as obs_breakdown
+        from ..obs import metrics as obs_metrics
+
+        if not obs_metrics.armed():
+            obs_metrics.arm()
+            armed_here = True
+        # Delta against whatever the registry already holds, so cells
+        # isolate cleanly whether we armed or the caller did.
+        wall_before = obs_breakdown.wall_by_kind()
     start = time.perf_counter()
     kwargs = dict(engine=engine_name, n_workers=n_workers,
                   node_budget=cfg.engine_node_guard, bound=bound,
                   **({"kernels": cfg.kernels} if cfg.kernels else {}),
                   **({"hosts": hosts} if engine_name == "distributed" else {}))
-    if itype == "mvc":
-        out = solve_mvc(graph, **kwargs)
-        feasible = None
-    else:
-        assert k is not None
-        out = solve_pvc(graph, k, **kwargs)
-        feasible = out.feasible
+    try:
+        if itype == "mvc":
+            out = solve_mvc(graph, **kwargs)
+            feasible = None
+        else:
+            assert k is not None
+            out = solve_pvc(graph, k, **kwargs)
+            feasible = out.feasible
+        obs = _wall_obs(out, wall_before) if cfg.telemetry else None
+    finally:
+        if armed_here:
+            from ..obs import metrics as obs_metrics
+
+            obs_metrics.disarm()
     detail = ",".join(p for p in (
         f"wall-clock,workers={n_workers}",
         f"hosts={hosts}" if hosts else "",
@@ -442,6 +512,7 @@ def _run_cpu_cell(engine_name: str, graph, itype: str, k: Optional[int],
         wall_seconds=time.perf_counter() - start,
         detail=detail,
         cycles=None,
+        obs=obs,
     )
 
 

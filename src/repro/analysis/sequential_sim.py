@@ -69,6 +69,9 @@ class SequentialSimResult:
     sim_seconds: float
     greedy_size: int
     stats: SearchStats
+    #: the meter's per-activity-kind cycle totals — the predicted side of
+    #: the experiment layer's predicted-vs-measured breakdown.
+    cycles_by_kind: Optional[Dict[str, float]] = None
 
 
 def solve_mvc_sequential_sim(
@@ -121,6 +124,7 @@ def solve_mvc_sequential_sim(
         sim_seconds=meter.seconds(),
         greedy_size=greedy.size,
         stats=stats,
+        cycles_by_kind=dict(meter.cycles_by_kind),
     )
 
 
@@ -167,4 +171,5 @@ def solve_pvc_sequential_sim(
         sim_seconds=meter.seconds(),
         greedy_size=greedy.size,
         stats=stats,
+        cycles_by_kind=dict(meter.cycles_by_kind),
     )

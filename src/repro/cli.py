@@ -16,6 +16,10 @@ suite::
     python -m repro solve --graph p_hat_300_3 --deadline 2 --checkpoint cp.bin
     python -m repro solve --graph p_hat_300_3 --resume-from cp.bin
     python -m repro solve --graph p_hat_300_3 --engine cpu-process --inject worker_kill:0.1
+    python -m repro solve --graph p_hat_300_3 --engine cpu-process --stats \
+        --trace trace.json --metrics-out metrics.json
+    python -m repro obs view trace.json          # ASCII Gantt + attribution
+    python -m repro obs export --metrics metrics.json   # Prometheus text
     python -m repro suite            # list the evaluation suite
     python -m repro bench            # hot-path micro-bench -> BENCH_micro.json
     python -m repro bench calibrate  # scalar/vectorized crossover -> CALIBRATION.json
@@ -136,9 +140,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "second machine")
     p.add_argument("--stats", action="store_true",
                    help="print per-worker comms counters (messages, bytes, "
-                        "leases, donations, idle time) after a parallel solve")
+                        "leases, donations, idle time) and fault-supervision "
+                        "events after a parallel solve")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="arm wall-clock tracing for this solve and write the "
+                        "merged multi-process timeline as Chrome trace-event "
+                        "JSON (view in Perfetto or with `repro obs view`)")
+    p.add_argument("--metrics-out", default=None, metavar="OUT.json",
+                   help="arm the metrics registry for this solve and write "
+                        "its JSON snapshot (convert with `repro obs export`)")
 
     common(sub.add_parser("suite", help="list the evaluation suite"))
+
+    p = sub.add_parser("obs", help="inspect telemetry artifacts offline")
+    osub = p.add_subparsers(dest="obs_command", required=True)
+    op = osub.add_parser("view", help="ASCII Gantt + per-kind wall "
+                                      "attribution from a trace file")
+    op.add_argument("trace", metavar="TRACE.json",
+                    help="Chrome trace JSON written by `repro solve --trace`")
+    op.add_argument("--width", type=int, default=80,
+                    help="Gantt width in columns")
+    op = osub.add_parser("export", help="convert telemetry artifacts: "
+                                        "metrics snapshot -> Prometheus text, "
+                                        "trace -> normalized Chrome JSON")
+    op.add_argument("--trace", default=None, metavar="TRACE.json",
+                    help="trace file to re-export as Chrome JSON")
+    op.add_argument("--metrics", default=None, metavar="METRICS.json",
+                    help="metrics snapshot to render as Prometheus exposition")
+    op.add_argument("--out", default=None, metavar="PATH",
+                    help="write here instead of stdout")
 
     p = sub.add_parser(
         "serve-worker",
@@ -237,6 +267,22 @@ def _print_comms(comms) -> None:
     for wid, counters in sorted(comms.get("per_worker", {}).items()):
         print(f"  worker {wid}: " + "  ".join(
             f"{key}={value:g}" for key, value in sorted(counters.items())))
+
+
+def _print_supervision(result) -> None:
+    """Render fault-supervision events for --stats (all engines expose
+    at least recovered/lost; supervised engines add respawn accounting)."""
+    events = getattr(result, "supervision", None)
+    if events is None:
+        events = {
+            "recovered": getattr(result, "faults_recovered", 0) or 0,
+            "workers_lost": getattr(result, "workers_lost", 0) or 0,
+        }
+    shown = [(k, v) for k, v in sorted(events.items()) if v]
+    if shown:
+        print("supervision: " + "  ".join(f"{k}={v:g}" for k, v in shown))
+    else:
+        print("supervision: clean run (no faults, respawns, or drains)")
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -426,12 +472,73 @@ def _cmd_experiment(args: argparse.Namespace, start: float) -> int:
     raise AssertionError(f"unhandled experiment command {cmd!r}")  # pragma: no cover
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``repro obs view|export`` — offline telemetry artifact tooling."""
+    import json
+
+    from .obs import breakdown, metrics, trace
+
+    if args.obs_command == "view":
+        try:
+            spans = trace.load_chrome(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read trace {args.trace!r}: {exc}")
+            return 2
+        print(trace.render_wall_gantt(spans, width=args.width))
+        by_kind = breakdown.wall_by_kind_from_spans(spans)
+        if by_kind:
+            total = sum(by_kind.values())
+            print("\nwall attribution (span self-time):")
+            for kind, sec in sorted(by_kind.items(), key=lambda kv: -kv[1]):
+                print(f"  {kind:10s} {sec * 1e3:10.3f} ms "
+                      f"{sec / total * 100:5.1f}%")
+            fractions = breakdown.group_fractions(by_kind,
+                                                  breakdown.WALL_GROUPS)
+            print("activity groups: " + "  ".join(
+                f"{title}={frac * 100:.1f}%"
+                for title, frac in fractions.items()))
+        return 0
+
+    if args.obs_command == "export":
+        if (args.trace is None) == (args.metrics is None):
+            print("error: obs export wants exactly one of --trace / --metrics")
+            return 2
+        if args.metrics is not None:
+            try:
+                with open(args.metrics) as fh:
+                    snap = json.load(fh)
+                text = metrics.prometheus_from_snapshot(snap)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                print(f"error: cannot convert {args.metrics!r}: {exc}")
+                return 2
+        else:
+            try:
+                spans = trace.load_chrome(args.trace)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"error: cannot read trace {args.trace!r}: {exc}")
+                return 2
+            text = json.dumps(trace.to_chrome(spans)) + "\n"
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command!r}")  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     start = time.perf_counter()
 
     if args.command == "experiment":
         return _cmd_experiment(args, start)
+
+    if args.command == "obs":
+        return _cmd_obs(args)
 
     if args.command == "serve-worker":
         from .net.distributed import run_worker_client
@@ -600,6 +707,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         inst = suite_instance(args.graph, args.scale)
         graph = inst.graph()
 
+        if args.trace is not None or args.metrics_out is not None:
+            from . import obs
+
+            obs.arm(with_trace=args.trace is not None,
+                    with_metrics=args.metrics_out is not None)
+
+        def finish_obs() -> None:
+            """Write the requested telemetry artifacts and disarm."""
+            if args.trace is None and args.metrics_out is None:
+                return
+            from . import obs
+
+            if args.metrics_out is not None:
+                obs.metrics.dump_json(args.metrics_out)
+                print(f"metrics snapshot -> {args.metrics_out}")
+            tracer = obs.disarm()
+            if args.trace is not None and tracer is not None:
+                obs.trace.dump_chrome(args.trace, tracer)
+                pids = {s.pid for s in tracer.spans}
+                print(f"trace: {len(tracer.spans)} spans from "
+                      f"{len(pids)} process(es) -> {args.trace}")
+
         with ExitStack() as stack:
             if args.inject is not None:
                 try:
@@ -659,6 +788,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                             for key in comms_keys))
                     else:
                         print("comms: not reported by this engine")
+                finish_obs()
                 print(f"[{time.perf_counter() - start:.1f}s wall]")
                 return 0 if out.complete else 3
 
@@ -679,6 +809,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"{'EXISTS (found ' + str(out.optimum) + ')' if out.feasible else 'does not exist' if out.feasible is False else 'undetermined (budget)'}")
             if args.stats:
                 _print_comms(getattr(out, "comms", None))
+                _print_supervision(out)
+            finish_obs()
         print(f"[{time.perf_counter() - start:.1f}s wall]")
         return 0
 

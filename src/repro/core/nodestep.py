@@ -43,7 +43,7 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
-from .. import faults
+from .. import faults, obs
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace
 from .bounds import BoundPolicy, GreedyBound, make_bound
@@ -212,6 +212,16 @@ class NodeStep:
                 def prune(state: VCState) -> bool:
                     return bound_prune(state, budget(state.cover_size))
 
+        # Telemetry follows the same construction-time rule as the fault
+        # wrapping below: an armed plane (repro.obs) rebuilds the step
+        # around timed sections — `cascade`/`bound` spans plus wall-time
+        # attribution per activity kind — while the disarmed path binds
+        # the bare callables, paying nothing per node.
+        telemetry = obs.step_telemetry()
+        if telemetry is not None:
+            reducer = telemetry.wrap_reducer(reducer)
+            prune = telemetry.wrap_prune(prune)
+
         release_deg = ws.release_deg
 
         def run(state: VCState,
@@ -243,6 +253,9 @@ class NodeStep:
             _children.deferred = deferred
             _children.continued = continued
             return _children
+
+        if telemetry is not None:
+            run = telemetry.wrap_run(run)
 
         # Fault-injection wrapping is decided once, at construction: the
         # clean path binds the bare closure (zero overhead), and the sim

@@ -16,15 +16,60 @@
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Optional
 
+from .. import obs
 from ..graph.csr import CSRGraph
 from .sequential import SearchOutcome, solve_mvc_sequential, solve_pvc_sequential
 
-__all__ = ["ENGINES", "solve_mvc", "solve_pvc"]
+__all__ = ["ENGINES", "solve_mvc", "solve_pvc", "publish_result"]
 
 ENGINES = ("sequential", "stackonly", "hybrid", "globalonly",
            "cpu-threads", "cpu-process", "cpu-worksteal", "distributed")
+
+
+def publish_result(engine: str, result: Any,
+                   wall_seconds: Optional[float] = None) -> None:
+    """Publish one solve's surfaces into the armed metrics registry.
+
+    The facade calls this after every dispatch; the CLI and experiment
+    layers get comms totals, supervision counters and search aggregates
+    as real metrics without each engine knowing the registry exists.
+    No-op when the plane is disarmed.
+    """
+    from ..obs import metrics as obs_metrics
+
+    if not obs_metrics.armed():
+        return
+    nodes = getattr(result, "nodes_visited", None)
+    if nodes is None:
+        nodes = getattr(getattr(result, "stats", None), "nodes_visited", 0)
+    obs_metrics.publish_search(engine, int(nodes or 0),
+                               optimum=getattr(result, "optimum", None),
+                               wall_seconds=wall_seconds)
+    comms = getattr(result, "comms", None)
+    if isinstance(comms, dict) and isinstance(comms.get("totals"), dict):
+        obs_metrics.publish_comms(engine, comms["totals"])
+    supervision = getattr(result, "supervision", None)
+    if supervision is None:
+        # Engines without a supervisor still count recoveries and losses.
+        supervision = {
+            "recovered": float(getattr(result, "faults_recovered", 0) or 0),
+            "workers_lost": float(getattr(result, "workers_lost", 0) or 0),
+        }
+    obs_metrics.publish_supervision(engine, supervision)
+
+
+def _solve_enveloped(engine: str, thunk):
+    """Run one dispatch under a ``solve`` span and publish its surfaces."""
+    if not obs.armed():
+        return thunk()
+    t0 = time.perf_counter()
+    with obs.trace.span("solve"):
+        result = thunk()
+    publish_result(engine, result, wall_seconds=time.perf_counter() - t0)
+    return result
 
 
 def _sim_engine(name: str):
@@ -43,6 +88,11 @@ def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
     the parallel ones (both expose ``optimum``, ``cover`` and
     ``timed_out``).
     """
+    return _solve_enveloped(
+        engine, lambda: _dispatch_mvc(graph, engine=engine, **options))
+
+
+def _dispatch_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
     if engine == "sequential":
         opts = _split_engine_opts(options)  # device/cost-model knobs do not apply
         _forward_bound_opt(opts, options)
@@ -76,6 +126,12 @@ def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
 
 def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options: Any):
     """Find a vertex cover of size at most ``k``, or prove none exists."""
+    return _solve_enveloped(
+        engine, lambda: _dispatch_pvc(graph, k, engine=engine, **options))
+
+
+def _dispatch_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential",
+                  **options: Any):
     if engine == "sequential":
         opts = _split_engine_opts(options)  # device/cost-model knobs do not apply
         _forward_bound_opt(opts, options)

@@ -76,9 +76,13 @@ from ..core.sequential import branch_and_reduce
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, decode_wire, fresh_state, wire_nbytes
 from ..graph.plane import GraphPlane, publish_plane
-from .cpu_threads import CpuParallelResult
+from ..obs import breakdown as obs_breakdown
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from .cpu_threads import CommStats, CpuParallelResult
 
-__all__ = ["solve_mvc_processes", "solve_pvc_processes", "LEASE_BATCH"]
+__all__ = ["CommStats", "solve_mvc_processes", "solve_pvc_processes",
+           "LEASE_BATCH"]
 
 #: Respawn policy: how often one worker slot may die before the engine
 #: degrades to fewer workers, and the base of the exponential backoff.
@@ -146,45 +150,6 @@ class _SharedPVC(Formulation):
 
     def stop_requested(self) -> bool:
         return self.found.is_set()
-
-
-class CommStats:
-    """Per-worker communication counters (messages, bytes, lease traffic).
-
-    Accumulated inside each worker, shipped home with its ``result``
-    event, and aggregated onto :attr:`CpuParallelResult.comms` — so the
-    GlobalOnly-vs-Hybrid question is answerable in traffic terms, not
-    just node counts.
-    """
-
-    __slots__ = ("messages", "bytes_sent", "bytes_received", "leases",
-                 "subtrees", "donations", "idle_s")
-
-    FIELDS = ("messages", "bytes_sent", "bytes_received", "leases",
-              "subtrees", "donations", "idle_s")
-
-    def __init__(self) -> None:
-        self.messages = 0
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.leases = 0
-        self.subtrees = 0
-        self.donations = 0
-        self.idle_s = 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        return {name: getattr(self, name) for name in self.FIELDS}
-
-    @staticmethod
-    def totals(per_worker: Dict[int, Dict[str, float]]) -> Dict[str, float]:
-        # Sum every reported key, not just FIELDS: transports with exact
-        # byte accounting (the socket engine's wire_sent/wire_received)
-        # extend the dict, and those extras must survive aggregation.
-        out: Dict[str, float] = {name: 0 for name in CommStats.FIELDS}
-        for counters in per_worker.values():
-            for name, value in counters.items():
-                out[name] = out.get(name, 0) + value
-        return out
 
 
 def _attach_root_plane(
@@ -265,6 +230,18 @@ def _process_worker(
         formulation = _SharedMVC(best_size, lock)
     else:
         formulation = _SharedPVC(k, found)
+    # Telemetry crossed the fork with us: the armed plane is inherited.
+    # Re-arm a *fresh* tracer under the parent's trace id and epoch
+    # (CLOCK_MONOTONIC is system-wide on Linux, so worker spans stay
+    # directly comparable) rather than keep the parent's span buffer,
+    # and zero the inherited metric values so this worker's wall
+    # attribution counts only its own work.
+    tracer = obs_trace.get()
+    if tracer is not None:
+        tracer = obs_trace.arm(tracer.trace_id, tracer.epoch, tracer.max_spans)
+        obs_trace.set_worker(wid)
+    if obs_metrics.armed():
+        obs_metrics.REGISTRY.reset()
     # Each (slot, respawn) gets its own deterministic fault stream, so a
     # respawned worker does not deterministically die at the same node.
     faults.reseed(salt)
@@ -327,23 +304,25 @@ def _process_worker(
         nonlocal has_lease
         finish_lease()  # the previous batch is fully drained
         idle_from = time.monotonic()
-        batch = _next_batch(
-            work_q,
-            stop=lambda: done.is_set() or formulation.stop_requested(),
-            delay_hook=(lambda: faults.fire("queue_delay")) if delay_active else None,
-        )
+        with obs_trace.span("idle"):
+            batch = _next_batch(
+                work_q,
+                stop=lambda: done.is_set() or formulation.stop_requested(),
+                delay_hook=(lambda: faults.fire("queue_delay")) if delay_active else None,
+            )
         comms.idle_s += time.monotonic() - idle_from
         if batch is None:
             return None
-        # Synchronous put: once this returns, the supervisor will know
-        # about the lease even if this process dies at the next node.
-        event_q.put(("lease", wid, batch))
-        has_lease = True
-        comms.messages += 1
-        comms.leases += 1
-        comms.subtrees += len(batch)
-        comms.bytes_received += sum(wire_nbytes(p) for p in batch)
-        states = [dec(p) for p in batch]
+        with obs_trace.span("lease"):
+            # Synchronous put: once this returns, the supervisor will know
+            # about the lease even if this process dies at the next node.
+            event_q.put(("lease", wid, batch))
+            has_lease = True
+            comms.messages += 1
+            comms.leases += 1
+            comms.subtrees += len(batch)
+            comms.bytes_received += sum(wire_nbytes(p) for p in batch)
+            states = [dec(p) for p in batch]
         for extra in states[1:]:
             local.push(extra)
         return states[0]
@@ -425,8 +404,15 @@ def _process_worker(
     finish_lease()
     comms.messages += 1
     comms.bytes_sent += sum(wire_nbytes(p) for p in leftovers)
+    # The telemetry rides the existing protocol home: wall attributions
+    # as obs_<kind>_s keys in the comms dict (summed by CommStats.totals)
+    # and the drained span list as a trailing result field.
+    obs_breakdown.add_wall("idle", comms.idle_s)
+    comms_out = comms.as_dict()
+    comms_out.update(obs_breakdown.wall_obs_keys())
+    spans_out = tracer.drain() if tracer is not None else []
     event_q.put(("result", wid, total_nodes, leftovers, recovered,
-                 comms.as_dict()))
+                 comms_out, spans_out))
 
 
 class _ProcRun:
@@ -434,7 +420,7 @@ class _ProcRun:
 
     __slots__ = ("best_size", "best_cover", "timed_out", "deadline_tripped",
                  "nodes", "wall", "per_worker", "pending", "recovered", "lost",
-                 "comms")
+                 "comms", "supervision")
 
     def __init__(self) -> None:
         self.best_size: Optional[int] = None
@@ -448,6 +434,7 @@ class _ProcRun:
         self.recovered = 0
         self.lost = 0
         self.comms: Optional[Dict[str, object]] = None
+        self.supervision: Optional[Dict[str, float]] = None
 
 
 def _drain_inline(
@@ -560,6 +547,8 @@ def _run_processes(
     attempts: Dict[int, int] = {slot: 0 for slot in range(n_workers)}
     failed: Set[int] = set()
     last_event = time.monotonic()
+    parent_tracer = obs_trace.get()
+    inline_drains = 0
 
     def offer_best(size: int, wire) -> None:
         if run.best_size is None or size < run.best_size:
@@ -586,6 +575,8 @@ def _run_processes(
                 offer_best(msg[2], msg[3])
             elif kind == "result":
                 results[msg[1]] = (msg[2], msg[3], msg[4], msg[5])
+                if len(msg) > 6 and msg[6] and parent_tracer is not None:
+                    parent_tracer.absorb(msg[6])
         return got
 
     try:
@@ -694,6 +685,7 @@ def _run_processes(
         elif remaining_wires and not found.is_set():
             # Every slot died with work outstanding and no budget tripped:
             # finish the job in-process rather than return a wrong answer.
+            inline_drains += 1
             warnings.warn(
                 "cpu-process: all workers lost; draining "
                 f"{len(remaining_wires)} sub-trees inline", RuntimeWarning,
@@ -706,6 +698,14 @@ def _run_processes(
             )
             if size is not None and (run.best_size is None or size <= run.best_size):
                 run.best_size, run.best_cover = size, cover
+
+        run.supervision = {
+            "recovered": float(run.recovered),
+            "workers_lost": float(run.lost),
+            "respawns": float(max(0, salt_seq[0] - n_workers)),
+            "retired_slots": float(len(failed)),
+            "inline_drains": float(inline_drains),
+        }
     finally:
         # Zombie-proof teardown: every child is reaped, both queues are
         # closed, and the shared graph plane is unlinked whatever path —
@@ -775,6 +775,7 @@ def solve_mvc_processes(
         faults_recovered=run.recovered,
         workers_lost=run.lost,
         comms=run.comms,
+        supervision=run.supervision,
     )
 
 
@@ -830,4 +831,5 @@ def solve_pvc_processes(
         faults_recovered=run.recovered,
         workers_lost=run.lost,
         comms=run.comms,
+        supervision=run.supervision,
     )

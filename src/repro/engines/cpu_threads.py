@@ -31,8 +31,53 @@ from ..core.kernel_backends import resolve_kernels
 from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state
+from ..obs import breakdown as obs_breakdown
+from ..obs import trace as obs_trace
 
-__all__ = ["CpuParallelResult", "solve_mvc_threads", "solve_pvc_threads"]
+__all__ = ["CommStats", "CpuParallelResult", "solve_mvc_threads", "solve_pvc_threads"]
+
+
+class CommStats:
+    """Per-worker communication counters (messages, bytes, lease traffic).
+
+    Accumulated inside each worker, shipped home with its ``result``
+    event (or deposited under the shared lock for thread engines), and
+    aggregated onto :attr:`CpuParallelResult.comms` — so the
+    GlobalOnly-vs-Hybrid question is answerable in traffic terms, not
+    just node counts.  ``repro solve --stats`` prints the totals, and
+    :func:`repro.obs.metrics.publish_comms` folds them into the metrics
+    registry when the telemetry plane is armed.
+    """
+
+    __slots__ = ("messages", "bytes_sent", "bytes_received", "leases",
+                 "subtrees", "donations", "idle_s")
+
+    FIELDS = ("messages", "bytes_sent", "bytes_received", "leases",
+              "subtrees", "donations", "idle_s")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.leases = 0
+        self.subtrees = 0
+        self.donations = 0
+        self.idle_s = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @staticmethod
+    def totals(per_worker: Dict[int, Dict[str, float]]) -> Dict[str, float]:
+        # Sum every reported key, not just FIELDS: transports with exact
+        # byte accounting (the socket engine's wire_sent/wire_received)
+        # extend the dict — as do the telemetry plane's obs_<kind>_s
+        # wall attributions — and those extras must survive aggregation.
+        out: Dict[str, float] = {name: 0 for name in CommStats.FIELDS}
+        for counters in per_worker.values():
+            for name, value in counters.items():
+                out[name] = out.get(name, 0) + value
+        return out
 
 
 @dataclass
@@ -59,10 +104,16 @@ class CpuParallelResult:
     faults_recovered: int = 0
     #: workers that died mid-run (their in-flight work was preserved).
     workers_lost: int = 0
-    #: communication counters for the process/socket engines —
+    #: communication counters, all parallel engines —
     #: ``{"per_worker": {wid: {...}}, "totals": {...}}`` (messages, bytes,
-    #: leases, donations, idle time); ``None`` for shared-memory engines.
+    #: leases, donations/steals, idle time; thread engines report the
+    #: shared-memory subset: donations/subtrees/steals + idle seconds).
     comms: Optional[Dict[str, object]] = None
+    #: fault-supervision outcomes (PR 6), surfaced instead of buried in
+    #: ``RuntimeWarning``s: ``recovered`` / ``workers_lost`` plus, for
+    #: supervised engines, ``respawns`` / ``retired_slots`` /
+    #: ``inline_drains`` / ``lost_subtrees``.
+    supervision: Optional[Dict[str, float]] = None
 
     @property
     def stats(self):  # harness parity
@@ -95,6 +146,7 @@ class _ThreadShared:
         self.leftovers: List[VCState] = []   # in-flight states of exiting workers
         self.recovered = 0                   # injected step faults survived
         self.lost = 0                        # workers that died mid-run
+        self.comm_rows: Dict[int, Dict[str, float]] = {}  # wid -> counters
 
     def stop(self, formulation: Formulation) -> bool:
         return self.done or self.timed_out or formulation.stop_requested()
@@ -129,14 +181,19 @@ class _ThreadShared:
                     return None
                 self.cond.wait(timeout=0.05)
 
-    def donate_or_keep(self, state: VCState, local: LifoFrontier) -> None:
-        """Fig. 4's donation policy: feed the pool while it is hungry."""
+    def donate_or_keep(self, state: VCState, local: LifoFrontier) -> bool:
+        """Fig. 4's donation policy: feed the pool while it is hungry.
+
+        Returns ``True`` when the state was donated to the shared pool
+        (the comms counter the thread engines report per worker).
+        """
         with self.cond:
             if hybrid_should_donate(len(self.queue), self.threshold):
                 self.queue.push(state)
                 self.cond.notify()
-                return
+                return True
         local.push(state)
+        return False
 
 
 def _worker(
@@ -149,11 +206,15 @@ def _worker(
     kernels,
 ) -> None:
     ws = Workspace.for_graph(graph)
+    obs_trace.set_worker(wid)  # spans from this thread land on lane `wid`
     # fast kernels, uncharged; each worker owns its bound-policy instance
     step = NodeStep(graph, formulation, ws, bound=bound, kernels=kernels).run
     fault_guard = faults.step_guard_active()
     local = LifoFrontier()  # this worker's depth-first half of the hybrid
     current: Optional[VCState] = None
+    donations = 0
+    subtrees = 0
+    idle_s = 0.0
     try:
         while True:
             with shared.cond:
@@ -162,9 +223,13 @@ def _worker(
             if current is None:
                 current = local.pop()
                 if current is None:
-                    current = shared.wait_remove(formulation)
+                    idle_from = time.perf_counter()
+                    with obs_trace.span("idle"):
+                        current = shared.wait_remove(formulation)
+                    idle_s += time.perf_counter() - idle_from
                     if current is None:
                         break
+                    subtrees += 1
             with shared.cond:
                 shared.note_node()
             node_counts[wid] += 1
@@ -176,7 +241,8 @@ def _worker(
                     # recover: the pristine pre-step copy goes back to work
                     with shared.cond:
                         shared.recovered += 1
-                    shared.donate_or_keep(backup, local)
+                    if shared.donate_or_keep(backup, local):
+                        donations += 1
                     current = None
                     continue
             else:
@@ -194,7 +260,8 @@ def _worker(
                 continue
             deferred = outcome.deferred
             current = outcome.continued
-            shared.donate_or_keep(deferred, local)
+            if shared.donate_or_keep(deferred, local):
+                donations += 1
     except BaseException:  # unexpected death: preserve work, leave the quorum
         with shared.cond:
             shared.lost += 1
@@ -202,7 +269,10 @@ def _worker(
         # Deposit everything still in hand (in-flight node + local stack)
         # and shrink the termination quorum so siblings can still reach
         # the all-waiting consensus.  On a clean finish both are empty.
+        obs_breakdown.add_wall("idle", idle_s)
         with shared.cond:
+            shared.comm_rows[wid] = {"donations": donations,
+                                     "subtrees": subtrees, "idle_s": idle_s}
             if current is not None:
                 shared.leftovers.append(current)
             shared.leftovers.extend(local.drain())
@@ -297,6 +367,8 @@ def solve_mvc_threads(
         deadline_tripped=shared.deadline_tripped,
         faults_recovered=shared.recovered,
         workers_lost=shared.lost,
+        comms={"per_worker": dict(shared.comm_rows),
+               "totals": CommStats.totals(shared.comm_rows)},
     )
 
 
@@ -344,4 +416,6 @@ def solve_pvc_threads(
         deadline_tripped=shared.deadline_tripped,
         faults_recovered=shared.recovered,
         workers_lost=shared.lost,
+        comms={"per_worker": dict(shared.comm_rows),
+               "totals": CommStats.totals(shared.comm_rows)},
     )

@@ -29,7 +29,9 @@ from ..core.kernel_backends import resolve_kernels
 from ..core.nodestep import LEAF, PRUNED, NodeStep
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, fresh_state
-from .cpu_threads import CpuParallelResult
+from ..obs import breakdown as obs_breakdown
+from ..obs import trace as obs_trace
+from .cpu_threads import CommStats, CpuParallelResult
 
 __all__ = ["solve_mvc_worksteal", "solve_pvc_worksteal"]
 
@@ -60,6 +62,7 @@ class _StealShared:
         self.leftovers: List[VCState] = []   # in-flight states of exiting workers
         self.recovered = 0                   # injected step faults survived
         self.lost = 0                        # workers that died mid-run
+        self.comm_rows: dict = {}            # wid -> counters
 
     @property
     def steals(self) -> int:
@@ -123,10 +126,13 @@ def _steal_worker(
     kernels,
 ) -> None:
     ws = Workspace.for_graph(graph)
+    obs_trace.set_worker(wid)  # spans from this thread land on lane `wid`
     # fast kernels, uncharged; each worker owns its bound-policy instance
     step = NodeStep(graph, formulation, ws, bound=bound, kernels=kernels).run
     fault_guard = faults.step_guard_active()
     current: Optional[VCState] = None
+    steals = 0
+    idle_s = 0.0
     try:
         while True:
             if shared.stop(formulation):
@@ -134,9 +140,13 @@ def _steal_worker(
             if current is None:
                 current = shared.pop_own(wid)
                 if current is None:
-                    current = shared.steal_blocking(wid, formulation)
+                    idle_from = time.perf_counter()
+                    with obs_trace.span("steal"):
+                        current = shared.steal_blocking(wid, formulation)
+                    idle_s += time.perf_counter() - idle_from
                     if current is None:
                         break
+                    steals += 1
             shared.note_node()
             node_counts[wid] += 1
             if fault_guard:
@@ -172,7 +182,9 @@ def _steal_worker(
         # from it even after this worker is gone); only the in-flight node
         # needs depositing.  Shrinking n_alive keeps the idle consensus
         # reachable for the survivors.
+        obs_breakdown.add_wall("idle", idle_s)
         with shared.lock:
+            shared.comm_rows[wid] = {"steals": steals, "idle_s": idle_s}
             if current is not None:
                 shared.leftovers.append(current)
             shared.n_alive -= 1
@@ -260,6 +272,8 @@ def solve_mvc_worksteal(
         deadline_tripped=shared.deadline_tripped,
         faults_recovered=shared.recovered,
         workers_lost=shared.lost,
+        comms={"per_worker": dict(shared.comm_rows),
+               "totals": CommStats.totals(shared.comm_rows)},
     )
     return result
 
@@ -307,4 +321,6 @@ def solve_pvc_worksteal(
         deadline_tripped=shared.deadline_tripped,
         faults_recovered=shared.recovered,
         workers_lost=shared.lost,
+        comms={"per_worker": dict(shared.comm_rows),
+               "totals": CommStats.totals(shared.comm_rows)},
     )

@@ -35,6 +35,7 @@ __all__ = [
     "table1_from_run",
     "speedups_from_run",
     "tree_shape_rows",
+    "breakdown_rows",
     "render_report",
     "write_report",
     "VerificationError",
@@ -163,6 +164,45 @@ def tree_shape_rows(run: Run) -> List[Dict[str, object]]:
     return rows
 
 
+def breakdown_rows(run: Run) -> List[Dict[str, object]]:
+    """Per-group activity fractions of every stored cell carrying ``obs``.
+
+    Cells of a telemetry-enabled spec persist either a predicted
+    attribution (``cycles_by_kind``, sim engines) or a measured one
+    (``wall_by_kind``, wall-clock engines); folding both onto the
+    paper's four activity groups puts the cost model's prediction and
+    the instrumented reality side by side in one table — the Fig. 6
+    claim, checked against real engines instead of asserted.
+    """
+    from ..obs import breakdown as obs_breakdown
+
+    grouped: Dict[Tuple[str, str, str], List[Dict[str, object]]] = {}
+    for record in run.completed().values():
+        result = record["result"]
+        if isinstance(result, dict) and result.get("obs"):
+            key = (str(record["instance"]), str(record["instance_type"]),
+                   str(record["engine"]))
+            grouped.setdefault(key, []).append(record)
+
+    entries: List[Dict[str, object]] = []
+    for instance, itype, engine in sorted(grouped):
+        record = _select_cell(grouped[(instance, itype, engine)])
+        obs = record["result"]["obs"]  # type: ignore[index]
+        entry: Dict[str, object] = {"instance": f"{instance}/{itype}",
+                                    "engine": engine}
+        cycles = obs.get("cycles_by_kind")  # type: ignore[union-attr]
+        if cycles:
+            entry["predicted"] = obs_breakdown.group_fractions(
+                cycles, obs_breakdown.sim_groups())
+        wall = obs.get("wall_by_kind")  # type: ignore[union-attr]
+        if wall:
+            entry["measured"] = obs_breakdown.group_fractions(
+                wall, obs_breakdown.WALL_GROUPS)
+        if "predicted" in entry or "measured" in entry:
+            entries.append(entry)
+    return entries
+
+
 def render_report(store: RunStore, run_id: str) -> str:
     """The run's ``report.md``: paper tables + reproduction footer."""
     run = store.get_run(run_id)
@@ -199,6 +239,19 @@ def render_report(store: RunStore, run_id: str) -> str:
             headers, [[row[h] for h in headers] for row in shape]))
     else:
         parts.append("_no sequential cells in this run_")
+
+    breakdown = breakdown_rows(run)
+    if breakdown:
+        from ..obs.breakdown import render_breakdown_table
+
+        parts += [
+            "",
+            "## Activity breakdown — sim-predicted vs wall-measured",
+            "",
+            "```",
+            render_breakdown_table(breakdown),
+            "```",
+        ]
 
     # Table I's layout fixes its engine columns (sequential / stackonly /
     # hybrid); any other stored engine — e.g. the globalonly ablation —

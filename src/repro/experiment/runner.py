@@ -167,6 +167,7 @@ def experiment_config(spec: ExperimentSpec) -> ExperimentConfig:
         hybrid_fractions=spec.hybrid_fractions,
         cpu_workers=spec.cpu_workers,
         kernels=spec.kernels,
+        telemetry=spec.telemetry,
     )
 
 

@@ -176,6 +176,12 @@ class ExperimentSpec:
     #: ``None`` disables the guard.  Execution policy, not result content —
     #: excluded from fingerprints, so tightening it never invalidates cells.
     cell_timeout_s: Optional[float] = None
+    #: arm the telemetry plane per cell and persist an ``obs`` snapshot
+    #: (sim cells: predicted cycles by activity kind; wall cells: measured
+    #: wall seconds by kind) for the report's predicted-vs-measured table.
+    #: Observation, not result content — excluded from fingerprints, like
+    #: ``calibration``/``kernels``, so toggling it never invalidates cells.
+    telemetry: bool = False
     #: extra attempts before a failing/timing-out cell is quarantined.
     cell_retries: int = 0
 
@@ -286,6 +292,8 @@ class ExperimentSpec:
             extras["cell_retries"] = self.cell_retries
         if self.kernels is not None:
             extras["kernels"] = self.kernels
+        if self.telemetry:
+            extras["telemetry"] = True
         return {
             **extras,
             "schema_version": SPEC_SCHEMA_VERSION,
@@ -323,7 +331,7 @@ class ExperimentSpec:
             "seed", "virtual_budget_s", "seq_node_guard", "engine_node_guard",
             "stackonly_depths", "hybrid_capacities", "hybrid_fractions",
             "cpu_workers", "workers", "hosts", "calibration", "kernels",
-            "cell_timeout_s", "cell_retries",
+            "cell_timeout_s", "cell_retries", "telemetry",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -358,6 +366,7 @@ class ExperimentSpec:
             cell_timeout_s=(None if data.get("cell_timeout_s") is None
                             else float(data["cell_timeout_s"])),  # type: ignore[arg-type]
             cell_retries=int(data.get("cell_retries", defaults.cell_retries)),  # type: ignore[arg-type]
+            telemetry=bool(data.get("telemetry", False)),
         )
         return spec.validate()
 

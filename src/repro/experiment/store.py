@@ -124,6 +124,11 @@ def validate_cell_record(record: Dict[str, object]) -> None:
         _fail("cell result timed_out is not a boolean")
     if not isinstance(result["nodes"], int) or result["nodes"] < 0:
         _fail("cell result nodes is not a non-negative integer")
+    # ``obs`` joined the result in PR 9 (telemetry-enabled specs only);
+    # absent means the cell ran without telemetry, so old stores stay
+    # readable and new ones stay readable by old code.
+    if "obs" in result and not isinstance(result["obs"], dict):
+        _fail("cell result obs is not an object")
 
 
 def _provenance() -> Dict[str, object]:

@@ -72,6 +72,9 @@ from ..engines.cpu_threads import CpuParallelResult
 from ..graph.csr import CSRGraph
 from ..graph.degree_array import VCState, Workspace, decode_wire, fresh_state, wire_nbytes
 from ..graph.plane import GraphPlane, publish_plane
+from ..obs import breakdown as obs_breakdown
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .transport import MessageStream, ProtocolError, TransportClosed
 
 __all__ = ["solve_mvc_distributed", "solve_pvc_distributed", "run_worker_client"]
@@ -187,6 +190,23 @@ def _worker_session(stream: MessageStream, salt: int) -> None:
         raise ProtocolError(f"expected init, got {msg[0]!r}")
     params = msg[1]
     faults.reseed(params.get("salt", salt))
+    # Telemetry arming travels in the init frame, so remote cold
+    # interpreters join the coordinator's trace.  The epoch is recovered
+    # from the coordinator's elapsed-seconds stamp (`now_rel`) — exact on
+    # the same host (CLOCK_MONOTONIC is system-wide), one network hop of
+    # skew on a real remote.  Local fork workers drop any inherited
+    # tracer here too, so every lane is armed the same one way.
+    tele = params.get("telemetry")
+    if tele and tele.get("trace_id"):
+        epoch = time.monotonic() - float(tele.get("now_rel", 0.0))
+        obs_trace.arm(str(tele["trace_id"]), epoch)
+    else:
+        obs_trace.disarm()
+    if tele and tele.get("metrics"):
+        obs_metrics.arm()
+        obs_metrics.REGISTRY.reset()
+    else:
+        obs_metrics.disarm()
     _worker_loop(stream, graph, root_deg, params)
 
 
@@ -245,7 +265,8 @@ def _worker_loop(stream: MessageStream, graph: CSRGraph,
             donation_buf.clear()
             if delay_active:
                 faults.fire("queue_delay")
-            stream.send(("donate", payloads))
+            with obs_trace.span("frame"):
+                stream.send(("donate", payloads))
             comms.messages += 1
             comms.donations += len(payloads)
             comms.bytes_sent += sum(wire_nbytes(p) for p in payloads)
@@ -267,27 +288,29 @@ def _worker_loop(stream: MessageStream, graph: CSRGraph,
         comms.messages += 1
         idle_from = time.monotonic()
         wait = 0.001
-        while True:
-            if done or formulation.stop_requested():
-                return None
-            if deadline_at is not None and time.monotonic() >= deadline_at:
-                return None
-            if delay_active:
-                faults.fire("queue_delay")
-            for msg in stream.poll(wait):
-                if msg[0] == "work":
-                    comms.idle_s += time.monotonic() - idle_from
-                    batch, depth_hint = msg[1], msg[2]
-                    has_lease = True
-                    comms.leases += 1
-                    comms.subtrees += len(batch)
-                    comms.bytes_received += sum(wire_nbytes(p) for p in batch)
-                    states = [dec(p) for p in batch]
-                    for extra in states[1:]:
-                        local.push(extra)
-                    return states[0]
-                handle(msg)
-            wait = min(wait * 2.0, 0.05)
+        with obs_trace.span("idle"):
+            while True:
+                if done or formulation.stop_requested():
+                    return None
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    return None
+                if delay_active:
+                    faults.fire("queue_delay")
+                for msg in stream.poll(wait):
+                    if msg[0] == "work":
+                        comms.idle_s += time.monotonic() - idle_from
+                        batch, depth_hint = msg[1], msg[2]
+                        has_lease = True
+                        comms.leases += 1
+                        comms.subtrees += len(batch)
+                        comms.bytes_received += sum(wire_nbytes(p) for p in batch)
+                        with obs_trace.span("lease"):
+                            states = [dec(p) for p in batch]
+                        for extra in states[1:]:
+                            local.push(extra)
+                        return states[0]
+                    handle(msg)
+                wait = min(wait * 2.0, 0.05)
 
     while True:
         if done or formulation.stop_requested():
@@ -360,10 +383,18 @@ def _worker_loop(stream: MessageStream, graph: CSRGraph,
     # includes the inline graph frame on the need_graph path, which is the
     # cost the shared-memory plane exists to avoid; wire_sent excludes only
     # the final result frame (its size would have to contain itself).
+    obs_breakdown.add_wall("idle", comms.idle_s)
     comms_dict = comms.as_dict()
     comms_dict["wire_sent"] = stream.bytes_sent
     comms_dict["wire_received"] = stream.decoder.bytes_fed
-    stream.send(("result", total_nodes, leftovers, recovered, comms_dict))
+    # Telemetry rides the existing result frame: wall-time attribution as
+    # extra ``obs_<kind>_s`` comms keys (CommStats.totals sums every key it
+    # sees) and the drained span rows appended as a fifth element that old
+    # coordinators simply never index.
+    comms_dict.update(obs_breakdown.wall_obs_keys())
+    tracer = obs_trace.get()
+    spans = tracer.drain() if tracer is not None else []
+    stream.send(("result", total_nodes, leftovers, recovered, comms_dict, spans))
 
 
 def _local_worker_main(host: str, port: int, salt: int) -> None:
@@ -399,7 +430,7 @@ class _DistRun:
 
     __slots__ = ("best_size", "best_cover", "timed_out", "deadline_tripped",
                  "nodes", "wall", "per_worker", "pending", "recovered", "lost",
-                 "comms", "found")
+                 "comms", "found", "supervision")
 
     def __init__(self) -> None:
         self.best_size: Optional[int] = None
@@ -414,6 +445,7 @@ class _DistRun:
         self.lost = 0
         self.comms: Optional[Dict[str, object]] = None
         self.found = False
+        self.supervision: Optional[Dict[str, float]] = None
 
 
 def _spawn_host_process(port: int) -> "subprocess.Popen":
@@ -514,7 +546,12 @@ def _run_distributed(
     stop_reason = [_STOP_NONE]
     done_sent = [False]
     respawns_used = [0]
+    retired_slots = [0]   # peers lost after the respawn budget ran dry
+    inline_drains = [0]   # wind-down paths that fell back to _drain_inline
     nodes_total = [0]
+    # An armed coordinator ships its trace identity in the init frame so a
+    # cold remote interpreter can place its spans on the same timeline.
+    parent_tracer = obs_trace.get()
     started = time.monotonic()
     deadline_at = None if deadline is None else started + deadline
     start = time.perf_counter()
@@ -566,6 +603,7 @@ def _run_distributed(
                 respawns_used[0] += 1
                 procs.append(spawn_local())
             else:
+                retired_slots[0] += 1
                 warnings.warn(
                     f"distributed: peer {peer.wid} died and the respawn "
                     f"budget is spent; degrading to {len(peers)} workers",
@@ -593,6 +631,12 @@ def _run_distributed(
             params["salt"] = salt_seq[0]
             if deadline_at is not None:
                 params["deadline_s"] = max(0.0, deadline_at - time.monotonic())
+            if parent_tracer is not None or obs_metrics.armed():
+                params["telemetry"] = {
+                    "trace_id": parent_tracer.trace_id if parent_tracer else "",
+                    "now_rel": parent_tracer.now() if parent_tracer else 0.0,
+                    "metrics": obs_metrics.armed(),
+                }
             peer.stream.send(("init", params))
             peer.stage = "live"
             if done_sent[0]:
@@ -615,6 +659,8 @@ def _run_distributed(
         elif kind == "result":
             peer.result = (msg[1], msg[2], msg[3], msg[4])
             results[peer.wid] = peer.result
+            if len(msg) > 5 and msg[5] and parent_tracer is not None:
+                parent_tracer.absorb(msg[5])
             peer.finished = True
             peer.waiting = False
             if peer.lease is not None:
@@ -707,6 +753,7 @@ def _run_distributed(
                 # every process is gone and nobody is connected
                 break
             if not peers and time.monotonic() - started > _CONNECT_GRACE_S:
+                inline_drains[0] += 1
                 warnings.warn("distributed: no worker ever connected; "
                               "draining inline", RuntimeWarning)
                 break
@@ -737,7 +784,6 @@ def _run_distributed(
             "per_worker": per_worker_comms,
             "totals": CommStats.totals(per_worker_comms),
         }
-
         remaining: List[object] = []
         for batch in queue:
             remaining.extend(batch)
@@ -746,6 +792,7 @@ def _run_distributed(
                 remaining.extend(leftovers)
             run.pending = [decode_wire(w, root_deg) for w in remaining]
         elif remaining and not run.found:
+            inline_drains[0] += 1
             warnings.warn(
                 f"distributed: draining {len(remaining)} sub-trees inline",
                 RuntimeWarning,
@@ -760,6 +807,14 @@ def _run_distributed(
                 run.best_size, run.best_cover = size, cover
                 if mode == "pvc":
                     run.found = True
+        run.supervision = {
+            "recovered": float(run.recovered),
+            "workers_lost": float(run.lost),
+            "respawns": float(respawns_used[0]),
+            "retired_slots": float(retired_slots[0]),
+            "inline_drains": float(inline_drains[0]),
+            "lost_nodes": float(lost_nodes[0]),
+        }
     finally:
         for peer in list(peers.values()):
             peer.stream.close()
@@ -832,6 +887,7 @@ def solve_mvc_distributed(
         faults_recovered=run.recovered,
         workers_lost=run.lost,
         comms=run.comms,
+        supervision=run.supervision,
     )
 
 
@@ -888,4 +944,5 @@ def solve_pvc_distributed(
         faults_recovered=run.recovered,
         workers_lost=run.lost,
         comms=run.comms,
+        supervision=run.supervision,
     )

@@ -1,0 +1,216 @@
+"""Predicted-vs-measured activity breakdowns.
+
+The sim engines price every charge into the Fig. 6 activity kinds
+(:mod:`repro.sim.costmodel`); the wall engines, instrumented through the
+telemetry plane, attribute real seconds to a coarser taxonomy (reduce /
+bound / branch / work-distribution).  This module maps both onto the
+paper's four activity *groups* so a store report can lay the simulator's
+prediction next to a measured wall-clock breakdown for the same
+instance — the reproduction artifact ISSUE 9 is after.
+
+Measured attribution sources, in preference order:
+
+1. ``wall_by_kind`` — per-kind seconds accumulated by the instrumented
+   :class:`~repro.core.nodestep.NodeStep` closure into
+   ``repro_wall_seconds_total{kind=}`` counters (workers fold theirs
+   into the comms dict as ``obs_<kind>_s``, which
+   ``CommStats.totals()`` sums home for free);
+2. spans — self-time attribution over a drained trace
+   (:func:`wall_by_kind_from_spans`), used by ``repro obs view`` on a
+   trace file where no registry snapshot exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from . import metrics as _metrics
+from .trace import WallSpan
+
+__all__ = [
+    "WALL_KINDS",
+    "GROUP_TITLES",
+    "SIM_GROUPS",
+    "sim_groups",
+    "WALL_GROUPS",
+    "step_attribution",
+    "add_wall",
+    "wall_by_kind",
+    "wall_obs_keys",
+    "wall_from_obs_keys",
+    "wall_by_kind_from_spans",
+    "group_fractions",
+    "render_breakdown_table",
+]
+
+#: The measured (wall) attribution kinds.  ``reduce``/``bound``/``branch``
+#: are carved out of each node step by the instrumented closure; the rest
+#: are engine-level work-distribution sites.
+WALL_KINDS = ("reduce", "bound", "branch",
+              "lease", "idle", "steal", "donate", "frame")
+
+GROUP_TITLES = ("Work distribution and load balancing", "Reducing",
+                "Branching", "Bounding")
+
+#: Fig. 6 kind → group for the predicted (simulated-cycles) side, built
+#: lazily from :mod:`repro.sim.costmodel` — ``repro.obs`` is imported by
+#: ``core.nodestep``, which ``repro.sim`` builds on, so an eager import
+#: here would close a cycle.  ``state_copy`` is folded into work
+#: distribution: copying the degree array is part of moving a tree node
+#: between frontier slots.  Access as ``breakdown.SIM_GROUPS`` (module
+#: ``__getattr__``) or :func:`sim_groups`.
+_SIM_GROUPS_CACHE: Optional[Dict[str, tuple]] = None
+
+
+def sim_groups() -> Dict[str, tuple]:
+    global _SIM_GROUPS_CACHE
+    if _SIM_GROUPS_CACHE is None:
+        from ..sim.costmodel import (BOUND_KINDS, BRANCH_KINDS, REDUCE_KINDS,
+                                     WORK_DISTRIBUTION_KINDS)
+        _SIM_GROUPS_CACHE = {
+            "Work distribution and load balancing":
+                WORK_DISTRIBUTION_KINDS + ("state_copy",),
+            "Reducing": REDUCE_KINDS,
+            "Branching": BRANCH_KINDS,
+            "Bounding": BOUND_KINDS,
+        }
+    return _SIM_GROUPS_CACHE
+
+
+def __getattr__(name: str):
+    if name == "SIM_GROUPS":
+        return sim_groups()
+    raise AttributeError(name)
+
+#: Wall kind → group, for the measured side.
+WALL_GROUPS: Dict[str, tuple] = {
+    "Work distribution and load balancing":
+        ("lease", "idle", "steal", "donate", "frame"),
+    "Reducing": ("reduce",),
+    "Branching": ("branch",),
+    "Bounding": ("bound",),
+}
+
+_WALL_METRIC = "repro_wall_seconds_total"
+
+
+def step_attribution() -> Dict[str, object]:
+    """Bound ``inc`` methods for the three per-step kinds, prefetched so
+    the armed step wrapper pays zero registry lookups per node."""
+    return {
+        kind: _metrics.counter(_WALL_METRIC,
+                               "wall seconds attributed per activity kind",
+                               kind=kind).inc
+        for kind in ("reduce", "bound", "branch")
+    }
+
+
+def add_wall(kind: str, seconds: float) -> None:
+    """Attribute ``seconds`` to an engine-level kind (lease/idle/...)."""
+    _metrics.counter(_WALL_METRIC,
+                     "wall seconds attributed per activity kind",
+                     kind=kind).inc(seconds)
+
+
+def wall_by_kind() -> Dict[str, float]:
+    """The registry's current per-kind wall attribution, kinds with a
+    nonzero total only."""
+    vals = _metrics.REGISTRY.values_by_label(_WALL_METRIC, "kind")
+    return {k: v for k, v in vals.items() if v > 0.0}
+
+
+def wall_obs_keys() -> Dict[str, float]:
+    """This process's attribution as ``obs_<kind>_s`` keys — the shape a
+    worker folds into its comms dict so ``CommStats.totals()`` sums the
+    attributions home without any new wire fields."""
+    return {f"obs_{k}_s": v for k, v in wall_by_kind().items()}
+
+
+def wall_from_obs_keys(totals: Mapping[str, float]) -> Dict[str, float]:
+    """Inverse of :func:`wall_obs_keys` over a comms totals dict."""
+    out: Dict[str, float] = {}
+    for key, val in totals.items():
+        if key.startswith("obs_") and key.endswith("_s"):
+            kind = key[4:-2]
+            if isinstance(val, (int, float)) and val > 0:
+                out[kind] = out.get(kind, 0.0) + float(val)
+    return out
+
+
+def wall_by_kind_from_spans(spans: Iterable[WallSpan]) -> Dict[str, float]:
+    """Self-time attribution over a span tree.
+
+    Each span's duration minus its children's gives self-time;
+    ``node_step`` self-time is the branching remainder (find-max, pivot,
+    expansion), ``cascade`` → reduce, the rest map by name.  ``solve``
+    envelopes carry no attribution of their own.
+    """
+    spans = list(spans)
+    child_time: Dict[str, float] = {}
+    for s in spans:
+        if s.parent_id:
+            child_time[s.parent_id] = child_time.get(s.parent_id, 0.0) \
+                + s.duration
+    out: Dict[str, float] = {}
+    for s in spans:
+        self_time = max(0.0, s.duration - child_time.get(s.span_id, 0.0))
+        if s.kind == "solve":
+            continue
+        kind = {"cascade": "reduce", "node_step": "branch"}.get(s.kind, s.kind)
+        out[kind] = out.get(kind, 0.0) + self_time
+    return {k: v for k, v in out.items() if v > 0.0}
+
+
+def group_fractions(by_kind: Mapping[str, float],
+                    groups: Mapping[str, tuple]) -> Dict[str, float]:
+    """Fold kind totals onto the four paper groups, normalized to 1."""
+    totals = {
+        title: sum(by_kind.get(kind, 0.0) for kind in kinds)
+        for title, kinds in groups.items()
+    }
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {title: 0.0 for title in groups}
+    return {title: v / grand for title, v in totals.items()}
+
+
+def render_breakdown_table(
+        entries: Sequence[Mapping[str, object]]) -> str:
+    """The predicted-vs-measured table for reports and ``repro obs``.
+
+    ``entries`` rows carry ``instance``, ``engine``, and per-group
+    fraction dicts under ``predicted`` (sim cycles) and/or ``measured``
+    (wall seconds); either side may be absent for an engine that only
+    exists in one world.
+    """
+    if not entries:
+        return "(no breakdown data)"
+    short = {
+        "Work distribution and load balancing": "work-dist",
+        "Reducing": "reduce",
+        "Branching": "branch",
+        "Bounding": "bound",
+    }
+    header = (["instance", "engine", "side"]
+              + [short[t] for t in GROUP_TITLES])
+    rows: List[List[str]] = []
+    for e in entries:
+        for side in ("predicted", "measured"):
+            fr = e.get(side)
+            if not fr:
+                continue
+            rows.append(
+                [str(e.get("instance", "?")), str(e.get("engine", "?")),
+                 side]
+                + [f"{float(fr.get(t, 0.0)) * 100:5.1f}%"
+                   for t in GROUP_TITLES])
+    if not rows:
+        return "(no breakdown data)"
+    widths = [max(len(header[c]), max(len(r[c]) for r in rows))
+              for c in range(len(header))]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*r) for r in rows]
+    lines.append("predicted = sim cycles by kind (cost model); "
+                 "measured = instrumented wall seconds")
+    return "\n".join(lines)
