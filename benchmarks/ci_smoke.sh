@@ -417,3 +417,72 @@ expected = solve_mvc_sequential(graph).optimum
 assert solve_mvc(graph).optimum == expected
 print("ci_smoke: disarmed solve never touched a telemetry mutator")
 EOF
+
+# --- solve-cache gate (see docs/CACHING.md) ---
+# 1. a second identical solve must be a zero-node hit with the
+#    bit-identical cover; 2. a relabeled copy of the instance must hit
+#    isomorphically; 3. a budget-bumped anytime repeat must resume the
+#    cached checkpoint to the optimum instead of restarting; 4. a
+#    disarmed solve must never reach any cache entry point.
+cache_store="$(mktemp -d /tmp/bench_smoke_cache.XXXXXX)"
+trap 'rm -f "$out" "$obs_trace" "$obs_metrics"; rm -rf "$exp_store" "$cache_store"' EXIT
+python - "$cache_store" <<'EOF'
+import sys
+
+import numpy as np
+
+from repro.core.anytime import solve_anytime
+from repro.core.solver import solve_mvc
+from repro.core.verify import assert_valid_cover
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.phat import phat_complement
+
+store = sys.argv[1]
+graph = phat_complement(60, 2, seed=4)
+
+cold = solve_mvc(graph, cache=store)
+warm = solve_mvc(graph, cache=store)
+assert warm.nodes_visited == 0, "repeat solve searched nodes"
+assert warm.optimum == cold.optimum
+np.testing.assert_array_equal(np.sort(np.asarray(cold.cover)),
+                              np.asarray(warm.cover))
+print(f"ci_smoke: cache repeat solve hit with 0 nodes "
+      f"(optimum {warm.optimum}, cold cost {cold.stats.nodes_visited} nodes)")
+
+perm = np.random.default_rng(11).permutation(graph.n)
+edges = [(int(perm[u]), int(perm[v]))
+         for u in range(graph.n) for v in graph.neighbors(u) if u < v]
+relabeled = CSRGraph.from_edges(graph.n, edges)
+iso = solve_mvc(relabeled, cache=store)
+assert iso.nodes_visited == 0, "relabeled instance missed the cache"
+assert iso.optimum == cold.optimum
+assert_valid_cover(relabeled, iso.cover, expected_size=cold.optimum)
+print("ci_smoke: relabeled instance hit isomorphically, cover re-verified")
+
+fresh = phat_complement(60, 2, seed=9)
+ref = solve_anytime(fresh)
+first = solve_anytime(fresh, node_budget=5, cache=store)
+assert first.status == "budget_exhausted", first.status
+bumped = solve_anytime(fresh, cache=store)
+assert bumped.status == "optimal" and bumped.optimum == ref.optimum
+assert bumped.extra.get("cache_escalated") == 1.0, "repeat did not resume"
+print(f"ci_smoke: budget-bumped anytime resumed cached checkpoint to "
+      f"optimum {bumped.optimum}")
+
+import repro.cache as cache_mod
+
+
+def boom(*a, **k):
+    raise AssertionError("cache entry point reached on the disarmed path")
+
+
+for name in ("resolve_cache", "cached_solve_mvc", "cached_solve_pvc",
+             "cached_solve_anytime"):
+    setattr(cache_mod, name, boom)
+import os
+
+os.environ.pop("REPRO_CACHE", None)
+assert solve_mvc(graph).optimum == cold.optimum
+assert solve_anytime(graph).optimum == cold.optimum
+print("ci_smoke: disarmed solve never touched the cache")
+EOF

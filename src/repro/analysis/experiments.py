@@ -130,6 +130,13 @@ class ExperimentConfig:
     #: :attr:`CellResult.obs`.  Observation only — never changes what a
     #: cell computes — so it is fingerprint-neutral like ``kernels``.
     telemetry: bool = False
+    #: solve-cache store path armed for the wall-clock engines (``None``:
+    #: off).  Hits return the stored, verified certificate — the same
+    #: optimum/feasibility the cold solve produces — so the knob is
+    #: fingerprint-neutral like ``kernels``.  Sim-priced cells ignore it:
+    #: their product is a predicted cycle count, which a zero-node cache
+    #: hit would falsify.
+    cache: Optional[str] = None
 
     def quick(self) -> "ExperimentConfig":
         """A cheaper copy for pytest benchmarks."""
@@ -147,6 +154,7 @@ class ExperimentConfig:
             cpu_workers=self.cpu_workers,
             kernels=self.kernels,
             telemetry=self.telemetry,
+            cache=self.cache,
         )
 
     @property
@@ -482,6 +490,7 @@ def _run_cpu_cell(engine_name: str, graph, itype: str, k: Optional[int],
     kwargs = dict(engine=engine_name, n_workers=n_workers,
                   node_budget=cfg.engine_node_guard, bound=bound,
                   **({"kernels": cfg.kernels} if cfg.kernels else {}),
+                  **({"cache": cfg.cache} if cfg.cache else {}),
                   **({"hosts": hosts} if engine_name == "distributed" else {}))
     try:
         if itype == "mvc":

@@ -1,0 +1,356 @@
+"""Persistent certificate store behind the solve cache.
+
+Layout, modeled on the experiment store (SQLite index + on-disk
+artifacts, everything rebuildable)::
+
+    <cache root>/
+        index.sqlite          # one row per entry: identity, claim, stats
+        entries/
+            <entry_uid>.pkl   # artifact: cover, canonical order, checkpoint
+
+The index row is the *claim* — canonical key, exact graph fingerprint,
+config hash, status, optimum — and is everything a lookup needs to
+decide whether an entry can answer a request.  The artifact carries the
+bulky payload (the cover array, the canonical-order permutation for
+isomorphic transfers, and the serialized :class:`~repro.core.outcome.Checkpoint`
+for escalations) and is only read on a hit.
+
+Identity is two-level, matching the two hit tiers of
+:mod:`repro.graph.canonical`:
+
+* ``(graph_fp, config_hash)`` is UNIQUE — the exact-instance identity;
+  :meth:`CacheStore.put` upserts on it, so an escalated solve replaces
+  its own partial entry in place.
+* ``(canonical_key, config_hash)`` is an indexed non-unique bucket —
+  the relabel-invariant identity a lookup scans for isomorphic donors.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+__all__ = ["CacheEntry", "CacheStore", "CACHE_SCHEMA_VERSION"]
+
+#: Bump when the index schema or artifact payload layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+_ARTIFACT_KIND = "repro-vc-cache-artifact"
+
+
+def _fail(msg: str) -> None:
+    raise ValueError(f"cache artifact schema violation: {msg}")
+
+
+@dataclass
+class CacheEntry:
+    """One cached solve: the index row plus (optionally loaded) artifact.
+
+    ``cover`` is stored in the *original coordinates of the graph that
+    populated the entry*; ``order`` (canonical rank -> original vertex
+    id, present iff the donor graph was WL-individualized) is what maps
+    it into canonical coordinates for an isomorphic transfer.
+    """
+
+    canonical_key: str
+    config_hash: str
+    graph_fp: str
+    formulation: str                      # "mvc" | "pvc"
+    k: Optional[int]
+    n: int
+    m: int
+    individualized: bool
+    structure_hash: Optional[str]
+    status: str                           # SolveOutcome status ladder
+    optimum: Optional[int]                # optimum, or incumbent size if partial
+    feasible: Optional[bool]              # pvc only
+    lower_bound: Optional[int]
+    nodes_visited: int = 0
+    wall_seconds: float = 0.0
+    cover: Optional[np.ndarray] = None
+    order: Optional[np.ndarray] = None
+    checkpoint_blob: Optional[bytes] = None
+    # bookkeeping (filled by the store)
+    uid: str = ""
+    nbytes: int = 0
+    created_at: float = 0.0
+    last_hit_at: Optional[float] = None
+    hits: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def artifact_payload(self) -> Dict[str, object]:
+        return {
+            "version": CACHE_SCHEMA_VERSION,
+            "kind": _ARTIFACT_KIND,
+            "cover": None if self.cover is None
+            else np.asarray(self.cover, dtype="<i8").tobytes(),
+            "order": None if self.order is None
+            else np.asarray(self.order, dtype="<i8").tobytes(),
+            "checkpoint": self.checkpoint_blob,
+            "extra": dict(self.extra),
+        }
+
+    def load_artifact_payload(self, payload: Dict[str, object]) -> None:
+        if not isinstance(payload, dict):
+            _fail("artifact does not decode to a payload dict")
+        if payload.get("version") != CACHE_SCHEMA_VERSION:
+            _fail(f"artifact version {payload.get('version')!r} "
+                  f"!= {CACHE_SCHEMA_VERSION}")
+        if payload.get("kind") != _ARTIFACT_KIND:
+            _fail(f"artifact kind {payload.get('kind')!r} != {_ARTIFACT_KIND!r}")
+        cover = payload.get("cover")
+        order = payload.get("order")
+        self.cover = None if cover is None else np.frombuffer(cover, dtype="<i8").astype(np.int64)
+        self.order = None if order is None else np.frombuffer(order, dtype="<i8").astype(np.int64)
+        self.checkpoint_blob = payload.get("checkpoint")
+        self.extra = dict(payload.get("extra") or {})
+
+
+_COLUMNS = (
+    "uid", "canonical_key", "config_hash", "graph_fp", "formulation", "k",
+    "n", "m", "individualized", "structure_hash", "status", "optimum",
+    "feasible", "lower_bound", "nodes_visited", "wall_seconds", "nbytes",
+    "created_at", "last_hit_at", "hits",
+)
+
+
+class CacheStore:
+    """SQLite-indexed, artifact-backed store of solve certificates."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.entries_dir = self.root / "entries"
+        self.entries_dir.mkdir(exist_ok=True)
+        self.index_path = self.root / "index.sqlite"
+
+    # ------------------------------------------------------------------ #
+    # schema
+    # ------------------------------------------------------------------ #
+    def connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.index_path)
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            "  uid TEXT PRIMARY KEY,"
+            "  canonical_key TEXT NOT NULL,"
+            "  config_hash TEXT NOT NULL,"
+            "  graph_fp TEXT NOT NULL,"
+            "  formulation TEXT NOT NULL,"
+            "  k INTEGER,"
+            "  n INTEGER NOT NULL,"
+            "  m INTEGER NOT NULL,"
+            "  individualized INTEGER NOT NULL,"
+            "  structure_hash TEXT,"
+            "  status TEXT NOT NULL,"
+            "  optimum INTEGER,"
+            "  feasible INTEGER,"
+            "  lower_bound INTEGER,"
+            "  nodes_visited INTEGER NOT NULL DEFAULT 0,"
+            "  wall_seconds REAL NOT NULL DEFAULT 0,"
+            "  nbytes INTEGER NOT NULL DEFAULT 0,"
+            "  created_at REAL NOT NULL,"
+            "  last_hit_at REAL,"
+            "  hits INTEGER NOT NULL DEFAULT 0,"
+            "  UNIQUE (graph_fp, config_hash)"
+            ")"
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_entries_key "
+            "ON entries (canonical_key, config_hash)"
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_entries_fp ON entries (graph_fp)"
+        )
+        return conn
+
+    # ------------------------------------------------------------------ #
+    # write path
+    # ------------------------------------------------------------------ #
+    def put(self, entry: CacheEntry) -> CacheEntry:
+        """Insert or replace the entry for ``(graph_fp, config_hash)``.
+
+        An escalated or completed solve replaces its own earlier partial
+        entry in place; the superseded artifact file is removed.
+        """
+        entry.uid = uuid.uuid4().hex[:16]
+        entry.created_at = entry.created_at or time.time()
+        blob = pickle.dumps(entry.artifact_payload(),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        path = self.entries_dir / f"{entry.uid}.pkl"
+        path.write_bytes(blob)
+        entry.nbytes = len(blob)
+        with self.connect() as conn:
+            old = conn.execute(
+                "SELECT uid FROM entries WHERE graph_fp = ? AND config_hash = ?",
+                (entry.graph_fp, entry.config_hash)).fetchone()
+            if old is not None:
+                conn.execute("DELETE FROM entries WHERE uid = ?", (old[0],))
+            conn.execute(
+                f"INSERT INTO entries ({', '.join(_COLUMNS)}) "
+                f"VALUES ({', '.join('?' for _ in _COLUMNS)})",
+                (entry.uid, entry.canonical_key, entry.config_hash,
+                 entry.graph_fp, entry.formulation, entry.k, entry.n, entry.m,
+                 int(entry.individualized), entry.structure_hash, entry.status,
+                 entry.optimum,
+                 None if entry.feasible is None else int(entry.feasible),
+                 entry.lower_bound, entry.nodes_visited, entry.wall_seconds,
+                 entry.nbytes, entry.created_at, entry.last_hit_at, entry.hits),
+            )
+        if old is not None:
+            stale = self.entries_dir / f"{old[0]}.pkl"
+            if stale.exists():
+                stale.unlink()
+        return entry
+
+    def touch(self, uid: str) -> None:
+        """Record a hit against an entry (LRU input for ``gc``)."""
+        with self.connect() as conn:
+            conn.execute(
+                "UPDATE entries SET hits = hits + 1, last_hit_at = ? "
+                "WHERE uid = ?", (time.time(), uid))
+
+    # ------------------------------------------------------------------ #
+    # read path
+    # ------------------------------------------------------------------ #
+    def _from_row(self, row, *, load: bool) -> CacheEntry:
+        entry = CacheEntry(
+            canonical_key=row[1], config_hash=row[2], graph_fp=row[3],
+            formulation=row[4], k=row[5], n=row[6], m=row[7],
+            individualized=bool(row[8]), structure_hash=row[9], status=row[10],
+            optimum=row[11],
+            feasible=None if row[12] is None else bool(row[12]),
+            lower_bound=row[13], nodes_visited=row[14], wall_seconds=row[15],
+            uid=row[0], nbytes=row[16], created_at=row[17], last_hit_at=row[18],
+            hits=row[19],
+        )
+        if load:
+            path = self.entries_dir / f"{entry.uid}.pkl"
+            entry.load_artifact_payload(pickle.loads(path.read_bytes()))
+        return entry
+
+    _SELECT = (
+        "SELECT uid, canonical_key, config_hash, graph_fp, formulation, k, "
+        "n, m, individualized, structure_hash, status, optimum, feasible, "
+        "lower_bound, nodes_visited, wall_seconds, nbytes, created_at, "
+        "last_hit_at, hits FROM entries"
+    )
+
+    def lookup_exact(self, graph_fp: str, config_hash: str,
+                     *, load: bool = True) -> Optional[CacheEntry]:
+        with self.connect() as conn:
+            row = conn.execute(
+                f"{self._SELECT} WHERE graph_fp = ? AND config_hash = ?",
+                (graph_fp, config_hash)).fetchone()
+        return None if row is None else self._from_row(row, load=load)
+
+    def lookup_key(self, canonical_key: str, config_hash: str,
+                   *, load: bool = False) -> List[CacheEntry]:
+        """All entries in the relabel-invariant bucket (iso-hit candidates)."""
+        with self.connect() as conn:
+            rows = conn.execute(
+                f"{self._SELECT} WHERE canonical_key = ? AND config_hash = ? "
+                "ORDER BY created_at", (canonical_key, config_hash)).fetchall()
+        return [self._from_row(row, load=load) for row in rows]
+
+    def entries_for_graph(self, graph_fp: str, *, load: bool = False) -> List[CacheEntry]:
+        """Every entry on the exact instance, any config (warm-start donors)."""
+        with self.connect() as conn:
+            rows = conn.execute(
+                f"{self._SELECT} WHERE graph_fp = ? ORDER BY created_at",
+                (graph_fp,)).fetchall()
+        return [self._from_row(row, load=load) for row in rows]
+
+    def load_artifact(self, entry: CacheEntry) -> CacheEntry:
+        path = self.entries_dir / f"{entry.uid}.pkl"
+        entry.load_artifact_payload(pickle.loads(path.read_bytes()))
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def ls(self) -> List[Dict[str, object]]:
+        with self.connect() as conn:
+            rows = conn.execute(
+                f"{self._SELECT} ORDER BY created_at").fetchall()
+        out = []
+        for row in rows:
+            entry = self._from_row(row, load=False)
+            out.append({
+                "uid": entry.uid,
+                "key": entry.canonical_key[:12],
+                "graph_fp": entry.graph_fp[:12],
+                "formulation": entry.formulation,
+                "k": entry.k,
+                "n": entry.n,
+                "m": entry.m,
+                "status": entry.status,
+                "optimum": entry.optimum,
+                "individualized": entry.individualized,
+                "nbytes": entry.nbytes,
+                "hits": entry.hits,
+            })
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        with self.connect() as conn:
+            total, nbytes, hits = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0), "
+                "COALESCE(SUM(hits), 0) FROM entries").fetchone()
+            by_status = dict(conn.execute(
+                "SELECT status, COUNT(*) FROM entries GROUP BY status").fetchall())
+        return {"entries": int(total), "bytes": int(nbytes),
+                "hits": int(hits), "by_status": by_status,
+                "root": str(self.root)}
+
+    def gc(self, *, max_bytes: Optional[int] = None,
+           max_age_s: Optional[float] = None) -> int:
+        """Evict entries, oldest-access first, until the limits hold.
+
+        ``max_age_s`` drops entries whose last access (hit, else
+        creation) is older than the horizon; ``max_bytes`` then evicts
+        in LRU order until the store fits.  Returns the eviction count.
+        """
+        now = time.time()
+        with self.connect() as conn:
+            rows = conn.execute(
+                "SELECT uid, nbytes, COALESCE(last_hit_at, created_at) "
+                "FROM entries ORDER BY COALESCE(last_hit_at, created_at)"
+            ).fetchall()
+        victims: List[str] = []
+        if max_age_s is not None:
+            victims.extend(uid for uid, _, seen in rows if now - seen > max_age_s)
+        if max_bytes is not None:
+            doomed = set(victims)
+            live = [(uid, nb) for uid, nb, _ in rows if uid not in doomed]
+            excess = sum(nb for _, nb in live) - max_bytes
+            for uid, nb in live:
+                if excess <= 0:
+                    break
+                victims.append(uid)
+                excess -= nb
+        for uid in victims:
+            self.delete(uid)
+        return len(victims)
+
+    def delete(self, uid: str) -> None:
+        with self.connect() as conn:
+            conn.execute("DELETE FROM entries WHERE uid = ?", (uid,))
+        path = self.entries_dir / f"{uid}.pkl"
+        if path.exists():
+            path.unlink()
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        with self.connect() as conn:
+            (count,) = conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+            conn.execute("DELETE FROM entries")
+        for path in self.entries_dir.glob("*.pkl"):
+            path.unlink()
+        return int(count)

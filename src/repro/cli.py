@@ -138,10 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "localhost worker processes that join over the socket "
                         "transport, exactly like `repro serve-worker` on a "
                         "second machine")
+    p.add_argument("--cache", default=None, nargs="?", const=True, metavar="DIR",
+                   help="route the solve through the content-addressed "
+                        "certificate cache rooted at DIR (bare --cache uses "
+                        "$REPRO_CACHE, else .repro-cache): repeated or "
+                        "isomorphic-by-relabeling instances return their "
+                        "stored verified cover with zero search nodes, and "
+                        "interrupted anytime solves escalate from the cached "
+                        "checkpoint instead of restarting")
     p.add_argument("--stats", action="store_true",
                    help="print per-worker comms counters (messages, bytes, "
-                        "leases, donations, idle time) and fault-supervision "
-                        "events after a parallel solve")
+                        "leases, donations, idle time), fault-supervision "
+                        "events and cache hit/miss/escalation counters after "
+                        "a solve")
     p.add_argument("--trace", default=None, metavar="OUT.json",
                    help="arm wall-clock tracing for this solve and write the "
                         "merged multi-process timeline as Chrome trace-event "
@@ -169,6 +178,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="metrics snapshot to render as Prometheus exposition")
     op.add_argument("--out", default=None, metavar="PATH",
                     help="write here instead of stdout")
+
+    p = sub.add_parser("cache", help="inspect and maintain the solve cache")
+    csub = p.add_subparsers(dest="cache_command", required=True)
+
+    def cache_common(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--store", default=None, metavar="DIR",
+                        help="cache root (default: $REPRO_CACHE, else "
+                             ".repro-cache)")
+
+    cache_common(csub.add_parser("ls", help="list cached certificates"))
+    cache_common(csub.add_parser("stats", help="entry/byte/hit totals"))
+    cp = csub.add_parser("gc", help="evict entries, oldest access first")
+    cache_common(cp)
+    cp.add_argument("--max-bytes", type=int, default=None,
+                    help="evict LRU entries until the store fits this size")
+    cp.add_argument("--max-age-days", type=float, default=None,
+                    help="evict entries not touched within this horizon")
+    cache_common(csub.add_parser("clear", help="drop every entry"))
 
     p = sub.add_parser(
         "serve-worker",
@@ -267,6 +294,64 @@ def _print_comms(comms) -> None:
     for wid, counters in sorted(comms.get("per_worker", {}).items()):
         print(f"  worker {wid}: " + "  ".join(
             f"{key}={value:g}" for key, value in sorted(counters.items())))
+
+
+def _print_cache_stats(cache) -> None:
+    """Render one solve's cache counters for --stats."""
+    if cache is None:
+        print("cache: off")
+        return
+    s = cache.session
+    hits = s["hits_exact"] + s["hits_iso"] + s["hits_derived"]
+    print(f"cache: {hits} hits (exact={s['hits_exact']} iso={s['hits_iso']} "
+          f"derived={s['hits_derived']})  misses={s['misses']}  "
+          f"escalations={s['escalations']}  warm_starts={s['warm_starts']}  "
+          f"read={s['bytes_read']}B written={s['bytes_written']}B  "
+          f"[{cache.root}]")
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from .cache.store import CacheStore
+
+    root = args.store or os.environ.get("REPRO_CACHE") or ".repro-cache"
+    store = CacheStore(root)
+    if args.cache_command == "ls":
+        rows = store.ls()
+        if not rows:
+            print(f"{root}: empty")
+            return 0
+        print(f"{'key':<14} {'form':<5} {'k':>4} {'n':>6} {'m':>7} "
+              f"{'status':<16} {'opt':>5} {'iso':<4} {'hits':>4} {'bytes':>8}")
+        for row in rows:
+            print(f"{row['key']:<14} {row['formulation']:<5} "
+                  f"{'-' if row['k'] is None else row['k']:>4} "
+                  f"{row['n']:>6} {row['m']:>7} {row['status']:<16} "
+                  f"{'-' if row['optimum'] is None else row['optimum']:>5} "
+                  f"{'yes' if row['individualized'] else 'no':<4} "
+                  f"{row['hits']:>4} {row['nbytes']:>8}")
+        return 0
+    if args.cache_command == "stats":
+        stats = store.stats()
+        by_status = "  ".join(f"{k}={v}" for k, v in
+                              sorted(stats["by_status"].items())) or "none"
+        print(f"{stats['root']}: {stats['entries']} entries, "
+              f"{stats['bytes']} bytes, {stats['hits']} lifetime hits")
+        print(f"by status: {by_status}")
+        return 0
+    if args.cache_command == "gc":
+        max_age_s = (None if args.max_age_days is None
+                     else args.max_age_days * 86400.0)
+        removed = store.gc(max_bytes=args.max_bytes, max_age_s=max_age_s)
+        print(f"{root}: evicted {removed} entries")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"{root}: cleared {removed} entries")
+        return 0
+    raise AssertionError(
+        f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
 
 
 def _print_supervision(result) -> None:
@@ -540,6 +625,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "obs":
         return _cmd_obs(args)
 
+    if args.command == "cache":
+        return _cmd_cache(args)
+
     if args.command == "serve-worker":
         from .net.distributed import run_worker_client
         from .net.transport import TransportClosed
@@ -738,6 +826,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"error: {exc}")
                     return 2
 
+            cache_obj = None
+            if args.cache is not None:
+                from .cache import resolve_cache
+
+                cache_obj = resolve_cache(args.cache)
+
             anytime = (args.deadline is not None or args.checkpoint is not None
                        or args.resume_from is not None)
             if anytime:
@@ -761,7 +855,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         graph, args.k, engine=engine,
                         frontier=args.frontier, bound=args.bound or "greedy",
                         node_budget=args.node_budget, deadline=args.deadline,
-                        **kernels_opt)
+                        cache=cache_obj, **kernels_opt)
                 best = ("none" if out.optimum is None
                         else f"{out.optimum} cover" if out.formulation == "mvc"
                         else f"{out.optimum} cover (k={out.k})")
@@ -788,6 +882,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             for key in comms_keys))
                     else:
                         print("comms: not reported by this engine")
+                    if cache_obj is not None:
+                        _print_cache_stats(cache_obj)
                 finish_obs()
                 print(f"[{time.perf_counter() - start:.1f}s wall]")
                 return 0 if out.complete else 3
@@ -797,6 +893,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 extra["bound"] = args.bound
             if args.kernels is not None:
                 extra["kernels"] = args.kernels
+            if cache_obj is not None:
+                extra["cache"] = cache_obj
             extra.update(par_opt)
             if args.k is None:
                 out = solve_mvc(graph, engine=engine, node_budget=args.node_budget, **extra)
@@ -810,6 +908,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.stats:
                 _print_comms(getattr(out, "comms", None))
                 _print_supervision(out)
+                if cache_obj is not None:
+                    _print_cache_stats(cache_obj)
             finish_obs()
         print(f"[{time.perf_counter() - start:.1f}s wall]")
         return 0

@@ -25,6 +25,7 @@ self-contained-node property the paper's GPU scheme is built on.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -55,6 +56,7 @@ def solve_anytime(
     bound: str = "greedy",
     node_budget: Optional[int] = None,
     deadline: Optional[float] = None,
+    cache: Any = None,
     **opts: Any,
 ) -> SolveOutcome:
     """Solve MVC (``k=None``) or PVC on any engine, interruptibly.
@@ -66,12 +68,44 @@ def solve_anytime(
     ``KERNELS`` registry name) selects the reduction backend; it is *not*
     recorded in checkpoints because every backend reaches bit-identical
     fixpoints — resume with any backend and the optimum is unchanged.
+
+    ``cache=`` (same spelling as :func:`repro.core.solver.solve_mvc`,
+    default ``REPRO_CACHE``) adds the escalation tiers on top of plain
+    certificate hits: a cached ``budget_exhausted``/deadline-tripped
+    entry resumes via :func:`resume_from` instead of restarting (under
+    the checkpoint's recorded bound), and any stored incumbent on the
+    instance warm-starts ``initial_best`` even when the config hash
+    differs.  Interrupted outcomes are recorded back as checkpoints, so
+    a repeat request with a larger budget picks up where this one left
+    off.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if not isinstance(bound, str):
         raise TypeError("solve_anytime takes a bound-policy name, not an instance "
                         "(the checkpoint must record it by name)")
+    if cache is None:
+        cache = os.environ.get("REPRO_CACHE") or None
+    if cache is not None and cache is not False:
+        from ..cache import cached_solve_anytime, resolve_cache
+
+        solve_cache = resolve_cache(cache)
+        if solve_cache is not None:
+            def solve_fn(initial_best=None):
+                return _solve(graph, k, engine=engine, frontier=frontier,
+                              bound=bound, node_budget=node_budget,
+                              deadline=deadline, roots=None,
+                              initial_best=initial_best, prior_nodes=0,
+                              opts=opts)
+
+            def resume_fn(checkpoint):
+                return resume_from(checkpoint, graph, engine=engine,
+                                   node_budget=node_budget, deadline=deadline,
+                                   **opts)
+
+            return cached_solve_anytime(
+                solve_cache, graph, k, solve_fn, resume_fn,
+                node_budget=node_budget, deadline=deadline)
     return _solve(graph, k, engine=engine, frontier=frontier, bound=bound,
                   node_budget=node_budget, deadline=deadline,
                   roots=None, initial_best=None, prior_nodes=0, opts=opts)
@@ -133,8 +167,9 @@ def solve_to_completion(
     """
     outcome = solve_anytime(graph, k, engine=engine, node_budget=node_budget, **opts)
     # The checkpoint records frontier/bound; resume legs take them from it.
+    # ``cache`` is a solve_anytime-level knob, not a resume option.
     resume_opts = {key: value for key, value in opts.items()
-                   if key not in ("frontier", "bound")}
+                   if key not in ("frontier", "bound", "cache")}
     legs = 1
     while not outcome.complete and outcome.resumable:
         if legs >= max_legs:
@@ -309,6 +344,9 @@ def _run_engine(
     call_opts["bound"] = bound
     call_opts["node_budget"] = node_budget
     call_opts["deadline"] = deadline
+    # The anytime envelope owns caching at its own level; an env-armed
+    # facade must not consult the store again for this inner leg.
+    call_opts["cache"] = False
     if frontier is not None:
         call_opts["frontier"] = frontier  # facade raises: fixed disciplines
     if roots is not None:

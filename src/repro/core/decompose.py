@@ -22,7 +22,8 @@ import numpy as np
 
 from ..graph.algorithms import component_subgraphs
 from ..graph.csr import CSRGraph
-from .solver import solve_mvc, solve_pvc
+from .anytime import solve_anytime
+from .solver import solve_pvc
 
 __all__ = ["ComponentwiseResult", "solve_mvc_by_components", "optimum_via_pvc"]
 
@@ -52,6 +53,12 @@ def solve_mvc_by_components(
     concatenated; a per-component ``node_budget`` (if given) applies to
     each component independently, and any component timing out marks the
     whole result as budgeted.
+
+    Every component rides through :func:`repro.core.anytime.solve_anytime`,
+    so each piece comes back as a uniform
+    :class:`~repro.core.outcome.SolveOutcome` regardless of engine — and
+    a ``cache=`` option (or ``REPRO_CACHE``) memoizes the pieces
+    independently, including checkpoint escalation per component.
     """
     pieces = component_subgraphs(graph)
     total = 0
@@ -63,16 +70,16 @@ def solve_mvc_by_components(
         if sub.m == 0:
             optima.append(0)
             continue
-        out = solve_mvc(sub, engine=engine, node_budget=node_budget, **options)
-        total += out.optimum
-        optima.append(out.optimum)
+        out = solve_anytime(sub, engine=engine, node_budget=node_budget, **options)
+        total += int(out.optimum)
+        optima.append(int(out.optimum))
         covers.append(ids[np.asarray(out.cover, dtype=np.int64)])
-        nodes += out.nodes_visited if hasattr(out, "nodes_visited") else out.stats.nodes_visited
-        timed_out |= bool(out.timed_out)
+        nodes += out.nodes
+        timed_out |= not out.complete
     cover = np.sort(np.concatenate(covers)) if covers else np.empty(0, dtype=np.int64)
     return ComponentwiseResult(
         optimum=total,
-        cover=cover.astype(np.int32),
+        cover=cover.astype(np.int64),
         n_components=len(pieces),
         component_optima=optima,
         nodes_visited=nodes,
@@ -87,15 +94,17 @@ def optimum_via_pvc(
     lo: Optional[int] = None,
     hi: Optional[int] = None,
     node_budget: Optional[int] = None,
-    on_probe: Optional[Callable[[int, bool], None]] = None,
+    on_probe: Optional[Callable[[int, Optional[bool]], None]] = None,
     **options: Any,
 ) -> Optional[int]:
     """Recover the MVC optimum with a binary search over PVC queries.
 
     ``lo``/``hi`` default to 0 and the greedy bound.  Returns ``None`` if
     any probe exhausted its budget without an answer (the bracket is then
-    unresolved).  ``on_probe(k, feasible)`` observes each query, which the
-    tests use to assert the probe count is logarithmic.
+    unresolved).  ``on_probe(k, feasible)`` observes *every* query —
+    including the unresolved one that aborts the search, which it sees
+    as ``feasible=None`` — which the tests use to assert the probe count
+    is logarithmic.
     """
     if graph.m == 0:
         return 0
@@ -110,10 +119,10 @@ def optimum_via_pvc(
     while lo < hi:
         mid = (lo + hi) // 2
         out = solve_pvc(graph, mid, engine=engine, node_budget=node_budget, **options)
+        if on_probe is not None:
+            on_probe(mid, None if out.feasible is None else bool(out.feasible))
         if out.feasible is None:
             return None
-        if on_probe is not None:
-            on_probe(mid, bool(out.feasible))
         if out.feasible:
             hi = mid
         else:

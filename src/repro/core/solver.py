@@ -16,6 +16,7 @@
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, Optional
 
@@ -80,6 +81,22 @@ def _sim_engine(name: str):
             "globalonly": globalonly.GlobalOnlyEngine}[name]
 
 
+def _armed_cache(options: Dict[str, Any]):
+    """Resolve the ``cache=`` option / ``REPRO_CACHE`` env into a cache.
+
+    Returns ``None`` on the default path without importing or executing
+    any cache code — the disarmed hot path is two dict/env probes.
+    """
+    cache = options.pop("cache", None)
+    if cache is None:
+        cache = os.environ.get("REPRO_CACHE") or None
+    if cache is None or cache is False:
+        return None
+    from ..cache import resolve_cache
+
+    return resolve_cache(cache)
+
+
 def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
     """Find a minimum vertex cover of ``graph`` with the chosen engine.
 
@@ -87,7 +104,24 @@ def solve_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any):
     sequential engine and an :class:`~repro.engines.base.EngineResult` for
     the parallel ones (both expose ``optimum``, ``cover`` and
     ``timed_out``).
+
+    ``cache=`` (a store path, ``True``, or a
+    :class:`~repro.cache.SolveCache`; default: the ``REPRO_CACHE`` env
+    var, else off) routes the solve through the content-addressed
+    certificate cache: repeated or isomorphic-by-relabeling instances
+    return their stored, verified cover with zero search nodes, and
+    disconnected instances are memoized one component at a time (a
+    :class:`~repro.cache.CachedSolveResult`).  Pass ``cache=False`` to
+    force the cache off regardless of the environment.
     """
+    cache = _armed_cache(options)
+    if cache is not None:
+        from ..cache import cached_solve_mvc
+
+        return _solve_enveloped(
+            engine, lambda: cached_solve_mvc(
+                cache, graph, engine=engine, options=options,
+                dispatch=_dispatch_mvc))
     return _solve_enveloped(
         engine, lambda: _dispatch_mvc(graph, engine=engine, **options))
 
@@ -125,7 +159,20 @@ def _dispatch_mvc(graph: CSRGraph, *, engine: str = "sequential", **options: Any
 
 
 def solve_pvc(graph: CSRGraph, k: int, *, engine: str = "sequential", **options: Any):
-    """Find a vertex cover of size at most ``k``, or prove none exists."""
+    """Find a vertex cover of size at most ``k``, or prove none exists.
+
+    Takes the same ``cache=`` option as :func:`solve_mvc`; a stored
+    optimal MVC certificate on the same instance also answers the PVC
+    query directly (feasible iff the optimum is at most ``k``).
+    """
+    cache = _armed_cache(options)
+    if cache is not None:
+        from ..cache import cached_solve_pvc
+
+        return _solve_enveloped(
+            engine, lambda: cached_solve_pvc(
+                cache, graph, k, engine=engine, options=options,
+                dispatch=_dispatch_pvc))
     return _solve_enveloped(
         engine, lambda: _dispatch_pvc(graph, k, engine=engine, **options))
 

@@ -168,6 +168,7 @@ def experiment_config(spec: ExperimentSpec) -> ExperimentConfig:
         cpu_workers=spec.cpu_workers,
         kernels=spec.kernels,
         telemetry=spec.telemetry,
+        cache=spec.cache,
     )
 
 

@@ -182,6 +182,13 @@ class ExperimentSpec:
     #: Observation, not result content — excluded from fingerprints, like
     #: ``calibration``/``kernels``, so toggling it never invalidates cells.
     telemetry: bool = False
+    #: optional solve-cache store path armed inside wall-clock cells.  A
+    #: cache hit returns the stored, verified certificate — same optimum
+    #: and cover as the cold solve — so this is execution policy, not
+    #: result content, and is excluded from cell fingerprints like
+    #: ``calibration``/``kernels``.  Sim-priced cells ignore it: their
+    #: output is a predicted cycle count, which a cache would falsify.
+    cache: Optional[str] = None
     #: extra attempts before a failing/timing-out cell is quarantined.
     cell_retries: int = 0
 
@@ -264,6 +271,8 @@ class ExperimentSpec:
             raise ValueError("node guards must be positive")
         if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
             raise ValueError("cell_timeout_s must be positive when given")
+        if self.cache is not None and not str(self.cache):
+            raise ValueError("cache must be a non-empty store path when given")
         if self.cell_retries < 0:
             raise ValueError("cell_retries must be >= 0")
         return self
@@ -294,6 +303,8 @@ class ExperimentSpec:
             extras["kernels"] = self.kernels
         if self.telemetry:
             extras["telemetry"] = True
+        if self.cache is not None:
+            extras["cache"] = self.cache
         return {
             **extras,
             "schema_version": SPEC_SCHEMA_VERSION,
@@ -331,7 +342,7 @@ class ExperimentSpec:
             "seed", "virtual_budget_s", "seq_node_guard", "engine_node_guard",
             "stackonly_depths", "hybrid_capacities", "hybrid_fractions",
             "cpu_workers", "workers", "hosts", "calibration", "kernels",
-            "cell_timeout_s", "cell_retries", "telemetry",
+            "cell_timeout_s", "cell_retries", "telemetry", "cache",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -367,6 +378,7 @@ class ExperimentSpec:
                             else float(data["cell_timeout_s"])),  # type: ignore[arg-type]
             cell_retries=int(data.get("cell_retries", defaults.cell_retries)),  # type: ignore[arg-type]
             telemetry=bool(data.get("telemetry", False)),
+            cache=(None if data.get("cache") is None else str(data["cache"])),
         )
         return spec.validate()
 

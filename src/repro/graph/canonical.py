@@ -1,0 +1,169 @@
+"""Relabel-invariant canonical forms: vectorized WL refinement over CSR.
+
+The solve cache (:mod:`repro.cache`) needs to recognise a graph it has
+seen before even when the caller relabeled the vertices.  The standard
+tool is Weisfeiler–Leman colour refinement: start every vertex at a
+colour determined by its degree, then repeatedly recolour each vertex by
+the multiset of its neighbours' colours.  The resulting colour partition
+is invariant under vertex relabeling, so a key derived from it indexes
+isomorphic-by-relabeling submissions to the same bucket.
+
+Two distinct strengths of claim come out of a refinement run, and the
+cache treats them very differently:
+
+* :attr:`CanonicalForm.key` — a hash of ``(n, m, degree sequence, final
+  colour histogram)``.  Equal keys are *necessary* for isomorphism but
+  never sufficient (C6 and two disjoint triangles are both 2-regular on
+  six vertices and share a key forever).  The key is only an index.
+* :attr:`CanonicalForm.structure_hash` — defined only when refinement
+  **individualizes** the graph (every colour class is a singleton).  The
+  colours then induce a canonical vertex order, and hashing the
+  adjacency *in that order* produces a value two graphs share iff the
+  canonical relabelings are literally the same graph — i.e. equal
+  structure hashes of two individualized graphs *prove* isomorphism.
+  Graphs that refinement cannot individualize simply abstain
+  (``structure_hash is None``); the cache degrades to exact-fingerprint
+  matching for them, which is sound.
+
+Everything is vectorized over the CSR arrays: neighbour colours are one
+gather through ``indices``, per-row multiset signatures are wraparound
+``uint64`` prefix-sum differences over scrambled colours (a commutative
+multiset hash — no per-row sort needed), and recolouring is one
+``np.unique(return_inverse=True)``.  No Python ``hash()`` anywhere: keys
+must be stable across processes and interpreter seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["CanonicalForm", "wl_colors", "canonical_form", "canonical_key"]
+
+#: Format tag folded into every digest (bump on any derivation change —
+#: old cache entries must not collide with keys from a new scheme).
+CANONICAL_VERSION = 1
+
+# SplitMix64 constants: a fixed, seed-free integer scrambler.
+_SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_MUL2 = np.uint64(0x94D049BB133111EB)
+
+
+def _scramble(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer, elementwise on ``uint64`` (wraparound is the point)."""
+    z = x + _SM_GAMMA
+    z = (z ^ (z >> np.uint64(30))) * _SM_MUL1
+    z = (z ^ (z >> np.uint64(27))) * _SM_MUL2
+    return z ^ (z >> np.uint64(31))
+
+
+def wl_colors(graph: CSRGraph, rounds: int = 4) -> np.ndarray:
+    """Weisfeiler–Leman colour refinement; returns dense int64 colours.
+
+    Colours start as degree ranks and refine for up to ``rounds``
+    iterations, stopping early once the partition stabilises (refinement
+    only ever splits classes, so an unchanged class count is a fixpoint).
+    The returned colouring is relabel-equivariant: for any permutation
+    ``p``, ``wl_colors(p(G))[p(v)] == wl_colors(G)[v]``.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    degrees = graph.degrees.astype(np.int64)
+    _, colors = np.unique(degrees, return_inverse=True)
+    colors = colors.astype(np.int64)
+    if graph.n == 0 or graph.m == 0:
+        return colors
+    n_colors = int(colors.max()) + 1
+    for _ in range(rounds):
+        if n_colors == graph.n:
+            break  # fully individualized; nothing left to split
+        # Commutative multiset hash of each row's neighbour colours:
+        # scrambled colours summed mod 2**64 via prefix-sum differences
+        # (empty rows fall out naturally as zero-length differences).
+        neigh = _scramble(colors[graph.indices].astype(np.uint64))
+        prefix = np.zeros(neigh.size + 1, dtype=np.uint64)
+        np.cumsum(neigh, out=prefix[1:])
+        row_sum = prefix[graph.indptr[1:]] - prefix[graph.indptr[:-1]]
+        signature = _scramble(colors.astype(np.uint64) * _SM_MUL1 + row_sum)
+        _, new_colors = np.unique(signature, return_inverse=True)
+        new_colors = new_colors.astype(np.int64)
+        new_count = int(new_colors.max()) + 1
+        if new_count == n_colors:
+            break
+        colors, n_colors = new_colors, new_count
+    return colors
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The relabel-invariant identity of one graph (see module docstring).
+
+    ``order`` (present iff ``individualized``) is the canonical
+    permutation: ``order[i]`` is the original id of the vertex at
+    canonical position ``i``; its inverse maps original ids to canonical
+    positions, which is how covers are transported between isomorphic
+    copies of an instance.
+    """
+
+    key: str
+    individualized: bool
+    order: Optional[np.ndarray]
+    structure_hash: Optional[str]
+    n: int
+    m: int
+
+    def positions(self) -> np.ndarray:
+        """Inverse of ``order``: original vertex id -> canonical position."""
+        if self.order is None:
+            raise ValueError("graph was not individualized; no canonical positions")
+        pos = np.empty(self.n, dtype=np.int64)
+        pos[self.order] = np.arange(self.n, dtype=np.int64)
+        return pos
+
+
+def canonical_form(graph: CSRGraph, rounds: int = 4) -> CanonicalForm:
+    """Compute the full canonical identity of ``graph``."""
+    colors = wl_colors(graph, rounds=rounds)
+    degrees = np.sort(graph.degrees.astype(np.int64))
+    histogram = np.sort(np.bincount(colors, minlength=0).astype(np.int64)) \
+        if colors.size else np.empty(0, dtype=np.int64)
+    digest = hashlib.sha256()
+    digest.update(f"canon:v{CANONICAL_VERSION}:{graph.n}:{graph.m}:".encode())
+    digest.update(degrees.astype("<i8").tobytes())
+    digest.update(b":")
+    digest.update(histogram.astype("<i8").tobytes())
+    key = digest.hexdigest()
+
+    individualized = bool(colors.size == graph.n and
+                          (graph.n == 0 or int(colors.max()) + 1 == graph.n))
+    order: Optional[np.ndarray] = None
+    structure_hash: Optional[str] = None
+    if individualized:
+        order = np.argsort(colors, kind="stable").astype(np.int64)
+        pos = np.empty(graph.n, dtype=np.int64)
+        pos[order] = np.arange(graph.n, dtype=np.int64)
+        # Each undirected edge appears twice in CSR; the min/max key keeps
+        # one canonical-coordinate entry per orientation and sorting makes
+        # the byte stream independent of the original row layout.
+        src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees.astype(np.int64))
+        a = pos[src]
+        b = pos[graph.indices.astype(np.int64)]
+        keys = np.sort(np.minimum(a, b) * graph.n + np.maximum(a, b))
+        sdigest = hashlib.sha256()
+        sdigest.update(f"struct:v{CANONICAL_VERSION}:{graph.n}:{graph.m}:".encode())
+        sdigest.update(keys.astype("<i8").tobytes())
+        structure_hash = sdigest.hexdigest()
+        order.setflags(write=False)
+    return CanonicalForm(key=key, individualized=individualized, order=order,
+                         structure_hash=structure_hash, n=graph.n, m=graph.m)
+
+
+def canonical_key(graph: CSRGraph, rounds: int = 4) -> str:
+    """Just the relabel-invariant index key (see :class:`CanonicalForm`)."""
+    return canonical_form(graph, rounds=rounds).key

@@ -97,6 +97,19 @@ class TestOptimumViaPvc:
         g = gnp(40, 0.3, seed=77)
         assert optimum_via_pvc(g, node_budget=1, lo=20, hi=25) is None
 
+    def test_on_probe_observes_the_unresolved_probe(self):
+        """The probe that exhausts its budget and aborts the search is
+        still reported — as ``feasible=None`` — so a probe log accounts
+        for every PVC query the search actually issued."""
+        g = gnp(40, 0.3, seed=77)
+        probes = []
+        out = optimum_via_pvc(g, node_budget=1, lo=20, hi=25,
+                              on_probe=lambda k, f: probes.append((k, f)))
+        assert out is None
+        assert probes  # the aborting query was not silently dropped
+        assert probes[-1][1] is None
+        assert all(f in (True, False) for _, f in probes[:-1])
+
     @settings(max_examples=10, deadline=None)
     @given(n=st.integers(3, 13), p=st.floats(0.2, 0.7), seed=st.integers(0, 100))
     def test_matches_brute_force_property(self, n, p, seed):
